@@ -1,0 +1,173 @@
+// Microbenchmarks (google-benchmark) for the hot paths: identifier
+// selection, fragmentation, reassembly, model evaluation, and the
+// discrete-event engine. These guard against regressions that would make
+// the figure benches (minutes of simulated traffic) painful to run.
+#include <benchmark/benchmark.h>
+
+#include "aff/fragmenter.hpp"
+#include "aff/reassembler.hpp"
+#include "apps/codebook.hpp"
+#include "core/density.hpp"
+#include "core/model.hpp"
+#include "core/selector.hpp"
+#include "core/transaction.hpp"
+#include "sim/engine.hpp"
+#include "util/checksum.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace retri;  // NOLINT: bench file, brevity wins
+
+void BM_UniformSelect(benchmark::State& state) {
+  core::UniformSelector sel(core::IdSpace(static_cast<unsigned>(state.range(0))),
+                            42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel.select());
+  }
+}
+BENCHMARK(BM_UniformSelect)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ListeningSelect(benchmark::State& state) {
+  core::ListeningSelector sel(
+      core::IdSpace(static_cast<unsigned>(state.range(0))), 42);
+  sel.set_density(16.0);
+  util::Xoshiro256 rng(7);
+  const std::uint64_t pool = core::IdSpace(
+      static_cast<unsigned>(state.range(0))).size();
+  for (auto _ : state) {
+    sel.observe(core::TransactionId(rng.below(pool)));
+    benchmark::DoNotOptimize(sel.select());
+  }
+}
+BENCHMARK(BM_ListeningSelect)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Crc32(benchmark::State& state) {
+  const util::Bytes data =
+      util::random_payload(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(27)->Arg(80)->Arg(1500)->Arg(65535);
+
+void BM_Fragment80BytePacket(benchmark::State& state) {
+  const aff::Fragmenter frag({aff::WireConfig{8, false}, 27});
+  const util::Bytes packet = util::random_payload(80, 2);
+  for (auto _ : state) {
+    auto frames = frag.fragment(packet, core::TransactionId(5));
+    benchmark::DoNotOptimize(frames);
+  }
+}
+BENCHMARK(BM_Fragment80BytePacket);
+
+void BM_ReassembleRoundTrip(benchmark::State& state) {
+  const aff::Fragmenter frag({aff::WireConfig{8, false}, 27});
+  const util::Bytes packet =
+      util::random_payload(static_cast<std::size_t>(state.range(0)), 3);
+  const auto frames = frag.fragment(packet, core::TransactionId(5));
+  const auto now = sim::TimePoint::origin();
+  for (auto _ : state) {
+    aff::Reassembler reasm;
+    int delivered = 0;
+    reasm.set_deliver([&](std::uint64_t, const util::Bytes&) { ++delivered; });
+    for (const auto& frame : frames.value()) {
+      const auto decoded = aff::decode(aff::WireConfig{8, false}, frame);
+      if (const auto* intro = std::get_if<aff::IntroFragment>(&decoded->body)) {
+        reasm.on_intro(intro->id.value(), intro->total_len, intro->checksum, now);
+      } else if (const auto* data =
+                     std::get_if<aff::DataFragment>(&decoded->body)) {
+        reasm.on_data(data->id.value(), data->offset, data->payload, now);
+      }
+    }
+    benchmark::DoNotOptimize(delivered);
+  }
+}
+BENCHMARK(BM_ReassembleRoundTrip)->Arg(80)->Arg(1500);
+
+void BM_ModelEvaluation(benchmark::State& state) {
+  double t = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::model::e_aff(16.0, 9, t));
+    t += 0.001;
+  }
+}
+BENCHMARK(BM_ModelEvaluation);
+
+void BM_OptimalIdBits(benchmark::State& state) {
+  double t = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::model::optimal_id_bits(16.0, t));
+    t += 0.1;
+  }
+}
+BENCHMARK(BM_OptimalIdBits);
+
+void BM_EventEngineScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_after(sim::Duration::microseconds(i), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_fired());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventEngineScheduleFire);
+
+void BM_Xoshiro(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_AttributeSerializeRoundTrip(benchmark::State& state) {
+  const apps::AttributeSet attrs = {{"type", "seismic"},
+                                    {"region", "north-east"},
+                                    {"unit", "mm/s"}};
+  for (auto _ : state) {
+    const auto bytes = apps::serialize_attributes(attrs);
+    benchmark::DoNotOptimize(apps::deserialize_attributes(bytes));
+  }
+}
+BENCHMARK(BM_AttributeSerializeRoundTrip);
+
+void BM_CodebookEncodeHit(benchmark::State& state) {
+  core::UniformSelector selector(core::IdSpace(8), 9);
+  apps::CodebookEncoder encoder(selector, 16);
+  const apps::AttributeSet attrs = {{"type", "seismic"}, {"unit", "mm/s"}};
+  encoder.encode(attrs);  // warm the binding
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(attrs));
+  }
+}
+BENCHMARK(BM_CodebookEncodeHit);
+
+void BM_TransactionRegistryCycle(benchmark::State& state) {
+  core::TransactionRegistry registry;
+  util::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const auto handle =
+        registry.begin(core::TransactionId(rng.below(256)));
+    benchmark::DoNotOptimize(registry.end(handle));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TransactionRegistryCycle);
+
+void BM_DensityEstimatorTick(benchmark::State& state) {
+  core::DensityEstimator density(0.1);
+  for (auto _ : state) {
+    density.on_begin();
+    density.on_end();
+    benchmark::DoNotOptimize(density.estimate());
+  }
+}
+BENCHMARK(BM_DensityEstimatorTick);
+
+}  // namespace

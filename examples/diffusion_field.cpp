@@ -1,0 +1,134 @@
+// Multi-hop, address-free data dissemination over a sensor field.
+//
+// The paper's motivating architecture end to end: a 7x7 grid of nodes with
+// grid-neighbor radio connectivity; a gateway in one corner subscribes to
+// seismic readings within a 4-hop scope; sensors inside the scope publish
+// when they detect activity; data relays hop-by-hop along interest
+// gradients with duplicate suppression. Interests and data are both named
+// by 6-bit RETRI identifiers — watch the frame ledger at the end: not one
+// node address crosses the air.
+//
+//   $ ./diffusion_field
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/diffusion.hpp"
+#include "core/model.hpp"
+#include "radio/radio.hpp"
+#include "sim/medium.hpp"
+
+using namespace retri;
+
+namespace {
+
+constexpr std::size_t kSide = 7;
+constexpr unsigned kIdBits = 6;
+
+struct FieldNode {
+  FieldNode(sim::BroadcastMedium& medium, sim::NodeId id,
+            apps::DiffusionConfig config)
+      : radio(std::make_unique<radio::Radio>(medium, id, radio::RadioConfig{},
+                                             radio::EnergyModel::rpc_like(),
+                                             3000 + id)),
+        selector(std::make_unique<core::UniformSelector>(core::IdSpace(kIdBits),
+                                                         4000 + id)),
+        diffusion(std::make_unique<apps::DiffusionNode>(*radio, *selector,
+                                                        config, id)) {}
+
+  std::unique_ptr<radio::Radio> radio;
+  std::unique_ptr<core::UniformSelector> selector;
+  std::unique_ptr<apps::DiffusionNode> diffusion;
+};
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim;
+  sim::BroadcastMedium medium(sim, sim::Topology::grid(kSide, kSide), {}, 55);
+
+  apps::DiffusionConfig config;
+  config.id_bits = kIdBits;
+  config.interest_ttl = 4;  // the gateway cares about a 4-hop neighborhood
+  config.data_ttl = 5;
+  config.interest_lifetime = sim::Duration::seconds(300);
+  config.data_seen_window = 16;
+
+  std::vector<FieldNode> nodes;
+  nodes.reserve(kSide * kSide);
+  for (sim::NodeId i = 0; i < kSide * kSide; ++i) {
+    nodes.emplace_back(medium, i, config);
+  }
+
+  const apps::AttributeSet seismic = {{"t", "seismic"}};
+  std::uint64_t gateway_received = 0;
+  std::uint16_t last_value = 0;
+
+  // Gateway at the (0,0) corner.
+  nodes[0].diffusion->subscribe(seismic, [&](std::uint16_t v, std::uint32_t) {
+    ++gateway_received;
+    last_value = v;
+  });
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(2));
+
+  std::size_t in_scope = 0;
+  for (const auto& n : nodes) {
+    if (n.diffusion->has_gradient(seismic)) ++in_scope;
+  }
+  std::printf("interest flooded: %zu of %zu nodes hold the gradient "
+              "(4-hop scope)\n",
+              in_scope, nodes.size());
+
+  // A seismic event sweeps diagonally away from the gateway: nodes (1,1)
+  // and (2,2) fire inside the 4-hop interest scope; (3,3) and (5,5) fire
+  // beyond it — their detectors trip but, holding no gradient, they send
+  // nothing (spatial scoping working as designed).
+  const std::size_t event_path[] = {1 * kSide + 1, 2 * kSide + 2,
+                                    3 * kSide + 3, 5 * kSide + 5};
+  int sent = 0;
+  int out_of_scope = 0;
+  for (std::size_t step = 0; step < std::size(event_path); ++step) {
+    const std::size_t node = event_path[step];
+    sim.schedule_after(sim::Duration::seconds(1), [&, node, step]() {
+      const auto id = nodes[node].diffusion->publish(
+          seismic, static_cast<std::uint16_t>(1000 + step));
+      if (id) ++sent;
+      else ++out_of_scope;
+    });
+    sim.run_until(sim.now() + sim::Duration::seconds(2));
+  }
+  sim.run_until(sim.now() + sim::Duration::seconds(5));
+
+  std::printf("\nevent sweep: %d readings published, %d suppressed as "
+              "out-of-scope\n",
+              sent, out_of_scope);
+  std::printf("gateway received %llu readings (last value %u)\n",
+              static_cast<unsigned long long>(gateway_received), last_value);
+
+  // Ledger: everything that crossed the air, and what it cost.
+  std::uint64_t frames = 0;
+  std::uint64_t bits = 0;
+  double energy_uj = 0.0;
+  std::uint64_t relays = 0;
+  for (const auto& n : nodes) {
+    frames += n.radio->counters().frames_sent;
+    bits += n.radio->counters().payload_bits_sent;
+    energy_uj += n.radio->energy().tx_nj() / 1000.0;
+    relays += n.diffusion->stats().data_relayed +
+              n.diffusion->stats().interests_relayed;
+  }
+  std::printf("\nair ledger: %llu frames (%llu relays), %llu payload bits, "
+              "%.0f uJ transmit energy\n",
+              static_cast<unsigned long long>(frames),
+              static_cast<unsigned long long>(relays),
+              static_cast<unsigned long long>(bits),
+              energy_uj);
+  std::printf("identifier economics: %u-bit RETRI ids name every interest "
+              "and datum;\n  a 48-bit hardware address would cost %u extra "
+              "bits per frame\n",
+              kIdBits, 48 - kIdBits);
+  std::printf("  (model: collision risk per datum at observed density ~5 is "
+              "%.4f)\n",
+              1.0 - core::model::p_success(kIdBits, 5.0));
+  return 0;
+}

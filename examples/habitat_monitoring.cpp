@@ -1,0 +1,137 @@
+// Habitat monitoring: the paper's motivating scenario (§1, §6).
+//
+// A 4x4 grid of unattended temperature sensors reports small periodic
+// readings; a sink at one corner reinforces "interesting" readings (heat
+// events) by RETRI identifier alone — "whoever just sent data with
+// identifier 4, send more of that" — with no sensor ever transmitting an
+// address. A simulated heat event sweeps the field; sensors near it get
+// reinforced and raise their reporting rate.
+//
+// The example then contrasts the bits-on-air with what the same traffic
+// would have cost under 32-bit static addressing.
+//
+//   $ ./habitat_monitoring
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/interest.hpp"
+#include "core/model.hpp"
+#include "core/selector.hpp"
+#include "radio/radio.hpp"
+#include "sim/medium.hpp"
+
+using namespace retri;
+
+namespace {
+
+constexpr std::size_t kGridSide = 4;
+constexpr unsigned kIdBits = 8;
+
+/// Temperature field: ambient 20 C, with a heat event near cell (3, 3)
+/// between t = 60 s and t = 120 s. Values are fixed-point centi-degrees.
+std::uint16_t temperature_at(std::size_t x, std::size_t y, double t_seconds) {
+  double celsius = 20.0;
+  if (t_seconds >= 60.0 && t_seconds <= 120.0) {
+    const double dx = static_cast<double>(x) - 3.0;
+    const double dy = static_cast<double>(y) - 3.0;
+    const double dist2 = dx * dx + dy * dy;
+    celsius += 40.0 / (1.0 + dist2);  // sharp hot spot at the corner
+  }
+  return static_cast<std::uint16_t>(celsius * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim;
+  // Sink (node 0) plus 16 sensors, all within radio range of the sink —
+  // a dense deployment, like motes scattered from one pass.
+  const std::size_t nodes = 1 + kGridSide * kGridSide;
+  sim::BroadcastMedium medium(sim, sim::Topology::full_mesh(nodes), {}, 42);
+
+  radio::Radio sink_radio(medium, 0, radio::RadioConfig{},
+                          radio::EnergyModel::rpc_like(), 1);
+  apps::SinkConfig sink_config;
+  sink_config.wire.id_bits = kIdBits;
+  sink_config.interest_threshold = 3000;  // reinforce anything above 30 C
+  apps::InterestSink sink(sink_radio, sink_config);
+
+  struct Sensor {
+    std::unique_ptr<radio::Radio> radio;
+    std::unique_ptr<core::ListeningSelector> selector;
+    std::unique_ptr<apps::InterestSensor> app;
+  };
+  std::vector<Sensor> sensors;
+  sensors.reserve(kGridSide * kGridSide);
+
+  for (std::size_t y = 0; y < kGridSide; ++y) {
+    for (std::size_t x = 0; x < kGridSide; ++x) {
+      const auto node = static_cast<sim::NodeId>(1 + y * kGridSide + x);
+      Sensor s;
+      s.radio = std::make_unique<radio::Radio>(
+          medium, node, radio::RadioConfig{}, radio::EnergyModel::rpc_like(),
+          100 + node);
+      s.selector = std::make_unique<core::ListeningSelector>(
+          core::IdSpace(kIdBits), 200 + node);
+
+      apps::SensorConfig config;
+      config.wire.id_bits = kIdBits;
+      config.base_period = sim::Duration::seconds(10);
+      config.reinforced_period = sim::Duration::seconds(1);
+      config.reinforcement_ttl = sim::Duration::seconds(15);
+      s.app = std::make_unique<apps::InterestSensor>(
+          *s.radio, *s.selector, config, static_cast<std::uint32_t>(node),
+          [&sim, x, y] { return temperature_at(x, y, sim.now().to_seconds()); });
+      s.app->start(sim::TimePoint::origin() + sim::Duration::seconds(180));
+      sensors.push_back(std::move(s));
+    }
+  }
+
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(200));
+
+  std::puts("habitat monitoring, 16 sensors, 180 s with a heat event at 60-120 s\n");
+  std::puts("per-sensor activity (grid order, sensors nearest the event last):");
+  std::uint64_t total_readings = 0;
+  std::uint64_t total_reinforced = 0;
+  std::uint64_t total_bits = 0;
+  for (std::size_t i = 0; i < sensors.size(); ++i) {
+    const auto& stats = sensors[i].app->stats();
+    total_readings += stats.readings_sent;
+    total_reinforced += stats.reinforcements_claimed;
+    total_bits += sensors[i].radio->counters().payload_bits_sent;
+    std::printf("  sensor (%zu,%zu): %3llu readings, %2llu reinforcements%s\n",
+                i % kGridSide, i / kGridSide,
+                static_cast<unsigned long long>(stats.readings_sent),
+                static_cast<unsigned long long>(stats.reinforcements_claimed),
+                stats.false_claims ? "  [includes false claims]" : "");
+  }
+
+  std::printf("\nsink: %llu readings heard, %llu reinforcements sent\n",
+              static_cast<unsigned long long>(sink.stats().readings_heard),
+              static_cast<unsigned long long>(sink.stats().reinforcements_sent));
+
+  // The locality payoff: sensors near the hot spot (high x, high y) were
+  // reinforced and reported much more often than far-corner sensors.
+  const auto& near = sensors.back().app->stats();    // (3,3)
+  const auto& far = sensors.front().app->stats();    // (0,0)
+  std::printf("\nevent-adjacent sensor sent %llu readings vs %llu for the "
+              "far corner\n",
+              static_cast<unsigned long long>(near.readings_sent),
+              static_cast<unsigned long long>(far.readings_sent));
+
+  // Cost accounting vs static addressing: each reading frame carried a
+  // 1-byte ephemeral id + 4-byte uid instrumentation + 2-byte value; with
+  // 32-bit static source addresses each frame would carry 4 more bytes.
+  const double actual_bits = static_cast<double>(total_bits);
+  const double with_static =
+      actual_bits + static_cast<double>(total_readings) * (32 - kIdBits);
+  std::printf("\nbits on air: %.0f; with 32-bit static addresses instead of "
+              "%u-bit RETRI ids: %.0f (%.1f%% more)\n",
+              actual_bits, kIdBits, with_static,
+              (with_static / actual_bits - 1.0) * 100.0);
+  std::printf("model check: optimal id width for 16-bit readings at this "
+              "density: %u bits\n",
+              core::model::optimal_id_bits(16.0, 16.0));
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "aff/driver.hpp"
+
+#include <cassert>
+#include <memory>
+
+#include "util/logging.hpp"
+
+namespace retri::aff {
+
+AffDriver::AffDriver(radio::Radio& radio, core::IdSelector& selector,
+                     AffDriverConfig config, std::uint64_t node_uid)
+    : radio_(radio),
+      selector_(selector),
+      config_(config),
+      fragmenter_(FragmenterConfig{config.wire, radio.config().max_frame_bytes}),
+      reassembler_(ReassemblerConfig{config.reassembly_timeout,
+                                     config.max_reassembly_entries}),
+      truth_reassembler_(ReassemblerConfig{config.reassembly_timeout,
+                                           config.max_reassembly_entries}),
+      density_(core::make_density_model(config.density_model)),
+      node_uid_(node_uid),
+      alive_(std::make_shared<bool>(true)) {
+  assert(selector_.space().bits() == config_.wire.id_bits &&
+         "selector space and wire id width must agree");
+
+  radio_.set_receive_callback([this](sim::NodeId from, const util::Bytes& frame) {
+    on_frame(from, frame);
+  });
+
+  reassembler_.set_deliver([this](std::uint64_t, const util::Bytes& packet) {
+    ++stats_.packets_delivered;
+    if (on_packet_) on_packet_(packet);
+  });
+  // Every closed entry — delivered, failed, timed out, or evicted — ends one
+  // visible transaction for density purposes.
+  reassembler_.set_closed([this](std::uint64_t) {
+    density_->on_end();
+    push_density_to_selector();
+  });
+
+  truth_reassembler_.set_deliver([this](std::uint64_t, const util::Bytes& packet) {
+    ++stats_.truth_packets_delivered;
+    if (on_truth_packet_) on_truth_packet_(packet);
+  });
+}
+
+AffDriver::~AffDriver() { *alive_ = false; }
+
+void AffDriver::ensure_expiry_timer() {
+  if (expiry_timer_.pending()) return;
+  if (reassembler_.pending_count() == 0 &&
+      truth_reassembler_.pending_count() == 0) {
+    return;
+  }
+  const sim::Duration period = config_.reassembly_timeout / 2;
+  std::weak_ptr<bool> alive = alive_;
+  expiry_timer_ = radio_.simulator().schedule_after(period, [this, alive]() {
+    const auto flag = alive.lock();
+    if (!flag || !*flag) return;
+    reassembler_.expire(radio_.simulator().now());
+    truth_reassembler_.expire(radio_.simulator().now());
+    ensure_expiry_timer();
+  });
+}
+
+void AffDriver::push_density_to_selector() {
+  if (config_.adaptive_density) selector_.set_density(density_->estimate());
+}
+
+util::Result<core::TransactionId, SendError> AffDriver::send_packet(
+    util::BytesView packet) {
+  const core::TransactionId id = selector_.select();
+  const std::uint64_t true_id = (node_uid_ << 32) | next_packet_seq_++;
+
+  auto frames = fragmenter_.fragment(packet, id, true_id);
+  if (!frames) {
+    ++stats_.send_failures;
+    switch (frames.error()) {
+      case FragmentError::kEmptyPacket: return SendError::kEmpty;
+      case FragmentError::kPacketTooLarge: return SendError::kTooLarge;
+      case FragmentError::kFrameTooSmall: return SendError::kFrameTooSmall;
+    }
+    return SendError::kEmpty;  // unreachable; switch above is exhaustive
+  }
+
+  const std::size_t backlog = radio_.queue_depth();
+  const std::size_t nframes = frames.value().size();
+  for (auto& frame : frames.value()) {
+    if (!radio_.send(std::move(frame))) {
+      ++stats_.send_failures;
+      return SendError::kRadioRejected;  // cannot happen if fragmenter agrees with radio
+    }
+  }
+  ++stats_.packets_sent;
+  stats_.fragments_sent += nframes;
+
+  // The sender's own transaction contributes to the density it experiences.
+  // It ends when the radio has drained this packet's frames; estimate that
+  // from the queue backlog at a full frame per slot.
+  density_->on_begin();
+  push_density_to_selector();
+  const sim::Duration per_frame =
+      radio_.airtime(radio_.config().max_frame_bytes) +
+      radio_.config().interframe_gap + radio_.config().max_backoff;
+  const sim::Duration drain = per_frame * static_cast<std::int64_t>(backlog + nframes);
+  std::weak_ptr<bool> alive = alive_;
+  radio_.simulator().schedule_after(drain, [this, alive]() {
+    const auto flag = alive.lock();
+    if (!flag || !*flag) return;
+    density_->on_end();
+    push_density_to_selector();
+  });
+
+  return id;
+}
+
+void AffDriver::note_transaction_begin(core::TransactionId id) {
+  density_->on_begin();
+  selector_.observe(id);
+  push_density_to_selector();
+}
+
+void AffDriver::maybe_notify_collision(std::uint64_t key) {
+  const std::uint64_t conflicts = reassembler_.stats().conflicting_writes;
+  if (conflicts == prev_conflicting_writes_) return;
+  prev_conflicting_writes_ = conflicts;
+  if (!config_.send_collision_notifications) return;
+  ++stats_.notifications_sent;
+  radio_.send(encode_notify(config_.wire,
+                            CollisionNotify{core::TransactionId(key)}));
+}
+
+void AffDriver::handle_intro(const IntroFragment& intro,
+                             std::optional<std::uint64_t> true_id) {
+  const std::uint64_t key = intro.id.value();
+  if (!reassembler_.pending(key)) note_transaction_begin(intro.id);
+  reassembler_.on_intro(key, intro.total_len, intro.checksum,
+                        radio_.simulator().now());
+  maybe_notify_collision(key);
+  if (config_.wire.instrumented && true_id) {
+    truth_reassembler_.on_intro(*true_id, intro.total_len, intro.checksum,
+                                radio_.simulator().now());
+  }
+  ensure_expiry_timer();
+}
+
+void AffDriver::handle_data(const DataFragment& data,
+                            std::optional<std::uint64_t> true_id) {
+  const std::uint64_t key = data.id.value();
+  // Only introductions begin transactions: a data fragment without a live
+  // introduced entry is an orphan the reassembler drops.
+  reassembler_.on_data(key, data.offset, data.payload, radio_.simulator().now());
+  maybe_notify_collision(key);
+  if (config_.wire.instrumented && true_id) {
+    truth_reassembler_.on_data(*true_id, data.offset, data.payload,
+                               radio_.simulator().now());
+  }
+  ensure_expiry_timer();
+}
+
+void AffDriver::on_frame(sim::NodeId from, const util::Bytes& frame) {
+  (void)from;  // address-free: the sender's identity is never used
+  const auto decoded = decode(config_.wire, frame);
+  if (!decoded) {
+    ++stats_.undecodable_frames;
+    RETRI_LOG(kDebug) << "dropped undecodable frame of " << frame.size()
+                      << " bytes";
+    return;
+  }
+  if (const auto* intro = std::get_if<IntroFragment>(&decoded->body)) {
+    handle_intro(*intro, decoded->true_packet_id);
+  } else if (const auto* data = std::get_if<DataFragment>(&decoded->body)) {
+    handle_data(*data, decoded->true_packet_id);
+  } else if (const auto* notify = std::get_if<CollisionNotify>(&decoded->body)) {
+    ++stats_.notifications_heard;
+    selector_.notify_collision(notify->id);
+  }
+}
+
+}  // namespace retri::aff

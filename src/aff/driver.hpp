@@ -1,0 +1,132 @@
+// The AFF driver: the paper's fragmentation service (§5) end to end.
+//
+// Accepts packets of up to 64 KiB from the application, assigns each a
+// fresh identifier from the configured selection policy, fragments it into
+// radio frames, and transmits. Watches the radio for fragments, reassembles
+// them keyed by AFF identifier, and delivers checksum-verified packets to
+// the application. In instrumented mode (§5.1) every fragment additionally
+// carries the sender's guaranteed-unique packet id and the driver runs a
+// second, ground-truth reassembly keyed by that id, so an experiment can
+// report both "packets received" and "packets that would have been received
+// based on the AFF identifier alone".
+//
+// The driver also implements the two §3.2 heuristics:
+//  - listening: overheard introduction fragments are reported to the
+//    selector (observe) and to the density estimator;
+//  - collision notification: a receiver that detects conflicting fragments
+//    under one identifier may broadcast a notification; senders hearing it
+//    quarantine that identifier.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "aff/fragmenter.hpp"
+#include "aff/reassembler.hpp"
+#include "aff/wire.hpp"
+#include "core/density.hpp"
+#include "core/selector.hpp"
+#include "radio/radio.hpp"
+#include "util/result.hpp"
+
+namespace retri::aff {
+
+enum class SendError {
+  kEmpty,
+  kTooLarge,
+  kFrameTooSmall,
+  kRadioRejected,
+};
+
+struct AffDriverConfig {
+  WireConfig wire;
+  sim::Duration reassembly_timeout = sim::Duration::seconds(10);
+  std::size_t max_reassembly_entries = 1024;
+  /// Broadcast a CollisionNotify when reassembly detects conflicting
+  /// fragments under one identifier (§3.2's parenthetical heuristic).
+  bool send_collision_notifications = false;
+  /// Keep the selector's density estimate updated from observed traffic.
+  bool adaptive_density = true;
+  /// Which transaction-density estimator to run (DESIGN.md ablation C').
+  core::DensityModelKind density_model = core::DensityModelKind::kEwma;
+};
+
+struct AffDriverStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t fragments_sent = 0;
+  std::uint64_t send_failures = 0;
+  std::uint64_t packets_delivered = 0;        // realistic (AFF-keyed) path
+  std::uint64_t truth_packets_delivered = 0;  // instrumented ground truth
+  std::uint64_t notifications_sent = 0;
+  std::uint64_t notifications_heard = 0;
+  std::uint64_t undecodable_frames = 0;
+};
+
+class AffDriver {
+ public:
+  using PacketHandler = std::function<void(const util::Bytes& packet)>;
+
+  /// `node_uid` is this node's guaranteed-unique identifier — in the
+  /// paper's terms the long static id that exists but is deliberately NOT
+  /// sent per packet except in instrumented mode.
+  AffDriver(radio::Radio& radio, core::IdSelector& selector,
+            AffDriverConfig config, std::uint64_t node_uid);
+  ~AffDriver();
+
+  AffDriver(const AffDriver&) = delete;
+  AffDriver& operator=(const AffDriver&) = delete;
+
+  /// Handler for packets delivered by the realistic AFF-keyed path.
+  void set_packet_handler(PacketHandler handler) { on_packet_ = std::move(handler); }
+  /// Handler for packets delivered by the instrumented ground-truth path.
+  void set_truth_packet_handler(PacketHandler handler) {
+    on_truth_packet_ = std::move(handler);
+  }
+
+  /// Fragments and transmits one packet. Returns the identifier used, or
+  /// the reason nothing was sent.
+  util::Result<core::TransactionId, SendError> send_packet(util::BytesView packet);
+
+  const Reassembler& aff_reassembler() const noexcept { return reassembler_; }
+  const Reassembler& truth_reassembler() const noexcept { return truth_reassembler_; }
+  const AffDriverStats& stats() const noexcept { return stats_; }
+  const AffDriverConfig& config() const noexcept { return config_; }
+  double density_estimate() const noexcept { return density_->estimate(); }
+  core::IdSelector& selector() noexcept { return selector_; }
+  radio::Radio& radio() noexcept { return radio_; }
+
+ private:
+  void on_frame(sim::NodeId from, const util::Bytes& frame);
+  void handle_intro(const IntroFragment& intro,
+                    std::optional<std::uint64_t> true_id);
+  void handle_data(const DataFragment& data,
+                   std::optional<std::uint64_t> true_id);
+  void note_transaction_begin(core::TransactionId id);
+  void maybe_notify_collision(std::uint64_t key);
+  /// Arms the reassembly-expiry timer if entries are pending and no timer
+  /// is armed. The timer re-arms itself only while entries remain, so an
+  /// idle driver schedules nothing and Simulator::run() terminates.
+  void ensure_expiry_timer();
+  void push_density_to_selector();
+
+  radio::Radio& radio_;
+  core::IdSelector& selector_;
+  AffDriverConfig config_;
+  Fragmenter fragmenter_;
+  Reassembler reassembler_;        // keyed by AFF identifier value
+  Reassembler truth_reassembler_;  // keyed by guaranteed-unique packet id
+  std::unique_ptr<core::DensityModel> density_;
+  std::uint64_t node_uid_;
+  std::uint64_t next_packet_seq_ = 0;
+  std::uint64_t prev_conflicting_writes_ = 0;
+  PacketHandler on_packet_;
+  PacketHandler on_truth_packet_;
+  AffDriverStats stats_;
+  sim::EventHandle expiry_timer_;
+  // Liveness flag captured (weakly) by timer callbacks so events that fire
+  // after the driver is destroyed become no-ops instead of dangling.
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace retri::aff

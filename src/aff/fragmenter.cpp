@@ -1,0 +1,55 @@
+#include "aff/fragmenter.hpp"
+
+#include <algorithm>
+
+#include "util/checksum.hpp"
+
+namespace retri::aff {
+
+Fragmenter::Fragmenter(FragmenterConfig config)
+    : config_(config),
+      payload_per_fragment_(
+          config_.max_frame_bytes > data_header_bytes(config_.wire)
+              ? config_.max_frame_bytes - data_header_bytes(config_.wire)
+              : 0) {}
+
+std::size_t Fragmenter::frame_count(std::size_t packet_bytes) const noexcept {
+  if (payload_per_fragment_ == 0) return 0;
+  return 1 + (packet_bytes + payload_per_fragment_ - 1) / payload_per_fragment_;
+}
+
+util::Result<std::vector<util::Bytes>, FragmentError> Fragmenter::fragment(
+    util::BytesView packet, core::TransactionId id,
+    std::uint64_t true_packet_id) const {
+  if (packet.empty()) return FragmentError::kEmptyPacket;
+  if (packet.size() > 0xffff) return FragmentError::kPacketTooLarge;
+  if (payload_per_fragment_ == 0 ||
+      intro_header_bytes(config_.wire) > config_.max_frame_bytes) {
+    return FragmentError::kFrameTooSmall;
+  }
+
+  std::vector<util::Bytes> frames;
+  frames.reserve(frame_count(packet.size()));
+
+  const IntroFragment intro{id, static_cast<std::uint16_t>(packet.size()),
+                            util::crc32(packet)};
+  frames.push_back(encode_intro(config_.wire, intro,
+                                config_.wire.instrumented
+                                    ? std::optional<std::uint64_t>(true_packet_id)
+                                    : std::nullopt));
+
+  for (std::size_t offset = 0; offset < packet.size();
+       offset += payload_per_fragment_) {
+    const std::size_t n = std::min(payload_per_fragment_, packet.size() - offset);
+    DataFragment data{id, static_cast<std::uint16_t>(offset),
+                      util::Bytes(packet.begin() + static_cast<std::ptrdiff_t>(offset),
+                                  packet.begin() + static_cast<std::ptrdiff_t>(offset + n))};
+    frames.push_back(encode_data(config_.wire, data,
+                                 config_.wire.instrumented
+                                     ? std::optional<std::uint64_t>(true_packet_id)
+                                     : std::nullopt));
+  }
+  return frames;
+}
+
+}  // namespace retri::aff

@@ -1,0 +1,138 @@
+#include "aff/reassembler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/checksum.hpp"
+
+namespace retri::aff {
+
+Reassembler::Reassembler(ReassemblerConfig config) : config_(config) {
+  assert(config_.max_entries >= 1);
+}
+
+Reassembler::Entry& Reassembler::touch(std::uint64_t key, sim::TimePoint now) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (entries_.size() >= config_.max_entries) {
+      // Evict the least recently updated packet to bound memory — a real
+      // driver on a sensor node has a small fixed reassembly table.
+      close(lru_.front(), /*count_timeout=*/false, /*count_evicted=*/true);
+    }
+    it = entries_.emplace(key, Entry{}).first;
+    it->second.lru_pos = lru_.insert(lru_.end(), key);
+  } else {
+    lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+  }
+  it->second.last_update = now;
+  return it->second;
+}
+
+void Reassembler::close(std::uint64_t key, bool count_timeout, bool count_evicted) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  if (count_timeout) ++stats_.timeouts;
+  if (count_evicted) ++stats_.evicted;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  if (closed_) closed_(key);
+}
+
+void Reassembler::write_bytes(Entry& entry, std::size_t offset,
+                              util::BytesView payload) {
+  const std::size_t extent = offset + payload.size();
+  if (entry.bytes.size() < extent) {
+    entry.bytes.resize(extent, 0);
+    entry.have.resize(extent, false);
+  }
+  bool conflicted = false;
+  bool all_duplicate = !payload.empty();
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    const std::size_t pos = offset + i;
+    if (entry.have[pos]) {
+      if (entry.bytes[pos] != payload[i]) conflicted = true;
+    } else {
+      entry.have[pos] = true;
+      ++entry.covered;
+      all_duplicate = false;
+    }
+    entry.bytes[pos] = payload[i];  // last write wins, like the real driver
+  }
+  if (conflicted) ++stats_.conflicting_writes;
+  else if (all_duplicate) ++stats_.duplicate_fragments;
+}
+
+void Reassembler::maybe_complete(std::uint64_t key, Entry& entry) {
+  if (!entry.have_intro) return;
+  if (entry.covered < entry.total_len) return;
+  // All bytes of the announced length are present. Bytes beyond total_len
+  // (from a colliding longer packet) are ignored; the checksum decides.
+  const util::BytesView packet(entry.bytes.data(), entry.total_len);
+  const bool valid = util::crc32(packet) == entry.checksum;
+  if (valid) {
+    ++stats_.delivered;
+    if (deliver_) deliver_(key, util::Bytes(packet.begin(), packet.end()));
+  } else {
+    ++stats_.checksum_failed;
+  }
+  close(key, /*count_timeout=*/false, /*count_evicted=*/false);
+}
+
+void Reassembler::on_intro(std::uint64_t key, std::uint16_t total_len,
+                           std::uint32_t checksum, sim::TimePoint now) {
+  ++stats_.fragments_seen;
+  if (total_len == 0) {
+    ++stats_.malformed;
+    return;
+  }
+  Entry& entry = touch(key, now);
+  if (entry.have_intro &&
+      (entry.total_len != total_len || entry.checksum != checksum)) {
+    // A second, different introduction under the same key. Either an
+    // identifier collision between two *concurrent* packets, or ordinary
+    // sequential reuse of the identifier (a new transaction). The driver
+    // cannot tell which, so it adopts the new announcement and restarts
+    // assembly: concurrent colliders still interleave fragments into the
+    // fresh entry and die at the checksum, while sequential reuse — the
+    // common case under small id spaces — starts clean instead of
+    // inheriting a dead packet's bytes.
+    ++stats_.conflicting_writes;
+    entry.bytes.clear();
+    entry.have.clear();
+    entry.covered = 0;
+  }
+  entry.have_intro = true;
+  entry.total_len = total_len;
+  entry.checksum = checksum;
+  maybe_complete(key, entry);
+}
+
+void Reassembler::on_data(std::uint64_t key, std::uint16_t offset,
+                          util::BytesView payload, sim::TimePoint now) {
+  ++stats_.fragments_seen;
+  if (payload.empty() ||
+      static_cast<std::size_t>(offset) + payload.size() > 0x10000) {
+    ++stats_.malformed;
+    return;
+  }
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.have_intro) {
+    ++stats_.orphan_fragments;
+    return;
+  }
+  Entry& entry = touch(key, now);
+  write_bytes(entry, offset, payload);
+  maybe_complete(key, entry);
+}
+
+void Reassembler::expire(sim::TimePoint now) {
+  while (!lru_.empty()) {
+    // LRU order is also idle order: front is the longest-idle entry.
+    const std::uint64_t key = lru_.front();
+    const Entry& entry = entries_.at(key);
+    if (now - entry.last_update < config_.timeout) break;
+    close(key, /*count_timeout=*/true, /*count_evicted=*/false);
+  }
+}
+
+}  // namespace retri::aff

@@ -1,0 +1,111 @@
+// Packet reassembly.
+//
+// Collects intro and data fragments per reassembly key and delivers a packet
+// once every byte has arrived and the checksum verifies. "Packets that
+// suffer from identifier collisions are never delivered because of checksum
+// failures or other inconsistencies" (§5) — the reassembler counts both
+// symptoms (checksum_failed, conflicting writes) so experiments can report
+// them separately.
+//
+// The reassembly key is a plain uint64 chosen by the caller: the realistic
+// receiver keys by the AFF identifier; the instrumented ground-truth pass
+// (§5.1) keys a second Reassembler by the guaranteed-unique packet id. The
+// algorithm is identical either way, which is exactly the paper's point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+#include "util/bytes.hpp"
+
+namespace retri::aff {
+
+struct ReassemblerConfig {
+  /// Entries receiving no fragment for this long are discarded on expire().
+  sim::Duration timeout = sim::Duration::seconds(10);
+  /// Hard cap on simultaneously tracked packets; beyond it the least
+  /// recently updated entry is evicted (counted as evicted, not timeout).
+  std::size_t max_entries = 1024;
+};
+
+struct ReassemblerStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t checksum_failed = 0;
+  /// Fragments that rewrote an already-received byte with different
+  /// content — the smoking gun of an identifier collision.
+  std::uint64_t conflicting_writes = 0;
+  std::uint64_t duplicate_fragments = 0;   // identical re-deliveries
+  std::uint64_t timeouts = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t malformed = 0;             // offset/length inconsistencies
+  /// Data fragments with no live, introduced entry under their key — the
+  /// packet's introduction was lost (or its entry already closed), so the
+  /// fragment cannot be attributed to any announced packet and is dropped.
+  std::uint64_t orphan_fragments = 0;
+  std::uint64_t fragments_seen = 0;
+};
+
+class Reassembler {
+ public:
+  /// Invoked with the verified packet when reassembly completes.
+  using DeliverFn = std::function<void(std::uint64_t key, const util::Bytes&)>;
+  /// Invoked whenever an entry closes for any reason (delivered, checksum
+  /// failure, timeout, eviction). Drives transaction-density bookkeeping.
+  using ClosedFn = std::function<void(std::uint64_t key)>;
+
+  explicit Reassembler(ReassemblerConfig config = {});
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  void set_closed(ClosedFn fn) { closed_ = std::move(fn); }
+
+  /// Processes an introduction fragment for `key`.
+  void on_intro(std::uint64_t key, std::uint16_t total_len,
+                std::uint32_t checksum, sim::TimePoint now);
+
+  /// Processes a data fragment for `key`. Reassembly is introduction-
+  /// anchored (the intro precedes the data on the paper's serial radio):
+  /// a data fragment whose key has no live introduced entry is dropped as
+  /// an orphan — without the introduction's length and checksum the packet
+  /// could never be delivered, and buffering unattributed bytes would let
+  /// a dead packet's tail poison the next packet that reuses the id.
+  void on_data(std::uint64_t key, std::uint16_t offset, util::BytesView payload,
+               sim::TimePoint now);
+
+  /// Discards entries idle past the timeout. The driver calls this
+  /// periodically from a simulator timer.
+  void expire(sim::TimePoint now);
+
+  /// True if a packet under `key` is currently being reassembled.
+  bool pending(std::uint64_t key) const { return entries_.contains(key); }
+  std::size_t pending_count() const noexcept { return entries_.size(); }
+  const ReassemblerStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    bool have_intro = false;
+    std::uint16_t total_len = 0;
+    std::uint32_t checksum = 0;
+    util::Bytes bytes;          // grows to the max extent seen
+    std::vector<bool> have;     // per-byte coverage
+    std::size_t covered = 0;
+    sim::TimePoint last_update;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  Entry& touch(std::uint64_t key, sim::TimePoint now);
+  void close(std::uint64_t key, bool count_timeout, bool count_evicted);
+  void maybe_complete(std::uint64_t key, Entry& entry);
+  void write_bytes(Entry& entry, std::size_t offset, util::BytesView payload);
+
+  ReassemblerConfig config_;
+  DeliverFn deliver_;
+  ClosedFn closed_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  // least recently updated at front
+  ReassemblerStats stats_;
+};
+
+}  // namespace retri::aff

@@ -1,0 +1,113 @@
+#include "aff/wire.hpp"
+
+#include "util/bitops.hpp"
+
+namespace retri::aff {
+namespace {
+
+std::uint8_t kind_byte(FragmentKind kind, bool instrumented) {
+  return static_cast<std::uint8_t>(kind) |
+         (instrumented ? kInstrumentedFlag : std::uint8_t{0});
+}
+
+}  // namespace
+
+const core::TransactionId& DecodedFragment::id() const {
+  return std::visit([](const auto& f) -> const core::TransactionId& { return f.id; },
+                    body);
+}
+
+std::size_t intro_header_bytes(const WireConfig& config) noexcept {
+  return 1 + (config.instrumented ? 8 : 0) +
+         util::bytes_for_bits(config.id_bits) + 2 + 4;
+}
+
+std::size_t data_header_bytes(const WireConfig& config) noexcept {
+  return 1 + (config.instrumented ? 8 : 0) +
+         util::bytes_for_bits(config.id_bits) + 2;
+}
+
+util::Bytes encode_intro(const WireConfig& config, const IntroFragment& f,
+                         std::optional<std::uint64_t> true_packet_id) {
+  util::BufferWriter w(intro_header_bytes(config));
+  w.u8(kind_byte(FragmentKind::kIntro, config.instrumented));
+  if (config.instrumented) w.u64(true_packet_id.value_or(0));
+  w.uvar(f.id.value(), config.id_bits);
+  w.u16(f.total_len);
+  w.u32(f.checksum);
+  return w.take();
+}
+
+util::Bytes encode_data(const WireConfig& config, const DataFragment& f,
+                        std::optional<std::uint64_t> true_packet_id) {
+  util::BufferWriter w(data_header_bytes(config) + f.payload.size());
+  w.u8(kind_byte(FragmentKind::kData, config.instrumented));
+  if (config.instrumented) w.u64(true_packet_id.value_or(0));
+  w.uvar(f.id.value(), config.id_bits);
+  w.u16(f.offset);
+  w.raw(f.payload);
+  return w.take();
+}
+
+util::Bytes encode_notify(const WireConfig& config, const CollisionNotify& f) {
+  // Notifications are never instrumented: they reference an AFF id, not a
+  // particular packet.
+  util::BufferWriter w(1 + util::bytes_for_bits(config.id_bits));
+  w.u8(kind_byte(FragmentKind::kCollisionNotify, false));
+  w.uvar(f.id.value(), config.id_bits);
+  return w.take();
+}
+
+std::optional<DecodedFragment> decode(const WireConfig& config,
+                                      util::BytesView frame) {
+  util::BufferReader r(frame);
+  const auto kind_field = r.u8();
+  if (!kind_field) return std::nullopt;
+
+  const bool instrumented = (*kind_field & kInstrumentedFlag) != 0;
+  const auto kind = static_cast<FragmentKind>(*kind_field & ~kInstrumentedFlag);
+
+  DecodedFragment out;
+  if (kind == FragmentKind::kCollisionNotify) {
+    if (instrumented) return std::nullopt;  // never emitted; reject
+    const auto id = r.uvar(config.id_bits);
+    if (!id || !r.empty()) return std::nullopt;
+    out.body = CollisionNotify{core::TransactionId(*id)};
+    return out;
+  }
+
+  // Intro and data fragments must match the receiver's instrumentation
+  // configuration; a mismatch means a foreign/corrupt frame.
+  if (instrumented != config.instrumented) return std::nullopt;
+  if (instrumented) {
+    const auto true_id = r.u64();
+    if (!true_id) return std::nullopt;
+    out.true_packet_id = *true_id;
+  }
+
+  const auto id = r.uvar(config.id_bits);
+  if (!id) return std::nullopt;
+
+  switch (kind) {
+    case FragmentKind::kIntro: {
+      const auto total_len = r.u16();
+      const auto checksum = r.u32();
+      if (!total_len || !checksum || !r.empty()) return std::nullopt;
+      out.body = IntroFragment{core::TransactionId(*id), *total_len, *checksum};
+      return out;
+    }
+    case FragmentKind::kData: {
+      const auto offset = r.u16();
+      if (!offset) return std::nullopt;
+      const auto rest = r.rest();
+      out.body = DataFragment{core::TransactionId(*id), *offset,
+                              util::Bytes(rest.begin(), rest.end())};
+      return out;
+    }
+    case FragmentKind::kCollisionNotify:
+      break;  // handled above
+  }
+  return std::nullopt;
+}
+
+}  // namespace retri::aff

@@ -1,0 +1,193 @@
+#include "apps/codebook.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace retri::apps {
+namespace {
+
+constexpr std::uint8_t kDefinitionKind = 0x41;
+constexpr std::uint8_t kCompressedKind = 0x42;
+
+std::string binding_key(const AttributeSet& attrs) {
+  const util::Bytes bytes = serialize_attributes(attrs);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace
+
+void canonicalize(AttributeSet& attrs) {
+  std::sort(attrs.begin(), attrs.end(), [](const Attribute& a, const Attribute& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.value < b.value;
+  });
+}
+
+util::Bytes serialize_attributes(const AttributeSet& attrs) {
+  assert(attrs.size() <= 0xff);
+  util::BufferWriter w;
+  w.u8(static_cast<std::uint8_t>(attrs.size()));
+  for (const Attribute& attr : attrs) {
+    assert(attr.name.size() <= 0xffff && attr.value.size() <= 0xffff);
+    w.u16(static_cast<std::uint16_t>(attr.name.size()));
+    w.raw(util::BytesView(reinterpret_cast<const std::uint8_t*>(attr.name.data()),
+                          attr.name.size()));
+    w.u16(static_cast<std::uint16_t>(attr.value.size()));
+    w.raw(util::BytesView(reinterpret_cast<const std::uint8_t*>(attr.value.data()),
+                          attr.value.size()));
+  }
+  return w.take();
+}
+
+std::optional<AttributeSet> deserialize_attributes(util::BytesView data) {
+  util::BufferReader r(data);
+  const auto count = r.u8();
+  if (!count) return std::nullopt;
+  AttributeSet attrs;
+  attrs.reserve(*count);
+  for (std::uint8_t i = 0; i < *count; ++i) {
+    const auto name_len = r.u16();
+    if (!name_len) return std::nullopt;
+    const auto name = r.raw(*name_len);
+    if (!name) return std::nullopt;
+    const auto value_len = r.u16();
+    if (!value_len) return std::nullopt;
+    const auto value = r.raw(*value_len);
+    if (!value) return std::nullopt;
+    attrs.push_back(Attribute{std::string(name->begin(), name->end()),
+                              std::string(value->begin(), value->end())});
+  }
+  if (!r.empty()) return std::nullopt;
+  return attrs;
+}
+
+std::size_t attribute_bits(const AttributeSet& attrs) {
+  return serialize_attributes(attrs).size() * 8;
+}
+
+// -- Encoder ------------------------------------------------------------------
+
+CodebookEncoder::CodebookEncoder(core::IdSelector& selector, std::size_t capacity)
+    : selector_(selector), capacity_(capacity) {
+  assert(capacity >= 1);
+}
+
+CodebookEncoder::Encoding CodebookEncoder::encode(AttributeSet attrs) {
+  canonicalize(attrs);
+  const std::string key = binding_key(attrs);
+
+  auto it = bindings_.find(key);
+  if (it != bindings_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+    return {it->second.code, false};
+  }
+
+  ++stats_.misses;
+  if (bindings_.size() >= capacity_) {
+    // Ephemerality by eviction: the oldest binding's transaction ends; its
+    // code returns to the pool implicitly (a future select() may reuse it).
+    const std::string& oldest = lru_.front();
+    bindings_.erase(oldest);
+    lru_.pop_front();
+    ++stats_.evictions;
+  }
+
+  const core::TransactionId code = selector_.select();
+  const auto lru_pos = lru_.insert(lru_.end(), key);
+  bindings_.emplace(key, Binding{code, lru_pos});
+  return {code, true};
+}
+
+void CodebookEncoder::release(const AttributeSet& attrs) {
+  AttributeSet canon = attrs;
+  canonicalize(canon);
+  auto it = bindings_.find(binding_key(canon));
+  if (it == bindings_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  bindings_.erase(it);
+}
+
+// -- Decoder ------------------------------------------------------------------
+
+CodebookDecoder::CodebookDecoder(std::size_t capacity) : capacity_(capacity) {
+  assert(capacity >= 1);
+}
+
+void CodebookDecoder::define(core::TransactionId code, AttributeSet attrs) {
+  canonicalize(attrs);
+  ++stats_.definitions;
+
+  auto it = codes_.find(code);
+  if (it != codes_.end()) {
+    if (it->second.attrs != attrs) ++stats_.conflicting_redefinitions;
+    it->second.attrs = std::move(attrs);  // newest definition wins
+    lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+    return;
+  }
+
+  if (codes_.size() >= capacity_) {
+    codes_.erase(lru_.front());
+    lru_.pop_front();
+  }
+  const auto lru_pos = lru_.insert(lru_.end(), code);
+  codes_.emplace(code, Entry{std::move(attrs), lru_pos});
+}
+
+std::optional<AttributeSet> CodebookDecoder::resolve(core::TransactionId code) {
+  auto it = codes_.find(code);
+  if (it == codes_.end()) {
+    ++stats_.unresolved;
+    return std::nullopt;
+  }
+  ++stats_.resolved;
+  lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+  return it->second.attrs;
+}
+
+// -- Message framing -----------------------------------------------------------
+
+util::Bytes encode_definition(unsigned code_bits, core::TransactionId code,
+                              const AttributeSet& attrs) {
+  util::BufferWriter w;
+  w.u8(kDefinitionKind);
+  w.uvar(code.value(), code_bits);
+  w.raw(serialize_attributes(attrs));
+  return w.take();
+}
+
+util::Bytes encode_compressed(unsigned code_bits, core::TransactionId code,
+                              util::BytesView payload) {
+  util::BufferWriter w;
+  w.u8(kCompressedKind);
+  w.uvar(code.value(), code_bits);
+  w.raw(payload);
+  return w.take();
+}
+
+std::optional<CodebookMessage> decode_codebook_message(unsigned code_bits,
+                                                       util::BytesView frame) {
+  util::BufferReader r(frame);
+  const auto kind = r.u8();
+  const auto code = r.uvar(code_bits);
+  if (!kind || !code) return std::nullopt;
+
+  CodebookMessage msg;
+  msg.code = core::TransactionId(*code);
+  if (*kind == kDefinitionKind) {
+    msg.kind = CodebookMessage::Kind::kDefinition;
+    auto attrs = deserialize_attributes(r.rest());
+    if (!attrs) return std::nullopt;
+    msg.attrs = std::move(*attrs);
+    return msg;
+  }
+  if (*kind == kCompressedKind) {
+    msg.kind = CodebookMessage::Kind::kCompressed;
+    const auto rest = r.rest();
+    msg.payload.assign(rest.begin(), rest.end());
+    return msg;
+  }
+  return std::nullopt;
+}
+
+}  // namespace retri::apps

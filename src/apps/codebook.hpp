@@ -1,0 +1,151 @@
+// Attribute-based name compression with RETRI codes (§6, second bullet).
+//
+// Attribute-value naming (SCADDS-style) puts long name strings in packets.
+// A codebook maps a short code to a full attribute set so repeated names
+// cost only the code. The paper's observation: the code is just another
+// transaction identifier, so it can be a RETRI identifier — random and
+// ephemeral — instead of a guaranteed-conflict-free allocation.
+//
+// The binding is the transaction: an encoder opens it by emitting a
+// definition message, uses the code while the binding is live, and the
+// binding dies by eviction (ephemerality). Two encoders choosing the same
+// code concurrently is a collision; decoders detect it as a conflicting
+// redefinition — messages under that code may resolve to the wrong name
+// until one binding expires, exactly the loss class §6 accepts.
+//
+// Wire (big-endian):
+//   definition: [0x41][code:ceil(H/8)][attrs...]
+//   compressed: [0x42][code:ceil(H/8)][payload...]
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/selector.hpp"
+#include "util/bytes.hpp"
+
+namespace retri::apps {
+
+struct Attribute {
+  std::string name;
+  std::string value;
+  bool operator==(const Attribute&) const = default;
+};
+
+/// Canonical form: attributes sorted by (name, value) so equal sets have
+/// equal serializations.
+using AttributeSet = std::vector<Attribute>;
+
+/// Sorts into canonical order (idempotent).
+void canonicalize(AttributeSet& attrs);
+
+/// Canonical wire serialization: [count:1] then per attribute
+/// [name_len:2][name][value_len:2][value].
+util::Bytes serialize_attributes(const AttributeSet& attrs);
+std::optional<AttributeSet> deserialize_attributes(util::BytesView data);
+
+/// Bits a full (uncompressed) transmission of the set costs.
+std::size_t attribute_bits(const AttributeSet& attrs);
+
+// -- Encoder ------------------------------------------------------------------
+
+struct EncoderStats {
+  std::uint64_t hits = 0;       // encode() reused a live binding
+  std::uint64_t misses = 0;     // encode() opened a new binding
+  std::uint64_t evictions = 0;  // bindings closed by capacity pressure
+};
+
+/// Sender-side codebook: canonical attribute set -> live RETRI code.
+/// Holds at most `capacity` live bindings, evicting least recently used.
+class CodebookEncoder {
+ public:
+  CodebookEncoder(core::IdSelector& selector, std::size_t capacity);
+
+  struct Encoding {
+    core::TransactionId code;
+    /// True when this call opened the binding — the caller must transmit a
+    /// definition message before (or with) the first compressed message.
+    bool fresh;
+  };
+
+  /// Returns the live code for `attrs`, opening a binding if needed.
+  Encoding encode(AttributeSet attrs);
+
+  /// Closes the binding explicitly (ends the transaction early).
+  void release(const AttributeSet& attrs);
+
+  std::size_t live_bindings() const noexcept { return bindings_.size(); }
+  const EncoderStats& stats() const noexcept { return stats_; }
+  unsigned code_bits() const noexcept { return selector_.space().bits(); }
+
+ private:
+  struct Binding {
+    core::TransactionId code;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  core::IdSelector& selector_;
+  std::size_t capacity_;
+  std::unordered_map<std::string, Binding> bindings_;  // key: serialized attrs
+  std::list<std::string> lru_;                         // least recent at front
+  EncoderStats stats_;
+};
+
+// -- Decoder ------------------------------------------------------------------
+
+struct DecoderStats {
+  std::uint64_t definitions = 0;
+  /// A definition that replaced a live, *different* set under the same
+  /// code — the observable symptom of a code collision.
+  std::uint64_t conflicting_redefinitions = 0;
+  std::uint64_t resolved = 0;
+  std::uint64_t unresolved = 0;
+};
+
+/// Receiver-side codebook: code -> attribute set, learned from definition
+/// messages. Bounded like the encoder; forgotten codes simply stop
+/// resolving (the sender will eventually re-define — losses are the norm).
+class CodebookDecoder {
+ public:
+  explicit CodebookDecoder(std::size_t capacity);
+
+  void define(core::TransactionId code, AttributeSet attrs);
+  std::optional<AttributeSet> resolve(core::TransactionId code);
+
+  std::size_t live_codes() const noexcept { return codes_.size(); }
+  const DecoderStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    AttributeSet attrs;
+    std::list<core::TransactionId>::iterator lru_pos;
+  };
+
+  std::size_t capacity_;
+  std::unordered_map<core::TransactionId, Entry> codes_;
+  std::list<core::TransactionId> lru_;
+  DecoderStats stats_;
+};
+
+// -- Message framing -----------------------------------------------------------
+
+util::Bytes encode_definition(unsigned code_bits, core::TransactionId code,
+                              const AttributeSet& attrs);
+util::Bytes encode_compressed(unsigned code_bits, core::TransactionId code,
+                              util::BytesView payload);
+
+struct CodebookMessage {
+  enum class Kind { kDefinition, kCompressed } kind;
+  core::TransactionId code;
+  AttributeSet attrs;     // definition only
+  util::Bytes payload;    // compressed only
+};
+
+std::optional<CodebookMessage> decode_codebook_message(unsigned code_bits,
+                                                       util::BytesView frame);
+
+}  // namespace retri::apps

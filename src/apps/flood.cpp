@@ -1,0 +1,108 @@
+#include "apps/flood.hpp"
+
+#include <cassert>
+
+#include "util/bytes.hpp"
+
+namespace retri::apps {
+
+ScopedFlooder::ScopedFlooder(radio::Radio& radio, core::IdSelector& selector,
+                             FloodConfig config, std::uint32_t node_uid)
+    : radio_(radio),
+      selector_(selector),
+      config_(config),
+      node_uid_(node_uid) {
+  assert(selector_.space().bits() == config_.id_bits);
+  assert(config_.seen_window >= 1);
+  radio_.set_receive_callback(
+      [this](sim::NodeId, const util::Bytes& frame) { on_frame(frame); });
+}
+
+double ScopedFlooder::local_density() const noexcept {
+  // Every cache entry is a message seen within the last seen_window
+  // insertions; the cache size IS the windowed distinct-transaction count.
+  return seen_uid_.empty() ? 1.0 : static_cast<double>(seen_uid_.size());
+}
+
+bool ScopedFlooder::remember(core::TransactionId id, std::uint32_t true_uid) {
+  const std::uint64_t key = id.value();
+  auto it = seen_uid_.find(key);
+  if (it != seen_uid_.end()) {
+    ++stats_.duplicates_suppressed;
+    if (it->second != true_uid) ++stats_.collision_suppressions;
+    return false;  // already seen (or collided): suppress
+  }
+  seen_uid_.emplace(key, true_uid);
+  seen_order_.push_back(key);
+  while (seen_order_.size() > config_.seen_window) {
+    seen_uid_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+  return true;
+}
+
+core::TransactionId ScopedFlooder::originate(util::BytesView payload,
+                                             std::uint8_t ttl) {
+  if (ttl == 0) ttl = config_.default_ttl;
+  const core::TransactionId id = selector_.select();
+  const std::uint32_t true_uid =
+      (node_uid_ << 16) | (next_msg_seq_++ & 0xffff);
+
+  // The originator marks its own message seen so echoes do not bounce.
+  remember(id, true_uid);
+
+  util::BufferWriter w;
+  w.u8(kFloodKind);
+  w.uvar(id.value(), config_.id_bits);
+  w.u32(true_uid);
+  w.u8(ttl);
+  w.raw(payload);
+  radio_.send(w.take());
+  ++stats_.originated;
+  return id;
+}
+
+void ScopedFlooder::on_frame(const util::Bytes& frame) {
+  util::BufferReader r(frame);
+  const auto kind = r.u8();
+  if (!kind || *kind != kFloodKind) {
+    ++stats_.undecodable;
+    return;
+  }
+  const auto id = r.uvar(config_.id_bits);
+  const auto true_uid = r.u32();
+  const auto ttl = r.u8();
+  if (!id || !true_uid || !ttl) {
+    ++stats_.undecodable;
+    return;
+  }
+  const util::BytesView payload = r.rest();
+
+  // Learn the id regardless (listening selectors avoid in-flight floods).
+  selector_.observe(core::TransactionId(*id));
+
+  if (!remember(core::TransactionId(*id), *true_uid)) return;
+
+  ++stats_.delivered;
+  if (on_message_) {
+    on_message_(util::Bytes(payload.begin(), payload.end()),
+                static_cast<std::uint8_t>(*ttl - 1));
+  }
+
+  if (*ttl <= 1) {
+    ++stats_.ttl_expired;
+    return;
+  }
+
+  // Relay with decremented TTL; same id and uid travel onward.
+  util::BufferWriter w;
+  w.u8(kFloodKind);
+  w.uvar(*id, config_.id_bits);
+  w.u32(*true_uid);
+  w.u8(static_cast<std::uint8_t>(*ttl - 1));
+  w.raw(payload);
+  radio_.send(w.take());
+  ++stats_.relayed;
+}
+
+}  // namespace retri::apps

@@ -1,0 +1,99 @@
+// Scoped flooding with RETRI duplicate suppression.
+//
+// Multi-hop dissemination in an address-free network: a message floods
+// outward with a TTL bound ("explicit scoping to achieve spatial reuse",
+// §2.2's description of SDR/MASC applied to data), and every relay
+// suppresses duplicates by message identifier — which is itself a RETRI
+// identifier, drawn fresh per message from a small random space. The
+// suppression cache is ephemeral and bounded, exactly like every other
+// piece of RETRI state.
+//
+// The RETRI failure mode here: two concurrent messages sharing an id mean
+// the second is swallowed as a "duplicate" by any relay that saw the
+// first. Instrumentation (a true 32-bit message uid carried for counting
+// only) makes that loss measurable, mirroring the §5.1 methodology.
+//
+// Wire (big-endian):
+//   flood: [0x51][msg_id:ceil(H/8)][true_uid:4][ttl:1][payload...]
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/selector.hpp"
+#include "radio/radio.hpp"
+
+namespace retri::apps {
+
+inline constexpr std::uint8_t kFloodKind = 0x51;
+
+struct FloodConfig {
+  unsigned id_bits = 8;
+  /// Default hop scope for originated messages.
+  std::uint8_t default_ttl = 8;
+  /// Distinct recent message ids remembered for duplicate suppression.
+  std::size_t seen_window = 64;
+};
+
+struct FloodStats {
+  std::uint64_t originated = 0;
+  std::uint64_t relayed = 0;
+  std::uint64_t delivered = 0;            // handed to the local handler
+  std::uint64_t duplicates_suppressed = 0;
+  /// Suppressions where the true uid differed from the cached one — a
+  /// DIFFERENT message was swallowed because of an id collision
+  /// (instrumentation-only knowledge).
+  std::uint64_t collision_suppressions = 0;
+  std::uint64_t ttl_expired = 0;
+  std::uint64_t undecodable = 0;
+};
+
+/// One node's flooding agent. Attach to a radio; call originate() to flood
+/// a payload; set a handler for messages first seen at this node.
+class ScopedFlooder {
+ public:
+  using MessageHandler =
+      std::function<void(const util::Bytes& payload, std::uint8_t ttl_left)>;
+
+  ScopedFlooder(radio::Radio& radio, core::IdSelector& selector,
+                FloodConfig config, std::uint32_t node_uid);
+
+  ScopedFlooder(const ScopedFlooder&) = delete;
+  ScopedFlooder& operator=(const ScopedFlooder&) = delete;
+
+  void set_message_handler(MessageHandler handler) {
+    on_message_ = std::move(handler);
+  }
+
+  /// Floods `payload` with the given TTL (0 = config default). Returns the
+  /// RETRI message id used.
+  core::TransactionId originate(util::BytesView payload, std::uint8_t ttl = 0);
+
+  const FloodStats& stats() const noexcept { return stats_; }
+  /// Distinct ids currently in the suppression cache.
+  std::size_t seen_cached() const noexcept { return seen_uid_.size(); }
+  /// Observed flood concurrency: ids that entered the cache within the
+  /// most recent `seen_window` insertions — the node's local view of
+  /// transaction density for this service.
+  double local_density() const noexcept;
+
+ private:
+  void on_frame(const util::Bytes& frame);
+  bool remember(core::TransactionId id, std::uint32_t true_uid);
+
+  radio::Radio& radio_;
+  core::IdSelector& selector_;
+  FloodConfig config_;
+  std::uint32_t node_uid_;
+  std::uint32_t next_msg_seq_ = 0;
+  MessageHandler on_message_;
+  // id -> true uid of the message that claimed it (for collision counting).
+  std::unordered_map<std::uint64_t, std::uint32_t> seen_uid_;
+  std::deque<std::uint64_t> seen_order_;
+  FloodStats stats_;
+};
+
+}  // namespace retri::apps

@@ -1,0 +1,71 @@
+// Identifier spaces and transaction identifiers.
+//
+// A RETRI identifier is a value drawn from a space of 2^H values for a
+// configured bit width H (the paper's central tunable — Figures 1-3 sweep
+// it). TransactionId is a strong type so an identifier can never be mixed
+// up with a node id, offset, or length at a call site.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "util/bitops.hpp"
+
+namespace retri::core {
+
+/// An identifier value. Only meaningful together with the IdSpace it was
+/// drawn from; the wire width of the field is the space's byte width.
+class TransactionId {
+ public:
+  constexpr TransactionId() = default;
+  explicit constexpr TransactionId(std::uint64_t value) : value_(value) {}
+
+  constexpr std::uint64_t value() const noexcept { return value_; }
+  constexpr auto operator<=>(const TransactionId&) const = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// The space identifiers are drawn from: [0, 2^bits).
+class IdSpace {
+ public:
+  /// bits must be in [1, 64].
+  explicit constexpr IdSpace(unsigned bits) : bits_(bits) {
+    assert(bits >= 1 && bits <= 64);
+  }
+
+  constexpr unsigned bits() const noexcept { return bits_; }
+  /// Number of distinct identifiers (saturates at uint64 max for 64 bits).
+  constexpr std::uint64_t size() const noexcept { return util::pool_size_exact(bits_); }
+  /// Bytes the identifier occupies on the wire (byte-aligned framing).
+  constexpr std::size_t wire_bytes() const noexcept { return util::bytes_for_bits(bits_); }
+
+  constexpr bool contains(TransactionId id) const noexcept {
+    return (id.value() & ~util::low_mask(bits_)) == 0;
+  }
+  /// Truncates an arbitrary value into the space.
+  constexpr TransactionId clamp(std::uint64_t value) const noexcept {
+    return TransactionId(value & util::low_mask(bits_));
+  }
+
+  constexpr bool operator==(const IdSpace&) const = default;
+
+ private:
+  unsigned bits_;
+};
+
+}  // namespace retri::core
+
+template <>
+struct std::hash<retri::core::TransactionId> {
+  std::size_t operator()(const retri::core::TransactionId& id) const noexcept {
+    // splitmix-style finalizer; ids are small dense integers, so mix.
+    std::uint64_t z = id.value() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

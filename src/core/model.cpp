@@ -1,0 +1,108 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/bitops.hpp"
+
+namespace retri::core::model {
+
+double p_success(unsigned id_bits, double density) noexcept {
+  assert(id_bits >= 1 && id_bits <= 64);
+  const double overlaps = 2.0 * (density - 1.0);
+  if (overlaps <= 0.0) return 1.0;  // alone in the network: cannot collide
+  // (1 - 2^-H)^overlaps, computed in log space for numerical stability at
+  // large H (where 2^-H underflows the subtraction's precision less badly
+  // via log1p than via pow directly).
+  const double per_peer_miss = std::exp2(-static_cast<double>(id_bits));
+  return std::exp(overlaps * std::log1p(-per_peer_miss));
+}
+
+double e_static(double data_bits, unsigned addr_bits) noexcept {
+  assert(data_bits > 0.0);
+  return data_bits / (data_bits + static_cast<double>(addr_bits));
+}
+
+double e_aff(double data_bits, unsigned id_bits, double density) noexcept {
+  assert(data_bits > 0.0);
+  return data_bits * p_success(id_bits, density) /
+         (data_bits + static_cast<double>(id_bits));
+}
+
+unsigned optimal_id_bits(double data_bits, double density,
+                         unsigned max_bits) noexcept {
+  unsigned best = 1;
+  double best_e = e_aff(data_bits, 1, density);
+  for (unsigned h = 2; h <= max_bits; ++h) {
+    const double e = e_aff(data_bits, h, density);
+    if (e > best_e) {
+      best_e = e;
+      best = h;
+    }
+  }
+  return best;
+}
+
+double optimal_e_aff(double data_bits, double density, unsigned max_bits) noexcept {
+  return e_aff(data_bits, optimal_id_bits(data_bits, density, max_bits), density);
+}
+
+bool static_feasible(unsigned addr_bits, double entities) noexcept {
+  return util::pool_size(addr_bits) >= entities;
+}
+
+double e_static_vs_load(double data_bits, unsigned addr_bits,
+                        double load) noexcept {
+  if (!static_feasible(addr_bits, load)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return e_static(data_bits, addr_bits);
+}
+
+std::vector<CurvePoint> aff_curve(double data_bits, double density,
+                                  unsigned min_bits, unsigned max_bits) {
+  assert(min_bits >= 1 && min_bits <= max_bits && max_bits <= 64);
+  std::vector<CurvePoint> curve;
+  curve.reserve(max_bits - min_bits + 1);
+  for (unsigned h = min_bits; h <= max_bits; ++h) {
+    curve.push_back({h, e_aff(data_bits, h, density)});
+  }
+  return curve;
+}
+
+double p_success_listening(unsigned id_bits, double density,
+                           double hear_prob) noexcept {
+  assert(id_bits >= 1 && id_bits <= 64);
+  const double q = std::clamp(hear_prob, 0.0, 1.0);
+  const double peers_each_side = density - 1.0;
+  if (peers_each_side <= 0.0) return 1.0;
+
+  const double pool = util::pool_size(id_bits);
+  const double avoid_eff = std::min(q * 2.0 * density, pool - 1.0);
+
+  const double c_before = (1.0 - q) / pool;
+  const double c_after = (1.0 - q) / (pool - avoid_eff);
+
+  return std::exp(peers_each_side * std::log1p(-c_before)) *
+         std::exp(peers_each_side * std::log1p(-c_after));
+}
+
+double e_aff_listening(double data_bits, unsigned id_bits, double density,
+                       double hear_prob) noexcept {
+  assert(data_bits > 0.0);
+  return data_bits * p_success_listening(id_bits, density, hear_prob) /
+         (data_bits + static_cast<double>(id_bits));
+}
+
+std::optional<unsigned> min_bits_for_loss(double max_collision_rate,
+                                          double density,
+                                          unsigned max_bits) noexcept {
+  for (unsigned h = 1; h <= max_bits; ++h) {
+    if (1.0 - p_success(h, density) <= max_collision_rate) return h;
+  }
+  return std::nullopt;
+}
+
+}  // namespace retri::core::model

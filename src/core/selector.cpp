@@ -1,0 +1,117 @@
+#include "core/selector.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace retri::core {
+
+UniformSelector::UniformSelector(IdSpace space, std::uint64_t seed)
+    : IdSelector(space), rng_(seed) {}
+
+TransactionId UniformSelector::select() {
+  if (space_.bits() >= 64) return TransactionId(rng_.next());
+  return TransactionId(rng_.below(space_.size()));
+}
+
+ListeningSelector::ListeningSelector(IdSpace space, std::uint64_t seed,
+                                     ListeningConfig config)
+    : IdSelector(space),
+      rng_(seed),
+      config_(config),
+      density_(std::max(1.0, config.initial_density)) {}
+
+std::size_t ListeningSelector::window() const noexcept {
+  if (config_.fixed_window != 0) return config_.fixed_window;
+  return static_cast<std::size_t>(std::ceil(2.0 * density_));
+}
+
+void ListeningSelector::set_density(double t) {
+  density_ = std::max(1.0, t);
+  // Shrink immediately if the window contracted.
+  trim(recent_, window());
+  if (config_.heed_notifications) {
+    trim(quarantined_, window() * config_.notification_multiplier);
+  }
+}
+
+bool ListeningSelector::avoiding(TransactionId id) const {
+  return avoid_counts_.contains(id);
+}
+
+void ListeningSelector::trim(std::deque<TransactionId>& q, std::size_t cap) {
+  while (q.size() > cap) {
+    const TransactionId oldest = q.front();
+    q.pop_front();
+    auto it = avoid_counts_.find(oldest);
+    assert(it != avoid_counts_.end());
+    if (--it->second == 0) avoid_counts_.erase(it);
+  }
+}
+
+void ListeningSelector::push_recent(std::deque<TransactionId>& q,
+                                    TransactionId id, std::size_t cap) {
+  q.push_back(id);
+  ++avoid_counts_[id];
+  trim(q, cap);
+}
+
+void ListeningSelector::observe(TransactionId id) {
+  push_recent(recent_, id, window());
+}
+
+void ListeningSelector::notify_collision(TransactionId id) {
+  if (!config_.heed_notifications) return;
+  push_recent(quarantined_, id, window() * config_.notification_multiplier);
+}
+
+TransactionId ListeningSelector::select() {
+  const std::uint64_t pool = space_.size();
+
+  // Nothing to avoid, or avoidance covers the whole pool: plain uniform.
+  if (avoid_counts_.empty() || avoid_counts_.size() >= pool) {
+    if (space_.bits() >= 64) return TransactionId(rng_.next());
+    return TransactionId(rng_.below(pool));
+  }
+
+  // Small pool: enumerate the complement for exact uniform selection even
+  // when the avoid set covers most of it.
+  constexpr std::uint64_t kEnumerateLimit = 4096;
+  if (pool <= kEnumerateLimit) {
+    std::vector<TransactionId> candidates;
+    candidates.reserve(static_cast<std::size_t>(pool) - avoid_counts_.size());
+    for (std::uint64_t v = 0; v < pool; ++v) {
+      const TransactionId id(v);
+      if (!avoiding(id)) candidates.push_back(id);
+    }
+    assert(!candidates.empty());
+    return candidates[static_cast<std::size_t>(rng_.below(candidates.size()))];
+  }
+
+  // Large pool: rejection sampling — exactly uniform over the complement.
+  // The avoid set is at most a few windows (<< 4096) while the pool exceeds
+  // 4096, so acceptance probability is > 1/2 and the attempt bound is
+  // effectively never reached; it exists to guarantee termination.
+  constexpr int kMaxAttempts = 128;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const TransactionId id(space_.bits() >= 64 ? rng_.next() : rng_.below(pool));
+    if (!avoiding(id)) return id;
+  }
+  return TransactionId(space_.bits() >= 64 ? rng_.next() : rng_.below(pool));
+}
+
+std::unique_ptr<IdSelector> make_selector(std::string_view policy, IdSpace space,
+                                          std::uint64_t seed) {
+  if (policy == "uniform") return std::make_unique<UniformSelector>(space, seed);
+  if (policy == "listening") return std::make_unique<ListeningSelector>(space, seed);
+  if (policy == "listening+notify") {
+    ListeningConfig config;
+    config.heed_notifications = true;
+    return std::make_unique<ListeningSelector>(space, seed, config);
+  }
+  throw std::invalid_argument("unknown id selection policy: " + std::string(policy));
+}
+
+}  // namespace retri::core

@@ -1,0 +1,124 @@
+// Identifier selection policies.
+//
+// The paper analyzes the "simplest and most pessimistic scenario in which
+// every node picks its transaction identifiers uniformly from the
+// identifier space without regard to any learned state" (§4.1) and measures
+// a *listening* heuristic that avoids identifiers heard in use within the
+// most recent 2T transactions (§3.2, §5.1), optionally assisted by receiver
+// "identifier collision notifications" (§3.2).
+//
+// IdSelector is the policy interface; the AFF driver, the interest
+// reinforcement service, and the codebook all take one by reference so the
+// benches can swap policies per run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/identifier.hpp"
+#include "util/random.hpp"
+
+namespace retri::core {
+
+class IdSelector {
+ public:
+  explicit IdSelector(IdSpace space) : space_(space) {}
+  virtual ~IdSelector() = default;
+  IdSelector(const IdSelector&) = delete;
+  IdSelector& operator=(const IdSelector&) = delete;
+
+  /// Picks an identifier for a new transaction.
+  virtual TransactionId select() = 0;
+
+  /// Reports that `id` was heard in use by a peer (e.g. an overheard intro
+  /// fragment). Stateless policies ignore this.
+  virtual void observe(TransactionId id) { (void)id; }
+
+  /// Reports a receiver-sent collision notification for `id` (§3.2's
+  /// parenthetical heuristic). Stateless policies ignore this.
+  virtual void notify_collision(TransactionId id) { (void)id; }
+
+  /// Updates the policy's estimate of the transaction density T.
+  virtual void set_density(double t) { (void)t; }
+
+  virtual std::string_view name() const = 0;
+
+  const IdSpace& space() const noexcept { return space_; }
+
+ protected:
+  IdSpace space_;
+};
+
+/// The paper's analyzed baseline: uniform over the whole space, no memory.
+class UniformSelector final : public IdSelector {
+ public:
+  UniformSelector(IdSpace space, std::uint64_t seed);
+
+  TransactionId select() override;
+  std::string_view name() const override { return "uniform"; }
+
+ private:
+  util::Xoshiro256 rng_;
+};
+
+struct ListeningConfig {
+  /// Starting density estimate before any set_density() update.
+  double initial_density = 1.0;
+  /// If nonzero, the avoidance window is exactly this many recent ids,
+  /// ignoring density updates. Zero means adaptive: ceil(2 * T).
+  std::size_t fixed_window = 0;
+  /// If true, collision notifications quarantine the colliding id for
+  /// `notification_multiplier` times the normal window.
+  bool heed_notifications = false;
+  std::size_t notification_multiplier = 2;
+};
+
+/// The paper's listening heuristic: select uniformly from identifiers NOT
+/// heard within the most recent 2T observed transactions.
+///
+/// Selection is exactly uniform over the complement of the avoid set: for
+/// small identifier pools the complement is enumerated; for large pools
+/// rejection sampling is used (which is also exactly uniform over the
+/// complement, with a bounded-attempt fallback to plain uniform in the
+/// pathological case of an avoid set covering almost the whole pool).
+class ListeningSelector final : public IdSelector {
+ public:
+  ListeningSelector(IdSpace space, std::uint64_t seed, ListeningConfig config = {});
+
+  TransactionId select() override;
+  void observe(TransactionId id) override;
+  void notify_collision(TransactionId id) override;
+  void set_density(double t) override;
+  std::string_view name() const override {
+    return config_.heed_notifications ? "listening+notify" : "listening";
+  }
+
+  /// Current avoidance window in transactions (2T, or the fixed override).
+  std::size_t window() const noexcept;
+  /// Number of distinct identifiers currently avoided.
+  std::size_t avoided() const noexcept { return avoid_counts_.size(); }
+
+ private:
+  bool avoiding(TransactionId id) const;
+  void push_recent(std::deque<TransactionId>& q, TransactionId id,
+                   std::size_t cap);
+  void trim(std::deque<TransactionId>& q, std::size_t cap);
+
+  util::Xoshiro256 rng_;
+  ListeningConfig config_;
+  double density_;
+  std::deque<TransactionId> recent_;       // heard ids, newest at back
+  std::deque<TransactionId> quarantined_;  // notified collisions
+  // id -> number of occurrences across both deques (membership test).
+  std::unordered_map<TransactionId, std::uint32_t> avoid_counts_;
+};
+
+/// Factory by policy name ("uniform", "listening", "listening+notify");
+/// used by benches and examples to build selectors from CLI-ish strings.
+std::unique_ptr<IdSelector> make_selector(std::string_view policy, IdSpace space,
+                                          std::uint64_t seed);
+
+}  // namespace retri::core

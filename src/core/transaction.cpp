@@ -1,0 +1,61 @@
+#include "core/transaction.hpp"
+
+#include <algorithm>
+
+namespace retri::core {
+
+TxHandle TransactionRegistry::begin(TransactionId id) {
+  // Sampled *before* insertion: the density a newcomer experiences is the
+  // number of transactions already in flight, plus itself.
+  concurrency_sum_at_begin_ += static_cast<double>(live_.size()) + 1.0;
+
+  const std::uint64_t serial = next_serial_++;
+  auto& holders = by_id_[id];
+  const bool collides = !holders.empty();
+  if (collides) {
+    for (const std::uint64_t other : holders) live_[other].doomed = true;
+  }
+  holders.push_back(serial);
+  live_.emplace(serial, Live{id, collides});
+  max_concurrency_ = std::max(max_concurrency_, live_.size());
+  return TxHandle{serial};
+}
+
+bool TransactionRegistry::end(TxHandle handle) {
+  auto it = live_.find(handle.serial);
+  if (it == live_.end()) return false;
+  const bool clean = !it->second.doomed;
+  const TransactionId id = it->second.id;
+
+  auto holders_it = by_id_.find(id);
+  if (holders_it != by_id_.end()) {
+    auto& vec = holders_it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), handle.serial), vec.end());
+    if (vec.empty()) by_id_.erase(holders_it);
+  }
+  live_.erase(it);
+
+  if (clean) ++succeeded_; else ++collided_;
+  return clean;
+}
+
+bool TransactionRegistry::active(TxHandle handle) const {
+  return live_.contains(handle.serial);
+}
+
+bool TransactionRegistry::doomed(TxHandle handle) const {
+  auto it = live_.find(handle.serial);
+  return it != live_.end() && it->second.doomed;
+}
+
+std::size_t TransactionRegistry::holders(TransactionId id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? 0 : it->second.size();
+}
+
+double TransactionRegistry::mean_concurrency_at_begin() const noexcept {
+  if (next_serial_ == 0) return 0.0;
+  return concurrency_sum_at_begin_ / static_cast<double>(next_serial_);
+}
+
+}  // namespace retri::core

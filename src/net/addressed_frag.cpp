@@ -1,0 +1,148 @@
+#include "net/addressed_frag.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bitops.hpp"
+#include "util/checksum.hpp"
+
+namespace retri::net {
+namespace {
+
+constexpr std::uint8_t kIntroKind = 0x11;
+constexpr std::uint8_t kDataKind = 0x12;
+
+}  // namespace
+
+AddressedDriver::AddressedDriver(radio::Radio& radio, Address source,
+                                 AddressedConfig config)
+    : radio_(radio),
+      source_(source),
+      config_(config),
+      payload_per_fragment_(
+          radio.config().max_frame_bytes > data_header_bytes()
+              ? radio.config().max_frame_bytes - data_header_bytes()
+              : 0),
+      reassembler_(aff::ReassemblerConfig{config.reassembly_timeout,
+                                          config.max_reassembly_entries}),
+      alive_(std::make_shared<bool>(true)) {
+  assert(config_.addr_bits >= 1 && config_.addr_bits <= 48);
+  assert((source.value() & ~util::low_mask(config_.addr_bits)) == 0 &&
+         "source address wider than addr_bits");
+
+  radio_.set_receive_callback(
+      [this](sim::NodeId, const util::Bytes& frame) { on_frame(frame); });
+
+  reassembler_.set_deliver([this](std::uint64_t key, const util::Bytes& packet) {
+    ++stats_.packets_delivered;
+    if (on_packet_) on_packet_(Address(key >> 16), packet);
+  });
+}
+
+AddressedDriver::~AddressedDriver() { *alive_ = false; }
+
+std::size_t AddressedDriver::intro_header_bytes() const noexcept {
+  return 1 + util::bytes_for_bits(config_.addr_bits) + 2 + 2 + 4;
+}
+
+std::size_t AddressedDriver::data_header_bytes() const noexcept {
+  return 1 + util::bytes_for_bits(config_.addr_bits) + 2 + 2;
+}
+
+std::size_t AddressedDriver::frame_count(std::size_t packet_bytes) const noexcept {
+  if (payload_per_fragment_ == 0) return 0;
+  return 1 + (packet_bytes + payload_per_fragment_ - 1) / payload_per_fragment_;
+}
+
+void AddressedDriver::ensure_expiry_timer() {
+  if (expiry_timer_.pending()) return;
+  if (reassembler_.pending_count() == 0) return;
+  std::weak_ptr<bool> alive = alive_;
+  expiry_timer_ = radio_.simulator().schedule_after(
+      config_.reassembly_timeout / 2, [this, alive]() {
+        const auto flag = alive.lock();
+        if (!flag || !*flag) return;
+        reassembler_.expire(radio_.simulator().now());
+        ensure_expiry_timer();
+      });
+}
+
+util::Result<std::uint16_t, StaticSendError> AddressedDriver::send_packet(
+    util::BytesView packet) {
+  if (packet.empty()) {
+    ++stats_.send_failures;
+    return StaticSendError::kEmpty;
+  }
+  if (packet.size() > 0xffff) {
+    ++stats_.send_failures;
+    return StaticSendError::kTooLarge;
+  }
+  if (payload_per_fragment_ == 0 ||
+      intro_header_bytes() > radio_.config().max_frame_bytes) {
+    ++stats_.send_failures;
+    return StaticSendError::kFrameTooSmall;
+  }
+
+  const std::uint16_t seq = next_seq_++;
+
+  util::BufferWriter intro(intro_header_bytes());
+  intro.u8(kIntroKind);
+  intro.uvar(source_.value(), config_.addr_bits);
+  intro.u16(seq);
+  intro.u16(static_cast<std::uint16_t>(packet.size()));
+  intro.u32(util::crc32(packet));
+  radio_.send(intro.take());
+  ++stats_.fragments_sent;
+
+  for (std::size_t offset = 0; offset < packet.size();
+       offset += payload_per_fragment_) {
+    const std::size_t n =
+        std::min(payload_per_fragment_, packet.size() - offset);
+    util::BufferWriter data(data_header_bytes() + n);
+    data.u8(kDataKind);
+    data.uvar(source_.value(), config_.addr_bits);
+    data.u16(seq);
+    data.u16(static_cast<std::uint16_t>(offset));
+    data.raw(packet.subspan(offset, n));
+    radio_.send(data.take());
+    ++stats_.fragments_sent;
+  }
+
+  ++stats_.packets_sent;
+  return seq;
+}
+
+void AddressedDriver::on_frame(const util::Bytes& frame) {
+  util::BufferReader r(frame);
+  const auto kind = r.u8();
+  const auto src = r.uvar(config_.addr_bits);
+  const auto seq = r.u16();
+  if (!kind || !src || !seq) {
+    ++stats_.undecodable_frames;
+    return;
+  }
+  const std::uint64_t key = key_of(*src, *seq);
+
+  if (*kind == kIntroKind) {
+    const auto total_len = r.u16();
+    const auto checksum = r.u32();
+    if (!total_len || !checksum || !r.empty()) {
+      ++stats_.undecodable_frames;
+      return;
+    }
+    reassembler_.on_intro(key, *total_len, *checksum, radio_.simulator().now());
+    ensure_expiry_timer();
+  } else if (*kind == kDataKind) {
+    const auto offset = r.u16();
+    if (!offset) {
+      ++stats_.undecodable_frames;
+      return;
+    }
+    reassembler_.on_data(key, *offset, r.rest(), radio_.simulator().now());
+    ensure_expiry_timer();
+  } else {
+    ++stats_.undecodable_frames;
+  }
+}
+
+}  // namespace retri::net

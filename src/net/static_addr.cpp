@@ -1,0 +1,43 @@
+#include "net/static_addr.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace retri::net {
+
+StaticAddressAllocator::StaticAddressAllocator(unsigned addr_bits)
+    : addr_bits_(addr_bits) {
+  assert(addr_bits >= 1 && addr_bits <= 64);
+}
+
+bool StaticAddressAllocator::exhausted() const noexcept {
+  return assigned_.size() >= util::pool_size_exact(addr_bits_);
+}
+
+util::Result<Address, AllocError> StaticAddressAllocator::assign_sequential() {
+  const std::uint64_t pool = util::pool_size_exact(addr_bits_);
+  while (next_sequential_ < pool) {
+    const std::uint64_t candidate = next_sequential_++;
+    if (assigned_.insert(candidate).second) return Address(candidate);
+  }
+  return AllocError::kExhausted;
+}
+
+util::Result<Address, AllocError> StaticAddressAllocator::assign_random(
+    util::Xoshiro256& rng) {
+  if (exhausted()) return AllocError::kExhausted;
+  const std::uint64_t pool = util::pool_size_exact(addr_bits_);
+  // With the exhaustion check above, the expected number of attempts is
+  // pool / (pool - assigned); callers assign far fewer addresses than the
+  // space holds (that is what "global" spaces are for), so this terminates
+  // promptly. A dense-space fallback guarantees termination regardless.
+  for (int attempt = 0; attempt < 128; ++attempt) {
+    const std::uint64_t candidate =
+        addr_bits_ >= 64 ? rng.next() : rng.below(pool);
+    if (assigned_.insert(candidate).second) return Address(candidate);
+  }
+  return assign_sequential();
+}
+
+}  // namespace retri::net

@@ -1,0 +1,64 @@
+// Static, guaranteed-unique address allocation (the paper's comparator).
+//
+// Models the two static schemes §2.2 discusses:
+//  - optimal local assignment: addresses handed out densely from a small
+//    space sized to the actual network (the paper's 16-bit case for a
+//    tens-of-thousands-node network);
+//  - Ethernet-style global assignment: addresses drawn from a large space
+//    at "manufacture time", unique among every device that exists (the
+//    48-bit case; 32-bit used as the paper's conservative comparison).
+//
+// Allocation never fails probabilistically — that is the point of the
+// baseline — but a space can be exhausted, which Figure 3 marks as the
+// regime where static efficiency becomes undefined.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "util/random.hpp"
+#include "util/result.hpp"
+
+namespace retri::net {
+
+/// A statically assigned node address. Distinct from core::TransactionId by
+/// construction: addresses identify nodes forever, identifiers label one
+/// transaction.
+class Address {
+ public:
+  constexpr Address() = default;
+  explicit constexpr Address(std::uint64_t value) : value_(value) {}
+  constexpr std::uint64_t value() const noexcept { return value_; }
+  constexpr auto operator<=>(const Address&) const = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+enum class AllocError { kExhausted };
+
+class StaticAddressAllocator {
+ public:
+  /// addr_bits in [1, 64].
+  explicit StaticAddressAllocator(unsigned addr_bits);
+
+  unsigned addr_bits() const noexcept { return addr_bits_; }
+
+  /// Densely assigns the next unused address (optimal local allocation).
+  util::Result<Address, AllocError> assign_sequential();
+
+  /// Assigns a random unused address from the space (Ethernet-style
+  /// manufacture-time assignment; the allocator plays the role of the
+  /// global registry that guarantees uniqueness).
+  util::Result<Address, AllocError> assign_random(util::Xoshiro256& rng);
+
+  std::uint64_t assigned_count() const noexcept { return assigned_.size(); }
+  bool exhausted() const noexcept;
+
+ private:
+  unsigned addr_bits_;
+  std::uint64_t next_sequential_ = 0;
+  std::unordered_set<std::uint64_t> assigned_;
+};
+
+}  // namespace retri::net

@@ -1,0 +1,55 @@
+#include "radio/dispatcher.hpp"
+
+#include <cassert>
+
+namespace retri::radio {
+
+FrameDispatcher::FrameDispatcher(Radio& radio) : radio_(radio) {
+  radio_.set_receive_callback(
+      [this](sim::NodeId from, const util::Bytes& frame) {
+        on_frame(from, frame);
+      });
+}
+
+void FrameDispatcher::route(std::uint8_t kind_lo, std::uint8_t kind_hi,
+                            Handler handler) {
+  assert(kind_lo <= kind_hi && kind_hi < 0x80 &&
+         "kinds are 7-bit; 0x80 is the instrumentation flag");
+  auto stored = std::make_unique<Handler>(std::move(handler));
+  for (std::uint16_t k = kind_lo; k <= kind_hi; ++k) {
+    assert(routes_[k] == nullptr && "overlapping dispatcher routes");
+    routes_[k] = stored.get();
+  }
+  handlers_.push_back(std::move(stored));
+}
+
+void FrameDispatcher::adopt_current(Radio& radio, std::uint8_t kind_lo,
+                                    std::uint8_t kind_hi) {
+  assert(&radio == &radio_ && "adopting from a different radio");
+  Radio::RxCallback current = radio.take_receive_callback();
+  assert(current && "no callback installed to adopt");
+  route(kind_lo, kind_hi, std::move(current));
+  radio_.set_receive_callback(
+      [this](sim::NodeId from, const util::Bytes& frame) {
+        on_frame(from, frame);
+      });
+}
+
+void FrameDispatcher::on_frame(sim::NodeId from, const util::Bytes& frame) {
+  if (frame.empty()) {
+    ++unrouted_;
+    if (fallback_) fallback_(from, frame);
+    return;
+  }
+  const std::uint8_t kind = frame[0] & 0x7f;
+  Handler* handler = routes_[kind];
+  if (handler != nullptr) {
+    ++dispatched_;
+    (*handler)(from, frame);
+    return;
+  }
+  ++unrouted_;
+  if (fallback_) fallback_(from, frame);
+}
+
+}  // namespace retri::radio

@@ -1,0 +1,65 @@
+// Frame multiplexing for co-resident services.
+//
+// A node often runs several protocols over one radio — the dynamic address
+// allocator next to a data driver, or interest reinforcement next to AFF.
+// Each RETRI wire format starts with a kind byte in a distinct range, so a
+// FrameDispatcher owns the radio's receive callback and routes frames to
+// the service registered for the frame's first byte. Services that take a
+// Radio& keep working untouched: they call Radio::set_receive_callback,
+// and the dispatcher is installed *after* them, capturing their callback
+// as a route instead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "radio/radio.hpp"
+
+namespace retri::radio {
+
+class FrameDispatcher {
+ public:
+  using Handler = std::function<void(sim::NodeId from, const util::Bytes&)>;
+
+  /// Takes over the radio's receive callback. Any handler previously
+  /// installed on the radio is NOT preserved — register routes instead.
+  explicit FrameDispatcher(Radio& radio);
+
+  FrameDispatcher(const FrameDispatcher&) = delete;
+  FrameDispatcher& operator=(const FrameDispatcher&) = delete;
+
+  /// Routes frames whose first byte (ignoring the instrumentation flag
+  /// bit 0x80) lies in [kind_lo, kind_hi] to `handler`. Ranges must not
+  /// overlap previously registered ones; later registrations win on exact
+  /// duplicates only in debug builds (asserted).
+  void route(std::uint8_t kind_lo, std::uint8_t kind_hi, Handler handler);
+
+  /// Handler for frames matching no route (default: counted and dropped).
+  void set_default(Handler handler) { fallback_ = std::move(handler); }
+
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
+  std::uint64_t unrouted() const noexcept { return unrouted_; }
+
+  /// Adapter: captures a service's desired callback. Construct the service
+  /// with the radio, then immediately call adopt() to move its callback
+  /// into a route:
+  ///   aff::AffDriver driver(radio, ...);     // installs its callback
+  ///   dispatcher.adopt_current(radio, 0x01, 0x03);  // re-home it
+  void adopt_current(Radio& radio, std::uint8_t kind_lo, std::uint8_t kind_hi);
+
+ private:
+  void on_frame(sim::NodeId from, const util::Bytes& frame);
+
+  Radio& radio_;
+  // 128 possible kind values after masking the instrumentation bit.
+  std::array<Handler*, 128> routes_{};
+  std::vector<std::unique_ptr<Handler>> handlers_;
+  Handler fallback_;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t unrouted_ = 0;
+};
+
+}  // namespace retri::radio

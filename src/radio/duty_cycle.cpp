@@ -1,0 +1,95 @@
+#include "radio/duty_cycle.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace retri::radio {
+
+DutyCycleController::DutyCycleController(Radio& radio, DutyCycleConfig config)
+    : radio_(radio),
+      config_(config),
+      on_span_(sim::Duration::from_seconds(
+          config.period.to_seconds() * std::clamp(config.on_fraction, 0.0, 1.0))),
+      last_transition_(radio.simulator().now()),
+      alive_(std::make_shared<bool>(true)) {
+  assert(config_.period > sim::Duration::nanoseconds(0));
+
+  if (config_.on_fraction >= 1.0) {
+    radio_.set_listening(true);
+    awake_ = true;
+    return;  // continuous listening: nothing to schedule
+  }
+  running_ = true;
+  if (config_.on_fraction <= 0.0) {
+    radio_.set_listening(false);
+    note_transition(false);
+    running_ = false;  // permanently off: nothing further to schedule
+    return;
+  }
+  // Start asleep until this node's phase, then run wake/sleep cycles.
+  radio_.set_listening(false);
+  note_transition(false);
+  std::weak_ptr<bool> alive = alive_;
+  radio_.simulator().schedule_after(config_.phase, [this, alive]() {
+    const auto flag = alive.lock();
+    if (!flag || !*flag || !running_) return;
+    radio_.set_listening(true);
+    note_transition(true);
+    schedule_sleep();
+  });
+}
+
+DutyCycleController::~DutyCycleController() { *alive_ = false; }
+
+void DutyCycleController::note_transition(bool now_listening) {
+  const sim::TimePoint now = radio_.simulator().now();
+  if (awake_) accumulated_awake_ += now - last_transition_;
+  last_transition_ = now;
+  awake_ = now_listening;
+}
+
+sim::Duration DutyCycleController::awake_time() const {
+  sim::Duration total = accumulated_awake_;
+  if (awake_) total += radio_.simulator().now() - last_transition_;
+  return total;
+}
+
+void DutyCycleController::stop() {
+  if (!running_ && radio_.listening()) return;
+  running_ = false;
+  radio_.set_listening(true);
+  note_transition(true);
+}
+
+void DutyCycleController::schedule_sleep() {
+  if (radio_.simulator().now() >= config_.stop_at) {
+    stop();
+    return;
+  }
+  std::weak_ptr<bool> alive = alive_;
+  radio_.simulator().schedule_after(on_span_, [this, alive]() {
+    const auto flag = alive.lock();
+    if (!flag || !*flag || !running_) return;
+    radio_.set_listening(false);
+    note_transition(false);
+    schedule_wake();
+  });
+}
+
+void DutyCycleController::schedule_wake() {
+  if (radio_.simulator().now() >= config_.stop_at) {
+    stop();
+    return;
+  }
+  std::weak_ptr<bool> alive = alive_;
+  radio_.simulator().schedule_after(config_.period - on_span_,
+                                    [this, alive]() {
+                                      const auto flag = alive.lock();
+                                      if (!flag || !*flag || !running_) return;
+                                      radio_.set_listening(true);
+                                      note_transition(true);
+                                      schedule_sleep();
+                                    });
+}
+
+}  // namespace retri::radio

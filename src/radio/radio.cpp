@@ -1,0 +1,78 @@
+#include "radio/radio.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace retri::radio {
+
+Radio::Radio(sim::BroadcastMedium& medium, sim::NodeId node, RadioConfig config,
+             EnergyModel energy_model, std::uint64_t seed)
+    : medium_(medium),
+      node_(node),
+      config_(config),
+      energy_(energy_model),
+      rng_(seed) {
+  assert(config_.bitrate_bps > 0.0);
+  medium_.attach(node_, [this](sim::NodeId from, const util::Bytes& payload) {
+    on_medium_rx(from, payload);
+  });
+}
+
+sim::Duration Radio::airtime(std::size_t payload_bytes) const noexcept {
+  const double bits = static_cast<double>(payload_bytes * 8 +
+                                          energy_.model().per_frame_overhead_bits);
+  return sim::Duration::from_seconds(bits / config_.bitrate_bps);
+}
+
+bool Radio::send(util::Bytes frame) {
+  if (frame.size() > config_.max_frame_bytes) {
+    ++counters_.frames_rejected;
+    return false;
+  }
+  queue_.push_back(std::move(frame));
+  if (!busy_) start_next();
+  return true;
+}
+
+void Radio::start_next() {
+  assert(!busy_);
+  if (queue_.empty()) return;
+  busy_ = true;
+
+  sim::Duration backoff{};
+  if (config_.max_backoff > sim::Duration{}) {
+    backoff = sim::Duration::nanoseconds(static_cast<std::int64_t>(
+        rng_.below(static_cast<std::uint64_t>(config_.max_backoff.ns()))));
+  }
+
+  medium_.simulator().schedule_after(backoff, [this]() {
+    assert(!queue_.empty());
+    util::Bytes frame = std::move(queue_.front());
+    queue_.pop_front();
+
+    const std::uint64_t bits = frame.size() * 8;
+    const sim::Duration air = airtime(frame.size());
+    ++counters_.frames_sent;
+    counters_.payload_bits_sent += bits;
+    energy_.on_tx(bits);
+    medium_.transmit(node_, std::move(frame), air);
+
+    medium_.simulator().schedule_after(air + config_.interframe_gap, [this]() {
+      busy_ = false;
+      start_next();
+    });
+  });
+}
+
+void Radio::on_medium_rx(sim::NodeId from, const util::Bytes& payload) {
+  if (!listening_) {
+    ++counters_.frames_missed_asleep;
+    return;
+  }
+  ++counters_.frames_received;
+  counters_.payload_bits_received += payload.size() * 8;
+  energy_.on_rx(payload.size() * 8);
+  if (rx_callback_) rx_callback_(from, payload);
+}
+
+}  // namespace retri::radio

@@ -1,0 +1,73 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+namespace retri::sim {
+
+void EventHandle::cancel() noexcept {
+  if (auto flag = cancelled_.lock()) *flag = true;
+}
+
+bool EventHandle::pending() const noexcept {
+  auto flag = cancelled_.lock();
+  return flag && !*flag;
+}
+
+EventHandle Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  auto cancelled = std::make_shared<bool>(false);
+  EventHandle handle{std::weak_ptr<bool>(cancelled)};
+  queue_.push(Event{t, next_seq_++, std::move(fn), std::move(cancelled)});
+  return handle;
+}
+
+EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  assert(delay >= Duration{} && "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::skip_cancelled() {
+  while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
+}
+
+bool Simulator::step() {
+  skip_cancelled();
+  if (queue_.empty()) return false;
+  // Move the event out before firing: the callback may schedule new events,
+  // which mutates the queue.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ++fired_;
+  *ev.cancelled = true;  // marks "no longer pending" for its handle
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(TimePoint deadline) {
+  std::uint64_t n = 0;
+  for (;;) {
+    skip_cancelled();
+    if (queue_.empty() || queue_.top().t > deadline) break;
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool Simulator::empty() const noexcept {
+  // Note: may report false when only cancelled events remain; run()/step()
+  // still terminate correctly because skip_cancelled drains them.
+  return queue_.empty();
+}
+
+std::size_t Simulator::queued() const noexcept { return queue_.size(); }
+
+}  // namespace retri::sim

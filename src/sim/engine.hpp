@@ -1,0 +1,92 @@
+// Single-threaded discrete-event simulation engine.
+//
+// Events are closures ordered by (time, insertion sequence); ties in time
+// execute in scheduling order, which keeps every run deterministic. The
+// engine is deliberately single-threaded: the paper's experiments are tens
+// of nodes over simulated minutes, and determinism (exact reproducibility of
+// Figure 4 from a seed) is worth more than parallel speedup (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace retri::sim {
+
+/// Cancellation handle for a scheduled event. Default-constructed handles
+/// are inert. Cancelling an already-fired or already-cancelled event is a
+/// no-op, so timers can be cancelled unconditionally in destructors.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing (if it has not fired yet).
+  void cancel() noexcept;
+
+  /// True if the event is still queued and will fire.
+  bool pending() const noexcept;
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::weak_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::weak_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t`. `t` must be >= now().
+  EventHandle schedule_at(TimePoint t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` after now(). `delay` must be >= 0.
+  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Runs events until the queue is empty or `max_events` have fired.
+  /// Returns the number of events fired.
+  std::uint64_t run(std::uint64_t max_events = ~std::uint64_t{0});
+
+  /// Runs events with time <= deadline, then advances the clock to exactly
+  /// `deadline` (even if the queue still holds later events). Returns the
+  /// number of events fired.
+  std::uint64_t run_until(TimePoint deadline);
+
+  /// Fires the single earliest event; false if the queue is empty.
+  bool step();
+
+  bool empty() const noexcept;
+  std::size_t queued() const noexcept;
+  std::uint64_t events_fired() const noexcept { return fired_; }
+
+ private:
+  struct Event {
+    TimePoint t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops cancelled events off the queue head.
+  void skip_cancelled();
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace retri::sim

@@ -1,0 +1,118 @@
+#include "sim/medium.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace retri::sim {
+
+BroadcastMedium::BroadcastMedium(Simulator& sim, Topology topology,
+                                 MediumConfig config, std::uint64_t seed)
+    : sim_(sim),
+      topology_(std::move(topology)),
+      config_(config),
+      rng_(seed),
+      handlers_(topology_.size()),
+      enabled_(topology_.size(), 1),
+      active_rx_(topology_.size()),
+      tx_first_start_(topology_.size(), TimePoint::origin()),
+      tx_busy_until_(topology_.size(), TimePoint::origin()) {}
+
+void BroadcastMedium::attach(NodeId node, RxHandler handler) {
+  assert(node < handlers_.size());
+  handlers_[node] = std::move(handler);
+}
+
+void BroadcastMedium::set_enabled(NodeId node, bool is_enabled) {
+  assert(node < enabled_.size());
+  enabled_[node] = is_enabled ? 1 : 0;
+}
+
+bool BroadcastMedium::enabled(NodeId node) const {
+  assert(node < enabled_.size());
+  return enabled_[node] != 0;
+}
+
+void BroadcastMedium::prune(std::vector<std::shared_ptr<Reception>>& list,
+                            TimePoint t) {
+  std::erase_if(list, [t](const auto& r) { return r->end <= t; });
+}
+
+void BroadcastMedium::trace_event(TraceEvent::Kind kind, NodeId from,
+                                  NodeId to, std::size_t bytes) {
+  if (trace_ == nullptr) return;
+  trace_->record(TraceEvent{sim_.now(), kind, from, to,
+                            static_cast<std::uint32_t>(bytes)});
+}
+
+void BroadcastMedium::transmit(NodeId from, util::Bytes payload,
+                               Duration airtime) {
+  assert(from < topology_.size());
+  if (!enabled(from)) return;
+  ++stats_.frames_sent;
+  trace_event(TraceEvent::Kind::kTransmit, from, TraceEvent::kNoNode,
+              payload.size());
+
+  const TimePoint start = sim_.now();
+  const TimePoint end = start + airtime;
+  if (start > tx_busy_until_[from]) {
+    tx_first_start_[from] = start;  // new busy burst
+  }
+  tx_busy_until_[from] = std::max(tx_busy_until_[from], end);
+
+  // Payload is shared across all listeners' deliveries to avoid one copy
+  // per listener.
+  auto shared_payload = std::make_shared<util::Bytes>(std::move(payload));
+
+  for (const NodeId listener : topology_.audience(from)) {
+    ++stats_.deliveries_attempted;
+
+    auto reception = std::make_shared<Reception>(Reception{start, end, false});
+    if (config_.rf_collisions) {
+      prune(active_rx_[listener], start);
+      for (const auto& other : active_rx_[listener]) {
+        // Overlap: the other reception has not ended when this one starts.
+        if (other->end > start) {
+          other->corrupted = true;
+          reception->corrupted = true;
+        }
+      }
+      active_rx_[listener].push_back(reception);
+    }
+
+    sim_.schedule_at(
+        end + config_.propagation_delay,
+        [this, listener, from, reception, shared_payload, start, end]() {
+          const std::size_t bytes = shared_payload->size();
+          if (!enabled(listener)) {
+            ++stats_.lost_disabled;
+            trace_event(TraceEvent::Kind::kLostDisabled, from, listener, bytes);
+            return;
+          }
+          if (reception->corrupted) {
+            ++stats_.lost_rf_collision;
+            trace_event(TraceEvent::Kind::kLostCollision, from, listener, bytes);
+            return;
+          }
+          // Half-duplex: lost if the listener's own transmit burst overlaps
+          // the reception interval [start, end). Evaluated at delivery time
+          // so transmissions the listener started mid-reception count.
+          if (config_.half_duplex && tx_busy_until_[listener] > start &&
+              tx_first_start_[listener] < end) {
+            ++stats_.lost_half_duplex;
+            trace_event(TraceEvent::Kind::kLostHalfDuplex, from, listener,
+                        bytes);
+            return;
+          }
+          if (config_.per_link_loss > 0.0 && rng_.chance(config_.per_link_loss)) {
+            ++stats_.lost_random;
+            trace_event(TraceEvent::Kind::kLostRandom, from, listener, bytes);
+            return;
+          }
+          ++stats_.delivered;
+          trace_event(TraceEvent::Kind::kDeliver, from, listener, bytes);
+          if (handlers_[listener]) handlers_[listener](from, *shared_payload);
+        });
+  }
+}
+
+}  // namespace retri::sim

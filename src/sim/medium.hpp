@@ -1,0 +1,115 @@
+// Shared broadcast medium.
+//
+// Models the wireless channel the Radiometrix RPC radios share: every frame
+// a node transmits is heard by every enabled node in its audience (per the
+// Topology). The medium optionally models:
+//   - independent per-link random loss (RF vagaries, §3.1),
+//   - RF collisions: receptions that overlap in time at a receiver corrupt
+//     each other (carrier collisions at the air interface),
+//   - half-duplex radios: a node transmitting during a reception misses it.
+//
+// The ideal configuration (no loss, no collisions) isolates *identifier*
+// collisions, which is what the paper's Figure 4 measures; the lossy
+// configurations feed the robustness tests and ablations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "sim/topology.hpp"
+#include "sim/trace.hpp"
+#include "util/bytes.hpp"
+#include "util/random.hpp"
+
+namespace retri::sim {
+
+struct MediumConfig {
+  /// Probability each individual delivery is lost, independently.
+  double per_link_loss = 0.0;
+  /// If true, time-overlapping receptions at the same receiver corrupt
+  /// each other (both are lost).
+  bool rf_collisions = false;
+  /// If true, a node cannot receive while it is itself transmitting.
+  bool half_duplex = false;
+  /// Constant propagation delay added after the frame's airtime.
+  Duration propagation_delay = Duration::nanoseconds(0);
+};
+
+struct MediumStats {
+  std::uint64_t frames_sent = 0;            // transmit() calls
+  std::uint64_t deliveries_attempted = 0;   // one per (frame, listener)
+  std::uint64_t delivered = 0;
+  std::uint64_t lost_random = 0;
+  std::uint64_t lost_rf_collision = 0;
+  std::uint64_t lost_half_duplex = 0;
+  std::uint64_t lost_disabled = 0;          // listener was powered off
+};
+
+class BroadcastMedium {
+ public:
+  /// Called on successful frame reception: (sender, frame payload).
+  using RxHandler = std::function<void(NodeId, const util::Bytes&)>;
+
+  BroadcastMedium(Simulator& sim, Topology topology, MediumConfig config,
+                  std::uint64_t seed);
+
+  /// Registers the receive handler for a node. One handler per node;
+  /// re-attaching replaces the previous handler.
+  void attach(NodeId node, RxHandler handler);
+
+  /// Broadcasts `payload`, occupying the channel for `airtime`. Deliveries
+  /// to each audible listener are scheduled at now + airtime + propagation.
+  /// Disabled senders transmit nothing.
+  void transmit(NodeId from, util::Bytes payload, Duration airtime);
+
+  /// Powers a node on/off. Off nodes neither transmit nor receive; frames
+  /// addressed to them while off are counted as lost_disabled.
+  void set_enabled(NodeId node, bool enabled);
+  bool enabled(NodeId node) const;
+
+  /// Attaches (or detaches, with nullptr) a frame-event trace recorder.
+  /// Observational only: recording never affects delivery.
+  void set_trace(TraceRecorder* trace) noexcept { trace_ = trace; }
+
+  const MediumStats& stats() const noexcept { return stats_; }
+  const Topology& topology() const noexcept { return topology_; }
+  /// Mutable topology access for dynamics experiments (link churn).
+  Topology& topology() noexcept { return topology_; }
+  Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  struct Reception {
+    TimePoint start;
+    TimePoint end;  // end of airtime (before propagation)
+    bool corrupted = false;
+  };
+
+  /// Drops receptions that ended at or before `t` from a listener's
+  /// active list.
+  void prune(std::vector<std::shared_ptr<Reception>>& list, TimePoint t);
+
+  void trace_event(TraceEvent::Kind kind, NodeId from, NodeId to,
+                   std::size_t bytes);
+
+  Simulator& sim_;
+  Topology topology_;
+  MediumConfig config_;
+  util::Xoshiro256 rng_;
+  MediumStats stats_;
+  TraceRecorder* trace_ = nullptr;
+  std::vector<RxHandler> handlers_;
+  std::vector<char> enabled_;
+  std::vector<std::vector<std::shared_ptr<Reception>>> active_rx_;  // per listener
+  // Most recent transmission interval per node, for the half-duplex check.
+  // Back-to-back transmissions coalesce (busy-until extends); the check is
+  // exact unless a node's transmissions are non-contiguous *and* interleave
+  // a reception, which no modelled MAC produces.
+  std::vector<TimePoint> tx_first_start_;
+  std::vector<TimePoint> tx_busy_until_;
+};
+
+}  // namespace retri::sim

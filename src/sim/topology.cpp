@@ -1,0 +1,116 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace retri::sim {
+
+Topology::Topology(std::size_t n) : n_(n), hears_(n * n, 0), audience_(n) {}
+
+std::size_t Topology::index(NodeId listener, NodeId speaker) const {
+  assert(listener < n_ && speaker < n_);
+  return static_cast<std::size_t>(listener) * n_ + speaker;
+}
+
+void Topology::add_link(NodeId listener, NodeId speaker) {
+  if (listener == speaker) return;
+  char& cell = hears_[index(listener, speaker)];
+  if (cell) return;
+  cell = 1;
+  audience_[speaker].push_back(listener);
+}
+
+void Topology::add_bidi(NodeId a, NodeId b) {
+  add_link(a, b);
+  add_link(b, a);
+}
+
+void Topology::remove_link(NodeId listener, NodeId speaker) {
+  if (listener == speaker) return;
+  char& cell = hears_[index(listener, speaker)];
+  if (!cell) return;
+  cell = 0;
+  auto& aud = audience_[speaker];
+  aud.erase(std::remove(aud.begin(), aud.end(), listener), aud.end());
+}
+
+bool Topology::hears(NodeId listener, NodeId speaker) const {
+  if (listener == speaker) return false;
+  return hears_[index(listener, speaker)] != 0;
+}
+
+const std::vector<NodeId>& Topology::audience(NodeId speaker) const {
+  assert(speaker < n_);
+  return audience_[speaker];
+}
+
+std::size_t Topology::link_count() const noexcept {
+  std::size_t count = 0;
+  for (const char c : hears_) count += static_cast<std::size_t>(c);
+  return count;
+}
+
+bool Topology::is_full_mesh() const {
+  return link_count() == n_ * (n_ - 1);
+}
+
+Topology Topology::full_mesh(std::size_t n) {
+  Topology t(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < n; ++b) t.add_bidi(a, b);
+  }
+  return t;
+}
+
+Topology Topology::line(std::size_t n) {
+  Topology t(n);
+  for (NodeId i = 0; i + 1 < n; ++i) t.add_bidi(i, i + 1);
+  return t;
+}
+
+Topology Topology::grid(std::size_t width, std::size_t height) {
+  Topology t(width * height);
+  auto id = [width](std::size_t x, std::size_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) t.add_bidi(id(x, y), id(x + 1, y));
+      if (y + 1 < height) t.add_bidi(id(x, y), id(x, y + 1));
+    }
+  }
+  return t;
+}
+
+Topology Topology::geometric(std::size_t n, double side, double range,
+                             util::Xoshiro256& rng) {
+  Topology t(n);
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.uniform() * side;
+    ys[i] = rng.uniform() * side;
+  }
+  const double r2 = range * range;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < n; ++b) {
+      const double dx = xs[a] - xs[b];
+      const double dy = ys[a] - ys[b];
+      if (dx * dx + dy * dy <= r2) t.add_bidi(a, b);
+    }
+  }
+  return t;
+}
+
+Topology Topology::hidden_terminal(std::size_t senders) {
+  Topology t(senders + 1);
+  for (NodeId s = 1; s <= senders; ++s) t.add_bidi(0, s);
+  return t;
+}
+
+Topology Topology::star_full_mesh(std::size_t senders) {
+  return full_mesh(senders + 1);
+}
+
+}  // namespace retri::sim

@@ -1,0 +1,82 @@
+// Connectivity topologies.
+//
+// A Topology is a directed "hears" relation: hears(a, b) means node a
+// receives node b's transmissions. The relation is directed because radio
+// links can be asymmetric (different TX power, antenna placement). The
+// paper's validation testbed is a full mesh ("all the radios were well in
+// range of each other", §5.1); the hidden-terminal factory builds the §3.2
+// scenario that limits the listening heuristic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace retri::sim {
+
+using NodeId = std::uint32_t;
+
+class Topology {
+ public:
+  /// n isolated nodes (no links).
+  explicit Topology(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Makes `listener` hear `speaker` (one direction).
+  void add_link(NodeId listener, NodeId speaker);
+  /// Makes both directions audible.
+  void add_bidi(NodeId a, NodeId b);
+  void remove_link(NodeId listener, NodeId speaker);
+
+  /// True if `listener` receives `speaker`'s transmissions.
+  /// Nodes never hear themselves (hears(x, x) is always false).
+  bool hears(NodeId listener, NodeId speaker) const;
+
+  /// All nodes that hear `speaker` (its audience).
+  const std::vector<NodeId>& audience(NodeId speaker) const;
+
+  /// Number of directed links.
+  std::size_t link_count() const noexcept;
+
+  /// True if every pair of distinct nodes hears each other.
+  bool is_full_mesh() const;
+
+  // -- Factories ------------------------------------------------------------
+
+  /// Every node hears every other node. The paper's §5 testbed.
+  static Topology full_mesh(std::size_t n);
+
+  /// Nodes 0..n-1 in a chain; each hears its immediate neighbors only.
+  static Topology line(std::size_t n);
+
+  /// width x height grid; 4-connectivity between adjacent cells.
+  /// Node id = y * width + x.
+  static Topology grid(std::size_t width, std::size_t height);
+
+  /// Random geometric graph: n nodes placed uniformly in a side x side
+  /// square; two nodes hear each other iff their distance <= range.
+  /// Deterministic for a given rng state.
+  static Topology geometric(std::size_t n, double side, double range,
+                            util::Xoshiro256& rng);
+
+  /// The hidden-terminal scenario of §3.2: `senders` transmitters that all
+  /// hear the single receiver (node 0) and vice versa, but are mutually
+  /// inaudible. Listening cannot see a hidden peer's identifiers.
+  static Topology hidden_terminal(std::size_t senders);
+
+  /// The paper's validation layout: a full mesh of `senders` transmitters
+  /// plus one receiver (node 0), all mutually audible — equivalent to
+  /// full_mesh(senders + 1) but named for readability at call sites.
+  static Topology star_full_mesh(std::size_t senders);
+
+ private:
+  std::size_t index(NodeId listener, NodeId speaker) const;
+
+  std::size_t n_;
+  std::vector<char> hears_;                        // n*n adjacency, row = listener
+  std::vector<std::vector<NodeId>> audience_;      // speaker -> listeners
+};
+
+}  // namespace retri::sim

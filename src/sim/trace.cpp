@@ -1,0 +1,73 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace retri::sim {
+
+std::string_view to_string(TraceEvent::Kind kind) noexcept {
+  switch (kind) {
+    case TraceEvent::Kind::kTransmit: return "TX";
+    case TraceEvent::Kind::kDeliver: return "RX";
+    case TraceEvent::Kind::kLostRandom: return "LOST_RAND";
+    case TraceEvent::Kind::kLostCollision: return "LOST_COLL";
+    case TraceEvent::Kind::kLostHalfDuplex: return "LOST_HDX";
+    case TraceEvent::Kind::kLostDisabled: return "LOST_OFF";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {}
+
+void TraceRecorder::record(const TraceEvent& event) {
+  ++recorded_;
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+std::uint64_t TraceRecorder::count(TraceEvent::Kind kind) const {
+  return static_cast<std::uint64_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::vector<TraceEvent> TraceRecorder::for_node(NodeId node) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.from == node || e.to == node) out.push_back(e);
+  }
+  return out;
+}
+
+void TraceRecorder::dump(std::ostream& out) const {
+  for (const TraceEvent& e : events_) {
+    out << "t=" << e.time.to_seconds() << "s " << to_string(e.kind) << " n"
+        << e.from;
+    if (e.to == TraceEvent::kNoNode) out << " -> *";
+    else out << " -> n" << e.to;
+    out << " " << e.bytes << "B\n";
+  }
+  if (dropped_ != 0) out << "(" << dropped_ << " events dropped at capacity)\n";
+}
+
+void TraceRecorder::dump_csv(std::ostream& out) const {
+  out << "time_s,kind,from,to,bytes\n";
+  for (const TraceEvent& e : events_) {
+    out << e.time.to_seconds() << ',' << to_string(e.kind) << ',' << e.from
+        << ',';
+    if (e.to == TraceEvent::kNoNode) out << '*';
+    else out << e.to;
+    out << ',' << e.bytes << "\n";
+  }
+}
+
+}  // namespace retri::sim

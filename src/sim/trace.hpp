@@ -1,0 +1,70 @@
+// Frame-level event tracing.
+//
+// A TraceRecorder attached to a BroadcastMedium records every transmission
+// and every per-listener delivery outcome, giving experiments and failing
+// tests a ground-truth timeline ("which fragment was lost, when, and why")
+// without instrumenting protocol code. Dump formats: human-readable text
+// and CSV for offline analysis.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/topology.hpp"
+
+namespace retri::sim {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kTransmit,       // `from` put a frame on the air (to == kNoNode)
+    kDeliver,        // frame from `from` reached `to`
+    kLostRandom,     // per-link random loss
+    kLostCollision,  // RF collision at `to`
+    kLostHalfDuplex, // `to` was transmitting during the reception
+    kLostDisabled,   // `to` was powered off
+  };
+
+  static constexpr NodeId kNoNode = ~NodeId{0};
+
+  TimePoint time;
+  Kind kind = Kind::kTransmit;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::uint32_t bytes = 0;
+};
+
+std::string_view to_string(TraceEvent::Kind kind) noexcept;
+
+class TraceRecorder {
+ public:
+  /// Keeps at most `capacity` events; older events are dropped (counted).
+  explicit TraceRecorder(std::size_t capacity = 1 << 20);
+
+  void record(const TraceEvent& event);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::uint64_t recorded() const noexcept { return recorded_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  void clear();
+
+  /// Number of recorded events of one kind.
+  std::uint64_t count(TraceEvent::Kind kind) const;
+  /// Events involving `node` as sender or receiver.
+  std::vector<TraceEvent> for_node(NodeId node) const;
+
+  /// "t=0.005123s TX       n2 -> *   27B" style lines.
+  void dump(std::ostream& out) const;
+  /// CSV: time_s,kind,from,to,bytes
+  void dump_csv(std::ostream& out) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace retri::sim

@@ -1,0 +1,73 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace retri::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(bins >= 1);
+  assert(lo < hi);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge case at hi_
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i + 1) * bin_width_;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * bin_width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(counts_[i]) * static_cast<double>(width) /
+                  static_cast<double>(peak)));
+    out << "[" << bin_lo(i) << ", " << bin_hi(i) << ") " << std::string(bar, '#')
+        << " " << counts_[i] << "\n";
+  }
+  if (underflow_ != 0) out << "underflow " << underflow_ << "\n";
+  if (overflow_ != 0) out << "overflow " << overflow_ << "\n";
+  return out.str();
+}
+
+}  // namespace retri::stats

@@ -1,0 +1,50 @@
+// Fixed-bin histogram over a closed range, plus quantile estimation.
+//
+// Used by the simulator to characterize distributions the scalar summaries
+// hide: reassembly latencies, transaction overlap counts, and the ablation
+// on non-uniform transaction lengths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace retri::stats {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `bins` equal-width buckets, with underflow and
+  /// overflow counted separately. Requires bins >= 1 and lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+
+  /// Lower edge of bin i.
+  double bin_lo(std::size_t i) const noexcept;
+  /// Upper edge of bin i.
+  double bin_hi(std::size_t i) const noexcept;
+
+  /// Approximate q-quantile (q in [0,1]) by linear interpolation within the
+  /// containing bin. Underflow/overflow samples clamp to the range edges.
+  double quantile(double q) const noexcept;
+
+  /// Multi-line ASCII rendering for logs: one row per nonempty bin.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace retri::stats

@@ -1,0 +1,48 @@
+// Numerically stable streaming moments (Welford's algorithm).
+//
+// Every experiment in bench/ aggregates per-trial observations through
+// RunningStats; Figure 4's error bars are its stddev(), matching the paper
+// ("error bars represent the standard deviation from the mean for each
+// trial").
+#pragma once
+
+#include <cstdint>
+
+namespace retri::stats {
+
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel-trial aggregation).
+  void merge(const RunningStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+
+  /// Mean of the observations; 0 if empty.
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 if fewer than 2 samples.
+  double variance() const noexcept;
+
+  /// Sample standard deviation.
+  double stddev() const noexcept;
+
+  /// Standard error of the mean (stddev / sqrt(n)); 0 if fewer than 2 samples.
+  double stderror() const noexcept;
+
+  double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+  double sum() const noexcept { return n_ == 0 ? 0.0 : mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace retri::stats

@@ -1,0 +1,31 @@
+#include "stats/summary.hpp"
+
+#include <array>
+
+namespace retri::stats {
+
+double t_critical_95(std::uint64_t df) noexcept {
+  // Two-sided 95% quantiles of Student's t distribution, df = 1..30.
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return kTable[0];
+  if (df <= kTable.size()) return kTable[df - 1];
+  return 1.96;
+}
+
+void TrialSet::add(double outcome) {
+  stats_.add(outcome);
+  outcomes_.push_back(outcome);
+}
+
+Interval TrialSet::ci95() const noexcept {
+  if (stats_.count() < 2) {
+    return {stats_.mean(), stats_.mean()};
+  }
+  const double half = t_critical_95(stats_.count() - 1) * stats_.stderror();
+  return {stats_.mean() - half, stats_.mean() + half};
+}
+
+}  // namespace retri::stats

@@ -1,0 +1,78 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace retri::stats {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  assert(!header_.empty());
+}
+
+void Table::row(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " ");
+      out << cells[c] << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto field = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (const char ch : s) {
+      if (ch == '"') quoted += "\"\"";
+      else quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      out << field(cells[c]);
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string fmt(double v, int digits) {
+  if (std::isnan(v)) return "n/a";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int digits) {
+  if (std::isnan(fraction)) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace retri::stats

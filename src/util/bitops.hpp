@@ -1,0 +1,56 @@
+// Bit-level helpers shared across the RETRI libraries.
+//
+// Identifier spaces in RETRI are parameterized by a bit width H in [1, 64].
+// These helpers centralize the masking / pool-size arithmetic so callers
+// never hand-roll `1 << H` expressions (which overflow for H = 64 and invite
+// signedness bugs).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace retri::util {
+
+/// Number of distinct values representable in `bits` bits, as a double.
+///
+/// Returned as double because the analytic model (core/model.hpp) needs
+/// 2^H for H up to 64, where the exact integer would overflow uint64_t's
+/// useful range in downstream arithmetic.
+constexpr double pool_size(unsigned bits) noexcept {
+  double v = 1.0;
+  for (unsigned i = 0; i < bits; ++i) v *= 2.0;
+  return v;
+}
+
+/// Mask with the low `bits` bits set. `bits` must be in [0, 64].
+constexpr std::uint64_t low_mask(unsigned bits) noexcept {
+  if (bits >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bits) - 1;
+}
+
+/// Exact number of distinct values in `bits` bits, saturating at
+/// uint64_t max for bits == 64.
+constexpr std::uint64_t pool_size_exact(unsigned bits) noexcept {
+  if (bits >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return std::uint64_t{1} << bits;
+}
+
+/// Smallest bit width that can represent `n` distinct values
+/// (i.e. ceil(log2(n)) with bits_for(0) == bits_for(1) == 1).
+constexpr unsigned bits_for(std::uint64_t n) noexcept {
+  unsigned bits = 1;
+  std::uint64_t capacity = 2;
+  while (capacity < n) {
+    ++bits;
+    if (bits >= 64) return 64;
+    capacity <<= 1;
+  }
+  return bits;
+}
+
+/// Round a bit count up to whole bytes (wire formats are byte-aligned).
+constexpr std::size_t bytes_for_bits(unsigned bits) noexcept {
+  return (bits + 7) / 8;
+}
+
+}  // namespace retri::util

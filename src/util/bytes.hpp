@@ -1,0 +1,89 @@
+// Byte buffers and byte-order-safe serialization.
+//
+// AFF fragments, baseline addressed fragments, and the dynamic address
+// allocation protocol all serialize to byte vectors through BufferWriter /
+// BufferReader. All multi-byte integers are big-endian on the wire, matching
+// network convention; variable-width identifier fields are written as the
+// minimal whole-byte width for their configured bit width.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace retri::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Appends big-endian fields to a byte vector.
+///
+/// The writer owns its buffer; call take() to move it out when done.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+  /// Reserves `expected_size` up front to avoid reallocation in hot paths.
+  explicit BufferWriter(std::size_t expected_size) { buf_.reserve(expected_size); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+
+  /// Writes the low `bits` bits of `v` as a big-endian field occupying
+  /// bytes_for_bits(bits) bytes. This is how variable-width RETRI
+  /// identifiers are framed on the wire. bits must be in [1, 64].
+  void uvar(std::uint64_t v, unsigned bits);
+
+  /// Appends raw bytes.
+  void raw(BytesView data);
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  const Bytes& bytes() const noexcept { return buf_; }
+  Bytes take() noexcept { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads big-endian fields from a byte span. All accessors return
+/// std::nullopt on underrun instead of throwing; a malformed frame received
+/// from the radio must never crash a node (DESIGN.md: errors are the norm).
+class BufferReader {
+ public:
+  explicit BufferReader(BytesView data) noexcept : data_(data) {}
+
+  std::optional<std::uint8_t> u8() noexcept;
+  std::optional<std::uint16_t> u16() noexcept;
+  std::optional<std::uint32_t> u32() noexcept;
+  std::optional<std::uint64_t> u64() noexcept;
+
+  /// Reads a field written by BufferWriter::uvar with the same bit width.
+  std::optional<std::uint64_t> uvar(unsigned bits) noexcept;
+
+  /// Reads exactly n bytes; nullopt if fewer remain.
+  std::optional<Bytes> raw(std::size_t n);
+
+  /// All bytes not yet consumed.
+  BytesView rest() const noexcept { return data_.subspan(pos_); }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool empty() const noexcept { return pos_ >= data_.size(); }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Hex dump ("de ad be ef") for logs and test failure messages.
+std::string to_hex(BytesView data);
+
+/// Deterministic pseudo-random payload of n bytes (keyed by seed); used by
+/// workload generators so packet contents are reproducible and checksums
+/// exercise real data.
+Bytes random_payload(std::size_t n, std::uint64_t seed);
+
+}  // namespace retri::util

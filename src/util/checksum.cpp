@@ -1,0 +1,48 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace retri::util {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+void Crc32::update(BytesView data) noexcept {
+  std::uint32_t c = state_;
+  for (const std::uint8_t b : data) {
+    c = kCrcTable[(c ^ b) & 0xff] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(BytesView data) noexcept {
+  Crc32 c;
+  c.update(data);
+  return c.finish();
+}
+
+std::uint16_t fletcher16(BytesView data) noexcept {
+  std::uint32_t sum1 = 0;
+  std::uint32_t sum2 = 0;
+  for (const std::uint8_t b : data) {
+    sum1 = (sum1 + b) % 255;
+    sum2 = (sum2 + sum1) % 255;
+  }
+  return static_cast<std::uint16_t>((sum2 << 8) | sum1);
+}
+
+}  // namespace retri::util

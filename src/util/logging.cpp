@@ -1,0 +1,40 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace retri::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() { reset_sink(); }
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::reset_sink() {
+  sink_ = [](LogLevel level, std::string_view msg) {
+    std::fprintf(stderr, "[%.*s] %.*s\n",
+                 static_cast<int>(to_string(level).size()), to_string(level).data(),
+                 static_cast<int>(msg.size()), msg.data());
+  };
+}
+
+void Logger::write(LogLevel level, std::string_view msg) {
+  if (enabled(level) && sink_) sink_(level, msg);
+}
+
+}  // namespace retri::util

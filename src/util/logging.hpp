@@ -1,0 +1,73 @@
+// Minimal leveled logger.
+//
+// Simulation code logs through this instead of writing to std::cerr directly
+// so benches can silence nodes (thousands of sends would otherwise swamp the
+// bench output) while tests can raise verbosity for a failing scenario.
+// Single-threaded by design: the discrete-event simulator is single-threaded
+// and log ordering must match event ordering.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace retri::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Global log configuration. Default: kWarn to stderr.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  /// Replaces the output sink (default writes "[LEVEL] msg\n" to stderr).
+  /// Tests install a capturing sink to assert on warnings.
+  void set_sink(Sink sink);
+  void reset_sink();
+
+  void write(LogLevel level, std::string_view msg);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace retri::util
+
+// Usage: RETRI_LOG(kDebug) << "node " << id << " sent " << n << " frames";
+// The stream expression is only evaluated when the level is enabled.
+#define RETRI_LOG(level_name)                                               \
+  if (!::retri::util::Logger::instance().enabled(                          \
+          ::retri::util::LogLevel::level_name)) {                          \
+  } else                                                                    \
+    ::retri::util::detail::LogLine(::retri::util::LogLevel::level_name)

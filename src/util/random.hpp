@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every source of randomness in this repository flows through Xoshiro256
+// instances seeded explicitly by the experiment harness. This makes every
+// simulation trial reproducible from (seed, trial index) alone, which the
+// benches rely on and the tests assert.
+//
+// We implement the generators ourselves (SplitMix64 for seeding,
+// xoshiro256** for the stream) rather than using <random> engines because
+// std:: distributions are not guaranteed to produce identical sequences
+// across standard library implementations, and cross-platform determinism
+// is a stated design goal (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace retri::util {
+
+/// SplitMix64: tiny, well-distributed generator used to expand a single
+/// 64-bit seed into the 256-bit state xoshiro256 requires.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed std::shuffle.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state from a 64-bit seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x2001'04'16'1cdc5ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Poisson-distributed count with the given mean (>= 0).
+  /// Knuth's method for small means, normal approximation for large.
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// A new generator whose seed is derived from this stream.
+  /// Used to give each simulated node an independent substream.
+  Xoshiro256 fork() noexcept;
+
+  /// Fisher-Yates shuffle of a vector, deterministic for a given state.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace retri::util

@@ -1,0 +1,39 @@
+// Lightweight Result<T, E> (std::expected arrives only in C++23).
+//
+// Used at API boundaries where failure is an ordinary outcome the caller
+// must branch on — e.g. address-space exhaustion in static allocation, or
+// packet-too-large in the fragmenter. Exceptions are reserved for
+// programming errors (precondition violations), per the Core Guidelines
+// distinction between recoverable conditions and bugs.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace retri::util {
+
+template <typename T, typename E>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(E error) : v_(std::in_place_index<1>, std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const noexcept { return v_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Precondition: ok().
+  T& value() & { assert(ok()); return std::get<0>(v_); }
+  const T& value() const& { assert(ok()); return std::get<0>(v_); }
+  T&& value() && { assert(ok()); return std::get<0>(std::move(v_)); }
+
+  /// Precondition: !ok().
+  const E& error() const& { assert(!ok()); return std::get<1>(v_); }
+
+  T value_or(T fallback) const& { return ok() ? std::get<0>(v_) : std::move(fallback); }
+
+ private:
+  std::variant<T, E> v_;
+};
+
+}  // namespace retri::util

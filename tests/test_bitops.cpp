@@ -1,0 +1,58 @@
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retri::util {
+namespace {
+
+TEST(Bitops, PoolSizeMatchesPowersOfTwo) {
+  EXPECT_DOUBLE_EQ(pool_size(0), 1.0);
+  EXPECT_DOUBLE_EQ(pool_size(1), 2.0);
+  EXPECT_DOUBLE_EQ(pool_size(9), 512.0);
+  EXPECT_DOUBLE_EQ(pool_size(16), 65536.0);
+  EXPECT_DOUBLE_EQ(pool_size(32), 4294967296.0);
+  EXPECT_DOUBLE_EQ(pool_size(64), 18446744073709551616.0);
+}
+
+TEST(Bitops, LowMaskSetsExactlyLowBits) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 0x1u);
+  EXPECT_EQ(low_mask(8), 0xffu);
+  EXPECT_EQ(low_mask(16), 0xffffu);
+  EXPECT_EQ(low_mask(63), 0x7fffffffffffffffULL);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bitops, PoolSizeExactSaturatesAt64) {
+  EXPECT_EQ(pool_size_exact(1), 2u);
+  EXPECT_EQ(pool_size_exact(16), 65536u);
+  EXPECT_EQ(pool_size_exact(63), std::uint64_t{1} << 63);
+  EXPECT_EQ(pool_size_exact(64), ~std::uint64_t{0});
+}
+
+TEST(Bitops, BitsForRoundTripsWithPoolSize) {
+  EXPECT_EQ(bits_for(0), 1u);
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 1u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(4), 2u);
+  EXPECT_EQ(bits_for(5), 3u);
+  EXPECT_EQ(bits_for(65536), 16u);
+  EXPECT_EQ(bits_for(65537), 17u);
+}
+
+TEST(Bitops, BitsForHugeValuesSaturate) {
+  EXPECT_EQ(bits_for(~std::uint64_t{0}), 64u);
+}
+
+TEST(Bitops, BytesForBitsRoundsUp) {
+  EXPECT_EQ(bytes_for_bits(1), 1u);
+  EXPECT_EQ(bytes_for_bits(8), 1u);
+  EXPECT_EQ(bytes_for_bits(9), 2u);
+  EXPECT_EQ(bytes_for_bits(16), 2u);
+  EXPECT_EQ(bytes_for_bits(17), 3u);
+  EXPECT_EQ(bytes_for_bits(64), 8u);
+}
+
+}  // namespace
+}  // namespace retri::util

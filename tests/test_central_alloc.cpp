@@ -1,0 +1,153 @@
+#include "net/central_alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace retri::net {
+namespace {
+
+class CentralAllocTest : public ::testing::Test {
+ protected:
+  CentralAllocTest() : medium(sim, sim::Topology::full_mesh(12), {}, 21) {}
+
+  sim::Simulator sim;
+  sim::BroadcastMedium medium;
+};
+
+struct Client {
+  Client(sim::BroadcastMedium& medium, sim::NodeId id,
+         CentralClientConfig config)
+      : radio(medium, id, radio::RadioConfig{}, radio::EnergyModel{}, 40 + id),
+        client(radio, config, 300 + id) {}
+
+  radio::Radio radio;
+  CentralAllocClient client;
+};
+
+TEST_F(CentralAllocTest, SingleClientAcquires) {
+  radio::Radio server_radio(medium, 0, radio::RadioConfig{},
+                            radio::EnergyModel{}, 1);
+  CentralAllocServer server(server_radio, 16);
+  Client c(medium, 1, CentralClientConfig{});
+
+  Address got;
+  c.client.set_on_acquired([&](Address a) { got = a; });
+  c.client.start();
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(2));
+
+  ASSERT_TRUE(c.client.has_address());
+  EXPECT_EQ(got, c.client.address());
+  EXPECT_EQ(server.granted(), 1u);
+  EXPECT_EQ(c.client.stats().requests_sent, 1u);
+  EXPECT_EQ(c.client.stats().retries, 0u);
+}
+
+TEST_F(CentralAllocTest, ManyClientsGetDenseDistinctAddresses) {
+  radio::Radio server_radio(medium, 0, radio::RadioConfig{},
+                            radio::EnergyModel{}, 1);
+  CentralAllocServer server(server_radio, 16);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  for (sim::NodeId i = 1; i <= 10; ++i) {
+    clients.push_back(std::make_unique<Client>(medium, i, CentralClientConfig{}));
+    clients.back()->client.start();
+  }
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(10));
+
+  std::unordered_set<std::uint64_t> addresses;
+  std::uint64_t max_addr = 0;
+  for (const auto& c : clients) {
+    ASSERT_TRUE(c->client.has_address());
+    addresses.insert(c->client.address().value());
+    max_addr = std::max(max_addr, c->client.address().value());
+  }
+  EXPECT_EQ(addresses.size(), 10u);
+  // Dense (optimal) assignment: 10 clients fit in [0, 10).
+  EXPECT_LT(max_addr, 10u);
+}
+
+TEST_F(CentralAllocTest, ClientRetriesThroughLoss) {
+  sim::Simulator lossy_sim;
+  sim::MediumConfig mconfig;
+  mconfig.per_link_loss = 0.5;
+  sim::BroadcastMedium lossy(lossy_sim, sim::Topology::full_mesh(2), mconfig,
+                             5);
+  radio::Radio server_radio(lossy, 0, radio::RadioConfig{},
+                            radio::EnergyModel{}, 1);
+  CentralAllocServer server(server_radio, 16);
+
+  radio::Radio client_radio(lossy, 1, radio::RadioConfig{},
+                            radio::EnergyModel{}, 2);
+  CentralClientConfig config;
+  config.max_retries = 20;
+  CentralAllocClient client(client_radio, config, 3);
+  client.start();
+  lossy_sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(30));
+
+  EXPECT_TRUE(client.has_address());
+  // With 50% loss each way, retries almost certainly happened.
+  EXPECT_GT(client.stats().requests_sent, 1u);
+}
+
+TEST_F(CentralAllocTest, DeadServerMeansFailureAfterRetries) {
+  // The single-point-of-failure cost, §2.3: no authority, no addresses.
+  Client c(medium, 1, CentralClientConfig{});  // no server exists at all
+  bool failed = false;
+  c.client.set_on_failed([&] { failed = true; });
+  c.client.start();
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(10));
+
+  EXPECT_TRUE(failed);
+  EXPECT_FALSE(c.client.has_address());
+  EXPECT_EQ(c.client.stats().requests_sent, 4u);  // max_retries default
+  EXPECT_EQ(c.client.stats().retries, 3u);
+}
+
+TEST_F(CentralAllocTest, ExhaustedSpaceIsDenied) {
+  radio::Radio server_radio(medium, 0, radio::RadioConfig{},
+                            radio::EnergyModel{}, 1);
+  CentralAllocServer server(server_radio, 2);  // only 4 addresses
+
+  CentralClientConfig config;
+  config.addr_bits = 2;
+  std::vector<std::unique_ptr<Client>> clients;
+  int failures = 0;
+  for (sim::NodeId i = 1; i <= 6; ++i) {
+    clients.push_back(std::make_unique<Client>(medium, i, config));
+    clients.back()->client.set_on_failed([&] { ++failures; });
+    clients.back()->client.start();
+    // Serialize the joins so grants are not raced.
+    sim.run_until(sim.now() + sim::Duration::seconds(2));
+  }
+
+  int acquired = 0;
+  for (const auto& c : clients) {
+    if (c->client.has_address()) ++acquired;
+  }
+  EXPECT_EQ(acquired, 4);
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(server.stats().denials, 2u);
+}
+
+TEST_F(CentralAllocTest, GrantsAreMatchedByNonce) {
+  // Two clients request concurrently; each takes only its own grant.
+  radio::Radio server_radio(medium, 0, radio::RadioConfig{},
+                            radio::EnergyModel{}, 1);
+  CentralAllocServer server(server_radio, 16);
+  Client a(medium, 1, CentralClientConfig{});
+  Client b(medium, 2, CentralClientConfig{});
+  a.client.start();
+  b.client.start();
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(5));
+
+  ASSERT_TRUE(a.client.has_address());
+  ASSERT_TRUE(b.client.has_address());
+  EXPECT_NE(a.client.address().value(), b.client.address().value());
+}
+
+}  // namespace
+}  // namespace retri::net

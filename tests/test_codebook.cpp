@@ -1,0 +1,213 @@
+#include "apps/codebook.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retri::apps {
+namespace {
+
+AttributeSet motion_ne() {
+  return {{"type", "motion"}, {"region", "north-east"}, {"unit", "count"}};
+}
+
+AttributeSet temperature_sw() {
+  return {{"type", "temperature"}, {"region", "south-west"}, {"unit", "celsius"}};
+}
+
+TEST(Attributes, CanonicalizeSortsDeterministically) {
+  AttributeSet a = {{"b", "2"}, {"a", "1"}, {"a", "0"}};
+  canonicalize(a);
+  EXPECT_EQ(a[0].name, "a");
+  EXPECT_EQ(a[0].value, "0");
+  EXPECT_EQ(a[1].value, "1");
+  EXPECT_EQ(a[2].name, "b");
+  canonicalize(a);  // idempotent
+  EXPECT_EQ(a[0].value, "0");
+}
+
+TEST(Attributes, SerializeRoundTrip) {
+  const AttributeSet attrs = motion_ne();
+  const auto bytes = serialize_attributes(attrs);
+  const auto back = deserialize_attributes(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, attrs);
+}
+
+TEST(Attributes, EmptySetRoundTrip) {
+  const AttributeSet attrs = {};
+  const auto back = deserialize_attributes(serialize_attributes(attrs));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Attributes, TruncatedSerializationRejected) {
+  const auto bytes = serialize_attributes(motion_ne());
+  for (std::size_t len = 1; len < bytes.size(); ++len) {
+    const util::Bytes cut(bytes.begin(),
+                          bytes.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(deserialize_attributes(cut).has_value()) << "len=" << len;
+  }
+}
+
+TEST(Attributes, AttributeBitsMatchesSerializedSize) {
+  const AttributeSet attrs = motion_ne();
+  EXPECT_EQ(attribute_bits(attrs), serialize_attributes(attrs).size() * 8);
+  // This set costs far more than an 8-bit code — the compression motive.
+  EXPECT_GT(attribute_bits(attrs), 8u * 20);
+}
+
+TEST(CodebookEncoder, ReusesLiveBinding) {
+  core::UniformSelector selector(core::IdSpace(8), 1);
+  CodebookEncoder enc(selector, 16);
+  const auto first = enc.encode(motion_ne());
+  EXPECT_TRUE(first.fresh);
+  const auto second = enc.encode(motion_ne());
+  EXPECT_FALSE(second.fresh);
+  EXPECT_EQ(first.code, second.code);
+  EXPECT_EQ(enc.stats().hits, 1u);
+  EXPECT_EQ(enc.stats().misses, 1u);
+  EXPECT_EQ(enc.live_bindings(), 1u);
+}
+
+TEST(CodebookEncoder, AttributeOrderDoesNotMatter) {
+  core::UniformSelector selector(core::IdSpace(8), 2);
+  CodebookEncoder enc(selector, 16);
+  AttributeSet forward = {{"a", "1"}, {"b", "2"}};
+  AttributeSet backward = {{"b", "2"}, {"a", "1"}};
+  const auto f = enc.encode(forward);
+  const auto b = enc.encode(backward);
+  EXPECT_EQ(f.code, b.code);
+  EXPECT_FALSE(b.fresh);
+}
+
+TEST(CodebookEncoder, DistinctSetsGetDistinctTreatment) {
+  core::UniformSelector selector(core::IdSpace(16), 3);
+  CodebookEncoder enc(selector, 16);
+  const auto a = enc.encode(motion_ne());
+  const auto b = enc.encode(temperature_sw());
+  EXPECT_TRUE(a.fresh);
+  EXPECT_TRUE(b.fresh);
+  EXPECT_EQ(enc.live_bindings(), 2u);
+}
+
+TEST(CodebookEncoder, CapacityEvictsOldestBinding) {
+  core::UniformSelector selector(core::IdSpace(16), 4);
+  CodebookEncoder enc(selector, 2);
+  enc.encode({{"k", "1"}});
+  enc.encode({{"k", "2"}});
+  enc.encode({{"k", "3"}});  // evicts k=1
+  EXPECT_EQ(enc.stats().evictions, 1u);
+  EXPECT_EQ(enc.live_bindings(), 2u);
+  // Re-encoding the evicted set opens a fresh binding (a new transaction).
+  const auto again = enc.encode({{"k", "1"}});
+  EXPECT_TRUE(again.fresh);
+}
+
+TEST(CodebookEncoder, ReleaseEndsBindingEarly) {
+  core::UniformSelector selector(core::IdSpace(16), 5);
+  CodebookEncoder enc(selector, 16);
+  enc.encode(motion_ne());
+  enc.release(motion_ne());
+  EXPECT_EQ(enc.live_bindings(), 0u);
+  EXPECT_TRUE(enc.encode(motion_ne()).fresh);
+  enc.release(temperature_sw());  // releasing an unknown set is a no-op
+}
+
+TEST(CodebookDecoder, DefineThenResolve) {
+  CodebookDecoder dec(16);
+  dec.define(core::TransactionId(9), motion_ne());
+  const auto attrs = dec.resolve(core::TransactionId(9));
+  ASSERT_TRUE(attrs.has_value());
+  AttributeSet expected = motion_ne();
+  canonicalize(expected);
+  EXPECT_EQ(*attrs, expected);
+  EXPECT_EQ(dec.stats().resolved, 1u);
+}
+
+TEST(CodebookDecoder, UnknownCodeUnresolved) {
+  CodebookDecoder dec(16);
+  EXPECT_FALSE(dec.resolve(core::TransactionId(1)).has_value());
+  EXPECT_EQ(dec.stats().unresolved, 1u);
+}
+
+TEST(CodebookDecoder, ConflictingRedefinitionDetected) {
+  // Two senders picked the same code for different names — the RETRI
+  // collision symptom in this application.
+  CodebookDecoder dec(16);
+  dec.define(core::TransactionId(5), motion_ne());
+  dec.define(core::TransactionId(5), temperature_sw());
+  EXPECT_EQ(dec.stats().conflicting_redefinitions, 1u);
+  // Newest definition wins (the usual last-writer semantics).
+  const auto attrs = dec.resolve(core::TransactionId(5));
+  ASSERT_TRUE(attrs.has_value());
+  AttributeSet expected = temperature_sw();
+  canonicalize(expected);
+  EXPECT_EQ(*attrs, expected);
+}
+
+TEST(CodebookDecoder, IdenticalRedefinitionIsNotAConflict) {
+  CodebookDecoder dec(16);
+  dec.define(core::TransactionId(5), motion_ne());
+  dec.define(core::TransactionId(5), motion_ne());
+  EXPECT_EQ(dec.stats().conflicting_redefinitions, 0u);
+}
+
+TEST(CodebookDecoder, CapacityEviction) {
+  CodebookDecoder dec(2);
+  dec.define(core::TransactionId(1), {{"k", "1"}});
+  dec.define(core::TransactionId(2), {{"k", "2"}});
+  dec.define(core::TransactionId(3), {{"k", "3"}});
+  EXPECT_FALSE(dec.resolve(core::TransactionId(1)).has_value());
+  EXPECT_TRUE(dec.resolve(core::TransactionId(2)).has_value());
+  EXPECT_TRUE(dec.resolve(core::TransactionId(3)).has_value());
+}
+
+TEST(CodebookMessages, DefinitionRoundTrip) {
+  const auto frame = encode_definition(8, core::TransactionId(0x2a), motion_ne());
+  const auto msg = decode_codebook_message(8, frame);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, CodebookMessage::Kind::kDefinition);
+  EXPECT_EQ(msg->code.value(), 0x2au);
+  EXPECT_EQ(msg->attrs, motion_ne());
+}
+
+TEST(CodebookMessages, CompressedRoundTrip) {
+  const util::Bytes payload = {9, 8, 7};
+  const auto frame = encode_compressed(12, core::TransactionId(0xabc), payload);
+  const auto msg = decode_codebook_message(12, frame);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, CodebookMessage::Kind::kCompressed);
+  EXPECT_EQ(msg->code.value(), 0xabcu);
+  EXPECT_EQ(msg->payload, payload);
+}
+
+TEST(CodebookMessages, MalformedRejected) {
+  const util::Bytes kind_only = {0x41};
+  const util::Bytes bad_kind = {0x99, 0x01};
+  const util::Bytes bad_attrs = {0x41, 0x01, 0x05};  // garbage attribute block
+  EXPECT_FALSE(decode_codebook_message(8, {}).has_value());
+  EXPECT_FALSE(decode_codebook_message(8, kind_only).has_value());
+  EXPECT_FALSE(decode_codebook_message(8, bad_kind).has_value());
+  EXPECT_FALSE(decode_codebook_message(8, bad_attrs).has_value());
+}
+
+TEST(CodebookEndToEnd, CompressionSavesBitsAfterAmortization) {
+  // One definition + N compressed messages vs N full-name messages.
+  core::UniformSelector selector(core::IdSpace(8), 6);
+  CodebookEncoder enc(selector, 16);
+  const AttributeSet attrs = motion_ne();
+  const auto encoding = enc.encode(attrs);
+
+  const std::size_t definition_bits =
+      encode_definition(8, encoding.code, attrs).size() * 8;
+  const std::size_t compressed_bits =
+      encode_compressed(8, encoding.code, util::Bytes{0x01}).size() * 8;
+  const std::size_t full_bits = attribute_bits(attrs) + 8;  // name + 1B data
+
+  constexpr std::size_t kMessages = 20;
+  const std::size_t with_codebook = definition_bits + kMessages * compressed_bits;
+  const std::size_t without = kMessages * full_bits;
+  EXPECT_LT(with_codebook, without / 2);
+}
+
+}  // namespace
+}  // namespace retri::apps

@@ -1,0 +1,156 @@
+// Conservation and accounting invariants across the stack.
+//
+// Whatever the channel configuration, the books must balance: every
+// delivery attempt is delivered or lost to exactly one cause; every
+// radio's energy equals its bit counters times the model; every packet the
+// AFF driver reports sent corresponds to exactly the fragmenter's frame
+// count. Parameterized over medium configurations so the invariants hold
+// in every regime, not just the ideal one.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "aff/driver.hpp"
+#include "apps/workload.hpp"
+#include "core/selector.hpp"
+#include "radio/radio.hpp"
+#include "sim/medium.hpp"
+#include "sim/trace.hpp"
+
+namespace retri {
+namespace {
+
+using MediumParams = std::tuple<double /*loss*/, bool /*rf*/, bool /*hdx*/>;
+
+class ConservationTest : public ::testing::TestWithParam<MediumParams> {};
+
+TEST_P(ConservationTest, EveryDeliveryAttemptHasExactlyOneOutcome) {
+  const auto [loss, rf, hdx] = GetParam();
+  sim::Simulator sim;
+  sim::MediumConfig config;
+  config.per_link_loss = loss;
+  config.rf_collisions = rf;
+  config.half_duplex = hdx;
+  sim::BroadcastMedium medium(sim, sim::Topology::full_mesh(4), config, 77);
+  sim::TraceRecorder trace;
+  medium.set_trace(&trace);
+
+  struct Stack {
+    std::unique_ptr<radio::Radio> radio;
+    std::unique_ptr<core::UniformSelector> selector;
+    std::unique_ptr<aff::AffDriver> driver;
+    std::unique_ptr<apps::TrafficSource> source;
+  };
+  std::vector<Stack> stacks(4);
+  for (sim::NodeId i = 0; i < 4; ++i) {
+    auto& s = stacks[i];
+    s.radio = std::make_unique<radio::Radio>(medium, i, radio::RadioConfig{},
+                                             radio::EnergyModel::rpc_like(),
+                                             10 + i);
+    s.selector = std::make_unique<core::UniformSelector>(core::IdSpace(8),
+                                                         20 + i);
+    aff::AffDriverConfig dconfig;
+    dconfig.wire.id_bits = 8;
+    s.driver = std::make_unique<aff::AffDriver>(*s.radio, *s.selector, dconfig,
+                                                i);
+    if (i != 0) {
+      s.source = std::make_unique<apps::TrafficSource>(
+          sim, *s.driver, std::make_unique<apps::SaturatingWorkload>(60),
+          30 + i);
+      s.source->start(sim::TimePoint::origin() + sim::Duration::seconds(5));
+    }
+  }
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(20));
+
+  const auto& stats = medium.stats();
+  // (1) Outcome partition.
+  EXPECT_EQ(stats.deliveries_attempted,
+            stats.delivered + stats.lost_random + stats.lost_rf_collision +
+                stats.lost_half_duplex + stats.lost_disabled);
+  // (2) Full mesh of 4: every frame has exactly 3 delivery attempts.
+  EXPECT_EQ(stats.deliveries_attempted, stats.frames_sent * 3);
+  // (3) The trace recorded the same totals.
+  EXPECT_EQ(trace.count(sim::TraceEvent::Kind::kTransmit), stats.frames_sent);
+  EXPECT_EQ(trace.count(sim::TraceEvent::Kind::kDeliver), stats.delivered);
+  EXPECT_EQ(trace.count(sim::TraceEvent::Kind::kLostRandom), stats.lost_random);
+  EXPECT_EQ(trace.count(sim::TraceEvent::Kind::kLostCollision),
+            stats.lost_rf_collision);
+  EXPECT_EQ(trace.count(sim::TraceEvent::Kind::kLostHalfDuplex),
+            stats.lost_half_duplex);
+  // (4) Radio-level frame accounting: what the medium delivered to node 0
+  // equals what node 0's radio counted (it never slept).
+  std::uint64_t received_all_nodes = 0;
+  for (const auto& s : stacks) {
+    received_all_nodes += s.radio->counters().frames_received;
+  }
+  EXPECT_EQ(received_all_nodes, stats.delivered);
+  // (5) Per-radio energy equals the model applied to its own counters.
+  for (const auto& s : stacks) {
+    const auto& model = s.radio->energy().model();
+    const double expected_tx =
+        model.tx_nj_per_bit *
+        (static_cast<double>(s.radio->counters().payload_bits_sent) +
+         static_cast<double>(s.radio->counters().frames_sent) *
+             model.per_frame_overhead_bits);
+    EXPECT_NEAR(s.radio->energy().tx_nj(), expected_tx, 1e-6);
+  }
+  // (6) Fragment accounting: every sender's fragments_sent equals the
+  // fragmenter geometry for its packet count (60-byte packets -> 4 frames).
+  for (std::size_t i = 1; i < stacks.size(); ++i) {
+    EXPECT_EQ(stacks[i].driver->stats().fragments_sent,
+              stacks[i].driver->stats().packets_sent * 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MediumRegimes, ConservationTest,
+    ::testing::Values(MediumParams{0.0, false, false},
+                      MediumParams{0.10, false, false},
+                      MediumParams{0.0, true, false},
+                      MediumParams{0.0, false, true},
+                      MediumParams{0.25, true, true}),
+    [](const ::testing::TestParamInfo<MediumParams>& param_info) {
+      // std::get (not structured bindings): commas inside a structured
+      // binding would split the INSTANTIATE macro's arguments.
+      std::string name =
+          "loss" +
+          std::to_string(static_cast<int>(std::get<0>(param_info.param) * 100));
+      if (std::get<1>(param_info.param)) name += "_rf";
+      if (std::get<2>(param_info.param)) name += "_hdx";
+      return name;
+    });
+
+TEST(ReassemblyConservation, FragmentsSeenPartitionAcrossOutcomes) {
+  // On an ideal medium every fragment a receiver sees is accounted as part
+  // of a delivered packet, a duplicate, an orphan, or pending-then-expired.
+  sim::Simulator sim;
+  sim::BroadcastMedium medium(sim, sim::Topology::full_mesh(2), {}, 9);
+
+  radio::Radio rx_radio(medium, 0, {}, radio::EnergyModel{}, 1);
+  core::UniformSelector rx_sel(core::IdSpace(16), 2);
+  aff::AffDriverConfig config;
+  config.wire.id_bits = 16;
+  aff::AffDriver rx(rx_radio, rx_sel, config, 0);
+
+  radio::Radio tx_radio(medium, 1, {}, radio::EnergyModel{}, 3);
+  core::UniformSelector tx_sel(core::IdSpace(16), 4);
+  aff::AffDriver tx(tx_radio, tx_sel, config, 1);
+
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        tx.send_packet(util::random_payload(100, 600u + static_cast<unsigned>(i)))
+            .ok());
+  }
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(60));
+
+  const auto& stats = rx.aff_reassembler().stats();
+  EXPECT_EQ(stats.fragments_seen, tx.stats().fragments_sent);
+  EXPECT_EQ(stats.delivered, 50u);
+  EXPECT_EQ(stats.checksum_failed, 0u);
+  EXPECT_EQ(stats.orphan_fragments, 0u);
+  EXPECT_EQ(rx.aff_reassembler().pending_count(), 0u);
+}
+
+}  // namespace
+}  // namespace retri

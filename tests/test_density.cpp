@@ -1,0 +1,81 @@
+#include "core/density.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retri::core {
+namespace {
+
+TEST(DensityEstimator, StartsAtOne) {
+  DensityEstimator d;
+  EXPECT_DOUBLE_EQ(d.estimate(), 1.0);
+  EXPECT_EQ(d.active(), 0u);
+}
+
+TEST(DensityEstimator, TracksActiveCount) {
+  DensityEstimator d;
+  d.on_begin();
+  d.on_begin();
+  d.on_begin();
+  EXPECT_EQ(d.active(), 3u);
+  d.on_end();
+  EXPECT_EQ(d.active(), 2u);
+  d.on_end();
+  d.on_end();
+  EXPECT_EQ(d.active(), 0u);
+  EXPECT_EQ(d.begins(), 3u);
+}
+
+TEST(DensityEstimator, EndWithoutBeginIsSafe) {
+  DensityEstimator d;
+  d.on_end();
+  EXPECT_EQ(d.active(), 0u);
+}
+
+TEST(DensityEstimator, ConvergesToSteadyStateConcurrency) {
+  // Hold concurrency at 5: begin 5, then alternate end/begin many times.
+  DensityEstimator d(0.2);
+  for (int i = 0; i < 5; ++i) d.on_begin();
+  for (int i = 0; i < 200; ++i) {
+    d.on_end();
+    d.on_begin();
+  }
+  EXPECT_NEAR(d.estimate(), 5.0, 0.5);
+}
+
+TEST(DensityEstimator, AdaptsDownwardAfterLoadDrops) {
+  DensityEstimator d(0.3);
+  for (int i = 0; i < 10; ++i) d.on_begin();
+  for (int i = 0; i < 50; ++i) {
+    d.on_end();
+    d.on_begin();
+  }
+  EXPECT_GT(d.estimate(), 8.0);
+  // Load drops to 1 concurrent transaction.
+  for (int i = 0; i < 9; ++i) d.on_end();
+  for (int i = 0; i < 100; ++i) {
+    d.on_end();
+    d.on_begin();
+  }
+  EXPECT_LT(d.estimate(), 2.0);
+}
+
+TEST(DensityEstimator, EstimateNeverBelowOne) {
+  DensityEstimator d(1.0);
+  d.on_begin();
+  d.on_end();
+  EXPECT_GE(d.estimate(), 1.0);
+}
+
+TEST(DensityEstimator, HigherAlphaTracksFaster) {
+  DensityEstimator slow(0.05);
+  DensityEstimator fast(0.5);
+  for (int i = 0; i < 5; ++i) {
+    slow.on_begin();
+    fast.on_begin();
+  }
+  // After a burst to concurrency 5, the fast estimator is closer to 5.
+  EXPECT_GT(fast.estimate(), slow.estimate());
+}
+
+}  // namespace
+}  // namespace retri::core

@@ -1,0 +1,176 @@
+#include "apps/diffusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace retri::apps {
+namespace {
+
+AttributeSet motion() {
+  return {{"t", "motion"}};  // short names keep interests inside 27-B frames
+}
+
+AttributeSet heat() {
+  return {{"t", "heat"}};
+}
+
+struct DiffNode {
+  DiffNode(sim::BroadcastMedium& medium, sim::NodeId id, DiffusionConfig config)
+      : radio(medium, id, radio::RadioConfig{}, radio::EnergyModel{}, 20 + id),
+        selector(core::IdSpace(config.id_bits), 200 + id),
+        node(radio, selector, config, id) {}
+
+  radio::Radio radio;
+  core::UniformSelector selector;
+  DiffusionNode node;
+};
+
+struct DiffusionWorld {
+  DiffusionWorld(sim::Topology topology, DiffusionConfig config,
+                 std::uint64_t seed)
+      : medium(sim, std::move(topology), {}, seed) {
+    for (sim::NodeId i = 0; i < medium.topology().size(); ++i) {
+      nodes.push_back(std::make_unique<DiffNode>(medium, i, config));
+    }
+  }
+
+  sim::Simulator sim;
+  sim::BroadcastMedium medium;
+  std::vector<std::unique_ptr<DiffNode>> nodes;
+};
+
+TEST(Diffusion, InterestEstablishesGradientsWithinScope) {
+  DiffusionWorld world(sim::Topology::line(6), {}, 1);
+  world.nodes[0]->node.subscribe(motion(), [](std::uint16_t, std::uint32_t) {});
+  world.sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(5));
+
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(world.nodes[i]->node.has_gradient(motion())) << "node " << i;
+  }
+}
+
+TEST(Diffusion, DataFlowsFromSourceToSinkAcrossHops) {
+  DiffusionWorld world(sim::Topology::line(5), {}, 2);
+  std::vector<std::uint16_t> values;
+  world.nodes[0]->node.subscribe(
+      motion(), [&](std::uint16_t v, std::uint32_t) { values.push_back(v); });
+  world.sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(2));
+
+  // The far end publishes three readings.
+  for (const std::uint16_t v : {std::uint16_t{100}, std::uint16_t{200}, std::uint16_t{300}}) {
+    ASSERT_TRUE(world.nodes[4]->node.publish(motion(), v).has_value());
+    world.sim.run_until(world.sim.now() + sim::Duration::seconds(1));
+  }
+  EXPECT_EQ(values, (std::vector<std::uint16_t>{100, 200, 300}));
+  EXPECT_EQ(world.nodes[0]->node.stats().data_delivered, 3u);
+  // Middle nodes relayed, end nodes did not re-relay past the sink.
+  EXPECT_GT(world.nodes[2]->node.stats().data_relayed, 0u);
+}
+
+TEST(Diffusion, PublishWithoutGradientSendsNothing) {
+  DiffusionWorld world(sim::Topology::line(3), {}, 3);
+  const auto id = world.nodes[2]->node.publish(motion(), 7);
+  EXPECT_FALSE(id.has_value());
+  EXPECT_EQ(world.nodes[2]->node.stats().data_no_gradient, 1u);
+}
+
+TEST(Diffusion, AttributeMatchingIsExactOnCanonicalForm) {
+  DiffusionWorld world(sim::Topology::full_mesh(2), {}, 4);
+  int motion_data = 0;
+  world.nodes[0]->node.subscribe(
+      motion(), [&](std::uint16_t, std::uint32_t) { ++motion_data; });
+  world.sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+
+  // heat does not match the motion gradient.
+  EXPECT_FALSE(world.nodes[1]->node.publish(heat(), 1).has_value());
+  EXPECT_TRUE(world.nodes[1]->node.publish(motion(), 2).has_value());
+  world.sim.run_until(world.sim.now() + sim::Duration::seconds(1));
+  EXPECT_EQ(motion_data, 1);
+}
+
+TEST(Diffusion, TtlScopesTheInterest) {
+  DiffusionConfig config;
+  config.interest_ttl = 2;
+  DiffusionWorld world(sim::Topology::line(6), config, 5);
+  world.nodes[0]->node.subscribe(motion(), [](std::uint16_t, std::uint32_t) {});
+  world.sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(5));
+
+  EXPECT_TRUE(world.nodes[1]->node.has_gradient(motion()));
+  EXPECT_TRUE(world.nodes[2]->node.has_gradient(motion()));
+  EXPECT_FALSE(world.nodes[3]->node.has_gradient(motion()));
+  // A source beyond the scope cannot publish into it.
+  EXPECT_FALSE(world.nodes[5]->node.publish(motion(), 9).has_value());
+}
+
+TEST(Diffusion, GradientsExpireAfterLifetime) {
+  DiffusionConfig config;
+  config.interest_lifetime = sim::Duration::seconds(5);
+  DiffusionWorld world(sim::Topology::full_mesh(2), config, 6);
+  world.nodes[0]->node.subscribe(motion(), [](std::uint16_t, std::uint32_t) {});
+  world.sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  EXPECT_TRUE(world.nodes[1]->node.has_gradient(motion()));
+
+  world.sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(7));
+  // Publish attempt sweeps expired gradients first.
+  EXPECT_FALSE(world.nodes[1]->node.publish(motion(), 1).has_value());
+  EXPECT_FALSE(world.nodes[1]->node.has_gradient(motion()));
+}
+
+TEST(Diffusion, DuplicateDataSuppressedOnMultipath) {
+  // In a 3x3 grid a datum reaches middle nodes along several paths; each
+  // node must deliver/relay it exactly once.
+  DiffusionConfig config;
+  config.interest_ttl = 10;
+  config.data_ttl = 10;
+  DiffusionWorld world(sim::Topology::grid(3, 3), config, 7);
+  int delivered = 0;
+  world.nodes[0]->node.subscribe(
+      motion(), [&](std::uint16_t, std::uint32_t) { ++delivered; });
+  world.sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(2));
+
+  ASSERT_TRUE(world.nodes[8]->node.publish(motion(), 42).has_value());
+  world.sim.run_until(world.sim.now() + sim::Duration::seconds(5));
+
+  EXPECT_EQ(delivered, 1);
+  std::uint64_t suppressed = 0;
+  for (const auto& n : world.nodes) {
+    suppressed += n->node.stats().data_suppressed;
+  }
+  EXPECT_GT(suppressed, 0u);
+}
+
+TEST(Diffusion, InterestIdCollisionDetectedByInstrumentation) {
+  // Two sinks subscribing different attributes from a 1-bit id space will
+  // soon share an interest id; relays see the conflicting gradient.
+  DiffusionConfig config;
+  config.id_bits = 1;
+  DiffusionWorld world(sim::Topology::line(3), config, 8);
+
+  std::uint64_t conflicts = 0;
+  for (int round = 0; round < 10; ++round) {
+    world.nodes[0]->node.subscribe(motion(),
+                                   [](std::uint16_t, std::uint32_t) {});
+    world.nodes[2]->node.subscribe(heat(),
+                                   [](std::uint16_t, std::uint32_t) {});
+    world.sim.run_until(world.sim.now() + sim::Duration::seconds(1));
+    for (const auto& n : world.nodes) {
+      conflicts += n->node.stats().gradient_conflicts;
+    }
+  }
+  EXPECT_GT(conflicts, 0u);
+}
+
+TEST(Diffusion, LocalDensityReflectsLiveState) {
+  DiffusionWorld world(sim::Topology::full_mesh(3), {}, 9);
+  EXPECT_DOUBLE_EQ(world.nodes[1]->node.local_density(), 1.0);
+  world.nodes[0]->node.subscribe(motion(), [](std::uint16_t, std::uint32_t) {});
+  world.nodes[2]->node.subscribe(heat(), [](std::uint16_t, std::uint32_t) {});
+  world.sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(2));
+  EXPECT_GE(world.nodes[1]->node.local_density(), 2.0);
+  EXPECT_EQ(world.nodes[1]->node.live_gradients(), 2u);
+}
+
+}  // namespace
+}  // namespace retri::apps

@@ -1,0 +1,244 @@
+#include "aff/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace retri::aff {
+namespace {
+
+/// One simulated node: radio + selector + AFF driver.
+struct Node {
+  Node(sim::BroadcastMedium& medium, sim::NodeId id, AffDriverConfig config,
+       std::string_view policy = "uniform")
+      : radio(medium, id, radio::RadioConfig{}, radio::EnergyModel{}, 1000 + id),
+        selector(core::make_selector(policy, core::IdSpace(config.wire.id_bits),
+                                     2000 + id)),
+        driver(radio, *selector, config, id) {
+    driver.set_packet_handler(
+        [this](const util::Bytes& p) { received.push_back(p); });
+    driver.set_truth_packet_handler(
+        [this](const util::Bytes& p) { truth_received.push_back(p); });
+  }
+
+  radio::Radio radio;
+  std::unique_ptr<core::IdSelector> selector;
+  AffDriver driver;
+  std::vector<util::Bytes> received;
+  std::vector<util::Bytes> truth_received;
+};
+
+class DriverTest : public ::testing::Test {
+ protected:
+  DriverTest() : medium(sim, sim::Topology::full_mesh(6), {}, 99) {}
+
+  static AffDriverConfig basic_config(unsigned id_bits = 8) {
+    AffDriverConfig config;
+    config.wire.id_bits = id_bits;
+    return config;
+  }
+
+  sim::Simulator sim;
+  sim::BroadcastMedium medium;
+};
+
+TEST_F(DriverTest, PacketRoundTrip) {
+  Node tx(medium, 0, basic_config());
+  Node rx(medium, 1, basic_config());
+
+  const util::Bytes packet = util::random_payload(80, 7);
+  const auto result = tx.driver.send_packet(packet);
+  ASSERT_TRUE(result.ok());
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(2));
+
+  ASSERT_EQ(rx.received.size(), 1u);
+  EXPECT_EQ(rx.received[0], packet);
+  EXPECT_EQ(tx.driver.stats().packets_sent, 1u);
+  EXPECT_EQ(tx.driver.stats().fragments_sent, 5u);  // the paper's geometry
+  EXPECT_EQ(rx.driver.stats().packets_delivered, 1u);
+}
+
+TEST_F(DriverTest, LargePacketRoundTrip) {
+  Node tx(medium, 0, basic_config());
+  Node rx(medium, 1, basic_config());
+  const util::Bytes packet = util::random_payload(5000, 8);
+  ASSERT_TRUE(tx.driver.send_packet(packet).ok());
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(60));
+  ASSERT_EQ(rx.received.size(), 1u);
+  EXPECT_EQ(rx.received[0], packet);
+}
+
+TEST_F(DriverTest, ManySequentialPacketsAllArrive) {
+  Node tx(medium, 0, basic_config());
+  Node rx(medium, 1, basic_config());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(tx.driver.send_packet(util::random_payload(50, 100u + static_cast<unsigned>(i))).ok());
+  }
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(30));
+  // Sequential sends from one node serialize on its radio; ids may repeat
+  // across time but never overlap, so every packet arrives.
+  EXPECT_EQ(rx.received.size(), 20u);
+}
+
+TEST_F(DriverTest, SendErrors) {
+  Node tx(medium, 0, basic_config());
+  const auto empty = tx.driver.send_packet({});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.error(), SendError::kEmpty);
+
+  const auto huge = tx.driver.send_packet(util::Bytes(70000, 1));
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.error(), SendError::kTooLarge);
+  EXPECT_EQ(tx.driver.stats().send_failures, 2u);
+}
+
+TEST_F(DriverTest, BroadcastReachesAllReceivers) {
+  Node tx(medium, 0, basic_config());
+  Node rx1(medium, 1, basic_config());
+  Node rx2(medium, 2, basic_config());
+  Node rx3(medium, 3, basic_config());
+  ASSERT_TRUE(tx.driver.send_packet(util::random_payload(80, 9)).ok());
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(2));
+  EXPECT_EQ(rx1.received.size(), 1u);
+  EXPECT_EQ(rx2.received.size(), 1u);
+  EXPECT_EQ(rx3.received.size(), 1u);
+}
+
+TEST_F(DriverTest, InstrumentedModeCountsGroundTruth) {
+  AffDriverConfig config = basic_config(8);
+  config.wire.instrumented = true;
+  Node tx(medium, 0, config);
+  Node rx(medium, 1, config);
+  ASSERT_TRUE(tx.driver.send_packet(util::random_payload(80, 10)).ok());
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(2));
+  EXPECT_EQ(rx.received.size(), 1u);
+  EXPECT_EQ(rx.truth_received.size(), 1u);
+  EXPECT_EQ(rx.driver.stats().truth_packets_delivered, 1u);
+}
+
+TEST_F(DriverTest, IdentifierCollisionLosesPacketButTruthSurvives) {
+  // Two senders forced onto the SAME identifier with overlapping
+  // transmissions: the AFF path must fail, the instrumented ground-truth
+  // path must deliver both (that is exactly the §5.1 measurement).
+  AffDriverConfig config = basic_config(1);  // 2-id space
+  config.wire.instrumented = true;
+
+  // Seeds chosen so both 1-bit selectors pick the same first id.
+  Node a(medium, 0, config);
+  Node b(medium, 1, config);
+  Node rx(medium, 2, config);
+
+  // Force identical ids by draining selectors until both will emit 0.
+  // With 1-bit uniform selection this takes a bounded number of probes.
+  const util::Bytes pa = util::random_payload(80, 11);
+  const util::Bytes pb = util::random_payload(80, 12);
+  // Try until a run happens where both used the same id and overlapped:
+  // with a 1-bit space and simultaneous sends, P(same id) = 1/2 per pair,
+  // so a handful of packets guarantees at least one collision.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(a.driver.send_packet(pa).ok());
+    ASSERT_TRUE(b.driver.send_packet(pb).ok());
+  }
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(30));
+
+  // Ground truth: everything arrives (ideal medium).
+  EXPECT_EQ(rx.truth_received.size(), 16u);
+  // AFF path: at least one packet must have been lost to an id collision.
+  EXPECT_LT(rx.received.size(), 16u);
+  const auto& stats = rx.driver.aff_reassembler().stats();
+  EXPECT_GT(stats.conflicting_writes + stats.checksum_failed, 0u);
+}
+
+TEST_F(DriverTest, ListeningSelectorLearnsFromOverheardIntros) {
+  AffDriverConfig config = basic_config(8);
+  Node tx(medium, 0, config, "listening");
+  Node rx(medium, 1, config, "listening");
+
+  ASSERT_TRUE(tx.driver.send_packet(util::random_payload(40, 13)).ok());
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(2));
+
+  // rx overheard tx's intro: its listening selector now avoids that id.
+  auto* listening = dynamic_cast<core::ListeningSelector*>(rx.selector.get());
+  ASSERT_NE(listening, nullptr);
+  EXPECT_GE(listening->avoided(), 1u);
+}
+
+TEST_F(DriverTest, CollisionNotificationReachesSenders) {
+  AffDriverConfig config = basic_config(4);
+  config.send_collision_notifications = true;
+  Node rx(medium, 2, config, "listening+notify");
+
+  AffDriverConfig sender_config = config;
+  Node a(medium, 0, sender_config, "listening+notify");
+  Node b(medium, 1, sender_config, "listening+notify");
+
+  // Hammer a tiny id space until the receiver detects a conflict.
+  for (int i = 0; i < 30; ++i) {
+    (void)a.driver.send_packet(util::random_payload(80, 200u + static_cast<unsigned>(i)));
+    (void)b.driver.send_packet(util::random_payload(80, 300u + static_cast<unsigned>(i)));
+  }
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(120));
+
+  if (rx.driver.stats().notifications_sent > 0) {
+    EXPECT_GT(a.driver.stats().notifications_heard +
+                  b.driver.stats().notifications_heard,
+              0u);
+  }
+}
+
+TEST_F(DriverTest, DensityEstimateTracksConcurrentSenders) {
+  AffDriverConfig config = basic_config(16);
+  Node rx(medium, 0, config);
+  std::vector<std::unique_ptr<Node>> senders;
+  for (sim::NodeId i = 1; i <= 4; ++i) {
+    senders.push_back(std::make_unique<Node>(medium, i, config));
+  }
+  // Everyone sends a burst simultaneously.
+  for (int round = 0; round < 10; ++round) {
+    for (auto& s : senders) {
+      (void)s->driver.send_packet(util::random_payload(80, 400u + static_cast<unsigned>(round)));
+    }
+    sim.run_until(sim.now() + sim::Duration::seconds(1));
+  }
+  sim.run_until(sim.now() + sim::Duration::seconds(30));
+  // The receiver observed 4 concurrent transaction streams; its density
+  // estimate must exceed the idle baseline of 1.
+  EXPECT_GT(rx.driver.density_estimate(), 1.5);
+}
+
+TEST_F(DriverTest, ReassemblyTimeoutReclaimsStaleEntries) {
+  AffDriverConfig config = basic_config(8);
+  config.reassembly_timeout = sim::Duration::seconds(1);
+  Node tx(medium, 0, config);
+  Node rx(medium, 1, config);
+
+  // Lossy medium impossible here, so simulate a lost tail by sending a
+  // packet and disabling the receiver before the last fragments arrive.
+  ASSERT_TRUE(tx.driver.send_packet(util::random_payload(500, 14)).ok());
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::milliseconds(50));
+  medium.set_enabled(1, false);
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  medium.set_enabled(1, true);
+  // Let the expiry timer fire well past the timeout.
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(5));
+
+  EXPECT_EQ(rx.received.size(), 0u);
+  EXPECT_EQ(rx.driver.aff_reassembler().pending_count(), 0u);
+  EXPECT_GE(rx.driver.aff_reassembler().stats().timeouts, 1u);
+}
+
+TEST_F(DriverTest, UndecodableFramesCountedNotCrashed) {
+  Node rx(medium, 1, basic_config());
+  radio::Radio junk_radio(medium, 0, radio::RadioConfig{}, radio::EnergyModel{},
+                          1);
+  junk_radio.send({0xde, 0xad, 0xbe, 0xef});
+  sim.run();
+  EXPECT_EQ(rx.driver.stats().undecodable_frames, 1u);
+  EXPECT_TRUE(rx.received.empty());
+}
+
+}  // namespace
+}  // namespace retri::aff

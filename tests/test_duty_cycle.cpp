@@ -1,0 +1,150 @@
+#include "radio/duty_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retri::radio {
+namespace {
+
+class DutyCycleTest : public ::testing::Test {
+ protected:
+  DutyCycleTest()
+      : medium(sim, sim::Topology::full_mesh(2), {}, 3),
+        tx(medium, 0, RadioConfig{}, EnergyModel{}, 1),
+        rx(medium, 1, RadioConfig{}, EnergyModel{}, 2) {}
+
+  sim::Simulator sim;
+  sim::BroadcastMedium medium;
+  Radio tx;
+  Radio rx;
+};
+
+TEST_F(DutyCycleTest, NonListeningRadioMissesFrames) {
+  int received = 0;
+  rx.set_receive_callback([&](sim::NodeId, const util::Bytes&) { ++received; });
+  rx.set_listening(false);
+  tx.send({0x01});
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(rx.counters().frames_missed_asleep, 1u);
+
+  rx.set_listening(true);
+  tx.send({0x02});
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(DutyCycleTest, MissedFramesCostNoReceiveEnergy) {
+  Radio meterd(medium, 1, RadioConfig{},
+               EnergyModel{.tx_nj_per_bit = 0, .rx_nj_per_bit = 10.0,
+                           .idle_nw = 0, .per_frame_overhead_bits = 0},
+               5);
+  meterd.set_listening(false);
+  tx.send({0x01, 0x02});
+  sim.run();
+  EXPECT_DOUBLE_EQ(meterd.energy().rx_nj(), 0.0);
+}
+
+TEST_F(DutyCycleTest, FullDutyListensContinuously) {
+  DutyCycleConfig config;
+  config.on_fraction = 1.0;
+  DutyCycleController duty(rx, config);
+  EXPECT_TRUE(rx.listening());
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  EXPECT_TRUE(rx.listening());
+  EXPECT_TRUE(sim.empty()) << "continuous listening must schedule nothing";
+  EXPECT_EQ(duty.awake_time().ns(), sim::Duration::seconds(1).ns());
+}
+
+TEST_F(DutyCycleTest, ZeroDutyStaysAsleep) {
+  DutyCycleConfig config;
+  config.on_fraction = 0.0;
+  DutyCycleController duty(rx, config);
+  EXPECT_FALSE(rx.listening());
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  EXPECT_FALSE(rx.listening());
+  EXPECT_EQ(duty.awake_time().ns(), 0);
+}
+
+TEST_F(DutyCycleTest, HalfDutyAccumulatesHalfTheAwakeTime) {
+  DutyCycleConfig config;
+  config.period = sim::Duration::milliseconds(100);
+  config.on_fraction = 0.5;
+  config.stop_at = sim::TimePoint::origin() + sim::Duration::seconds(10);
+  DutyCycleController duty(rx, config);
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  const double awake = duty.awake_time().to_seconds();
+  EXPECT_NEAR(awake, 0.5, 0.06);
+}
+
+TEST_F(DutyCycleTest, HalfDutyMissesRoughlyHalfTheFrames) {
+  DutyCycleConfig config;
+  config.period = sim::Duration::milliseconds(50);
+  config.on_fraction = 0.5;
+  config.stop_at = sim::TimePoint::origin() + sim::Duration::seconds(60);
+  DutyCycleController duty(rx, config);
+
+  int received = 0;
+  rx.set_receive_callback([&](sim::NodeId, const util::Bytes&) { ++received; });
+
+  // One small frame every 7 ms (co-prime-ish with the 50 ms period so the
+  // arrivals sample all phases).
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_at(sim::TimePoint::origin() + sim::Duration::milliseconds(7 * i),
+                    [this]() { tx.send({0x01}); });
+  }
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(30));
+
+  const double hear_rate = received / 1000.0;
+  EXPECT_NEAR(hear_rate, 0.5, 0.1);
+  EXPECT_EQ(received + static_cast<int>(rx.counters().frames_missed_asleep),
+            1000);
+}
+
+TEST_F(DutyCycleTest, PhaseDelaysFirstWake) {
+  DutyCycleConfig config;
+  config.period = sim::Duration::milliseconds(100);
+  config.on_fraction = 0.5;
+  config.phase = sim::Duration::milliseconds(30);
+  config.stop_at = sim::TimePoint::origin() + sim::Duration::seconds(1);
+  DutyCycleController duty(rx, config);
+  EXPECT_FALSE(rx.listening());
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::milliseconds(31));
+  EXPECT_TRUE(rx.listening());
+}
+
+TEST_F(DutyCycleTest, StopLeavesReceiverOn) {
+  DutyCycleConfig config;
+  config.period = sim::Duration::milliseconds(100);
+  config.on_fraction = 0.2;
+  DutyCycleController duty(rx, config);
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::milliseconds(150));
+  duty.stop();
+  EXPECT_TRUE(rx.listening());
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  EXPECT_TRUE(rx.listening());
+}
+
+TEST_F(DutyCycleTest, StopAtBoundsEventQueue) {
+  DutyCycleConfig config;
+  config.period = sim::Duration::milliseconds(10);
+  config.on_fraction = 0.5;
+  config.stop_at = sim::TimePoint::origin() + sim::Duration::milliseconds(100);
+  DutyCycleController duty(rx, config);
+  sim.run();  // must terminate
+  EXPECT_TRUE(rx.listening());
+  EXPECT_GE(sim.now().ns(), config.stop_at.ns());
+}
+
+TEST_F(DutyCycleTest, TransmissionUnaffectedBySleep) {
+  DutyCycleConfig config;
+  config.on_fraction = 0.0;
+  DutyCycleController duty(tx, config);  // transmitter sleeps its receiver
+  int received = 0;
+  rx.set_receive_callback([&](sim::NodeId, const util::Bytes&) { ++received; });
+  tx.send({0x01});
+  sim.run();
+  EXPECT_EQ(received, 1);  // sleeping RX does not gate TX
+}
+
+}  // namespace
+}  // namespace retri::radio

@@ -1,0 +1,159 @@
+#include "net/dynamic_alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace retri::net {
+namespace {
+
+struct AllocNode {
+  AllocNode(sim::BroadcastMedium& medium, sim::NodeId id, DynAllocConfig config)
+      : radio(medium, id, radio::RadioConfig{}, radio::EnergyModel{}, 800 + id),
+        node(radio, config, 900 + id) {}
+
+  radio::Radio radio;
+  DynAllocNode node;
+};
+
+class DynAllocTest : public ::testing::Test {
+ protected:
+  DynAllocTest() : medium(sim, sim::Topology::full_mesh(12), {}, 17) {}
+
+  sim::Simulator sim;
+  sim::BroadcastMedium medium;
+};
+
+TEST_F(DynAllocTest, LoneNodeAcquiresImmediately) {
+  AllocNode n(medium, 0, {});
+  n.node.start();
+  EXPECT_FALSE(n.node.has_address());
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  EXPECT_TRUE(n.node.has_address());
+  EXPECT_EQ(n.node.stats().attempts, 1u);
+  EXPECT_EQ(n.node.stats().conflicts, 0u);
+  EXPECT_GE(n.node.acquisition_delay().ns(),
+            sim::Duration::milliseconds(200).ns());
+}
+
+TEST_F(DynAllocTest, ManyNodesAcquireDistinctAddresses) {
+  DynAllocConfig config;
+  config.addr_bits = 6;  // 64 addresses for 10 nodes
+  std::vector<std::unique_ptr<AllocNode>> nodes;
+  for (sim::NodeId i = 0; i < 10; ++i) {
+    nodes.push_back(std::make_unique<AllocNode>(medium, i, config));
+    nodes.back()->node.start();
+  }
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(10));
+
+  std::unordered_set<std::uint64_t> addresses;
+  for (const auto& n : nodes) {
+    ASSERT_TRUE(n->node.has_address());
+    addresses.insert(n->node.address().value());
+  }
+  EXPECT_EQ(addresses.size(), 10u) << "duplicate addresses were confirmed";
+}
+
+TEST_F(DynAllocTest, EstablishedHolderDefendsItsAddress) {
+  DynAllocConfig config;
+  config.addr_bits = 1;  // 2 addresses force collisions
+  AllocNode a(medium, 0, config);
+  a.node.start();
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  ASSERT_TRUE(a.node.has_address());
+
+  // A joiner repeatedly claiming will sooner or later hit a's address and
+  // be defended away; both nodes end with distinct addresses.
+  AllocNode b(medium, 1, config);
+  b.node.start();
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(10));
+  ASSERT_TRUE(b.node.has_address());
+  EXPECT_NE(a.node.address().value(), b.node.address().value());
+}
+
+TEST_F(DynAllocTest, ListenCacheAvoidsKnownAddresses) {
+  DynAllocConfig config;
+  config.addr_bits = 4;
+  AllocNode a(medium, 0, config);
+  AllocNode b(medium, 1, config);
+  a.node.start();
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  // b overheard a's claim; its cache should contain a's address.
+  EXPECT_GE(b.node.known_used(), 1u);
+  b.node.start();
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(2));
+  ASSERT_TRUE(b.node.has_address());
+  EXPECT_NE(b.node.address().value(), a.node.address().value());
+  // Listening made the very first attempt succeed.
+  EXPECT_EQ(b.node.stats().conflicts, 0u);
+}
+
+TEST_F(DynAllocTest, ChurnCostsControlTraffic) {
+  // The §2.3 argument: each join/leave cycle costs claims (and possibly
+  // defends), paid again on every membership change.
+  DynAllocConfig config;
+  config.addr_bits = 8;
+  AllocNode n(medium, 0, config);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    n.node.start();
+    sim.run_until(sim.now() + sim::Duration::seconds(1));
+    ASSERT_TRUE(n.node.has_address());
+    n.node.release();
+  }
+  EXPECT_GE(n.node.stats().claims_sent, 5u);
+  EXPECT_GE(n.node.stats().control_bits_sent, 5u * (1 + 1 + 4) * 8);
+}
+
+TEST_F(DynAllocTest, MaxAttemptsGivesUp) {
+  DynAllocConfig config;
+  config.addr_bits = 1;
+  config.max_attempts = 3;
+  // Saturate both addresses of the 1-bit space.
+  AllocNode a(medium, 0, config);
+  AllocNode b(medium, 1, config);
+  a.node.start();
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  b.node.start();
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(2));
+  ASSERT_TRUE(a.node.has_address());
+  ASSERT_TRUE(b.node.has_address());
+
+  AllocNode c(medium, 2, config);
+  bool failed = false;
+  c.node.set_on_failed([&] { failed = true; });
+  c.node.start();
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(30));
+  EXPECT_TRUE(failed);
+  EXPECT_FALSE(c.node.has_address());
+  EXPECT_LE(c.node.stats().attempts, 3u);
+}
+
+TEST_F(DynAllocTest, AcquiredCallbackFires) {
+  AllocNode n(medium, 0, {});
+  Address got;
+  n.node.set_on_acquired([&](Address a) { got = a; });
+  n.node.start();
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(1));
+  EXPECT_EQ(got, n.node.address());
+}
+
+TEST_F(DynAllocTest, SimultaneousClaimantsOfSameAddressTieBreak) {
+  // Force both nodes to claim from a 1-bit space at the same instant; the
+  // nonce tie-break must leave them with distinct addresses (or one
+  // retrying until the other's confirmation defends).
+  DynAllocConfig config;
+  config.addr_bits = 1;
+  AllocNode a(medium, 0, config);
+  AllocNode b(medium, 1, config);
+  a.node.start();
+  b.node.start();
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(20));
+  ASSERT_TRUE(a.node.has_address());
+  ASSERT_TRUE(b.node.has_address());
+  EXPECT_NE(a.node.address().value(), b.node.address().value());
+}
+
+}  // namespace
+}  // namespace retri::net

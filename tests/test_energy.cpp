@@ -1,0 +1,90 @@
+#include "radio/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retri::radio {
+namespace {
+
+TEST(EnergyModel, PresetsHaveTheShapeTheyClaim) {
+  const EnergyModel rpc = EnergyModel::rpc_like();
+  const EnergyModel wifi = EnergyModel::ieee80211_like();
+  // The §4.4 argument: 802.11-class framing overhead dwarfs RPC-class.
+  EXPECT_GT(wifi.per_frame_overhead_bits, 10 * rpc.per_frame_overhead_bits);
+  EXPECT_GT(rpc.tx_nj_per_bit, 0.0);
+  EXPECT_GT(rpc.rx_nj_per_bit, 0.0);
+  const EnergyModel wins = EnergyModel::wins_like();
+  EXPECT_GT(wins.tx_nj_per_bit, 0.0);
+}
+
+TEST(EnergyMeter, TxAccountsPayloadPlusOverhead) {
+  EnergyMeter meter(EnergyModel{.tx_nj_per_bit = 2.0,
+                                .rx_nj_per_bit = 1.0,
+                                .idle_nw = 0.0,
+                                .per_frame_overhead_bits = 10});
+  meter.on_tx(100);
+  EXPECT_DOUBLE_EQ(meter.tx_nj(), 2.0 * 110);
+  EXPECT_EQ(meter.frames_tx(), 1u);
+  EXPECT_EQ(meter.payload_bits_tx(), 100u);
+
+  meter.on_tx(100);
+  EXPECT_DOUBLE_EQ(meter.tx_nj(), 2.0 * 220);
+  EXPECT_EQ(meter.frames_tx(), 2u);
+}
+
+TEST(EnergyMeter, RxAccountsSeparately) {
+  EnergyMeter meter(EnergyModel{.tx_nj_per_bit = 2.0,
+                                .rx_nj_per_bit = 1.0,
+                                .idle_nw = 0.0,
+                                .per_frame_overhead_bits = 0});
+  meter.on_rx(50);
+  EXPECT_DOUBLE_EQ(meter.rx_nj(), 50.0);
+  EXPECT_DOUBLE_EQ(meter.tx_nj(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.active_nj(), 50.0);
+  EXPECT_EQ(meter.frames_rx(), 1u);
+  EXPECT_EQ(meter.payload_bits_rx(), 50u);
+}
+
+TEST(EnergyMeter, IdleEnergyScalesWithElapsedTime) {
+  EnergyMeter meter(EnergyModel{.tx_nj_per_bit = 0.0,
+                                .rx_nj_per_bit = 0.0,
+                                .idle_nw = 1000.0,
+                                .per_frame_overhead_bits = 0});
+  EXPECT_DOUBLE_EQ(meter.idle_nj(sim::Duration::seconds(2)), 2000.0);
+  EXPECT_DOUBLE_EQ(meter.total_nj(sim::Duration::seconds(2)), 2000.0);
+  meter.on_tx(10);
+  EXPECT_DOUBLE_EQ(meter.total_nj(sim::Duration::seconds(2)), 2000.0);
+}
+
+TEST(EnergyMeter, PerFrameOverheadMakesSmallFramesExpensive) {
+  // The §4.4 point quantified: with 512 bits of per-frame overhead, halving
+  // a 40-bit header saves a negligible share of frame energy; with 16 bits
+  // of overhead it saves a large share.
+  EnergyMeter wifi(EnergyModel{.tx_nj_per_bit = 1.0,
+                               .rx_nj_per_bit = 1.0,
+                               .idle_nw = 0.0,
+                               .per_frame_overhead_bits = 512});
+  EnergyMeter rpc(EnergyModel{.tx_nj_per_bit = 1.0,
+                              .rx_nj_per_bit = 1.0,
+                              .idle_nw = 0.0,
+                              .per_frame_overhead_bits = 16});
+  wifi.on_tx(16 + 40);
+  rpc.on_tx(16 + 40);
+  EnergyMeter wifi_short(EnergyModel{.tx_nj_per_bit = 1.0,
+                                     .rx_nj_per_bit = 1.0,
+                                     .idle_nw = 0.0,
+                                     .per_frame_overhead_bits = 512});
+  EnergyMeter rpc_short(EnergyModel{.tx_nj_per_bit = 1.0,
+                                    .rx_nj_per_bit = 1.0,
+                                    .idle_nw = 0.0,
+                                    .per_frame_overhead_bits = 16});
+  wifi_short.on_tx(16 + 20);
+  rpc_short.on_tx(16 + 20);
+
+  const double wifi_saving = 1.0 - wifi_short.tx_nj() / wifi.tx_nj();
+  const double rpc_saving = 1.0 - rpc_short.tx_nj() / rpc.tx_nj();
+  EXPECT_LT(wifi_saving, 0.05);
+  EXPECT_GT(rpc_saving, 0.25);
+}
+
+}  // namespace
+}  // namespace retri::radio

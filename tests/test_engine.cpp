@@ -1,0 +1,168 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace retri::sim {
+namespace {
+
+TEST(Duration, ConstructorsAndConversions) {
+  EXPECT_EQ(Duration::seconds(2).ns(), 2'000'000'000);
+  EXPECT_EQ(Duration::milliseconds(3).ns(), 3'000'000);
+  EXPECT_EQ(Duration::microseconds(4).ns(), 4'000);
+  EXPECT_EQ(Duration::nanoseconds(5).ns(), 5);
+  EXPECT_DOUBLE_EQ(Duration::seconds(2).to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(Duration::milliseconds(1500).to_seconds(), 1.5);
+  EXPECT_EQ(Duration::from_seconds(0.5).ns(), 500'000'000);
+  EXPECT_EQ(Duration::from_seconds(1e-9).ns(), 1);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::seconds(1);
+  const Duration b = Duration::milliseconds(500);
+  EXPECT_EQ((a + b).ns(), 1'500'000'000);
+  EXPECT_EQ((a - b).ns(), 500'000'000);
+  EXPECT_EQ((b * 3).ns(), 1'500'000'000);
+  EXPECT_EQ((a / 4).ns(), 250'000'000);
+  EXPECT_LT(b, a);
+}
+
+TEST(TimePoint, ArithmeticWithDurations) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::seconds(5);
+  EXPECT_EQ((t1 - t0).ns(), 5'000'000'000);
+  EXPECT_EQ((t1 - Duration::seconds(2)).ns(), 3'000'000'000);
+  EXPECT_GT(t1, t0);
+}
+
+TEST(Simulator, FiresEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::seconds(3), [&] { order.push_back(3); });
+  sim.schedule_after(Duration::seconds(1), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().ns(), Duration::seconds(3).ns());
+}
+
+TEST(Simulator, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(Duration::seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 5) sim.schedule_after(Duration::seconds(1), chain);
+  };
+  sim.schedule_after(Duration::seconds(1), chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now().ns(), Duration::seconds(5).ns());
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  sim.schedule_after(Duration::seconds(10), [&] { ++fired; });
+  const auto n = sim.run_until(TimePoint::origin() + Duration::seconds(5));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns(), Duration::seconds(5).ns());
+  // The later event is still queued and fires on the next run.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::seconds(5), [&] { ++fired; });
+  sim.run_until(TimePoint::origin() + Duration::seconds(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or double-count
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+}
+
+TEST(Simulator, MaxEventsBoundsRun) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(Duration::seconds(i + 1), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.run(), 6u);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  sim.schedule_after(Duration::seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsFiredCounter) {
+  Simulator sim;
+  for (int i = 0; i < 3; ++i) {
+    sim.schedule_after(Duration::seconds(1), [] {});
+  }
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 3u);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  TimePoint fired_at;
+  sim.schedule_at(TimePoint::origin() + Duration::seconds(7),
+                  [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at.ns(), Duration::seconds(7).ns());
+}
+
+}  // namespace
+}  // namespace retri::sim

@@ -1,0 +1,143 @@
+// Tests for the alternative density estimators and the listening-aware
+// model extension (§8 future work).
+#include <gtest/gtest.h>
+
+#include "core/density.hpp"
+#include "core/model.hpp"
+
+namespace retri::core {
+namespace {
+
+TEST(InstantaneousDensity, TracksActiveCountExactly) {
+  InstantaneousDensity d;
+  EXPECT_DOUBLE_EQ(d.estimate(), 1.0);  // floor of 1
+  d.on_begin();
+  d.on_begin();
+  d.on_begin();
+  EXPECT_DOUBLE_EQ(d.estimate(), 3.0);
+  d.on_end();
+  EXPECT_DOUBLE_EQ(d.estimate(), 2.0);
+  d.on_end();
+  d.on_end();
+  EXPECT_DOUBLE_EQ(d.estimate(), 1.0);
+  d.on_end();  // underflow-safe
+  EXPECT_DOUBLE_EQ(d.estimate(), 1.0);
+  EXPECT_EQ(d.name(), "instant");
+}
+
+TEST(PeakWindowDensity, ReportsWindowPeak) {
+  PeakWindowDensity d(4);
+  EXPECT_DOUBLE_EQ(d.estimate(), 1.0);
+  // Ramp to 3 concurrent, then back down.
+  d.on_begin();
+  d.on_begin();
+  d.on_begin();
+  d.on_end();
+  d.on_end();
+  EXPECT_DOUBLE_EQ(d.estimate(), 3.0);  // peak remembered
+  EXPECT_EQ(d.name(), "peak");
+}
+
+TEST(PeakWindowDensity, PeakAgesOutOfTheWindow) {
+  PeakWindowDensity d(2);
+  d.on_begin();  // active 1
+  d.on_begin();  // active 2
+  d.on_begin();  // active 3
+  for (int i = 0; i < 3; ++i) d.on_end();
+  // Two quiet begin/end cycles push the old peak out of the 2-wide window.
+  d.on_begin();
+  d.on_end();
+  d.on_begin();
+  d.on_end();
+  EXPECT_DOUBLE_EQ(d.estimate(), 1.0);
+}
+
+TEST(MakeDensityModel, BuildsEachKind) {
+  EXPECT_EQ(make_density_model(DensityModelKind::kEwma)->name(), "ewma");
+  EXPECT_EQ(make_density_model(DensityModelKind::kInstantaneous)->name(),
+            "instant");
+  EXPECT_EQ(make_density_model(DensityModelKind::kPeakWindow)->name(), "peak");
+}
+
+TEST(DensityModelPolymorphism, AllRespondThroughTheInterface) {
+  for (const auto kind :
+       {DensityModelKind::kEwma, DensityModelKind::kInstantaneous,
+        DensityModelKind::kPeakWindow}) {
+    const auto model = make_density_model(kind);
+    for (int i = 0; i < 5; ++i) model->on_begin();
+    EXPECT_GE(model->estimate(), 1.0);
+    for (int i = 0; i < 5; ++i) model->on_end();
+    EXPECT_GE(model->estimate(), 1.0);
+  }
+}
+
+// -- Listening-aware model extension ------------------------------------------
+
+TEST(ListeningModel, ReducesToEq4WhenDeaf) {
+  for (const unsigned h : {2u, 4u, 8u, 16u}) {
+    for (const double t : {2.0, 5.0, 16.0}) {
+      EXPECT_NEAR(model::p_success_listening(h, t, 0.0),
+                  model::p_success(h, t), 1e-12)
+          << "h=" << h << " t=" << t;
+    }
+  }
+}
+
+TEST(ListeningModel, PerfectListeningIsCertain) {
+  for (const unsigned h : {2u, 4u, 8u}) {
+    for (const double t : {2.0, 5.0, 16.0}) {
+      EXPECT_DOUBLE_EQ(model::p_success_listening(h, t, 1.0), 1.0);
+    }
+  }
+}
+
+TEST(ListeningModel, MonotonicallyImprovesWithHearingWhenProvisioned) {
+  // In the provisioned regime (2^H >> 2T) more hearing always helps.
+  for (const unsigned h : {6u, 8u, 12u}) {
+    double prev = 0.0;
+    for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const double p = model::p_success_listening(h, 5.0, q);
+      EXPECT_GE(p, prev) << "h=" << h << " q=" << q;
+      prev = p;
+    }
+  }
+}
+
+TEST(ListeningModel, SaturatedPoolShowsConcentrationDip) {
+  // Under-provisioned regime (2^H close to 2T): partial listening
+  // concentrates later pickers onto the few unavoided ids and the model
+  // dips below Eq. 4 at intermediate q — the documented caveat, matching
+  // the simulated synchronized-avoidance effect.
+  const double eq4 = model::p_success(3, 5.0);
+  const double mid = model::p_success_listening(3, 5.0, 0.75);
+  EXPECT_LT(mid, eq4 + 0.05);
+  // Even so, the q = 1 endpoint is always certain.
+  EXPECT_DOUBLE_EQ(model::p_success_listening(3, 5.0, 1.0), 1.0);
+}
+
+TEST(ListeningModel, AloneIsAlwaysCertain) {
+  EXPECT_DOUBLE_EQ(model::p_success_listening(4, 1.0, 0.3), 1.0);
+}
+
+TEST(ListeningModel, HearProbClamped) {
+  EXPECT_DOUBLE_EQ(model::p_success_listening(4, 5.0, -1.0),
+                   model::p_success_listening(4, 5.0, 0.0));
+  EXPECT_DOUBLE_EQ(model::p_success_listening(4, 5.0, 2.0), 1.0);
+}
+
+TEST(ListeningModel, EAffListeningScalesEq3) {
+  const double p = model::p_success_listening(6, 5.0, 0.5);
+  EXPECT_NEAR(model::e_aff_listening(16.0, 6, 5.0, 0.5), 16.0 * p / 22.0,
+              1e-12);
+}
+
+TEST(ListeningModel, TinyPoolUnderHeavyAvoidanceStaysInBounds) {
+  // Avoid-set saturation: q*2T exceeds the pool; the formula must clamp
+  // rather than divide by zero or go negative.
+  const double p = model::p_success_listening(1, 16.0, 0.9);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+}  // namespace
+}  // namespace retri::core

@@ -1,0 +1,71 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace retri::stats {
+namespace {
+
+TEST(Histogram, BinsValuesIntoCorrectBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // bin 0
+  h.add(0.99);  // bin 0
+  h.add(5.0);   // bin 5
+  h.add(9.99);  // bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, UnderflowAndOverflowCountedSeparately) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge is exclusive -> overflow
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 18.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 20.0);
+}
+
+TEST(Histogram, QuantileOnUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 100'000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, QuantileEmptyAndClamping) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty -> lo
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_LE(h.quantile(2.0), 1.0);
+}
+
+TEST(Histogram, RenderShowsNonEmptyBinsOnly) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(3.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("[0, 1)"), std::string::npos);
+  EXPECT_NE(out.find("[3, 4)"), std::string::npos);
+  EXPECT_EQ(out.find("[1, 2)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace retri::stats

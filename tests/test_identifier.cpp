@@ -1,0 +1,63 @@
+#include "core/identifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace retri::core {
+namespace {
+
+TEST(TransactionId, ValueAndComparison) {
+  const TransactionId a(5);
+  const TransactionId b(5);
+  const TransactionId c(6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(TransactionId().value(), 0u);
+}
+
+TEST(TransactionId, HashDistributesAndIsConsistent) {
+  std::hash<TransactionId> h;
+  EXPECT_EQ(h(TransactionId(1)), h(TransactionId(1)));
+  EXPECT_NE(h(TransactionId(1)), h(TransactionId(2)));
+  std::unordered_set<TransactionId> set;
+  for (std::uint64_t v = 0; v < 1000; ++v) set.insert(TransactionId(v));
+  EXPECT_EQ(set.size(), 1000u);
+}
+
+TEST(IdSpace, SizeAndWireBytes) {
+  EXPECT_EQ(IdSpace(1).size(), 2u);
+  EXPECT_EQ(IdSpace(8).size(), 256u);
+  EXPECT_EQ(IdSpace(9).size(), 512u);
+  EXPECT_EQ(IdSpace(16).size(), 65536u);
+  EXPECT_EQ(IdSpace(1).wire_bytes(), 1u);
+  EXPECT_EQ(IdSpace(8).wire_bytes(), 1u);
+  EXPECT_EQ(IdSpace(9).wire_bytes(), 2u);
+  EXPECT_EQ(IdSpace(17).wire_bytes(), 3u);
+  EXPECT_EQ(IdSpace(64).wire_bytes(), 8u);
+}
+
+TEST(IdSpace, ContainsAndClamp) {
+  const IdSpace space(4);
+  EXPECT_TRUE(space.contains(TransactionId(0)));
+  EXPECT_TRUE(space.contains(TransactionId(15)));
+  EXPECT_FALSE(space.contains(TransactionId(16)));
+  EXPECT_EQ(space.clamp(0x1f).value(), 0x0fu);
+  EXPECT_EQ(space.clamp(0x05).value(), 0x05u);
+}
+
+TEST(IdSpace, SixtyFourBitSpaceContainsEverything) {
+  const IdSpace space(64);
+  EXPECT_TRUE(space.contains(TransactionId(~std::uint64_t{0})));
+  EXPECT_EQ(space.clamp(~std::uint64_t{0}).value(), ~std::uint64_t{0});
+}
+
+TEST(IdSpace, Equality) {
+  EXPECT_EQ(IdSpace(8), IdSpace(8));
+  EXPECT_NE(IdSpace(8), IdSpace(9));
+}
+
+}  // namespace
+}  // namespace retri::core

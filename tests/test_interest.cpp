@@ -1,0 +1,149 @@
+#include "apps/interest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace retri::apps {
+namespace {
+
+class InterestTest : public ::testing::Test {
+ protected:
+  InterestTest() : medium(sim, sim::Topology::full_mesh(8), {}, 23) {}
+
+  radio::Radio make_radio(sim::NodeId id) {
+    return radio::Radio(medium, id, radio::RadioConfig{}, radio::EnergyModel{},
+                        50 + id);
+  }
+
+  sim::Simulator sim;
+  sim::BroadcastMedium medium;
+};
+
+TEST_F(InterestTest, SinkHearsReadings) {
+  radio::Radio sensor_radio = make_radio(1);
+  radio::Radio sink_radio = make_radio(0);
+  core::UniformSelector selector(core::IdSpace(8), 1);
+
+  SensorConfig sconfig;
+  InterestSensor sensor(sensor_radio, selector, sconfig, 0xaaaa,
+                        [] { return std::uint16_t{100}; });
+  SinkConfig kconfig;
+  InterestSink sink(sink_radio, kconfig);
+
+  sensor.start(sim::TimePoint::origin() + sim::Duration::seconds(10));
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(12));
+
+  EXPECT_GE(sink.stats().readings_heard, 4u);
+  EXPECT_EQ(sensor.stats().readings_sent, sink.stats().readings_heard);
+  // Values below the interest threshold draw no reinforcement.
+  EXPECT_EQ(sink.stats().reinforcements_sent, 0u);
+  EXPECT_EQ(sensor.stats().reinforcements_claimed, 0u);
+}
+
+TEST_F(InterestTest, InterestingReadingsGetReinforcedAndRateRises) {
+  radio::Radio sensor_radio = make_radio(1);
+  radio::Radio sink_radio = make_radio(0);
+  core::UniformSelector selector(core::IdSpace(8), 2);
+
+  SensorConfig sconfig;
+  sconfig.base_period = sim::Duration::seconds(2);
+  sconfig.reinforced_period = sim::Duration::milliseconds(500);
+  InterestSensor sensor(sensor_radio, selector, sconfig, 0xbbbb,
+                        [] { return std::uint16_t{0xffff}; });  // always hot
+  InterestSink sink(sink_radio, SinkConfig{});
+
+  sensor.start(sim::TimePoint::origin() + sim::Duration::seconds(20));
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(25));
+
+  EXPECT_GT(sink.stats().reinforcements_sent, 0u);
+  EXPECT_GT(sensor.stats().reinforcements_claimed, 0u);
+  EXPECT_EQ(sensor.stats().false_claims, 0u);  // only one sensor exists
+  // Reinforced rate (500 ms) beats the base rate (2 s): in 20 s the sensor
+  // sends far more than the 10 readings base rate alone would produce.
+  EXPECT_GT(sensor.stats().readings_sent, 15u);
+}
+
+TEST_F(InterestTest, ReinforcementExpiresBackToBaseRate) {
+  radio::Radio sensor_radio = make_radio(1);
+  radio::Radio sink_radio = make_radio(0);
+  core::UniformSelector selector(core::IdSpace(8), 3);
+
+  SensorConfig sconfig;
+  sconfig.base_period = sim::Duration::seconds(1);
+  sconfig.reinforced_period = sim::Duration::milliseconds(250);
+  sconfig.reinforcement_ttl = sim::Duration::seconds(2);
+  int calls = 0;
+  // Interesting exactly once, at the first reading.
+  InterestSensor sensor(sensor_radio, selector, sconfig, 0xcccc, [&calls] {
+    ++calls;
+    return calls == 1 ? std::uint16_t{0xffff} : std::uint16_t{0};
+  });
+  InterestSink sink(sink_radio, SinkConfig{});
+
+  sensor.start(sim::TimePoint::origin() + sim::Duration::seconds(30));
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(35));
+
+  EXPECT_EQ(sink.stats().reinforcements_sent, 1u);
+  // After the TTL the sensor must be back at base rate: total sends are
+  // far below the all-reinforced count of ~120.
+  EXPECT_LT(sensor.stats().readings_sent, 45u);
+  EXPECT_FALSE(sensor.reinforced());
+}
+
+TEST_F(InterestTest, CollidingIdsCauseFalseClaims) {
+  // Two sensors forced into a 1-bit id space with frequent readings: the
+  // sink's reinforcement for one sensor's reading will regularly match an
+  // id the other sensor also used recently — the §6 failure mode.
+  radio::Radio s1_radio = make_radio(1);
+  radio::Radio s2_radio = make_radio(2);
+  radio::Radio sink_radio = make_radio(0);
+  core::UniformSelector sel1(core::IdSpace(1), 4);
+  core::UniformSelector sel2(core::IdSpace(1), 5);
+
+  SensorConfig sconfig;
+  sconfig.wire.id_bits = 1;
+  sconfig.base_period = sim::Duration::milliseconds(300);
+  InterestSensor s1(s1_radio, sel1, sconfig, 0x1111,
+                    [] { return std::uint16_t{0xffff}; });
+  InterestSensor s2(s2_radio, sel2, sconfig, 0x2222,
+                    [] { return std::uint16_t{0xffff}; });
+  SinkConfig kconfig;
+  kconfig.wire.id_bits = 1;
+  InterestSink sink(sink_radio, kconfig);
+
+  s1.start(sim::TimePoint::origin() + sim::Duration::seconds(30));
+  s2.start(sim::TimePoint::origin() + sim::Duration::seconds(30));
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(35));
+
+  EXPECT_GT(s1.stats().false_claims + s2.stats().false_claims, 0u);
+}
+
+TEST_F(InterestTest, WiderIdsEliminateFalseClaimsInPractice) {
+  radio::Radio s1_radio = make_radio(1);
+  radio::Radio s2_radio = make_radio(2);
+  radio::Radio sink_radio = make_radio(0);
+  core::UniformSelector sel1(core::IdSpace(16), 6);
+  core::UniformSelector sel2(core::IdSpace(16), 7);
+
+  SensorConfig sconfig;
+  sconfig.wire.id_bits = 16;
+  sconfig.base_period = sim::Duration::milliseconds(300);
+  InterestSensor s1(s1_radio, sel1, sconfig, 0x1111,
+                    [] { return std::uint16_t{0xffff}; });
+  InterestSensor s2(s2_radio, sel2, sconfig, 0x2222,
+                    [] { return std::uint16_t{0xffff}; });
+  SinkConfig kconfig;
+  kconfig.wire.id_bits = 16;
+  InterestSink sink(sink_radio, kconfig);
+
+  s1.start(sim::TimePoint::origin() + sim::Duration::seconds(30));
+  s2.start(sim::TimePoint::origin() + sim::Duration::seconds(30));
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(35));
+
+  EXPECT_EQ(s1.stats().false_claims + s2.stats().false_claims, 0u);
+  EXPECT_GT(s1.stats().reinforcements_claimed, 0u);
+}
+
+}  // namespace
+}  // namespace retri::apps

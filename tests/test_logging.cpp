@@ -1,0 +1,73 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace retri::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_level(LogLevel::kWarn);
+    Logger::instance().set_sink([this](LogLevel level, std::string_view msg) {
+      captured_.emplace_back(level, std::string(msg));
+    });
+  }
+  void TearDown() override {
+    Logger::instance().reset_sink();
+    Logger::instance().set_level(LogLevel::kWarn);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, MessagesBelowLevelAreSuppressed) {
+  RETRI_LOG(kDebug) << "hidden";
+  RETRI_LOG(kInfo) << "also hidden";
+  RETRI_LOG(kWarn) << "visible";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "visible");
+  EXPECT_EQ(captured_[0].first, LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, StreamFormatting) {
+  Logger::instance().set_level(LogLevel::kTrace);
+  RETRI_LOG(kInfo) << "node " << 7 << " sent " << 3.5 << " things";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "node 7 sent 3.5 things");
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  RETRI_LOG(kError) << "nope";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, StreamExpressionNotEvaluatedWhenDisabled) {
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return 42;
+  };
+  RETRI_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  RETRI_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogLevelNames, AllDistinct) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace retri::util

@@ -1,0 +1,206 @@
+#include "sim/medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace retri::sim {
+namespace {
+
+struct Rx {
+  NodeId from;
+  util::Bytes payload;
+};
+
+class MediumTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+
+  std::vector<Rx>& capture(BroadcastMedium& medium, NodeId node) {
+    auto& log = logs_.emplace_back(std::make_unique<std::vector<Rx>>());
+    medium.attach(node, [&log = *log](NodeId from, const util::Bytes& p) {
+      log.push_back({from, p});
+    });
+    return *log;
+  }
+
+ private:
+  std::vector<std::unique_ptr<std::vector<Rx>>> logs_;
+};
+
+TEST_F(MediumTest, BroadcastReachesAllListeners) {
+  BroadcastMedium medium(sim, Topology::full_mesh(4), {}, 1);
+  auto& rx1 = capture(medium, 1);
+  auto& rx2 = capture(medium, 2);
+  auto& rx3 = capture(medium, 3);
+  auto& rx0 = capture(medium, 0);
+
+  medium.transmit(0, {0xaa, 0xbb}, Duration::milliseconds(1));
+  sim.run();
+
+  ASSERT_EQ(rx1.size(), 1u);
+  ASSERT_EQ(rx2.size(), 1u);
+  ASSERT_EQ(rx3.size(), 1u);
+  EXPECT_TRUE(rx0.empty());  // no self-reception
+  EXPECT_EQ(rx1[0].from, 0u);
+  EXPECT_EQ(rx1[0].payload, (util::Bytes{0xaa, 0xbb}));
+  EXPECT_EQ(medium.stats().frames_sent, 1u);
+  EXPECT_EQ(medium.stats().delivered, 3u);
+}
+
+TEST_F(MediumTest, TopologyLimitsAudience) {
+  BroadcastMedium medium(sim, Topology::line(3), {}, 1);
+  auto& rx0 = capture(medium, 0);
+  auto& rx2 = capture(medium, 2);
+
+  medium.transmit(1, {0x01}, Duration::milliseconds(1));
+  sim.run();
+  EXPECT_EQ(rx0.size(), 1u);
+  EXPECT_EQ(rx2.size(), 1u);
+
+  medium.transmit(0, {0x02}, Duration::milliseconds(1));
+  sim.run();
+  EXPECT_EQ(rx2.size(), 1u);  // 2 cannot hear 0 on a line
+}
+
+TEST_F(MediumTest, DeliveryHappensAfterAirtimePlusPropagation) {
+  MediumConfig config;
+  config.propagation_delay = Duration::microseconds(10);
+  BroadcastMedium medium(sim, Topology::full_mesh(2), config, 1);
+  TimePoint delivered_at;
+  medium.attach(1, [&](NodeId, const util::Bytes&) { delivered_at = sim.now(); });
+
+  medium.transmit(0, {0xff}, Duration::milliseconds(5));
+  sim.run();
+  EXPECT_EQ(delivered_at.ns(),
+            (Duration::milliseconds(5) + Duration::microseconds(10)).ns());
+}
+
+TEST_F(MediumTest, PerLinkLossDropsApproximatelyTheConfiguredFraction) {
+  MediumConfig config;
+  config.per_link_loss = 0.25;
+  BroadcastMedium medium(sim, Topology::full_mesh(2), config, 42);
+  int received = 0;
+  medium.attach(1, [&](NodeId, const util::Bytes&) { ++received; });
+
+  constexpr int kFrames = 4000;
+  for (int i = 0; i < kFrames; ++i) {
+    medium.transmit(0, {0x01}, Duration::microseconds(1));
+    sim.run();
+  }
+  EXPECT_NEAR(static_cast<double>(received) / kFrames, 0.75, 0.03);
+  EXPECT_EQ(medium.stats().lost_random + medium.stats().delivered,
+            static_cast<std::uint64_t>(kFrames));
+}
+
+TEST_F(MediumTest, RfCollisionDestroysOverlappingReceptions) {
+  MediumConfig config;
+  config.rf_collisions = true;
+  BroadcastMedium medium(sim, Topology::full_mesh(3), config, 1);
+  auto& rx2 = capture(medium, 2);
+
+  // Nodes 0 and 1 transmit overlapping frames; listener 2 gets neither.
+  medium.transmit(0, {0x01}, Duration::milliseconds(10));
+  sim.run_until(TimePoint::origin() + Duration::milliseconds(5));
+  medium.transmit(1, {0x02}, Duration::milliseconds(10));
+  sim.run();
+
+  EXPECT_TRUE(rx2.empty());
+  EXPECT_EQ(medium.stats().lost_rf_collision, 2u);
+}
+
+TEST_F(MediumTest, NonOverlappingTransmissionsBothDeliver) {
+  MediumConfig config;
+  config.rf_collisions = true;
+  BroadcastMedium medium(sim, Topology::full_mesh(3), config, 1);
+  auto& rx2 = capture(medium, 2);
+
+  medium.transmit(0, {0x01}, Duration::milliseconds(10));
+  sim.run_until(TimePoint::origin() + Duration::milliseconds(10));
+  medium.transmit(1, {0x02}, Duration::milliseconds(10));
+  sim.run();
+
+  EXPECT_EQ(rx2.size(), 2u);
+  EXPECT_EQ(medium.stats().lost_rf_collision, 0u);
+}
+
+TEST_F(MediumTest, CollisionOnlyAffectsCommonListeners) {
+  // Hidden terminal: senders 1 and 2 both reach receiver 0 but not each
+  // other. Their overlapping frames collide at 0 only.
+  MediumConfig config;
+  config.rf_collisions = true;
+  BroadcastMedium medium(sim, Topology::hidden_terminal(2), config, 1);
+  auto& rx0 = capture(medium, 0);
+
+  medium.transmit(1, {0x01}, Duration::milliseconds(10));
+  medium.transmit(2, {0x02}, Duration::milliseconds(10));
+  sim.run();
+  EXPECT_TRUE(rx0.empty());
+  EXPECT_EQ(medium.stats().lost_rf_collision, 2u);
+}
+
+TEST_F(MediumTest, HalfDuplexListenerMissesFrameWhileTransmitting) {
+  MediumConfig config;
+  config.half_duplex = true;
+  BroadcastMedium medium(sim, Topology::full_mesh(2), config, 1);
+  auto& rx1 = capture(medium, 1);
+  auto& rx0 = capture(medium, 0);
+
+  // Both transmit simultaneously: each misses the other's frame.
+  medium.transmit(0, {0x01}, Duration::milliseconds(10));
+  medium.transmit(1, {0x02}, Duration::milliseconds(10));
+  sim.run();
+  EXPECT_TRUE(rx0.empty());
+  EXPECT_TRUE(rx1.empty());
+  EXPECT_EQ(medium.stats().lost_half_duplex, 2u);
+}
+
+TEST_F(MediumTest, HalfDuplexDoesNotAffectIdleListener) {
+  MediumConfig config;
+  config.half_duplex = true;
+  BroadcastMedium medium(sim, Topology::full_mesh(2), config, 1);
+  auto& rx1 = capture(medium, 1);
+  medium.transmit(0, {0x01}, Duration::milliseconds(10));
+  sim.run();
+  EXPECT_EQ(rx1.size(), 1u);
+}
+
+TEST_F(MediumTest, DisabledNodesNeitherSendNorReceive) {
+  BroadcastMedium medium(sim, Topology::full_mesh(3), {}, 1);
+  auto& rx1 = capture(medium, 1);
+  auto& rx2 = capture(medium, 2);
+
+  medium.set_enabled(1, false);
+  EXPECT_FALSE(medium.enabled(1));
+
+  medium.transmit(0, {0x01}, Duration::milliseconds(1));
+  sim.run();
+  EXPECT_TRUE(rx1.empty());
+  EXPECT_EQ(rx2.size(), 1u);
+  EXPECT_EQ(medium.stats().lost_disabled, 1u);
+
+  medium.transmit(1, {0x02}, Duration::milliseconds(1));
+  sim.run();
+  EXPECT_EQ(rx2.size(), 1u);  // disabled sender transmitted nothing
+  EXPECT_EQ(medium.stats().frames_sent, 1u);
+
+  medium.set_enabled(1, true);
+  medium.transmit(0, {0x03}, Duration::milliseconds(1));
+  sim.run();
+  EXPECT_EQ(rx1.size(), 1u);
+}
+
+TEST_F(MediumTest, ReattachReplacesHandler) {
+  BroadcastMedium medium(sim, Topology::full_mesh(2), {}, 1);
+  int first = 0;
+  int second = 0;
+  medium.attach(1, [&](NodeId, const util::Bytes&) { ++first; });
+  medium.attach(1, [&](NodeId, const util::Bytes&) { ++second; });
+  medium.transmit(0, {0x01}, Duration::milliseconds(1));
+  sim.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+}  // namespace
+}  // namespace retri::sim

@@ -1,0 +1,133 @@
+#include "sim/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aff/driver.hpp"
+#include "core/selector.hpp"
+#include "radio/radio.hpp"
+
+namespace retri::sim {
+namespace {
+
+MobilityConfig fast_config() {
+  MobilityConfig config;
+  config.field_side = 50.0;
+  config.radio_range = 20.0;
+  config.speed_min = 5.0;   // brisk, so links churn within test horizons
+  config.speed_max = 10.0;
+  config.tick = Duration::milliseconds(200);
+  config.stop_at = TimePoint::origin() + Duration::seconds(120);
+  return config;
+}
+
+TEST(Mobility, PositionsStayInsideTheField) {
+  Simulator sim;
+  BroadcastMedium medium(sim, Topology(10), {}, 3);
+  RandomWaypointMobility mobility(medium, fast_config(), 7);
+  sim.run_until(TimePoint::origin() + Duration::seconds(30));
+
+  for (NodeId i = 0; i < 10; ++i) {
+    const Position p = mobility.position(i);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 50.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 50.0);
+  }
+  EXPECT_GT(mobility.ticks(), 100u);
+}
+
+TEST(Mobility, TopologyMatchesDiskConnectivityAtAllTimes) {
+  Simulator sim;
+  BroadcastMedium medium(sim, Topology(8), {}, 4);
+  RandomWaypointMobility mobility(medium, fast_config(), 8);
+
+  for (int checkpoint = 0; checkpoint < 10; ++checkpoint) {
+    sim.run_until(sim.now() + Duration::seconds(2));
+    for (NodeId a = 0; a < 8; ++a) {
+      for (NodeId b = 0; b < 8; ++b) {
+        if (a == b) continue;
+        const bool in_range = mobility.distance(a, b) <= 20.0;
+        EXPECT_EQ(medium.topology().hears(a, b), in_range)
+            << "a=" << a << " b=" << b << " at t=" << sim.now().to_seconds();
+      }
+    }
+  }
+}
+
+TEST(Mobility, LinksActuallyChurn) {
+  Simulator sim;
+  BroadcastMedium medium(sim, Topology(10), {}, 5);
+  RandomWaypointMobility mobility(medium, fast_config(), 9);
+  sim.run_until(TimePoint::origin() + Duration::seconds(60));
+  EXPECT_GT(mobility.link_changes(), 10u)
+      << "fast nodes in a small field must make and break links";
+}
+
+TEST(Mobility, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    BroadcastMedium medium(sim, Topology(6), {}, 1);
+    RandomWaypointMobility mobility(medium, fast_config(), seed);
+    sim.run_until(TimePoint::origin() + Duration::seconds(20));
+    return std::make_pair(mobility.position(0).x, mobility.link_changes());
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(Mobility, StopAtBoundsTheEventQueue) {
+  Simulator sim;
+  BroadcastMedium medium(sim, Topology(4), {}, 6);
+  MobilityConfig config = fast_config();
+  config.stop_at = TimePoint::origin() + Duration::seconds(5);
+  RandomWaypointMobility mobility(medium, config, 10);
+  sim.run();  // must terminate
+  EXPECT_GE(sim.now(), config.stop_at);
+  const auto ticks = mobility.ticks();
+  sim.run();
+  EXPECT_EQ(mobility.ticks(), ticks);
+}
+
+TEST(Mobility, AffTrafficSurvivesTopologyChurn) {
+  // Two mobile nodes exchanging packets: deliveries happen while in range,
+  // losses while apart, and the stack never wedges — the dynamics RETRI is
+  // designed to shrug off.
+  Simulator sim;
+  BroadcastMedium medium(sim, Topology(2), {}, 7);
+  MobilityConfig config = fast_config();
+  config.field_side = 30.0;  // small field: in range a good deal of the time
+  RandomWaypointMobility mobility(medium, config, 11);
+
+  radio::Radio rx_radio(medium, 0, {}, radio::EnergyModel{}, 1);
+  core::UniformSelector rx_sel(core::IdSpace(8), 2);
+  aff::AffDriverConfig dconfig;
+  dconfig.wire.id_bits = 8;
+  dconfig.reassembly_timeout = Duration::seconds(2);
+  aff::AffDriver rx(rx_radio, rx_sel, dconfig, 0);
+
+  radio::Radio tx_radio(medium, 1, {}, radio::EnergyModel{}, 3);
+  core::UniformSelector tx_sel(core::IdSpace(8), 4);
+  aff::AffDriver tx(tx_radio, tx_sel, dconfig, 1);
+
+  int sent = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(TimePoint::origin() + Duration::milliseconds(1000 * i),
+                    [&tx, &sent, i]() {
+                      if (tx.send_packet(util::random_payload(
+                                             60, 700u + static_cast<unsigned>(i)))
+                              .ok()) {
+                        ++sent;
+                      }
+                    });
+  }
+  sim.run_until(TimePoint::origin() + Duration::seconds(130));
+
+  EXPECT_EQ(sent, 100);
+  EXPECT_GT(rx.stats().packets_delivered, 0u);
+  EXPECT_LT(rx.stats().packets_delivered, 100u);
+  EXPECT_EQ(rx.aff_reassembler().pending_count(), 0u);
+}
+
+}  // namespace
+}  // namespace retri::sim

@@ -1,0 +1,194 @@
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace retri::core::model {
+namespace {
+
+TEST(PSuccess, CertainWhenAlone) {
+  // T = 1: no peers, no collisions, regardless of id width.
+  for (unsigned h = 1; h <= 64; ++h) {
+    EXPECT_DOUBLE_EQ(p_success(h, 1.0), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(p_success(8, 0.5), 1.0);  // sub-unit density clamps
+}
+
+TEST(PSuccess, MatchesClosedFormDirectly) {
+  // (1 - 2^-H)^(2(T-1)) computed naively for moderate values.
+  for (const unsigned h : {1u, 4u, 8u, 12u}) {
+    for (const double t : {2.0, 5.0, 16.0, 100.0}) {
+      const double naive =
+          std::pow(1.0 - std::pow(2.0, -static_cast<double>(h)), 2.0 * (t - 1.0));
+      EXPECT_NEAR(p_success(h, t), naive, 1e-12)
+          << "h=" << h << " t=" << t;
+    }
+  }
+}
+
+TEST(PSuccess, PaperFigure4OperatingPoints) {
+  // T = 5 (the validation experiment): 8 overlapping transactions.
+  EXPECT_NEAR(p_success(8, 5.0), std::pow(255.0 / 256.0, 8.0), 1e-12);
+  EXPECT_NEAR(p_success(1, 5.0), std::pow(0.5, 8.0), 1e-12);
+}
+
+TEST(PSuccess, MonotonicallyIncreasingInBits) {
+  for (const double t : {2.0, 5.0, 16.0, 256.0, 65536.0}) {
+    for (unsigned h = 1; h < 64; ++h) {
+      EXPECT_LE(p_success(h, t), p_success(h + 1, t))
+          << "h=" << h << " t=" << t;
+    }
+  }
+}
+
+TEST(PSuccess, MonotonicallyDecreasingInDensity) {
+  for (const unsigned h : {4u, 8u, 16u}) {
+    double prev = 1.1;
+    for (const double t : {1.0, 2.0, 4.0, 16.0, 256.0, 65536.0}) {
+      const double p = p_success(h, t);
+      EXPECT_LT(p, prev) << "h=" << h << " t=" << t;
+      prev = p;
+    }
+  }
+}
+
+TEST(PSuccess, LargeBitsApproachCertainty) {
+  EXPECT_GT(p_success(48, 65536.0), 0.999999);
+  EXPECT_GT(p_success(64, 1e9), 0.999999);
+}
+
+TEST(EStatic, PaperInTextValues) {
+  // §4.2: 16 bits of data with a 16-bit address -> 50%; 32-bit -> 33%.
+  EXPECT_NEAR(e_static(16.0, 16), 0.5, 1e-12);
+  EXPECT_NEAR(e_static(16.0, 32), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(e_static(128.0, 16), 128.0 / 144.0, 1e-12);
+}
+
+TEST(EStatic, IndependentOfDensityAndDecreasingInHeader) {
+  for (unsigned h = 1; h < 64; ++h) {
+    EXPECT_GT(e_static(16.0, h), e_static(16.0, h + 1));
+  }
+}
+
+TEST(EAff, ReducesToStaticTimesSuccess) {
+  for (const unsigned h : {4u, 9u, 16u}) {
+    for (const double t : {1.0, 16.0, 256.0}) {
+      EXPECT_NEAR(e_aff(16.0, h, t), e_static(16.0, h) * p_success(h, t), 1e-12);
+    }
+  }
+}
+
+TEST(EAff, EqualsStaticWhenAlone) {
+  EXPECT_DOUBLE_EQ(e_aff(16.0, 16, 1.0), e_static(16.0, 16));
+}
+
+TEST(OptimalIdBits, PaperHeadlineNumber) {
+  // §4.2 / Figure 1: "AFF works optimally with only 9 identifier bits in a
+  // network where there are an average of 16 simultaneous transactions."
+  EXPECT_EQ(optimal_id_bits(16.0, 16.0), 9u);
+}
+
+TEST(OptimalIdBits, GrowsWithDataSize) {
+  // §4.2 / Figure 2: larger data raises the optimal identifier size.
+  const unsigned h16 = optimal_id_bits(16.0, 16.0);
+  const unsigned h128 = optimal_id_bits(128.0, 16.0);
+  EXPECT_GT(h128, h16);
+}
+
+TEST(OptimalIdBits, GrowsWithDensity) {
+  const unsigned low = optimal_id_bits(16.0, 16.0);
+  const unsigned mid = optimal_id_bits(16.0, 256.0);
+  const unsigned high = optimal_id_bits(16.0, 65536.0);
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+}
+
+TEST(OptimalIdBits, IsActuallyTheArgmax) {
+  for (const double t : {5.0, 16.0, 256.0}) {
+    const unsigned best = optimal_id_bits(16.0, t, 32);
+    const double best_e = e_aff(16.0, best, t);
+    for (unsigned h = 1; h <= 32; ++h) {
+      EXPECT_LE(e_aff(16.0, h, t), best_e + 1e-15) << "h=" << h << " t=" << t;
+    }
+    EXPECT_DOUBLE_EQ(optimal_e_aff(16.0, t, 32), best_e);
+  }
+}
+
+TEST(ModelComparison, AffBeatsStaticAtPaperOperatingPoint) {
+  // Figure 1's headline: optimal AFF at T=16 beats both 16- and 32-bit
+  // static allocation for 16-bit data.
+  const double aff = optimal_e_aff(16.0, 16.0);
+  EXPECT_GT(aff, e_static(16.0, 16));
+  EXPECT_GT(aff, e_static(16.0, 32));
+}
+
+TEST(ModelComparison, AffCannotBeatStaticWithoutLocality) {
+  // §4.2's extreme case: 64K concurrent transactions in a 64K-node network
+  // — "there is no room for AFF to improve" on a fully used 16-bit space.
+  const double aff = optimal_e_aff(16.0, 65536.0, 32);
+  EXPECT_LE(aff, e_static(16.0, 16));
+}
+
+TEST(StaticFeasible, ExhaustionBoundary) {
+  EXPECT_TRUE(static_feasible(16, 65536.0));
+  EXPECT_FALSE(static_feasible(16, 65537.0));
+  EXPECT_TRUE(static_feasible(4, 16.0));
+  EXPECT_FALSE(static_feasible(4, 17.0));
+}
+
+TEST(EStaticVsLoad, ConstantThenUndefined) {
+  // Figure 3: flat until exhaustion, NaN beyond.
+  const double flat = e_static_vs_load(16.0, 8, 10.0);
+  EXPECT_DOUBLE_EQ(flat, e_static(16.0, 8));
+  EXPECT_DOUBLE_EQ(e_static_vs_load(16.0, 8, 256.0), flat);
+  EXPECT_TRUE(std::isnan(e_static_vs_load(16.0, 8, 257.0)));
+}
+
+TEST(AffCurve, CoversRangeAndPeaksAtOptimum) {
+  const auto curve = aff_curve(16.0, 16.0, 1, 32);
+  ASSERT_EQ(curve.size(), 32u);
+  EXPECT_EQ(curve.front().id_bits, 1u);
+  EXPECT_EQ(curve.back().id_bits, 32u);
+  unsigned argmax = 0;
+  double best = -1.0;
+  for (const auto& p : curve) {
+    if (p.efficiency > best) {
+      best = p.efficiency;
+      argmax = p.id_bits;
+    }
+  }
+  EXPECT_EQ(argmax, optimal_id_bits(16.0, 16.0, 32));
+}
+
+TEST(AffCurve, RisesThenFalls) {
+  // The Figure 1 shape: single peak — strictly unimodal around the optimum.
+  const auto curve = aff_curve(16.0, 256.0, 1, 32);
+  const unsigned peak = optimal_id_bits(16.0, 256.0, 32);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].id_bits <= peak) {
+      EXPECT_GE(curve[i].efficiency, curve[i - 1].efficiency);
+    } else {
+      EXPECT_LE(curve[i].efficiency, curve[i - 1].efficiency);
+    }
+  }
+}
+
+TEST(MinBitsForLoss, FindsSmallestAdequateWidth) {
+  const auto h = min_bits_for_loss(0.01, 16.0);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_LE(1.0 - p_success(*h, 16.0), 0.01);
+  if (*h > 1) {
+    EXPECT_GT(1.0 - p_success(*h - 1, 16.0), 0.01);
+  }
+}
+
+TEST(MinBitsForLoss, ImpossibleTargetReturnsNullopt) {
+  // Zero loss with finite bits and real contention is impossible.
+  EXPECT_FALSE(min_bits_for_loss(0.0, 2.0, 16).has_value());
+  // But trivially satisfied when alone.
+  EXPECT_EQ(min_bits_for_loss(0.0, 1.0, 16), 1u);
+}
+
+}  // namespace
+}  // namespace retri::core::model

@@ -1,0 +1,163 @@
+// Property-style parameterized sweeps.
+//
+// The heavyweight one is the Monte-Carlo validation of Eq. 4 over the
+// TransactionRegistry: for a grid of (id bits, density) points we simulate
+// the model's own idealized process — each transaction overlapping the
+// beginning or end of exactly 2(T-1) peers with uniformly chosen ids — and
+// require agreement with the closed form within Monte-Carlo noise. This
+// pins the analytic implementation and the registry semantics to each other.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/model.hpp"
+#include "core/selector.hpp"
+#include "core/transaction.hpp"
+#include "util/random.hpp"
+
+namespace retri::core {
+namespace {
+
+/// Simulates the model's process directly: a probe transaction holds an id
+/// while 2(T-1) peer transactions come and go with uniform ids; returns the
+/// fraction of probes that never collided.
+double monte_carlo_p_success(unsigned id_bits, unsigned density,
+                             int probes, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const IdSpace space(id_bits);
+  int survived = 0;
+  for (int p = 0; p < probes; ++p) {
+    TransactionRegistry reg;
+    const TxHandle probe =
+        reg.begin(TransactionId(rng.below(space.size())));
+    const unsigned peers = 2 * (density - 1);
+    bool doomed = false;
+    for (unsigned i = 0; i < peers; ++i) {
+      const TxHandle peer =
+          reg.begin(TransactionId(rng.below(space.size())));
+      if (reg.doomed(probe)) {
+        doomed = true;
+      }
+      reg.end(peer);
+    }
+    doomed = doomed || reg.doomed(probe);
+    reg.end(probe);
+    if (!doomed) ++survived;
+  }
+  return static_cast<double>(survived) / probes;
+}
+
+using ModelPoint = std::tuple<unsigned /*bits*/, unsigned /*density*/>;
+
+class ModelMonteCarloTest : public ::testing::TestWithParam<ModelPoint> {};
+
+TEST_P(ModelMonteCarloTest, ClosedFormMatchesSimulation) {
+  const auto [bits, density] = GetParam();
+  constexpr int kProbes = 40'000;
+  const double simulated =
+      monte_carlo_p_success(bits, density, kProbes,
+                            1234 + bits * 100 + density);
+  const double predicted = model::p_success(bits, static_cast<double>(density));
+  // Binomial stderr at p ~ predicted:
+  const double sigma =
+      std::sqrt(predicted * (1.0 - predicted) / kProbes) + 1e-9;
+  EXPECT_NEAR(simulated, predicted, 5.0 * sigma + 0.005)
+      << "bits=" << bits << " T=" << density;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsByDensityGrid, ModelMonteCarloTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u, 12u),
+                       ::testing::Values(1u, 2u, 5u, 16u)),
+    [](const ::testing::TestParamInfo<ModelPoint>& param_info) {
+      return "H" + std::to_string(std::get<0>(param_info.param)) + "_T" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+// -- Selector distribution properties over a parameter sweep -----------------
+
+class SelectorWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SelectorWidthTest, UniformSelectorCoversSpaceWithoutBias) {
+  const unsigned bits = GetParam();
+  const IdSpace space(bits);
+  UniformSelector sel(space, 77 + bits);
+  const std::uint64_t pool = space.size();
+  const std::uint64_t samples = pool * 64;
+  std::vector<std::uint64_t> counts(pool, 0);
+  for (std::uint64_t i = 0; i < samples; ++i) ++counts[sel.select().value()];
+  // Every id must occur, and no id more than 3x the expected rate.
+  for (std::uint64_t v = 0; v < pool; ++v) {
+    EXPECT_GT(counts[v], 0u) << "bits=" << bits << " id=" << v;
+    EXPECT_LT(counts[v], 64u * 3) << "bits=" << bits << " id=" << v;
+  }
+}
+
+TEST_P(SelectorWidthTest, ListeningSelectorNeverPicksAvoidedWhenRoomExists) {
+  const unsigned bits = GetParam();
+  const IdSpace space(bits);
+  ListeningConfig config;
+  config.fixed_window = static_cast<std::size_t>(space.size() / 2);
+  if (config.fixed_window == 0) config.fixed_window = 1;
+  ListeningSelector sel(space, 99 + bits, config);
+
+  util::Xoshiro256 rng(5 + bits);
+  for (int round = 0; round < 200; ++round) {
+    sel.observe(TransactionId(rng.below(space.size())));
+    const TransactionId picked = sel.select();
+    EXPECT_TRUE(space.contains(picked));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SelectorWidthTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u, 10u),
+                         [](const ::testing::TestParamInfo<unsigned>& param_info) {
+                           return "H" + std::to_string(param_info.param);
+                         });
+
+// -- Model surface properties over a dense grid ------------------------------
+
+TEST(ModelSurface, EfficiencyAlwaysInUnitInterval) {
+  for (unsigned h = 1; h <= 64; ++h) {
+    for (const double t : {1.0, 1.5, 3.0, 10.0, 100.0, 1e4, 1e6}) {
+      for (const double d : {1.0, 16.0, 128.0, 1024.0}) {
+        const double e = model::e_aff(d, h, t);
+        EXPECT_GE(e, 0.0) << h << " " << t << " " << d;
+        EXPECT_LE(e, 1.0) << h << " " << t << " " << d;
+      }
+    }
+  }
+}
+
+TEST(ModelSurface, AffNeverBeatsCollisionFreeSameWidth) {
+  // E_aff(D, H, T) <= E_static(D, H): collisions only subtract.
+  for (unsigned h = 1; h <= 32; ++h) {
+    for (const double t : {1.0, 2.0, 16.0, 256.0}) {
+      EXPECT_LE(model::e_aff(16.0, h, t), model::e_static(16.0, h) + 1e-15);
+    }
+  }
+}
+
+TEST(ModelSurface, MoreDataImprovesEfficiencyAtFixedHeader) {
+  for (unsigned h = 1; h <= 32; h += 3) {
+    for (const double t : {2.0, 16.0}) {
+      double prev = 0.0;
+      for (const double d : {8.0, 16.0, 64.0, 256.0, 4096.0}) {
+        const double e = model::e_aff(d, h, t);
+        EXPECT_GT(e, prev);
+        prev = e;
+      }
+    }
+  }
+}
+
+TEST(ModelSurface, OptimalBitsNeverExceedsNeedAtUnitDensity) {
+  // With T = 1 there are no collisions, so one bit is always optimal.
+  for (const double d : {1.0, 16.0, 128.0}) {
+    EXPECT_EQ(model::optimal_id_bits(d, 1.0), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace retri::core

@@ -1,0 +1,136 @@
+#include "radio/radio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace retri::radio {
+namespace {
+
+class RadioTest : public ::testing::Test {
+ protected:
+  RadioTest()
+      : medium(sim, sim::Topology::full_mesh(3), {}, 7) {}
+
+  Radio make_radio(sim::NodeId node, RadioConfig config = {}) {
+    return Radio(medium, node, config, EnergyModel{}, 100 + node);
+  }
+
+  sim::Simulator sim;
+  sim::BroadcastMedium medium;
+};
+
+TEST_F(RadioTest, FrameRoundTrip) {
+  Radio tx = make_radio(0);
+  Radio rx = make_radio(1);
+  std::vector<util::Bytes> received;
+  rx.set_receive_callback([&](sim::NodeId from, const util::Bytes& f) {
+    EXPECT_EQ(from, 0u);
+    received.push_back(f);
+  });
+
+  EXPECT_TRUE(tx.send({1, 2, 3}));
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], (util::Bytes{1, 2, 3}));
+  EXPECT_EQ(tx.counters().frames_sent, 1u);
+  EXPECT_EQ(rx.counters().frames_received, 1u);
+}
+
+TEST_F(RadioTest, OversizedFrameRejected) {
+  Radio tx = make_radio(0);
+  const util::Bytes big(kRpcMaxFrameBytes + 1, 0xee);
+  EXPECT_FALSE(tx.send(big));
+  EXPECT_EQ(tx.counters().frames_rejected, 1u);
+  EXPECT_EQ(tx.counters().frames_sent, 0u);
+  // Exactly at the limit is fine.
+  EXPECT_TRUE(tx.send(util::Bytes(kRpcMaxFrameBytes, 0xdd)));
+}
+
+TEST_F(RadioTest, FramesAreSerializedWithInterframeGap) {
+  RadioConfig config;
+  config.bitrate_bps = 8000.0;  // 1 byte per ms
+  config.interframe_gap = sim::Duration::milliseconds(2);
+  Radio tx = make_radio(0, config);
+  Radio rx = make_radio(1, config);
+  std::vector<sim::TimePoint> times;
+  rx.set_receive_callback(
+      [&](sim::NodeId, const util::Bytes&) { times.push_back(sim.now()); });
+
+  tx.send({0x01});  // 1 byte -> 1 ms airtime
+  tx.send({0x02});
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0].ns(), sim::Duration::milliseconds(1).ns());
+  // Second frame starts after airtime + gap of the first.
+  EXPECT_EQ(times[1].ns(), sim::Duration::milliseconds(4).ns());
+}
+
+TEST_F(RadioTest, QueueDrainsInOrder) {
+  Radio tx = make_radio(0);
+  Radio rx = make_radio(1);
+  std::vector<std::uint8_t> order;
+  rx.set_receive_callback([&](sim::NodeId, const util::Bytes& f) {
+    order.push_back(f[0]);
+  });
+  for (std::uint8_t i = 0; i < 10; ++i) tx.send({i});
+  EXPECT_GT(tx.queue_depth(), 0u);
+  EXPECT_FALSE(tx.idle());
+  sim.run();
+  EXPECT_TRUE(tx.idle());
+  ASSERT_EQ(order.size(), 10u);
+  for (std::uint8_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_F(RadioTest, AirtimeScalesWithSizeAndOverhead) {
+  RadioConfig config;
+  config.bitrate_bps = 1000.0;
+  Radio plain = make_radio(0, config);
+  EXPECT_EQ(plain.airtime(10).ns(), sim::Duration::milliseconds(80).ns());
+
+  Radio overhead(medium, 1, config, EnergyModel{.per_frame_overhead_bits = 20},
+                 5);
+  EXPECT_EQ(overhead.airtime(10).ns(), sim::Duration::milliseconds(100).ns());
+}
+
+TEST_F(RadioTest, EnergyAccountsTxAndRx) {
+  EnergyModel model{.tx_nj_per_bit = 10.0, .rx_nj_per_bit = 5.0,
+                    .idle_nw = 0.0, .per_frame_overhead_bits = 0};
+  Radio tx(medium, 0, RadioConfig{}, model, 1);
+  Radio rx(medium, 1, RadioConfig{}, model, 2);
+  tx.send({1, 2});  // 16 bits
+  sim.run();
+  EXPECT_DOUBLE_EQ(tx.energy().tx_nj(), 160.0);
+  EXPECT_DOUBLE_EQ(rx.energy().rx_nj(), 80.0);
+  EXPECT_EQ(tx.counters().payload_bits_sent, 16u);
+  EXPECT_EQ(rx.counters().payload_bits_received, 16u);
+}
+
+TEST_F(RadioTest, BackoffDelaysButDelivers) {
+  RadioConfig config;
+  config.max_backoff = sim::Duration::milliseconds(10);
+  Radio tx = make_radio(0, config);
+  Radio rx = make_radio(1);
+  int received = 0;
+  rx.set_receive_callback([&](sim::NodeId, const util::Bytes&) { ++received; });
+  for (int i = 0; i < 5; ++i) tx.send({static_cast<std::uint8_t>(i)});
+  sim.run();
+  EXPECT_EQ(received, 5);
+}
+
+TEST_F(RadioTest, BroadcastReachesAllRadiosInRange) {
+  Radio tx = make_radio(0);
+  Radio rx1 = make_radio(1);
+  Radio rx2 = make_radio(2);
+  int count1 = 0;
+  int count2 = 0;
+  rx1.set_receive_callback([&](sim::NodeId, const util::Bytes&) { ++count1; });
+  rx2.set_receive_callback([&](sim::NodeId, const util::Bytes&) { ++count2; });
+  tx.send({0x55});
+  sim.run();
+  EXPECT_EQ(count1, 1);
+  EXPECT_EQ(count2, 1);
+}
+
+}  // namespace
+}  // namespace retri::radio

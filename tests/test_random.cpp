@@ -1,0 +1,183 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace retri::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceFromZeroSeed) {
+  // Reference values for splitmix64 seeded with 0 (Vigna's reference code).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro256, DeterministicForEqualSeeds) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, BelowStaysInBound) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 512ull, 65536ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, BelowOneAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, BelowIsApproximatelyUniform) {
+  Xoshiro256 rng(123);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kSamples = 80'000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  // Chi-squared with 7 dof; 99.9% critical value is 24.32.
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 24.32);
+}
+
+TEST(Xoshiro256, BetweenCoversInclusiveRange) {
+  Xoshiro256 rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    if (v == 3) saw_lo = true;
+    if (v == 6) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, BetweenFullRangeDoesNotHang) {
+  Xoshiro256 rng(5);
+  (void)rng.between(0, ~std::uint64_t{0});
+}
+
+TEST(Xoshiro256, UniformInHalfOpenUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20'000, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, ChanceExtremes) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Xoshiro256, ChanceMatchesProbability) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  constexpr int kTrials = 50'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, ExponentialHasRequestedMean) {
+  Xoshiro256 rng(19);
+  double sum = 0.0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.exponential(2.5);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, 2.5, 0.1);
+}
+
+TEST(Xoshiro256, PoissonSmallMean) {
+  Xoshiro256 rng(23);
+  double sum = 0.0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(rng.poisson(3.0));
+  EXPECT_NEAR(sum / kSamples, 3.0, 0.1);
+}
+
+TEST(Xoshiro256, PoissonLargeMeanUsesApproximation) {
+  Xoshiro256 rng(29);
+  double sum = 0.0;
+  constexpr int kSamples = 20'000;
+  for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(sum / kSamples, 100.0, 1.0);
+}
+
+TEST(Xoshiro256, PoissonZeroMean) {
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Xoshiro256, ForkProducesIndependentStream) {
+  Xoshiro256 parent(37);
+  Xoshiro256 child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, ShuffleIsAPermutation) {
+  Xoshiro256 rng(41);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Xoshiro256, ShuffleDeterministicPerSeed) {
+  std::vector<int> a(50);
+  std::vector<int> b(50);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Xoshiro256 r1(43);
+  Xoshiro256 r2(43);
+  r1.shuffle(a);
+  r2.shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace retri::util

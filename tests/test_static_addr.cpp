@@ -1,0 +1,75 @@
+#include "net/static_addr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace retri::net {
+namespace {
+
+TEST(StaticAddressAllocator, SequentialAssignsDensely) {
+  StaticAddressAllocator alloc(4);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const auto addr = alloc.assign_sequential();
+    ASSERT_TRUE(addr.ok());
+    EXPECT_EQ(addr.value().value(), i);
+  }
+  EXPECT_TRUE(alloc.exhausted());
+  const auto overflow = alloc.assign_sequential();
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.error(), AllocError::kExhausted);
+}
+
+TEST(StaticAddressAllocator, RandomAssignsUniquely) {
+  StaticAddressAllocator alloc(10);
+  util::Xoshiro256 rng(5);
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto addr = alloc.assign_random(rng);
+    ASSERT_TRUE(addr.ok());
+    EXPECT_LT(addr.value().value(), 1024u);
+    EXPECT_TRUE(seen.insert(addr.value().value()).second)
+        << "duplicate address " << addr.value().value();
+  }
+  EXPECT_EQ(alloc.assigned_count(), 500u);
+}
+
+TEST(StaticAddressAllocator, RandomFillsSmallSpaceCompletely) {
+  StaticAddressAllocator alloc(3);
+  util::Xoshiro256 rng(7);
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 8; ++i) {
+    const auto addr = alloc.assign_random(rng);
+    ASSERT_TRUE(addr.ok());
+    seen.insert(addr.value().value());
+  }
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_TRUE(alloc.exhausted());
+  const auto overflow = alloc.assign_random(rng);
+  EXPECT_FALSE(overflow.ok());
+}
+
+TEST(StaticAddressAllocator, MixedSequentialAndRandomStayDisjoint) {
+  StaticAddressAllocator alloc(8);
+  util::Xoshiro256 rng(9);
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    const auto a = alloc.assign_sequential();
+    const auto b = alloc.assign_random(rng);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(seen.insert(a.value().value()).second);
+    EXPECT_TRUE(seen.insert(b.value().value()).second);
+  }
+  EXPECT_EQ(seen.size(), 128u);
+}
+
+TEST(Address, StrongTypeComparisons) {
+  EXPECT_EQ(Address(5), Address(5));
+  EXPECT_NE(Address(5), Address(6));
+  EXPECT_LT(Address(5), Address(6));
+  EXPECT_EQ(Address().value(), 0u);
+}
+
+}  // namespace
+}  // namespace retri::net

@@ -1,0 +1,83 @@
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace retri::stats {
+namespace {
+
+TEST(Table, AlignedOutputHasHeaderRuleAndRows) {
+  Table t({"id bits", "efficiency"});
+  t.row({"9", "0.59"});
+  t.row({"16", "0.50"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("id bits"), std::string::npos);
+  EXPECT_NE(s.find("0.59"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  // 3 data-ish lines: header, rule, 2 rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, ColumnsPadToWidestCell) {
+  Table t({"x", "long header"});
+  t.row({"wide-cell-value", "1"});
+  std::ostringstream out;
+  t.print(out);
+  std::istringstream lines(out.str());
+  std::string header;
+  std::string rule;
+  std::string row;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row);
+  EXPECT_EQ(header.size(), row.size());
+  EXPECT_EQ(header.size(), rule.size());
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name", "note"});
+  t.row({"plain", "with,comma"});
+  t.row({"quo\"te", "line\nbreak"});
+  std::ostringstream out;
+  t.print_csv(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"quo\"\"te\""), std::string::npos);
+  EXPECT_NE(s.find("\"line\nbreak\""), std::string::npos);
+  EXPECT_NE(s.find("plain"), std::string::npos);
+}
+
+TEST(Table, RowAndColumnCounts) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Fmt, FixedDecimals) {
+  EXPECT_EQ(fmt(0.5), "0.5000");
+  EXPECT_EQ(fmt(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Fmt, SpecialValues) {
+  EXPECT_EQ(fmt(std::nan("")), "n/a");
+  EXPECT_EQ(fmt(INFINITY), "inf");
+  EXPECT_EQ(fmt(-INFINITY), "-inf");
+}
+
+TEST(FmtPct, Percentages) {
+  EXPECT_EQ(fmt_pct(0.5), "50.00%");
+  EXPECT_EQ(fmt_pct(0.333333, 1), "33.3%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+  EXPECT_EQ(fmt_pct(std::nan("")), "n/a");
+}
+
+}  // namespace
+}  // namespace retri::stats

@@ -1,0 +1,148 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.hpp"
+
+namespace retri::sim {
+namespace {
+
+TEST(Topology, StartsIsolated) {
+  Topology t(4);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.link_count(), 0u);
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = 0; b < 4; ++b) EXPECT_FALSE(t.hears(a, b));
+  }
+}
+
+TEST(Topology, DirectedLinks) {
+  Topology t(3);
+  t.add_link(0, 1);  // 0 hears 1
+  EXPECT_TRUE(t.hears(0, 1));
+  EXPECT_FALSE(t.hears(1, 0));
+  EXPECT_EQ(t.link_count(), 1u);
+  ASSERT_EQ(t.audience(1).size(), 1u);
+  EXPECT_EQ(t.audience(1)[0], 0u);
+  EXPECT_TRUE(t.audience(0).empty());
+}
+
+TEST(Topology, BidirectionalLinks) {
+  Topology t(3);
+  t.add_bidi(0, 2);
+  EXPECT_TRUE(t.hears(0, 2));
+  EXPECT_TRUE(t.hears(2, 0));
+  EXPECT_EQ(t.link_count(), 2u);
+}
+
+TEST(Topology, SelfLinksAreIgnored) {
+  Topology t(2);
+  t.add_link(0, 0);
+  t.add_bidi(1, 1);
+  EXPECT_FALSE(t.hears(0, 0));
+  EXPECT_FALSE(t.hears(1, 1));
+  EXPECT_EQ(t.link_count(), 0u);
+}
+
+TEST(Topology, DuplicateAddIsIdempotent) {
+  Topology t(2);
+  t.add_link(0, 1);
+  t.add_link(0, 1);
+  EXPECT_EQ(t.link_count(), 1u);
+  EXPECT_EQ(t.audience(1).size(), 1u);
+}
+
+TEST(Topology, RemoveLink) {
+  Topology t(3);
+  t.add_bidi(0, 1);
+  t.remove_link(0, 1);
+  EXPECT_FALSE(t.hears(0, 1));
+  EXPECT_TRUE(t.hears(1, 0));
+  EXPECT_EQ(t.link_count(), 1u);
+  EXPECT_TRUE(t.audience(1).empty());
+  t.remove_link(0, 1);  // removing twice is a no-op
+  EXPECT_EQ(t.link_count(), 1u);
+}
+
+TEST(Topology, FullMesh) {
+  const Topology t = Topology::full_mesh(5);
+  EXPECT_TRUE(t.is_full_mesh());
+  EXPECT_EQ(t.link_count(), 20u);
+  for (NodeId a = 0; a < 5; ++a) {
+    EXPECT_EQ(t.audience(a).size(), 4u);
+  }
+}
+
+TEST(Topology, Line) {
+  const Topology t = Topology::line(4);
+  EXPECT_TRUE(t.hears(0, 1));
+  EXPECT_TRUE(t.hears(1, 0));
+  EXPECT_TRUE(t.hears(1, 2));
+  EXPECT_TRUE(t.hears(2, 3));
+  EXPECT_FALSE(t.hears(0, 2));
+  EXPECT_FALSE(t.hears(0, 3));
+  EXPECT_EQ(t.link_count(), 6u);
+}
+
+TEST(Topology, Grid) {
+  // 3x2 grid: ids 0 1 2 / 3 4 5.
+  const Topology t = Topology::grid(3, 2);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_TRUE(t.hears(0, 1));
+  EXPECT_TRUE(t.hears(0, 3));
+  EXPECT_FALSE(t.hears(0, 4));  // diagonal
+  EXPECT_TRUE(t.hears(4, 1));
+  EXPECT_TRUE(t.hears(4, 3));
+  EXPECT_TRUE(t.hears(4, 5));
+  // 7 undirected edges -> 14 directed links.
+  EXPECT_EQ(t.link_count(), 14u);
+}
+
+TEST(Topology, GeometricRangeExtremes) {
+  util::Xoshiro256 rng(5);
+  const Topology none = Topology::geometric(10, 100.0, 0.0, rng);
+  EXPECT_EQ(none.link_count(), 0u);
+  util::Xoshiro256 rng2(5);
+  // Range covering the whole square diagonal: full mesh.
+  const Topology all = Topology::geometric(10, 100.0, 150.0, rng2);
+  EXPECT_TRUE(all.is_full_mesh());
+}
+
+TEST(Topology, GeometricIsSymmetric) {
+  util::Xoshiro256 rng(11);
+  const Topology t = Topology::geometric(20, 10.0, 3.0, rng);
+  for (NodeId a = 0; a < 20; ++a) {
+    for (NodeId b = 0; b < 20; ++b) {
+      EXPECT_EQ(t.hears(a, b), t.hears(b, a));
+    }
+  }
+}
+
+TEST(Topology, HiddenTerminal) {
+  const Topology t = Topology::hidden_terminal(3);
+  EXPECT_EQ(t.size(), 4u);
+  // Receiver 0 hears every sender and vice versa.
+  for (NodeId s = 1; s <= 3; ++s) {
+    EXPECT_TRUE(t.hears(0, s));
+    EXPECT_TRUE(t.hears(s, 0));
+  }
+  // Senders are mutually hidden.
+  for (NodeId a = 1; a <= 3; ++a) {
+    for (NodeId b = 1; b <= 3; ++b) {
+      if (a != b) {
+        EXPECT_FALSE(t.hears(a, b));
+      }
+    }
+  }
+}
+
+TEST(Topology, StarFullMeshEqualsFullMesh) {
+  const Topology t = Topology::star_full_mesh(5);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_TRUE(t.is_full_mesh());
+}
+
+}  // namespace
+}  // namespace retri::sim

@@ -1,0 +1,116 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/medium.hpp"
+
+namespace retri::sim {
+namespace {
+
+TEST(TraceRecorder, RecordsAndCounts) {
+  TraceRecorder trace(16);
+  trace.record({TimePoint::origin(), TraceEvent::Kind::kTransmit, 1,
+                TraceEvent::kNoNode, 27});
+  trace.record({TimePoint::origin(), TraceEvent::Kind::kDeliver, 1, 2, 27});
+  trace.record({TimePoint::origin(), TraceEvent::Kind::kDeliver, 1, 3, 27});
+  EXPECT_EQ(trace.recorded(), 3u);
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kTransmit), 1u);
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kDeliver), 2u);
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kLostRandom), 0u);
+}
+
+TEST(TraceRecorder, CapacityDropsButKeepsCounting) {
+  TraceRecorder trace(2);
+  for (int i = 0; i < 5; ++i) {
+    trace.record({TimePoint::origin(), TraceEvent::Kind::kTransmit,
+                  static_cast<NodeId>(i), TraceEvent::kNoNode, 1});
+  }
+  EXPECT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.recorded(), 5u);
+  EXPECT_EQ(trace.dropped(), 3u);
+}
+
+TEST(TraceRecorder, ForNodeFiltersBothDirections) {
+  TraceRecorder trace;
+  trace.record({TimePoint::origin(), TraceEvent::Kind::kDeliver, 1, 2, 5});
+  trace.record({TimePoint::origin(), TraceEvent::Kind::kDeliver, 3, 4, 5});
+  trace.record({TimePoint::origin(), TraceEvent::Kind::kTransmit, 2,
+                TraceEvent::kNoNode, 5});
+  const auto node2 = trace.for_node(2);
+  EXPECT_EQ(node2.size(), 2u);
+  EXPECT_TRUE(trace.for_node(9).empty());
+}
+
+TEST(TraceRecorder, ClearResets) {
+  TraceRecorder trace(1);
+  trace.record({TimePoint::origin(), TraceEvent::Kind::kTransmit, 0,
+                TraceEvent::kNoNode, 1});
+  trace.record({TimePoint::origin(), TraceEvent::Kind::kTransmit, 0,
+                TraceEvent::kNoNode, 1});
+  trace.clear();
+  EXPECT_EQ(trace.recorded(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TraceRecorder, DumpFormats) {
+  TraceRecorder trace;
+  trace.record({TimePoint::origin() + Duration::milliseconds(5),
+                TraceEvent::Kind::kTransmit, 2, TraceEvent::kNoNode, 27});
+  trace.record({TimePoint::origin() + Duration::milliseconds(6),
+                TraceEvent::Kind::kLostRandom, 2, 3, 27});
+
+  std::ostringstream text;
+  trace.dump(text);
+  EXPECT_NE(text.str().find("TX n2 -> *"), std::string::npos);
+  EXPECT_NE(text.str().find("LOST_RAND n2 -> n3"), std::string::npos);
+
+  std::ostringstream csv;
+  trace.dump_csv(csv);
+  EXPECT_NE(csv.str().find("time_s,kind,from,to,bytes"), std::string::npos);
+  EXPECT_NE(csv.str().find("0.005,TX,2,*,27"), std::string::npos);
+}
+
+TEST(TraceRecorder, MediumIntegrationRecordsOutcomes) {
+  Simulator sim;
+  MediumConfig config;
+  config.per_link_loss = 0.5;
+  BroadcastMedium medium(sim, Topology::full_mesh(2), config, 99);
+  TraceRecorder trace;
+  medium.set_trace(&trace);
+  medium.attach(1, [](NodeId, const util::Bytes&) {});
+
+  constexpr int kFrames = 200;
+  for (int i = 0; i < kFrames; ++i) {
+    medium.transmit(0, {0x01, 0x02}, Duration::microseconds(10));
+    sim.run();
+  }
+
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kTransmit), kFrames);
+  const auto delivered = trace.count(TraceEvent::Kind::kDeliver);
+  const auto lost = trace.count(TraceEvent::Kind::kLostRandom);
+  EXPECT_EQ(delivered + lost, kFrames);
+  EXPECT_EQ(delivered, medium.stats().delivered);
+  EXPECT_EQ(lost, medium.stats().lost_random);
+  // Every event carries the frame size.
+  for (const auto& e : trace.events()) EXPECT_EQ(e.bytes, 2u);
+}
+
+TEST(TraceRecorder, DetachStopsRecording) {
+  Simulator sim;
+  BroadcastMedium medium(sim, Topology::full_mesh(2), {}, 1);
+  TraceRecorder trace;
+  medium.set_trace(&trace);
+  medium.transmit(0, {0x01}, Duration::microseconds(1));
+  sim.run();
+  const auto before = trace.recorded();
+  medium.set_trace(nullptr);
+  medium.transmit(0, {0x01}, Duration::microseconds(1));
+  sim.run();
+  EXPECT_EQ(trace.recorded(), before);
+}
+
+}  // namespace
+}  // namespace retri::sim

@@ -1,0 +1,113 @@
+#include "core/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace retri::core {
+namespace {
+
+TEST(TransactionRegistry, NonCollidingTransactionSucceeds) {
+  TransactionRegistry reg;
+  const TxHandle h = reg.begin(TransactionId(1));
+  EXPECT_TRUE(reg.active(h));
+  EXPECT_FALSE(reg.doomed(h));
+  EXPECT_TRUE(reg.end(h));
+  EXPECT_FALSE(reg.active(h));
+  EXPECT_EQ(reg.total_succeeded(), 1u);
+  EXPECT_EQ(reg.total_collided(), 0u);
+}
+
+TEST(TransactionRegistry, ConcurrentSameIdDoomsBoth) {
+  TransactionRegistry reg;
+  const TxHandle a = reg.begin(TransactionId(7));
+  const TxHandle b = reg.begin(TransactionId(7));
+  EXPECT_TRUE(reg.doomed(a));
+  EXPECT_TRUE(reg.doomed(b));
+  EXPECT_FALSE(reg.end(a));
+  EXPECT_FALSE(reg.end(b));
+  EXPECT_EQ(reg.total_collided(), 2u);
+}
+
+TEST(TransactionRegistry, SequentialReuseOfIdIsClean) {
+  // Temporal locality: the same id at different times never collides.
+  TransactionRegistry reg;
+  for (int i = 0; i < 10; ++i) {
+    const TxHandle h = reg.begin(TransactionId(3));
+    EXPECT_TRUE(reg.end(h));
+  }
+  EXPECT_EQ(reg.total_succeeded(), 10u);
+}
+
+TEST(TransactionRegistry, DoomPersistsAfterPeerEnds) {
+  // a and b collide; b ends first; a must still be doomed at its end.
+  TransactionRegistry reg;
+  const TxHandle a = reg.begin(TransactionId(9));
+  const TxHandle b = reg.begin(TransactionId(9));
+  EXPECT_FALSE(reg.end(b));
+  EXPECT_FALSE(reg.end(a));
+}
+
+TEST(TransactionRegistry, LateArrivalDoomsEarlierCleanTransaction) {
+  TransactionRegistry reg;
+  const TxHandle a = reg.begin(TransactionId(4));
+  EXPECT_FALSE(reg.doomed(a));
+  const TxHandle b = reg.begin(TransactionId(4));
+  EXPECT_TRUE(reg.doomed(a));
+  EXPECT_TRUE(reg.doomed(b));
+}
+
+TEST(TransactionRegistry, ThreeWayCollision) {
+  TransactionRegistry reg;
+  const TxHandle a = reg.begin(TransactionId(2));
+  const TxHandle b = reg.begin(TransactionId(2));
+  const TxHandle c = reg.begin(TransactionId(2));
+  EXPECT_EQ(reg.holders(TransactionId(2)), 3u);
+  EXPECT_FALSE(reg.end(a));
+  EXPECT_FALSE(reg.end(b));
+  EXPECT_FALSE(reg.end(c));
+  EXPECT_EQ(reg.total_collided(), 3u);
+}
+
+TEST(TransactionRegistry, DistinctIdsDoNotInterfere) {
+  TransactionRegistry reg;
+  const TxHandle a = reg.begin(TransactionId(1));
+  const TxHandle b = reg.begin(TransactionId(2));
+  const TxHandle c = reg.begin(TransactionId(3));
+  EXPECT_EQ(reg.concurrency(), 3u);
+  EXPECT_TRUE(reg.end(a));
+  EXPECT_TRUE(reg.end(b));
+  EXPECT_TRUE(reg.end(c));
+}
+
+TEST(TransactionRegistry, EndingUnknownHandleReturnsFalse) {
+  TransactionRegistry reg;
+  EXPECT_FALSE(reg.end(TxHandle{999}));
+  const TxHandle h = reg.begin(TransactionId(1));
+  EXPECT_TRUE(reg.end(h));
+  EXPECT_FALSE(reg.end(h));  // double-end
+  EXPECT_EQ(reg.total_succeeded(), 1u);
+}
+
+TEST(TransactionRegistry, ConcurrencyStatistics) {
+  TransactionRegistry reg;
+  const TxHandle a = reg.begin(TransactionId(1));  // concurrency at begin: 1
+  const TxHandle b = reg.begin(TransactionId(2));  // 2
+  reg.end(a);
+  const TxHandle c = reg.begin(TransactionId(3));  // 2
+  reg.end(b);
+  reg.end(c);
+  EXPECT_EQ(reg.max_concurrency(), 2u);
+  EXPECT_EQ(reg.total_begun(), 3u);
+  EXPECT_NEAR(reg.mean_concurrency_at_begin(), (1.0 + 2.0 + 2.0) / 3.0, 1e-12);
+}
+
+TEST(TransactionRegistry, HoldersCountsActiveOnly) {
+  TransactionRegistry reg;
+  EXPECT_EQ(reg.holders(TransactionId(5)), 0u);
+  const TxHandle a = reg.begin(TransactionId(5));
+  EXPECT_EQ(reg.holders(TransactionId(5)), 1u);
+  reg.end(a);
+  EXPECT_EQ(reg.holders(TransactionId(5)), 0u);
+}
+
+}  // namespace
+}  // namespace retri::core

@@ -1,0 +1,153 @@
+#include "aff/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace retri::aff {
+namespace {
+
+TEST(Wire, IntroRoundTrip) {
+  const WireConfig config{.id_bits = 8, .instrumented = false};
+  const IntroFragment intro{core::TransactionId(0x42), 300, 0xdeadbeef};
+  const util::Bytes frame = encode_intro(config, intro);
+  EXPECT_EQ(frame.size(), intro_header_bytes(config));
+
+  const auto decoded = decode(config, frame);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* out = std::get_if<IntroFragment>(&decoded->body);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->id.value(), 0x42u);
+  EXPECT_EQ(out->total_len, 300);
+  EXPECT_EQ(out->checksum, 0xdeadbeefu);
+  EXPECT_FALSE(decoded->true_packet_id.has_value());
+}
+
+TEST(Wire, DataRoundTrip) {
+  const WireConfig config{.id_bits = 12, .instrumented = false};
+  const DataFragment data{core::TransactionId(0xabc), 512, {1, 2, 3, 4}};
+  const util::Bytes frame = encode_data(config, data);
+  EXPECT_EQ(frame.size(), data_header_bytes(config) + 4);
+
+  const auto decoded = decode(config, frame);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* out = std::get_if<DataFragment>(&decoded->body);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->id.value(), 0xabcu);
+  EXPECT_EQ(out->offset, 512);
+  EXPECT_EQ(out->payload, (util::Bytes{1, 2, 3, 4}));
+}
+
+TEST(Wire, NotifyRoundTrip) {
+  const WireConfig config{.id_bits = 8, .instrumented = false};
+  const util::Bytes frame = encode_notify(config, {core::TransactionId(0x7f)});
+  const auto decoded = decode(config, frame);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* out = std::get_if<CollisionNotify>(&decoded->body);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->id.value(), 0x7fu);
+}
+
+TEST(Wire, InstrumentedCarriesTruePacketId) {
+  const WireConfig config{.id_bits = 8, .instrumented = true};
+  const IntroFragment intro{core::TransactionId(9), 80, 0x1234};
+  const util::Bytes frame = encode_intro(config, intro, 0xfeedfacecafef00dULL);
+  EXPECT_EQ(frame.size(), intro_header_bytes(config));
+
+  const auto decoded = decode(config, frame);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->true_packet_id.has_value());
+  EXPECT_EQ(*decoded->true_packet_id, 0xfeedfacecafef00dULL);
+  EXPECT_EQ(decoded->id().value(), 9u);
+}
+
+TEST(Wire, InstrumentationMismatchRejected) {
+  const WireConfig plain{.id_bits = 8, .instrumented = false};
+  const WireConfig inst{.id_bits = 8, .instrumented = true};
+  const IntroFragment intro{core::TransactionId(1), 10, 0};
+  // Instrumented frame on a plain receiver and vice versa: both rejected.
+  EXPECT_FALSE(decode(plain, encode_intro(inst, intro, 5)).has_value());
+  EXPECT_FALSE(decode(inst, encode_intro(plain, intro)).has_value());
+}
+
+TEST(Wire, InstrumentationCostsExactlyEightBytes) {
+  const WireConfig plain{.id_bits = 8, .instrumented = false};
+  const WireConfig inst{.id_bits = 8, .instrumented = true};
+  EXPECT_EQ(intro_header_bytes(inst), intro_header_bytes(plain) + 8);
+  EXPECT_EQ(data_header_bytes(inst), data_header_bytes(plain) + 8);
+}
+
+TEST(Wire, HeaderSizesTrackIdWidth) {
+  // 1..8 bits -> 1 id byte; 9..16 -> 2; 17..24 -> 3.
+  const WireConfig w8{.id_bits = 8, .instrumented = false};
+  const WireConfig w9{.id_bits = 9, .instrumented = false};
+  const WireConfig w17{.id_bits = 17, .instrumented = false};
+  EXPECT_EQ(intro_header_bytes(w8), 1u + 1 + 2 + 4);
+  EXPECT_EQ(intro_header_bytes(w9), 1u + 2 + 2 + 4);
+  EXPECT_EQ(intro_header_bytes(w17), 1u + 3 + 2 + 4);
+  EXPECT_EQ(data_header_bytes(w8), 1u + 1 + 2);
+}
+
+TEST(Wire, TruncatedFramesRejected) {
+  const WireConfig config{.id_bits = 16, .instrumented = false};
+  const IntroFragment intro{core::TransactionId(5), 100, 0xabcd};
+  const util::Bytes full = encode_intro(config, intro);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const util::Bytes truncated(full.begin(),
+                                full.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(decode(config, truncated).has_value()) << "len=" << len;
+  }
+}
+
+TEST(Wire, TrailingGarbageOnIntroRejected) {
+  const WireConfig config{.id_bits = 8, .instrumented = false};
+  util::Bytes frame = encode_intro(config, {core::TransactionId(1), 10, 0});
+  frame.push_back(0xee);
+  EXPECT_FALSE(decode(config, frame).has_value());
+}
+
+TEST(Wire, UnknownKindRejected) {
+  const WireConfig config{.id_bits = 8, .instrumented = false};
+  const util::Bytes frame = {0x7e, 0x01, 0x00, 0x00};
+  EXPECT_FALSE(decode(config, frame).has_value());
+}
+
+TEST(Wire, EmptyFrameRejected) {
+  const WireConfig config{.id_bits = 8, .instrumented = false};
+  EXPECT_FALSE(decode(config, {}).has_value());
+}
+
+TEST(Wire, EmptyDataPayloadIsRepresentable) {
+  const WireConfig config{.id_bits = 8, .instrumented = false};
+  const DataFragment data{core::TransactionId(3), 7, {}};
+  const auto decoded = decode(config, encode_data(config, data));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* out = std::get_if<DataFragment>(&decoded->body);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->payload.empty());
+}
+
+TEST(Wire, RandomFuzzNeverCrashes) {
+  util::Xoshiro256 rng(1337);
+  const WireConfig config{.id_bits = 10, .instrumented = false};
+  for (int i = 0; i < 5000; ++i) {
+    const auto len = static_cast<std::size_t>(rng.below(40));
+    const util::Bytes junk = util::random_payload(len, rng.next());
+    (void)decode(config, junk);  // must not crash; result may be anything
+  }
+}
+
+TEST(Wire, IdWidthRoundTripAcrossWidths) {
+  util::Xoshiro256 rng(4242);
+  for (unsigned bits = 1; bits <= 32; ++bits) {
+    const WireConfig config{.id_bits = bits, .instrumented = false};
+    const std::uint64_t mask = (bits >= 64) ? ~0ull : ((1ull << bits) - 1);
+    const core::TransactionId id(rng.next() & mask);
+    const auto decoded = decode(config, encode_intro(config, {id, 1, 2}));
+    ASSERT_TRUE(decoded.has_value()) << "bits=" << bits;
+    EXPECT_EQ(decoded->id(), id) << "bits=" << bits;
+  }
+}
+
+}  // namespace
+}  // namespace retri::aff
