@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_codebook.dir/ablate_codebook.cpp.o"
+  "CMakeFiles/ablate_codebook.dir/ablate_codebook.cpp.o.d"
+  "ablate_codebook"
+  "ablate_codebook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_codebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_density_estimators.dir/ablate_density_estimators.cpp.o"
+  "CMakeFiles/ablate_density_estimators.dir/ablate_density_estimators.cpp.o.d"
+  "ablate_density_estimators"
+  "ablate_density_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_density_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_duty_cycle.dir/ablate_duty_cycle.cpp.o"
+  "CMakeFiles/ablate_duty_cycle.dir/ablate_duty_cycle.cpp.o.d"
+  "ablate_duty_cycle"
+  "ablate_duty_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_duty_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

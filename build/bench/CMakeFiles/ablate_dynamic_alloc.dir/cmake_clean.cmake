@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_dynamic_alloc.dir/ablate_dynamic_alloc.cpp.o"
+  "CMakeFiles/ablate_dynamic_alloc.dir/ablate_dynamic_alloc.cpp.o.d"
+  "ablate_dynamic_alloc"
+  "ablate_dynamic_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_dynamic_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_hidden_terminal.dir/ablate_hidden_terminal.cpp.o"
+  "CMakeFiles/ablate_hidden_terminal.dir/ablate_hidden_terminal.cpp.o.d"
+  "ablate_hidden_terminal"
+  "ablate_hidden_terminal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_hidden_terminal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

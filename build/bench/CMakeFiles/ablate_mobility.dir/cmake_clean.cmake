@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_mobility.dir/ablate_mobility.cpp.o"
+  "CMakeFiles/ablate_mobility.dir/ablate_mobility.cpp.o.d"
+  "ablate_mobility"
+  "ablate_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablate_scaling.cpp" "bench/CMakeFiles/ablate_scaling.dir/ablate_scaling.cpp.o" "gcc" "bench/CMakeFiles/ablate_scaling.dir/ablate_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/retri_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/retri_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/retri_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/aff/CMakeFiles/retri_aff.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/retri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/retri_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/retri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/retri_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/retri_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

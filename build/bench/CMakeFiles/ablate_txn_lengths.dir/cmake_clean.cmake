@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_txn_lengths.dir/ablate_txn_lengths.cpp.o"
+  "CMakeFiles/ablate_txn_lengths.dir/ablate_txn_lengths.cpp.o.d"
+  "ablate_txn_lengths"
+  "ablate_txn_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_txn_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

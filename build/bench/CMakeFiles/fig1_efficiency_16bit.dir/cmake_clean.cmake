@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_efficiency_16bit.dir/fig1_efficiency_16bit.cpp.o"
+  "CMakeFiles/fig1_efficiency_16bit.dir/fig1_efficiency_16bit.cpp.o.d"
+  "fig1_efficiency_16bit"
+  "fig1_efficiency_16bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_efficiency_16bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

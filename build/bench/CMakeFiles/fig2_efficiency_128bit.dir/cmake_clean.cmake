@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_efficiency_128bit.dir/fig2_efficiency_128bit.cpp.o"
+  "CMakeFiles/fig2_efficiency_128bit.dir/fig2_efficiency_128bit.cpp.o.d"
+  "fig2_efficiency_128bit"
+  "fig2_efficiency_128bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_efficiency_128bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_validation.dir/fig4_validation.cpp.o"
+  "CMakeFiles/fig4_validation.dir/fig4_validation.cpp.o.d"
+  "fig4_validation"
+  "fig4_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retri_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/retri_bench_harness.dir/harness.cpp.o.d"
+  "libretri_bench_harness.a"
+  "libretri_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retri_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libretri_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_allocation.dir/address_allocation.cpp.o"
+  "CMakeFiles/address_allocation.dir/address_allocation.cpp.o.d"
+  "address_allocation"
+  "address_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codebook_compression.dir/codebook_compression.cpp.o"
+  "CMakeFiles/codebook_compression.dir/codebook_compression.cpp.o.d"
+  "codebook_compression"
+  "codebook_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codebook_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_field.dir/diffusion_field.cpp.o"
+  "CMakeFiles/diffusion_field.dir/diffusion_field.cpp.o.d"
+  "diffusion_field"
+  "diffusion_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aff/driver.cpp" "src/aff/CMakeFiles/retri_aff.dir/driver.cpp.o" "gcc" "src/aff/CMakeFiles/retri_aff.dir/driver.cpp.o.d"
+  "/root/repo/src/aff/fragmenter.cpp" "src/aff/CMakeFiles/retri_aff.dir/fragmenter.cpp.o" "gcc" "src/aff/CMakeFiles/retri_aff.dir/fragmenter.cpp.o.d"
+  "/root/repo/src/aff/reassembler.cpp" "src/aff/CMakeFiles/retri_aff.dir/reassembler.cpp.o" "gcc" "src/aff/CMakeFiles/retri_aff.dir/reassembler.cpp.o.d"
+  "/root/repo/src/aff/wire.cpp" "src/aff/CMakeFiles/retri_aff.dir/wire.cpp.o" "gcc" "src/aff/CMakeFiles/retri_aff.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/retri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/retri_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/retri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/retri_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retri_aff.dir/driver.cpp.o"
+  "CMakeFiles/retri_aff.dir/driver.cpp.o.d"
+  "CMakeFiles/retri_aff.dir/fragmenter.cpp.o"
+  "CMakeFiles/retri_aff.dir/fragmenter.cpp.o.d"
+  "CMakeFiles/retri_aff.dir/reassembler.cpp.o"
+  "CMakeFiles/retri_aff.dir/reassembler.cpp.o.d"
+  "CMakeFiles/retri_aff.dir/wire.cpp.o"
+  "CMakeFiles/retri_aff.dir/wire.cpp.o.d"
+  "libretri_aff.a"
+  "libretri_aff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retri_aff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

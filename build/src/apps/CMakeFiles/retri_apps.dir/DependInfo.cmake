@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/codebook.cpp" "src/apps/CMakeFiles/retri_apps.dir/codebook.cpp.o" "gcc" "src/apps/CMakeFiles/retri_apps.dir/codebook.cpp.o.d"
+  "/root/repo/src/apps/diffusion.cpp" "src/apps/CMakeFiles/retri_apps.dir/diffusion.cpp.o" "gcc" "src/apps/CMakeFiles/retri_apps.dir/diffusion.cpp.o.d"
+  "/root/repo/src/apps/flood.cpp" "src/apps/CMakeFiles/retri_apps.dir/flood.cpp.o" "gcc" "src/apps/CMakeFiles/retri_apps.dir/flood.cpp.o.d"
+  "/root/repo/src/apps/interest.cpp" "src/apps/CMakeFiles/retri_apps.dir/interest.cpp.o" "gcc" "src/apps/CMakeFiles/retri_apps.dir/interest.cpp.o.d"
+  "/root/repo/src/apps/workload.cpp" "src/apps/CMakeFiles/retri_apps.dir/workload.cpp.o" "gcc" "src/apps/CMakeFiles/retri_apps.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aff/CMakeFiles/retri_aff.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/retri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/retri_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/retri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/retri_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

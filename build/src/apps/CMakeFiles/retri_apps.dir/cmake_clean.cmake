@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retri_apps.dir/codebook.cpp.o"
+  "CMakeFiles/retri_apps.dir/codebook.cpp.o.d"
+  "CMakeFiles/retri_apps.dir/diffusion.cpp.o"
+  "CMakeFiles/retri_apps.dir/diffusion.cpp.o.d"
+  "CMakeFiles/retri_apps.dir/flood.cpp.o"
+  "CMakeFiles/retri_apps.dir/flood.cpp.o.d"
+  "CMakeFiles/retri_apps.dir/interest.cpp.o"
+  "CMakeFiles/retri_apps.dir/interest.cpp.o.d"
+  "CMakeFiles/retri_apps.dir/workload.cpp.o"
+  "CMakeFiles/retri_apps.dir/workload.cpp.o.d"
+  "libretri_apps.a"
+  "libretri_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retri_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

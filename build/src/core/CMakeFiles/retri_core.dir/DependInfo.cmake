@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/density.cpp" "src/core/CMakeFiles/retri_core.dir/density.cpp.o" "gcc" "src/core/CMakeFiles/retri_core.dir/density.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/retri_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/retri_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/selector.cpp" "src/core/CMakeFiles/retri_core.dir/selector.cpp.o" "gcc" "src/core/CMakeFiles/retri_core.dir/selector.cpp.o.d"
+  "/root/repo/src/core/transaction.cpp" "src/core/CMakeFiles/retri_core.dir/transaction.cpp.o" "gcc" "src/core/CMakeFiles/retri_core.dir/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/retri_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

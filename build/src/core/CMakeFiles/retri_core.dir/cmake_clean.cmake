@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retri_core.dir/density.cpp.o"
+  "CMakeFiles/retri_core.dir/density.cpp.o.d"
+  "CMakeFiles/retri_core.dir/model.cpp.o"
+  "CMakeFiles/retri_core.dir/model.cpp.o.d"
+  "CMakeFiles/retri_core.dir/selector.cpp.o"
+  "CMakeFiles/retri_core.dir/selector.cpp.o.d"
+  "CMakeFiles/retri_core.dir/transaction.cpp.o"
+  "CMakeFiles/retri_core.dir/transaction.cpp.o.d"
+  "libretri_core.a"
+  "libretri_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retri_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

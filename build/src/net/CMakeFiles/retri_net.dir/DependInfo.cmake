@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addressed_frag.cpp" "src/net/CMakeFiles/retri_net.dir/addressed_frag.cpp.o" "gcc" "src/net/CMakeFiles/retri_net.dir/addressed_frag.cpp.o.d"
+  "/root/repo/src/net/central_alloc.cpp" "src/net/CMakeFiles/retri_net.dir/central_alloc.cpp.o" "gcc" "src/net/CMakeFiles/retri_net.dir/central_alloc.cpp.o.d"
+  "/root/repo/src/net/dynamic_alloc.cpp" "src/net/CMakeFiles/retri_net.dir/dynamic_alloc.cpp.o" "gcc" "src/net/CMakeFiles/retri_net.dir/dynamic_alloc.cpp.o.d"
+  "/root/repo/src/net/static_addr.cpp" "src/net/CMakeFiles/retri_net.dir/static_addr.cpp.o" "gcc" "src/net/CMakeFiles/retri_net.dir/static_addr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aff/CMakeFiles/retri_aff.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/retri_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/retri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/retri_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/retri_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

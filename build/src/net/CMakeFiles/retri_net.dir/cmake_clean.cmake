@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retri_net.dir/addressed_frag.cpp.o"
+  "CMakeFiles/retri_net.dir/addressed_frag.cpp.o.d"
+  "CMakeFiles/retri_net.dir/central_alloc.cpp.o"
+  "CMakeFiles/retri_net.dir/central_alloc.cpp.o.d"
+  "CMakeFiles/retri_net.dir/dynamic_alloc.cpp.o"
+  "CMakeFiles/retri_net.dir/dynamic_alloc.cpp.o.d"
+  "CMakeFiles/retri_net.dir/static_addr.cpp.o"
+  "CMakeFiles/retri_net.dir/static_addr.cpp.o.d"
+  "libretri_net.a"
+  "libretri_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retri_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

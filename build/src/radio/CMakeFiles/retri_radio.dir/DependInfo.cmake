@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/dispatcher.cpp" "src/radio/CMakeFiles/retri_radio.dir/dispatcher.cpp.o" "gcc" "src/radio/CMakeFiles/retri_radio.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/radio/duty_cycle.cpp" "src/radio/CMakeFiles/retri_radio.dir/duty_cycle.cpp.o" "gcc" "src/radio/CMakeFiles/retri_radio.dir/duty_cycle.cpp.o.d"
+  "/root/repo/src/radio/energy.cpp" "src/radio/CMakeFiles/retri_radio.dir/energy.cpp.o" "gcc" "src/radio/CMakeFiles/retri_radio.dir/energy.cpp.o.d"
+  "/root/repo/src/radio/radio.cpp" "src/radio/CMakeFiles/retri_radio.dir/radio.cpp.o" "gcc" "src/radio/CMakeFiles/retri_radio.dir/radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/retri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/retri_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

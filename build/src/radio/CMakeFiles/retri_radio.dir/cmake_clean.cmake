@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retri_radio.dir/dispatcher.cpp.o"
+  "CMakeFiles/retri_radio.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/retri_radio.dir/duty_cycle.cpp.o"
+  "CMakeFiles/retri_radio.dir/duty_cycle.cpp.o.d"
+  "CMakeFiles/retri_radio.dir/energy.cpp.o"
+  "CMakeFiles/retri_radio.dir/energy.cpp.o.d"
+  "CMakeFiles/retri_radio.dir/radio.cpp.o"
+  "CMakeFiles/retri_radio.dir/radio.cpp.o.d"
+  "libretri_radio.a"
+  "libretri_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retri_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

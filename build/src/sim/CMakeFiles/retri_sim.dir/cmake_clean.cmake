@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retri_sim.dir/engine.cpp.o"
+  "CMakeFiles/retri_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/retri_sim.dir/medium.cpp.o"
+  "CMakeFiles/retri_sim.dir/medium.cpp.o.d"
+  "CMakeFiles/retri_sim.dir/mobility.cpp.o"
+  "CMakeFiles/retri_sim.dir/mobility.cpp.o.d"
+  "CMakeFiles/retri_sim.dir/topology.cpp.o"
+  "CMakeFiles/retri_sim.dir/topology.cpp.o.d"
+  "CMakeFiles/retri_sim.dir/trace.cpp.o"
+  "CMakeFiles/retri_sim.dir/trace.cpp.o.d"
+  "libretri_sim.a"
+  "libretri_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retri_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retri_stats.dir/histogram.cpp.o"
+  "CMakeFiles/retri_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/retri_stats.dir/running_stats.cpp.o"
+  "CMakeFiles/retri_stats.dir/running_stats.cpp.o.d"
+  "CMakeFiles/retri_stats.dir/summary.cpp.o"
+  "CMakeFiles/retri_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/retri_stats.dir/table.cpp.o"
+  "CMakeFiles/retri_stats.dir/table.cpp.o.d"
+  "libretri_stats.a"
+  "libretri_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retri_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libretri_stats.a"
+)

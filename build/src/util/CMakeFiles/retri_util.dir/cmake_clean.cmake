@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retri_util.dir/bytes.cpp.o"
+  "CMakeFiles/retri_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/retri_util.dir/checksum.cpp.o"
+  "CMakeFiles/retri_util.dir/checksum.cpp.o.d"
+  "CMakeFiles/retri_util.dir/logging.cpp.o"
+  "CMakeFiles/retri_util.dir/logging.cpp.o.d"
+  "CMakeFiles/retri_util.dir/random.cpp.o"
+  "CMakeFiles/retri_util.dir/random.cpp.o.d"
+  "libretri_util.a"
+  "libretri_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retri_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

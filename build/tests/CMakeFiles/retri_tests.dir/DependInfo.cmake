@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_addressed_frag.cpp" "tests/CMakeFiles/retri_tests.dir/test_addressed_frag.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_addressed_frag.cpp.o.d"
+  "/root/repo/tests/test_bitops.cpp" "tests/CMakeFiles/retri_tests.dir/test_bitops.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_bitops.cpp.o.d"
+  "/root/repo/tests/test_bytes.cpp" "tests/CMakeFiles/retri_tests.dir/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_bytes.cpp.o.d"
+  "/root/repo/tests/test_central_alloc.cpp" "tests/CMakeFiles/retri_tests.dir/test_central_alloc.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_central_alloc.cpp.o.d"
+  "/root/repo/tests/test_checksum.cpp" "tests/CMakeFiles/retri_tests.dir/test_checksum.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_checksum.cpp.o.d"
+  "/root/repo/tests/test_codebook.cpp" "tests/CMakeFiles/retri_tests.dir/test_codebook.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_codebook.cpp.o.d"
+  "/root/repo/tests/test_conservation.cpp" "tests/CMakeFiles/retri_tests.dir/test_conservation.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_conservation.cpp.o.d"
+  "/root/repo/tests/test_density.cpp" "tests/CMakeFiles/retri_tests.dir/test_density.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_density.cpp.o.d"
+  "/root/repo/tests/test_diffusion.cpp" "tests/CMakeFiles/retri_tests.dir/test_diffusion.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_diffusion.cpp.o.d"
+  "/root/repo/tests/test_dispatcher.cpp" "tests/CMakeFiles/retri_tests.dir/test_dispatcher.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_dispatcher.cpp.o.d"
+  "/root/repo/tests/test_driver.cpp" "tests/CMakeFiles/retri_tests.dir/test_driver.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_driver.cpp.o.d"
+  "/root/repo/tests/test_duty_cycle.cpp" "tests/CMakeFiles/retri_tests.dir/test_duty_cycle.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_duty_cycle.cpp.o.d"
+  "/root/repo/tests/test_dynamic_alloc.cpp" "tests/CMakeFiles/retri_tests.dir/test_dynamic_alloc.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_dynamic_alloc.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/retri_tests.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/retri_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_estimators.cpp" "tests/CMakeFiles/retri_tests.dir/test_estimators.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_estimators.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/retri_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_flood.cpp" "tests/CMakeFiles/retri_tests.dir/test_flood.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_flood.cpp.o.d"
+  "/root/repo/tests/test_fragmenter.cpp" "tests/CMakeFiles/retri_tests.dir/test_fragmenter.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_fragmenter.cpp.o.d"
+  "/root/repo/tests/test_fuzz_decoders.cpp" "tests/CMakeFiles/retri_tests.dir/test_fuzz_decoders.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_fuzz_decoders.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/retri_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_identifier.cpp" "tests/CMakeFiles/retri_tests.dir/test_identifier.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_identifier.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/retri_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interest.cpp" "tests/CMakeFiles/retri_tests.dir/test_interest.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_interest.cpp.o.d"
+  "/root/repo/tests/test_logging.cpp" "tests/CMakeFiles/retri_tests.dir/test_logging.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_logging.cpp.o.d"
+  "/root/repo/tests/test_medium.cpp" "tests/CMakeFiles/retri_tests.dir/test_medium.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_medium.cpp.o.d"
+  "/root/repo/tests/test_mobility.cpp" "tests/CMakeFiles/retri_tests.dir/test_mobility.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_mobility.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/retri_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/retri_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_property2.cpp" "tests/CMakeFiles/retri_tests.dir/test_property2.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_property2.cpp.o.d"
+  "/root/repo/tests/test_radio.cpp" "tests/CMakeFiles/retri_tests.dir/test_radio.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_radio.cpp.o.d"
+  "/root/repo/tests/test_random.cpp" "tests/CMakeFiles/retri_tests.dir/test_random.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_random.cpp.o.d"
+  "/root/repo/tests/test_reassembler.cpp" "tests/CMakeFiles/retri_tests.dir/test_reassembler.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_reassembler.cpp.o.d"
+  "/root/repo/tests/test_running_stats.cpp" "tests/CMakeFiles/retri_tests.dir/test_running_stats.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_running_stats.cpp.o.d"
+  "/root/repo/tests/test_selector.cpp" "tests/CMakeFiles/retri_tests.dir/test_selector.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_selector.cpp.o.d"
+  "/root/repo/tests/test_static_addr.cpp" "tests/CMakeFiles/retri_tests.dir/test_static_addr.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_static_addr.cpp.o.d"
+  "/root/repo/tests/test_summary.cpp" "tests/CMakeFiles/retri_tests.dir/test_summary.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_summary.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/retri_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/retri_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/retri_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_transaction.cpp" "tests/CMakeFiles/retri_tests.dir/test_transaction.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_transaction.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/retri_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_wire.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/retri_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/retri_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aff/CMakeFiles/retri_aff.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/retri_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/retri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/retri_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/retri_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/retri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/retri_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/retri_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
