@@ -59,7 +59,8 @@ int main(int argc, char** argv) {
       config.density_model = estimator.kind;
       config.send_duration = retri::sim::Duration::from_seconds(args.seconds);
       config.seed = args.seed + bits * 17;
-      const TrialSummary summary = retri::bench::run_trials(config, args.trials);
+      const TrialSummary summary =
+          retri::bench::run_trials(config, args.trials, args.jobs);
       row.push_back(fmt(summary.collision_loss.mean()));
       if (bits == 4) {
         density_cell = fmt(summary.last.receiver_density_estimate, 2);

@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
     config.send_duration = retri::sim::Duration::from_seconds(args.seconds);
     config.seed = args.seed + static_cast<std::uint64_t>(duty * 1000);
 
-    const TrialSummary summary = retri::bench::run_trials(config, args.trials);
+    const TrialSummary summary =
+        retri::bench::run_trials(config, args.trials, args.jobs);
     losses.push_back(summary.collision_loss.mean());
 
     const double model_loss =

@@ -32,7 +32,7 @@ TrialSummary run(unsigned bits, TopologyKind topology, const char* policy,
   config.collision_notifications = notifications;
   config.send_duration = retri::sim::Duration::from_seconds(args.seconds);
   config.seed = args.seed + bits * 777;
-  return retri::bench::run_trials(config, args.trials);
+  return retri::bench::run_trials(config, args.trials, args.jobs);
 }
 
 }  // namespace

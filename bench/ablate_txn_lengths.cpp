@@ -46,14 +46,17 @@ MixOutcome run_mix(const Mix& mix, unsigned id_bits,
       *std::min_element(mix.sizes.begin(), mix.sizes.end());
   const std::size_t largest =
       *std::max_element(mix.sizes.begin(), mix.sizes.end());
-  for (unsigned t = 0; t < args.trials; ++t) {
-    ExperimentConfig config;
-    config.senders = args.senders;
-    config.id_bits = id_bits;
-    config.per_sender_packet_bytes = mix.sizes;
-    config.send_duration = retri::sim::Duration::from_seconds(args.seconds);
-    config.seed = args.seed + id_bits * 131 + t;
-    const ExperimentResult result = retri::bench::run_experiment(config);
+  ExperimentConfig config;
+  config.senders = args.senders;
+  config.id_bits = id_bits;
+  config.per_sender_packet_bytes = mix.sizes;
+  config.send_duration = retri::sim::Duration::from_seconds(args.seconds);
+  config.seed = args.seed + id_bits * 131;
+  retri::runner::TrialRunnerOptions options;
+  options.jobs = args.jobs;
+  const auto results =
+      retri::runner::TrialRunner(options).run(config, args.trials);
+  for (const ExperimentResult& result : results) {
     outcome.overall.add(result.collision_loss_rate());
     outcome.short_class.add(result.class_loss(smallest));
     outcome.long_class.add(result.class_loss(largest));

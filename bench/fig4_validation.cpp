@@ -50,10 +50,12 @@ int main(int argc, char** argv) {
     config.seed = args.seed + bits * 1000;
 
     config.policy = "uniform";
-    const TrialSummary random = retri::bench::run_trials(config, args.trials);
+    const TrialSummary random =
+        retri::bench::run_trials(config, args.trials, args.jobs);
 
     config.policy = "listening";
-    const TrialSummary listening = retri::bench::run_trials(config, args.trials);
+    const TrialSummary listening =
+        retri::bench::run_trials(config, args.trials, args.jobs);
 
     const double predicted =
         1.0 - model::p_success(bits, static_cast<double>(args.senders));

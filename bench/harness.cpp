@@ -1,162 +1,119 @@
 #include "harness.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
-#include <string>
-
-#include "aff/driver.hpp"
-#include "apps/workload.hpp"
-#include "core/selector.hpp"
-#include "radio/duty_cycle.hpp"
-#include "radio/radio.hpp"
-#include "sim/engine.hpp"
-#include "sim/topology.hpp"
+#include <string_view>
 
 namespace retri::bench {
+
+TrialSummary run_trials(const ExperimentConfig& config, unsigned trials,
+                        unsigned jobs) {
+  runner::TrialRunnerOptions options;
+  options.jobs = jobs;
+  return runner::TrialRunner(options).run_summary(config, trials);
+}
+
 namespace {
 
-sim::Topology make_topology(const ExperimentConfig& config) {
-  switch (config.topology) {
-    case TopologyKind::kStarFullMesh:
-      return sim::Topology::star_full_mesh(config.senders);
-    case TopologyKind::kHiddenTerminal:
-      return sim::Topology::hidden_terminal(config.senders);
-  }
-  return sim::Topology::star_full_mesh(config.senders);
+// Strict whole-token numeric parsing: "12x", "", "-3" (for unsigned) and
+// out-of-range values are all rejected so a typo can never silently run a
+// default experiment.
+template <typename T>
+bool parse_int(std::string_view token, T& out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  T value{};
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || token.empty()) return false;
+  out = value;
+  return true;
+}
+
+bool parse_double(std::string_view token, double& out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  double value{};
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || token.empty()) return false;
+  out = value;
+  return true;
 }
 
 }  // namespace
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
-  sim::Simulator sim;
-  sim::BroadcastMedium medium(sim, make_topology(config), {}, config.seed);
-
-  aff::AffDriverConfig driver_config;
-  driver_config.wire.id_bits = config.id_bits;
-  driver_config.wire.instrumented = true;
-  driver_config.send_collision_notifications = config.collision_notifications;
-  driver_config.density_model = config.density_model;
-
-  struct Stack {
-    std::unique_ptr<radio::Radio> radio;
-    std::unique_ptr<core::IdSelector> selector;
-    std::unique_ptr<aff::AffDriver> driver;
-    std::unique_ptr<apps::TrafficSource> source;
-  };
-
-  const radio::EnergyModel energy = radio::EnergyModel::rpc_like();
-  radio::RadioConfig radio_config;
-  radio_config.max_backoff = config.tx_jitter;
-
-  Stack receiver;
-  receiver.radio = std::make_unique<radio::Radio>(
-      medium, 0, radio_config, energy, config.seed * 31 + 7);
-  receiver.selector = core::make_selector(
-      config.policy, core::IdSpace(config.id_bits), config.seed * 37 + 11);
-  receiver.driver = std::make_unique<aff::AffDriver>(
-      *receiver.radio, *receiver.selector, driver_config, 0);
-
-  ExperimentResult out;
-  receiver.driver->set_packet_handler([&out](const util::Bytes& packet) {
-    ++out.aff_by_size[packet.size()];
-  });
-  receiver.driver->set_truth_packet_handler([&out](const util::Bytes& packet) {
-    ++out.truth_by_size[packet.size()];
-  });
-
-  std::vector<Stack> senders(config.senders);
-  for (std::size_t i = 0; i < config.senders; ++i) {
-    const auto node = static_cast<sim::NodeId>(i + 1);
-    auto& s = senders[i];
-    s.radio = std::make_unique<radio::Radio>(medium, node, radio_config,
-                                             energy, config.seed * 41 + node);
-    s.selector = core::make_selector(
-        config.policy, core::IdSpace(config.id_bits), config.seed * 43 + node);
-    s.driver = std::make_unique<aff::AffDriver>(*s.radio, *s.selector,
-                                                driver_config, node);
-    const std::size_t bytes = config.per_sender_packet_bytes.empty()
-                                  ? config.packet_bytes
-                                  : config.per_sender_packet_bytes
-                                        [i % config.per_sender_packet_bytes.size()];
-    s.source = std::make_unique<apps::TrafficSource>(
-        sim, *s.driver, std::make_unique<apps::SaturatingWorkload>(bytes),
-        config.seed * 47 + node);
-    s.source->start(sim::TimePoint::origin() + config.send_duration);
-  }
-
-  // Duty-cycled sender listening (§3.2): staggered phases so the senders'
-  // sleep schedules are mutually unsynchronized, like unattended motes.
-  std::vector<std::unique_ptr<radio::DutyCycleController>> duty;
-  if (config.sender_listen_duty < 1.0) {
-    for (std::size_t i = 0; i < config.senders; ++i) {
-      radio::DutyCycleConfig dc;
-      dc.period = config.duty_period;
-      dc.on_fraction = config.sender_listen_duty;
-      dc.phase = config.duty_period * static_cast<std::int64_t>(i) /
-                 static_cast<std::int64_t>(config.senders);
-      dc.stop_at = sim::TimePoint::origin() + config.send_duration;
-      duty.push_back(std::make_unique<radio::DutyCycleController>(
-          *senders[i].radio, dc));
+bool try_parse_args(int argc, char** argv, BenchArgs& args,
+                    std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    auto next_value = [&](std::string_view& out) {
+      if (i + 1 >= argc) {
+        error = "missing value for " + std::string(flag);
+        return false;
+      }
+      out = argv[++i];
+      return true;
+    };
+    std::string_view value;
+    if (flag == "--trials") {
+      if (!next_value(value)) return false;
+      if (!parse_int(value, args.trials) || args.trials == 0) {
+        error = "--trials needs a positive integer, got '" +
+                std::string(value) + "'";
+        return false;
+      }
+    } else if (flag == "--seconds") {
+      if (!next_value(value)) return false;
+      if (!parse_double(value, args.seconds) || args.seconds <= 0.0) {
+        error = "--seconds needs a positive number, got '" +
+                std::string(value) + "'";
+        return false;
+      }
+    } else if (flag == "--senders") {
+      if (!next_value(value)) return false;
+      if (!parse_int(value, args.senders) || args.senders == 0) {
+        error = "--senders needs a positive integer, got '" +
+                std::string(value) + "'";
+        return false;
+      }
+    } else if (flag == "--seed") {
+      if (!next_value(value)) return false;
+      if (!parse_int(value, args.seed)) {
+        error = "--seed needs an unsigned integer, got '" +
+                std::string(value) + "'";
+        return false;
+      }
+    } else if (flag == "--jobs") {
+      if (!next_value(value)) return false;
+      if (!parse_int(value, args.jobs) || args.jobs == 0) {
+        error = "--jobs needs a positive integer, got '" +
+                std::string(value) + "'";
+        return false;
+      }
+    } else if (flag == "--out") {
+      if (!next_value(value)) return false;
+      args.out = std::string(value);
+    } else if (flag == "--sweep") {
+      if (!next_value(value)) return false;
+      args.sweep = std::string(value);
+    } else if (flag == "--list") {
+      args.list = true;
+    } else if (flag == "--csv") {
+      args.csv = true;
+    } else {
+      error = "unknown flag: " + std::string(flag);
+      return false;
     }
   }
-
-  sim.run_until(sim::TimePoint::origin() + config.send_duration +
-                config.drain_extra);
-
-  for (const auto& s : senders) {
-    out.packets_offered += s.source->packets_sent();
-    out.tx_energy_nj += s.radio->energy().tx_nj();
-    out.tx_bits += s.radio->counters().payload_bits_sent;
-  }
-  const auto& rx_stats = receiver.driver->stats();
-  out.aff_delivered = rx_stats.packets_delivered;
-  out.truth_delivered = rx_stats.truth_packets_delivered;
-  out.notifications_sent = rx_stats.notifications_sent;
-  const auto& reasm = receiver.driver->aff_reassembler().stats();
-  out.checksum_failures = reasm.checksum_failed;
-  out.conflicting_writes = reasm.conflicting_writes;
-  out.receiver_density_estimate = receiver.driver->density_estimate();
-  return out;
-}
-
-TrialSummary run_trials(ExperimentConfig config, unsigned trials) {
-  TrialSummary summary;
-  const std::uint64_t base_seed = config.seed;
-  for (unsigned t = 0; t < trials; ++t) {
-    config.seed = base_seed + t;
-    const ExperimentResult result = run_experiment(config);
-    summary.delivery_ratio.add(result.delivery_ratio());
-    summary.collision_loss.add(result.collision_loss_rate());
-    summary.last = result;
-  }
-  return summary;
+  return true;
 }
 
 BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto next_value = [&](const char* name) -> std::string {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", name);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (flag == "--trials") {
-      args.trials = static_cast<unsigned>(std::stoul(next_value("--trials")));
-    } else if (flag == "--seconds") {
-      args.seconds = std::stod(next_value("--seconds"));
-    } else if (flag == "--senders") {
-      args.senders = std::stoul(next_value("--senders"));
-    } else if (flag == "--seed") {
-      args.seed = std::stoull(next_value("--seed"));
-    } else if (flag == "--csv") {
-      args.csv = true;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
-      std::exit(2);
-    }
+  std::string error;
+  if (!try_parse_args(argc, argv, args, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    std::exit(2);
   }
   return args;
 }

@@ -1,119 +1,60 @@
 // Shared experiment harness for the bench binaries.
 //
-// Encapsulates the paper's §5.1 experimental design: N transmitters
-// saturating a shared channel with fixed-size packets toward one receiver,
-// instrumented so the receiver can count both AFF-delivered packets and the
-// ground truth ("would have been received based on the unique id"). Each
-// bench builds parameter sweeps over this harness and prints paper-style
-// tables via retri_stats.
+// The §5.1 experiment itself now lives in src/runner (runner::experiment);
+// this header re-exports those names under retri::bench so the figure
+// binaries keep reading like the paper, and adds the two bench-side pieces:
+// run_trials — a thin wrapper over runner::TrialRunner preserving the
+// historical serial-looking API while sharding trials across --jobs
+// workers — and the shared command-line grammar (parse_args).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
-#include <memory>
 #include <string>
-#include <string_view>
-#include <vector>
 
-#include "core/density.hpp"
-#include "sim/medium.hpp"
-#include "sim/time.hpp"
-#include "stats/summary.hpp"
+#include "runner/experiment.hpp"
+#include "runner/trial_runner.hpp"
 
 namespace retri::bench {
 
-enum class TopologyKind {
-  kStarFullMesh,    // §5.1: all radios in range of each other
-  kHiddenTerminal,  // §3.2: senders mutually inaudible
-};
+using runner::ExperimentConfig;
+using runner::ExperimentResult;
+using runner::TopologyKind;
+using runner::TrialSummary;
+using runner::run_experiment;
 
-struct ExperimentConfig {
-  std::size_t senders = 5;
-  TopologyKind topology = TopologyKind::kStarFullMesh;
-  unsigned id_bits = 8;
-  std::string policy = "uniform";  // uniform | listening | listening+notify
-  std::size_t packet_bytes = 80;
-  /// Distinct packet sizes per sender for the mixed-length ablation;
-  /// empty means every sender uses packet_bytes.
-  std::vector<std::size_t> per_sender_packet_bytes;
-  sim::Duration send_duration = sim::Duration::seconds(30);
-  sim::Duration drain_extra = sim::Duration::seconds(15);
-  bool collision_notifications = false;
-  /// Per-frame random backoff bound — the timing jitter real radios have.
-  /// Without it every saturating sender transmits in perfect lockstep, a
-  /// degenerate synchronization no physical testbed exhibits.
-  sim::Duration tx_jitter = sim::Duration::milliseconds(2);
-  /// Fraction of time each SENDER's receiver is on (1.0 = always
-  /// listening). Below 1, senders run duty-cycled listening with staggered
-  /// phases — the §3.2 energy/listening tradeoff. The experiment receiver
-  /// always listens (it is the measurement instrument).
-  double sender_listen_duty = 1.0;
-  sim::Duration duty_period = sim::Duration::milliseconds(100);
-  /// Which density estimator the drivers run.
-  core::DensityModelKind density_model = core::DensityModelKind::kEwma;
-  std::uint64_t seed = 1;
-};
-
-struct ExperimentResult {
-  std::uint64_t packets_offered = 0;    // sum over senders
-  std::uint64_t aff_delivered = 0;      // realistic path at the receiver
-  std::uint64_t truth_delivered = 0;    // instrumented ground truth
-  std::uint64_t checksum_failures = 0;
-  std::uint64_t conflicting_writes = 0;
-  std::uint64_t notifications_sent = 0;
-  double receiver_density_estimate = 0.0;
-  double tx_energy_nj = 0.0;            // summed over transmitters
-  std::uint64_t tx_bits = 0;            // payload bits on the air
-  /// Deliveries keyed by packet size — in mixed-length workloads the size
-  /// identifies the sender class, letting ablations attribute loss to long
-  /// vs. short transactions without violating address-freedom.
-  std::map<std::size_t, std::uint64_t> aff_by_size;
-  std::map<std::size_t, std::uint64_t> truth_by_size;
-
-  /// Collision-loss rate for one packet-size class.
-  double class_loss(std::size_t size) const {
-    const auto truth = truth_by_size.find(size);
-    if (truth == truth_by_size.end() || truth->second == 0) return 0.0;
-    const auto aff = aff_by_size.find(size);
-    const double delivered =
-        aff == aff_by_size.end() ? 0.0 : static_cast<double>(aff->second);
-    return 1.0 - delivered / static_cast<double>(truth->second);
-  }
-
-  /// Fraction of ground-truth-deliverable packets the AFF path delivered —
-  /// Figure 4's y-axis is 1 minus this.
-  double delivery_ratio() const {
-    if (truth_delivered == 0) return 0.0;
-    return static_cast<double>(aff_delivered) /
-           static_cast<double>(truth_delivered);
-  }
-  double collision_loss_rate() const { return 1.0 - delivery_ratio(); }
-};
-
-/// Runs one trial of the validation experiment.
-ExperimentResult run_experiment(const ExperimentConfig& config);
-
-/// Runs `trials` independent trials (seed, seed+1, ...) and aggregates the
-/// delivery ratios — the paper's 10-trials-with-error-bars methodology.
-struct TrialSummary {
-  stats::TrialSet delivery_ratio;
-  stats::TrialSet collision_loss;
-  ExperimentResult last;  // representative absolute numbers
-};
-
-TrialSummary run_trials(ExperimentConfig config, unsigned trials);
+/// Runs `trials` independent trials of `config` — the paper's
+/// 10-trials-with-error-bars methodology — sharded across `jobs` workers.
+/// Trial t's seed is runner::derive_trial_seed(config.seed, t); results are
+/// aggregated in trial order, so the summary is bit-identical for any jobs
+/// value (see DESIGN.md on the runner).
+TrialSummary run_trials(const ExperimentConfig& config, unsigned trials,
+                        unsigned jobs = 1);
 
 /// Parses "--flag value" style overrides shared by the benches:
-/// --trials N, --seconds S, --senders N, --seed X, --csv. Unknown flags are
-/// fatal (typos must not silently run the default experiment).
+/// --trials N, --seconds S, --senders N, --seed X, --jobs N, --out FILE,
+/// --csv, plus the retri_bench-only --sweep NAME and --list. Unknown flags
+/// and malformed numeric values are fatal (typos must not silently run the
+/// default experiment).
 struct BenchArgs {
   unsigned trials = 10;
   double seconds = 30.0;
   std::size_t senders = 5;
   std::uint64_t seed = 1;
+  unsigned jobs = 1;      // worker threads for trial execution
+  std::string out;        // JSON artifact path; empty = no export
   bool csv = false;
+  std::string sweep;      // retri_bench: named sweep to run
+  bool list = false;      // retri_bench: list available sweeps
 };
 
+/// Non-exiting parser: returns false and fills `error` on unknown flags,
+/// missing values, or numeric values that fail strict whole-token parsing
+/// (rejected, never silently defaulted). Tests exercise this directly.
+bool try_parse_args(int argc, char** argv, BenchArgs& args,
+                    std::string& error);
+
+/// try_parse_args, exiting with status 2 on error (bench main() entry).
 BenchArgs parse_args(int argc, char** argv);
 
 }  // namespace retri::bench

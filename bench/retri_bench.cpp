@@ -1,0 +1,100 @@
+// Unified sweep CLI: every figure/ablation grid through one binary.
+//
+//   retri_bench --list
+//   retri_bench --sweep fig4 --jobs 8 --out fig4.json
+//   retri_bench --sweep hidden_terminal --trials 10 --seconds 30 --csv
+//
+// Selects a named sweep from runner::make_named_sweep (fig1–fig4 and the
+// ablation grids), runs the whole parameter grid through the parallel
+// SweepRunner with per-point progress lines on stderr, prints the paper's
+// mean ± stddev table per point, and optionally exports the full
+// schema-versioned JSON artifact (configs, per-trial metrics, aggregates)
+// via runner::ResultSink. Per-trial results — and the JSON file itself —
+// are bit-identical for any --jobs value.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "harness.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/sweep.hpp"
+#include "stats/table.hpp"
+
+namespace runner = retri::runner;
+using retri::stats::Table;
+using retri::stats::fmt;
+
+namespace {
+
+int list_sweeps(std::FILE* stream) {
+  std::fprintf(stream, "available sweeps:\n");
+  for (const std::string_view name : runner::named_sweeps()) {
+    const auto spec = runner::make_named_sweep(name);
+    std::fprintf(stream, "  %-20.*s %s\n", static_cast<int>(name.size()),
+                 name.data(), spec ? spec->description.c_str() : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = retri::bench::parse_args(argc, argv);
+  if (args.list) return list_sweeps(stdout);
+  if (args.sweep.empty()) {
+    std::fprintf(stderr,
+                 "usage: retri_bench --sweep NAME [--jobs N] [--out FILE]\n"
+                 "                   [--trials N] [--seconds S] [--senders N]\n"
+                 "                   [--seed X] [--csv] | --list\n\n");
+    list_sweeps(stderr);
+    return 2;
+  }
+
+  auto spec = runner::make_named_sweep(args.sweep);
+  if (!spec) {
+    std::fprintf(stderr, "unknown sweep: %s\n\n", args.sweep.c_str());
+    list_sweeps(stderr);
+    return 2;
+  }
+  spec->trials = args.trials;
+  spec->base.seed = args.seed;
+  spec->base.senders = args.senders;
+  spec->base.send_duration = retri::sim::Duration::from_seconds(args.seconds);
+
+  std::printf("sweep %s: %s\n(%zu points x %u trials x %.0f s, %u jobs)\n\n",
+              spec->name.c_str(), spec->description.c_str(),
+              spec->point_count(), spec->trials, args.seconds, args.jobs);
+
+  runner::SweepOptions options;
+  options.jobs = args.jobs;
+  options.on_point_done = [](const runner::SweepProgress& progress) {
+    std::fprintf(stderr, "[%zu/%zu] %.*s\n", progress.points_done,
+                 progress.points_total, static_cast<int>(progress.label.size()),
+                 progress.label.data());
+  };
+  const runner::SweepResult result = runner::SweepRunner(options).run(*spec);
+
+  Table table({"point", "delivery mean", "loss mean", "loss sd", "ci95 lo",
+               "ci95 hi", "packets/trial"});
+  for (const runner::SweepPointResult& point : result.points) {
+    const auto ci = point.summary.collision_loss.ci95();
+    table.row({point.label, fmt(point.summary.delivery_ratio.mean()),
+               fmt(point.summary.collision_loss.mean()),
+               fmt(point.summary.collision_loss.stddev()), fmt(ci.lo),
+               fmt(ci.hi),
+               std::to_string(point.summary.last.truth_delivered)});
+  }
+  if (args.csv) table.print_csv(std::cout);
+  else table.print(std::cout);
+
+  if (!args.out.empty()) {
+    std::string error;
+    if (!runner::ResultSink::write_file(args.out, result, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (schema v%d, %zu points)\n", args.out.c_str(),
+                runner::ResultSink::kSchemaVersion, result.points.size());
+  }
+  return 0;
+}

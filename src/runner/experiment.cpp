@@ -1,0 +1,138 @@
+#include "runner/experiment.hpp"
+
+#include <memory>
+
+#include "aff/driver.hpp"
+#include "apps/workload.hpp"
+#include "core/selector.hpp"
+#include "radio/duty_cycle.hpp"
+#include "radio/radio.hpp"
+#include "sim/engine.hpp"
+#include "sim/medium.hpp"
+#include "sim/topology.hpp"
+
+namespace retri::runner {
+namespace {
+
+sim::Topology make_topology(const ExperimentConfig& config) {
+  switch (config.topology) {
+    case TopologyKind::kStarFullMesh:
+      return sim::Topology::star_full_mesh(config.senders);
+    case TopologyKind::kHiddenTerminal:
+      return sim::Topology::hidden_terminal(config.senders);
+  }
+  return sim::Topology::star_full_mesh(config.senders);
+}
+
+}  // namespace
+
+std::string_view to_string(TopologyKind kind) noexcept {
+  switch (kind) {
+    case TopologyKind::kStarFullMesh: return "star_full_mesh";
+    case TopologyKind::kHiddenTerminal: return "hidden_terminal";
+  }
+  return "?";
+}
+
+std::string_view to_string(core::DensityModelKind kind) noexcept {
+  switch (kind) {
+    case core::DensityModelKind::kEwma: return "ewma";
+    case core::DensityModelKind::kInstantaneous: return "instantaneous";
+    case core::DensityModelKind::kPeakWindow: return "peak_window";
+  }
+  return "?";
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  sim::Simulator sim;
+  sim::BroadcastMedium medium(sim, make_topology(config), {}, config.seed);
+
+  aff::AffDriverConfig driver_config;
+  driver_config.wire.id_bits = config.id_bits;
+  driver_config.wire.instrumented = true;
+  driver_config.send_collision_notifications = config.collision_notifications;
+  driver_config.density_model = config.density_model;
+
+  struct Stack {
+    std::unique_ptr<radio::Radio> radio;
+    std::unique_ptr<core::IdSelector> selector;
+    std::unique_ptr<aff::AffDriver> driver;
+    std::unique_ptr<apps::TrafficSource> source;
+  };
+
+  const radio::EnergyModel energy = radio::EnergyModel::rpc_like();
+  radio::RadioConfig radio_config;
+  radio_config.max_backoff = config.tx_jitter;
+
+  Stack receiver;
+  receiver.radio = std::make_unique<radio::Radio>(
+      medium, 0, radio_config, energy, config.seed * 31 + 7);
+  receiver.selector = core::make_selector(
+      config.policy, core::IdSpace(config.id_bits), config.seed * 37 + 11);
+  receiver.driver = std::make_unique<aff::AffDriver>(
+      *receiver.radio, *receiver.selector, driver_config, 0);
+
+  ExperimentResult out;
+  receiver.driver->set_packet_handler([&out](const util::Bytes& packet) {
+    ++out.aff_by_size[packet.size()];
+  });
+  receiver.driver->set_truth_packet_handler([&out](const util::Bytes& packet) {
+    ++out.truth_by_size[packet.size()];
+  });
+
+  std::vector<Stack> senders(config.senders);
+  for (std::size_t i = 0; i < config.senders; ++i) {
+    const auto node = static_cast<sim::NodeId>(i + 1);
+    auto& s = senders[i];
+    s.radio = std::make_unique<radio::Radio>(medium, node, radio_config,
+                                             energy, config.seed * 41 + node);
+    s.selector = core::make_selector(
+        config.policy, core::IdSpace(config.id_bits), config.seed * 43 + node);
+    s.driver = std::make_unique<aff::AffDriver>(*s.radio, *s.selector,
+                                                driver_config, node);
+    const std::size_t bytes = config.per_sender_packet_bytes.empty()
+                                  ? config.packet_bytes
+                                  : config.per_sender_packet_bytes
+                                        [i % config.per_sender_packet_bytes.size()];
+    s.source = std::make_unique<apps::TrafficSource>(
+        sim, *s.driver, std::make_unique<apps::SaturatingWorkload>(bytes),
+        config.seed * 47 + node);
+    s.source->start(sim::TimePoint::origin() + config.send_duration);
+  }
+
+  // Duty-cycled sender listening (§3.2): staggered phases so the senders'
+  // sleep schedules are mutually unsynchronized, like unattended motes.
+  std::vector<std::unique_ptr<radio::DutyCycleController>> duty;
+  if (config.sender_listen_duty < 1.0) {
+    for (std::size_t i = 0; i < config.senders; ++i) {
+      radio::DutyCycleConfig dc;
+      dc.period = config.duty_period;
+      dc.on_fraction = config.sender_listen_duty;
+      dc.phase = config.duty_period * static_cast<std::int64_t>(i) /
+                 static_cast<std::int64_t>(config.senders);
+      dc.stop_at = sim::TimePoint::origin() + config.send_duration;
+      duty.push_back(std::make_unique<radio::DutyCycleController>(
+          *senders[i].radio, dc));
+    }
+  }
+
+  sim.run_until(sim::TimePoint::origin() + config.send_duration +
+                config.drain_extra);
+
+  for (const auto& s : senders) {
+    out.packets_offered += s.source->packets_sent();
+    out.tx_energy_nj += s.radio->energy().tx_nj();
+    out.tx_bits += s.radio->counters().payload_bits_sent;
+  }
+  const auto& rx_stats = receiver.driver->stats();
+  out.aff_delivered = rx_stats.packets_delivered;
+  out.truth_delivered = rx_stats.truth_packets_delivered;
+  out.notifications_sent = rx_stats.notifications_sent;
+  const auto& reasm = receiver.driver->aff_reassembler().stats();
+  out.checksum_failures = reasm.checksum_failed;
+  out.conflicting_writes = reasm.conflicting_writes;
+  out.receiver_density_estimate = receiver.driver->density_estimate();
+  return out;
+}
+
+}  // namespace retri::runner

@@ -1,0 +1,108 @@
+// The paper's §5.1 validation experiment as a library.
+//
+// Encapsulates the experimental design every bench shares: N transmitters
+// saturating a shared channel with fixed-size packets toward one receiver,
+// instrumented so the receiver can count both AFF-delivered packets and the
+// ground truth ("would have been received based on the unique id").
+// Historically this lived in bench/harness.{hpp,cpp}; it moved under
+// src/runner so the parallel TrialRunner/SweepRunner layers — and their
+// tests — can drive experiments without linking bench code. bench/harness
+// re-exports these names for the figure binaries.
+//
+// One ExperimentConfig → run_experiment() call is a pure function of the
+// config (including config.seed): it constructs a private Simulator, radios
+// and drivers, so concurrent calls never share mutable state. That property
+// is what lets TrialRunner fan trials across threads.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/density.hpp"
+#include "sim/time.hpp"
+
+namespace retri::runner {
+
+enum class TopologyKind {
+  kStarFullMesh,    // §5.1: all radios in range of each other
+  kHiddenTerminal,  // §3.2: senders mutually inaudible
+};
+
+std::string_view to_string(TopologyKind kind) noexcept;
+std::string_view to_string(core::DensityModelKind kind) noexcept;
+
+struct ExperimentConfig {
+  std::size_t senders = 5;
+  TopologyKind topology = TopologyKind::kStarFullMesh;
+  unsigned id_bits = 8;
+  std::string policy = "uniform";  // uniform | listening | listening+notify
+  std::size_t packet_bytes = 80;
+  /// Distinct packet sizes per sender for the mixed-length ablation;
+  /// empty means every sender uses packet_bytes.
+  std::vector<std::size_t> per_sender_packet_bytes;
+  sim::Duration send_duration = sim::Duration::seconds(30);
+  sim::Duration drain_extra = sim::Duration::seconds(15);
+  bool collision_notifications = false;
+  /// Per-frame random backoff bound — the timing jitter real radios have.
+  /// Without it every saturating sender transmits in perfect lockstep, a
+  /// degenerate synchronization no physical testbed exhibits.
+  sim::Duration tx_jitter = sim::Duration::milliseconds(2);
+  /// Fraction of time each SENDER's receiver is on (1.0 = always
+  /// listening). Below 1, senders run duty-cycled listening with staggered
+  /// phases — the §3.2 energy/listening tradeoff. The experiment receiver
+  /// always listens (it is the measurement instrument).
+  double sender_listen_duty = 1.0;
+  sim::Duration duty_period = sim::Duration::milliseconds(100);
+  /// Which density estimator the drivers run.
+  core::DensityModelKind density_model = core::DensityModelKind::kEwma;
+  std::uint64_t seed = 1;
+};
+
+struct ExperimentResult {
+  std::uint64_t packets_offered = 0;    // sum over senders
+  std::uint64_t aff_delivered = 0;      // realistic path at the receiver
+  std::uint64_t truth_delivered = 0;    // instrumented ground truth
+  std::uint64_t checksum_failures = 0;
+  std::uint64_t conflicting_writes = 0;
+  std::uint64_t notifications_sent = 0;
+  double receiver_density_estimate = 0.0;
+  double tx_energy_nj = 0.0;            // summed over transmitters
+  std::uint64_t tx_bits = 0;            // payload bits on the air
+  /// Deliveries keyed by packet size — in mixed-length workloads the size
+  /// identifies the sender class, letting ablations attribute loss to long
+  /// vs. short transactions without violating address-freedom.
+  std::map<std::size_t, std::uint64_t> aff_by_size;
+  std::map<std::size_t, std::uint64_t> truth_by_size;
+
+  /// Collision-loss rate for one packet-size class, clamped to [0, 1]:
+  /// duplicate AFF deliveries under id collisions can push aff_by_size
+  /// above truth_by_size, which would otherwise read as negative loss.
+  double class_loss(std::size_t size) const {
+    const auto truth = truth_by_size.find(size);
+    if (truth == truth_by_size.end() || truth->second == 0) return 0.0;
+    const auto aff = aff_by_size.find(size);
+    const double delivered =
+        aff == aff_by_size.end() ? 0.0 : static_cast<double>(aff->second);
+    return std::clamp(1.0 - delivered / static_cast<double>(truth->second),
+                      0.0, 1.0);
+  }
+
+  /// Fraction of ground-truth-deliverable packets the AFF path delivered —
+  /// Figure 4's y-axis is 1 minus this.
+  double delivery_ratio() const {
+    if (truth_delivered == 0) return 0.0;
+    return static_cast<double>(aff_delivered) /
+           static_cast<double>(truth_delivered);
+  }
+  double collision_loss_rate() const { return 1.0 - delivery_ratio(); }
+};
+
+/// Runs one trial of the validation experiment. Thread-compatible: distinct
+/// configs may run concurrently (all simulation state is trial-local).
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace retri::runner

@@ -1,0 +1,148 @@
+#include "runner/json.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace retri::runner {
+
+void JsonWriter::newline_indent(std::size_t depth) {
+  if (!pretty_) return;
+  out_.push_back('\n');
+  out_.append(2 * depth, ' ');
+}
+
+void JsonWriter::append_escaped(std::string_view s) {
+  out_.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      case '\b': out_ += "\\b"; break;
+      case '\f': out_ += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;  // root value
+  Context& top = stack_.back();
+  if (top.scope == Scope::kObject) {
+    assert(top.pending_key && "object values require a preceding key()");
+    top.pending_key = false;
+    return;  // key() already handled comma + indent
+  }
+  if (top.items > 0) out_.push_back(',');
+  newline_indent(stack_.size());
+  ++top.items;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back().scope == Scope::kObject &&
+         "key() outside an object");
+  Context& top = stack_.back();
+  assert(!top.pending_key && "two key() calls without a value");
+  if (top.items > 0) out_.push_back(',');
+  newline_indent(stack_.size());
+  append_escaped(name);
+  out_.push_back(':');
+  if (pretty_) out_.push_back(' ');
+  ++top.items;
+  top.pending_key = true;
+  return *this;
+}
+
+void JsonWriter::open(Scope scope, char bracket) {
+  before_value();
+  stack_.push_back({scope, 0, false});
+  out_.push_back(bracket);
+}
+
+void JsonWriter::close(Scope scope, char bracket) {
+  assert(!stack_.empty() && stack_.back().scope == scope &&
+         "mismatched container close");
+  (void)scope;
+  const bool had_items = stack_.back().items > 0;
+  stack_.pop_back();
+  if (had_items) newline_indent(stack_.size());
+  out_.push_back(bracket);
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open(Scope::kObject, '{');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close(Scope::kObject, '}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  open(Scope::kArray, '[');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close(Scope::kArray, ']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  append_escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  before_value();
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof buf, v);
+  out_.append(buf, result.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof buf, v);
+  out_.append(buf, result.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof buf, v);
+  out_.append(buf, result.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace retri::runner

@@ -1,0 +1,33 @@
+// Machine-diffable JSON export of sweep results.
+//
+// Bench output used to be printf tables nothing could diff or track over
+// time; the sink turns a SweepResult into a schema-versioned artifact
+// (BENCH_*.json) carrying the full provenance chain: sweep identity, every
+// point's concrete config, every per-trial metric, and the aggregate
+// statistics the paper plots. The serialization is a pure function of the
+// SweepResult — no timestamps, hostnames, or worker counts — so two runs of
+// the same sweep produce byte-identical files regardless of --jobs, and
+// `cmp a.json b.json` is a valid determinism check.
+#pragma once
+
+#include <string>
+
+#include "runner/sweep.hpp"
+
+namespace retri::runner {
+
+class ResultSink {
+ public:
+  /// Bumped whenever the emitted structure changes shape.
+  static constexpr int kSchemaVersion = 1;
+
+  /// Serializes `result` (pretty-printed when `pretty`).
+  static std::string to_json(const SweepResult& result, bool pretty = true);
+
+  /// Writes to_json() to `path`. Returns false and fills `error` (if
+  /// non-null) when the file cannot be written.
+  static bool write_file(const std::string& path, const SweepResult& result,
+                         std::string* error = nullptr);
+};
+
+}  // namespace retri::runner

@@ -1,0 +1,214 @@
+#include "runner/sweep.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "runner/seeds.hpp"
+#include "runner/thread_pool.hpp"
+#include "stats/table.hpp"
+
+namespace retri::runner {
+namespace {
+
+template <typename T>
+std::vector<T> axis_or(const std::vector<T>& axis, const T& base_value) {
+  if (!axis.empty()) return axis;
+  return {base_value};
+}
+
+void append_label(std::string& label, std::string_view part) {
+  if (!label.empty()) label.push_back(' ');
+  label += part;
+}
+
+}  // namespace
+
+std::size_t SweepSpec::point_count() const noexcept {
+  auto dim = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
+  return dim(id_bits.size()) * dim(policies.size()) * dim(senders.size()) *
+         dim(duties.size()) * dim(density_models.size());
+}
+
+std::vector<SweepPoint> SweepSpec::expand() const {
+  const std::vector<unsigned> bits_axis = axis_or(id_bits, base.id_bits);
+  const std::vector<std::string> policy_axis = axis_or(policies, base.policy);
+  const std::vector<std::size_t> sender_axis = axis_or(senders, base.senders);
+  const std::vector<double> duty_axis =
+      axis_or(duties, base.sender_listen_duty);
+  const std::vector<core::DensityModelKind> density_axis =
+      axis_or(density_models, base.density_model);
+
+  std::vector<SweepPoint> points;
+  points.reserve(point_count());
+  for (const unsigned bits : bits_axis) {
+    for (const std::string& policy : policy_axis) {
+      for (const std::size_t sender_count : sender_axis) {
+        for (const double duty : duty_axis) {
+          for (const core::DensityModelKind density : density_axis) {
+            SweepPoint point;
+            point.config = base;
+            point.config.id_bits = bits;
+            point.config.policy = policy;
+            point.config.senders = sender_count;
+            point.config.sender_listen_duty = duty;
+            point.config.density_model = density;
+            // The notify policy only makes sense with receiver
+            // notifications enabled; couple them so grids stay expressible
+            // as plain axis lists.
+            if (policy == "listening+notify") {
+              point.config.collision_notifications = true;
+            }
+            point.config.seed = derive_point_seed(base.seed, points.size());
+
+            std::string& label = point.label;
+            if (bits_axis.size() > 1) {
+              append_label(label, "H=" + std::to_string(bits));
+            }
+            if (policy_axis.size() > 1) append_label(label, policy);
+            if (sender_axis.size() > 1) {
+              append_label(label, "T=" + std::to_string(sender_count));
+            }
+            if (duty_axis.size() > 1) {
+              append_label(label, "duty=" + stats::fmt(duty, 2));
+            }
+            if (density_axis.size() > 1) {
+              append_label(label, std::string(to_string(density)));
+            }
+            if (label.empty()) label = "base";
+            points.push_back(std::move(point));
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
+
+SweepResult SweepRunner::run(const SweepSpec& spec) const {
+  SweepResult out;
+  out.spec = spec;
+
+  const std::vector<SweepPoint> points = spec.expand();
+  const unsigned trials = spec.trials == 0 ? 1 : spec.trials;
+  out.points.resize(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    out.points[p].label = points[p].label;
+    out.points[p].config = points[p].config;
+    out.points[p].trials.resize(trials);
+  }
+
+  auto run_one = [&out, &points](std::size_t p, unsigned t) {
+    ExperimentConfig config = points[p].config;
+    config.seed = derive_trial_seed(points[p].config.seed, t);
+    out.points[p].trials[t] = run_experiment(config);
+  };
+
+  std::mutex progress_mutex;
+  std::size_t points_done = 0;
+  std::vector<unsigned> remaining(points.size(), trials);
+  auto note_trial_done = [&](std::size_t p) {
+    std::lock_guard<std::mutex> lock(progress_mutex);
+    if (--remaining[p] == 0) {
+      ++points_done;
+      if (options_.on_point_done) {
+        options_.on_point_done(
+            {points_done, points.size(), p, out.points[p].label});
+      }
+    }
+  };
+
+  if (options_.jobs <= 1) {
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      for (unsigned t = 0; t < trials; ++t) {
+        run_one(p, t);
+        note_trial_done(p);
+      }
+    }
+  } else {
+    // Flatten every (point, trial) pair into one pool: points with few
+    // trials no longer serialize the sweep's tail.
+    ThreadPool pool(options_.jobs);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      for (unsigned t = 0; t < trials; ++t) {
+        pool.submit([&run_one, &note_trial_done, p, t] {
+          run_one(p, t);
+          note_trial_done(p);
+        });
+      }
+    }
+    pool.wait_idle();
+  }
+
+  for (SweepPointResult& point : out.points) {
+    point.summary = TrialRunner::summarize(point.trials);
+  }
+  return out;
+}
+
+std::vector<std::string_view> named_sweeps() {
+  return {"fig1",        "fig2",        "fig3",
+          "fig4",        "hidden_terminal", "txn_lengths",
+          "duty_cycle",  "density_estimators", "scaling"};
+}
+
+std::optional<SweepSpec> make_named_sweep(std::string_view name) {
+  SweepSpec spec;
+  spec.name = std::string(name);
+  if (name == "fig1") {
+    // Simulation analog of Figure 1: tiny (16-bit) payloads across
+    // identifier widths — where header overhead dominates efficiency.
+    spec.description = "16-bit payloads across identifier widths (uniform)";
+    spec.base.packet_bytes = 2;
+    spec.id_bits = {2, 4, 6, 8, 10, 12};
+  } else if (name == "fig2") {
+    // Simulation analog of Figure 2: 128-bit payloads.
+    spec.description = "128-bit payloads across identifier widths (uniform)";
+    spec.base.packet_bytes = 16;
+    spec.id_bits = {2, 4, 8, 12, 16};
+  } else if (name == "fig3") {
+    // Load sweep: offered load (sender count) x identifier width.
+    spec.description = "collision loss vs offered load and identifier width";
+    spec.senders = {2, 4, 8, 16};
+    spec.id_bits = {4, 8};
+  } else if (name == "fig4") {
+    // The §5.1 validation grid: widths 1..10, uniform vs listening.
+    spec.description =
+        "observed collision rate vs identifier width, uniform vs listening";
+    spec.id_bits = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    spec.policies = {"uniform", "listening"};
+  } else if (name == "hidden_terminal") {
+    spec.description =
+        "listening under hidden terminals, with and without notifications";
+    spec.base.topology = TopologyKind::kHiddenTerminal;
+    spec.id_bits = {2, 3, 4, 5, 6};
+    spec.policies = {"uniform", "listening", "listening+notify"};
+  } else if (name == "txn_lengths") {
+    spec.description =
+        "mixed short/long transactions (24B/240B) across identifier widths";
+    spec.base.per_sender_packet_bytes = {24, 240};
+    spec.id_bits = {2, 4, 6};
+  } else if (name == "duty_cycle") {
+    spec.description = "listening value vs sender listen duty factor (H=4)";
+    spec.base.id_bits = 4;
+    spec.base.policy = "listening";
+    spec.duties = {0.0, 0.25, 0.5, 0.75, 1.0};
+  } else if (name == "density_estimators") {
+    spec.description = "density estimator choice under listening (H=4)";
+    spec.base.id_bits = 4;
+    spec.base.policy = "listening";
+    spec.density_models = {core::DensityModelKind::kEwma,
+                           core::DensityModelKind::kInstantaneous,
+                           core::DensityModelKind::kPeakWindow};
+  } else if (name == "scaling") {
+    spec.description = "sender-count scaling x identifier width (uniform)";
+    spec.senders = {2, 5, 10, 20};
+    spec.id_bits = {4, 8};
+  } else {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+}  // namespace retri::runner

@@ -23,9 +23,13 @@ Logger& Logger::instance() {
 
 Logger::Logger() { reset_sink(); }
 
-void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+void Logger::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_ = std::move(sink);
+}
 
 void Logger::reset_sink() {
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
   sink_ = [](LogLevel level, std::string_view msg) {
     std::fprintf(stderr, "[%.*s] %.*s\n",
                  static_cast<int>(to_string(level).size()), to_string(level).data(),
@@ -34,7 +38,9 @@ void Logger::reset_sink() {
 }
 
 void Logger::write(LogLevel level, std::string_view msg) {
-  if (enabled(level) && sink_) sink_(level, msg);
+  if (!enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  if (sink_) sink_(level, msg);
 }
 
 }  // namespace retri::util

@@ -3,11 +3,15 @@
 // Simulation code logs through this instead of writing to std::cerr directly
 // so benches can silence nodes (thousands of sends would otherwise swamp the
 // bench output) while tests can raise verbosity for a failing scenario.
-// Single-threaded by design: the discrete-event simulator is single-threaded
-// and log ordering must match event ordering.
+// Each simulator instance is single-threaded and log ordering matches event
+// ordering within a trial; the singleton itself is thread-safe because
+// runner::TrialRunner executes independent trials on concurrent workers
+// that share this one global.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -25,9 +29,15 @@ class Logger {
 
   static Logger& instance();
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  LogLevel level() const noexcept { return level_; }
-  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+  void set_level(LogLevel level) noexcept {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const noexcept {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
 
   /// Replaces the output sink (default writes "[LEVEL] msg\n" to stderr).
   /// Tests install a capturing sink to assert on warnings.
@@ -38,7 +48,8 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  std::mutex sink_mutex_;  // serializes write() against sink swaps
   Sink sink_;
 };
 

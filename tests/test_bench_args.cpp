@@ -1,0 +1,103 @@
+// bench::try_parse_args — the shared CLI grammar. Unknown flags are fatal
+// and malformed numerics are rejected (never silently defaulted); the
+// exiting parse_args is a trivial wrapper over this.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+using retri::bench::BenchArgs;
+using retri::bench::try_parse_args;
+
+namespace {
+
+struct ParseOutcome {
+  bool ok = false;
+  BenchArgs args;
+  std::string error;
+};
+
+ParseOutcome parse(std::vector<std::string> tokens) {
+  tokens.insert(tokens.begin(), "bench");
+  std::vector<char*> argv;
+  argv.reserve(tokens.size());
+  for (std::string& token : tokens) argv.push_back(token.data());
+  ParseOutcome outcome;
+  outcome.ok = try_parse_args(static_cast<int>(argv.size()), argv.data(),
+                              outcome.args, outcome.error);
+  return outcome;
+}
+
+}  // namespace
+
+TEST(ParseArgs, DefaultsWhenNoFlags) {
+  const auto outcome = parse({});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.args.trials, 10u);
+  EXPECT_DOUBLE_EQ(outcome.args.seconds, 30.0);
+  EXPECT_EQ(outcome.args.senders, 5u);
+  EXPECT_EQ(outcome.args.seed, 1u);
+  EXPECT_EQ(outcome.args.jobs, 1u);
+  EXPECT_TRUE(outcome.args.out.empty());
+  EXPECT_FALSE(outcome.args.csv);
+  EXPECT_FALSE(outcome.args.list);
+}
+
+TEST(ParseArgs, JobsAndOutRoundTrip) {
+  const auto outcome = parse({"--jobs", "8", "--out", "fig4.json", "--sweep",
+                              "fig4", "--trials", "3", "--seconds", "1.5",
+                              "--seed", "99", "--senders", "7", "--csv"});
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.args.jobs, 8u);
+  EXPECT_EQ(outcome.args.out, "fig4.json");
+  EXPECT_EQ(outcome.args.sweep, "fig4");
+  EXPECT_EQ(outcome.args.trials, 3u);
+  EXPECT_DOUBLE_EQ(outcome.args.seconds, 1.5);
+  EXPECT_EQ(outcome.args.seed, 99u);
+  EXPECT_EQ(outcome.args.senders, 7u);
+  EXPECT_TRUE(outcome.args.csv);
+}
+
+TEST(ParseArgs, UnknownFlagIsFatal) {
+  const auto outcome = parse({"--trails", "10"});  // typo'd --trials
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("--trails"), std::string::npos);
+}
+
+TEST(ParseArgs, MissingValueIsFatal) {
+  const auto outcome = parse({"--jobs"});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("--jobs"), std::string::npos);
+}
+
+TEST(ParseArgs, RejectsNonNumericValues) {
+  EXPECT_FALSE(parse({"--trials", "abc"}).ok);
+  EXPECT_FALSE(parse({"--seconds", "fast"}).ok);
+  EXPECT_FALSE(parse({"--jobs", "four"}).ok);
+  EXPECT_FALSE(parse({"--seed", "0x10"}).ok);
+}
+
+TEST(ParseArgs, RejectsTrailingJunkAndPartialNumbers) {
+  EXPECT_FALSE(parse({"--trials", "10x"}).ok);
+  EXPECT_FALSE(parse({"--trials", "1.5"}).ok);
+  EXPECT_FALSE(parse({"--seconds", "30s"}).ok);
+  EXPECT_FALSE(parse({"--trials", ""}).ok);
+}
+
+TEST(ParseArgs, RejectsNegativeAndZeroWhereMeaningless) {
+  EXPECT_FALSE(parse({"--trials", "-3"}).ok);
+  EXPECT_FALSE(parse({"--trials", "0"}).ok);
+  EXPECT_FALSE(parse({"--jobs", "0"}).ok);
+  EXPECT_FALSE(parse({"--senders", "0"}).ok);
+  EXPECT_FALSE(parse({"--seconds", "-1"}).ok);
+  EXPECT_FALSE(parse({"--seconds", "0"}).ok);
+}
+
+TEST(ParseArgs, ErrorNamesTheOffendingValue) {
+  const auto outcome = parse({"--jobs", "many"});
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("--jobs"), std::string::npos);
+  EXPECT_NE(outcome.error.find("many"), std::string::npos);
+}
