@@ -155,6 +155,9 @@ CodebookOutcome run_codebook(unsigned code_bits, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
+  if (const int bad_out = bench::require_no_out(args, stderr)) {
+    return bad_out;
+  }
 
   std::printf(
       "Ablation: codebook code width (%zu publishers x %zu live bindings, "

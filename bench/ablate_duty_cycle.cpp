@@ -27,6 +27,9 @@ using retri::stats::fmt;
 
 int main(int argc, char** argv) {
   const auto args = retri::bench::parse_args(argc, argv);
+  if (const int bad_out = retri::bench::require_no_out(args, stderr)) {
+    return bad_out;
+  }
   constexpr unsigned kBits = 4;
 
   std::printf(

@@ -39,6 +39,9 @@ TrialSummary run(unsigned bits, TopologyKind topology, const char* policy,
 
 int main(int argc, char** argv) {
   auto args = retri::bench::parse_args(argc, argv);
+  if (const int bad_out = retri::bench::require_no_out(args, stderr)) {
+    return bad_out;
+  }
 
   std::printf(
       "Ablation: listening under hidden terminals (%zu senders, %u trials)\n\n",

@@ -154,6 +154,9 @@ ScalingOutcome run_grid(std::size_t side, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
+  if (const int bad_out = bench::require_no_out(args, stderr)) {
+    return bad_out;
+  }
 
   std::printf(
       "Ablation: scaling — fixed %u-bit RETRI ids, fixed interaction scope,\n"

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "runner/result_sink.hpp"
+
 namespace retri::bench {
 
 TrialSummary run_trials(const ExperimentConfig& config, unsigned trials,
@@ -116,6 +118,26 @@ BenchArgs parse_args(int argc, char** argv) {
     std::exit(2);
   }
   return args;
+}
+
+int require_no_out(const BenchArgs& args, std::FILE* err) {
+  if (args.out.empty()) return 0;
+  std::fprintf(err,
+               "--out is not supported by this binary (it prints tables "
+               "only); run the grid through `retri_bench --sweep NAME --out "
+               "%s` for the JSON artifact\n",
+               args.out.c_str());
+  return 2;
+}
+
+int export_result(const std::string& path, const runner::SweepResult& result,
+                  std::FILE* err) {
+  std::string error;
+  if (!runner::ResultSink::write_file(path, result, &error)) {
+    std::fprintf(err, "%s\n", error.c_str());
+    return 2;
+  }
+  return 0;
 }
 
 }  // namespace retri::bench

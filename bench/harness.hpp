@@ -10,9 +10,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 #include "runner/experiment.hpp"
+#include "runner/sweep.hpp"
 #include "runner/trial_runner.hpp"
 
 namespace retri::bench {
@@ -56,5 +58,21 @@ bool try_parse_args(int argc, char** argv, BenchArgs& args,
 
 /// try_parse_args, exiting with status 2 on error (bench main() entry).
 BenchArgs parse_args(int argc, char** argv);
+
+/// Writes the sweep's JSON artifact to `path` via runner::ResultSink.
+/// Returns 0 on success, 2 when the path cannot be opened or the write
+/// fails — the CLI's usage/IO-error status. An unwritable --out must fail
+/// the whole run loudly: the artifact IS the product of a sweep, and a
+/// zero exit with no file poisons scripted pipelines. The failure reason
+/// is printed to `err`.
+int export_result(const std::string& path, const runner::SweepResult& result,
+                  std::FILE* err);
+
+/// Exit-2 guard for the figure/ablation binaries, which print tables but
+/// never export JSON: the shared grammar accepts --out everywhere, and
+/// accepting it while silently ignoring it is the same artifact-loss bug
+/// class export_result closes. Returns 0 when --out was not given; prints
+/// a redirect to `retri_bench --sweep NAME --out` and returns 2 otherwise.
+int require_no_out(const BenchArgs& args, std::FILE* err);
 
 }  // namespace retri::bench

@@ -88,10 +88,10 @@ int main(int argc, char** argv) {
   else table.print(std::cout);
 
   if (!args.out.empty()) {
-    std::string error;
-    if (!runner::ResultSink::write_file(args.out, result, &error)) {
-      std::fprintf(stderr, "%s\n", error.c_str());
-      return 1;
+    // Exit 2 (usage/IO error) when --out is unwritable: scripted pipelines
+    // must never see a zero exit with the artifact silently missing.
+    if (const int status = retri::bench::export_result(args.out, result, stderr)) {
+      return status;
     }
     std::printf("\nwrote %s (schema v%d, %zu points)\n", args.out.c_str(),
                 runner::ResultSink::kSchemaVersion, result.points.size());

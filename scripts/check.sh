@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# One-shot correctness gate: runs every enforcement layer the repo has.
+#
+#   scripts/check.sh            # full matrix (four builds; slow but total)
+#   scripts/check.sh --quick    # Werror build + tests + lint only
+#
+# Stages (each is a fresh build tree under build-check/):
+#   1. werror  — RelWithDebInfo + RETRI_WERROR=ON, full build, full ctest
+#   2. lint    — retri_lint over the tree with an empty baseline
+#   3. tidy    — RETRI_TIDY=ON build (curated .clang-tidy, warnings fatal);
+#                SKIPPED with a notice when clang-tidy is not installed
+#   4. asan    — RETRI_SANITIZE=address build + full ctest
+#   5. tsan    — RETRI_SANITIZE=thread build + `ctest -L runner` (the
+#                concurrency suite; TSan on the single-threaded sim buys
+#                nothing but runtime)
+#
+# Exits nonzero on the first failing stage and always prints the per-stage
+# summary. Parallelism: JOBS env var, default nproc.
+
+set -u
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+declare -a STAGE_NAMES=() STAGE_RESULTS=()
+FAILED=0
+
+note() { printf '\n==== %s ====\n' "$*"; }
+
+summary() {
+  printf '\n==== check.sh summary ====\n'
+  local i
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '  %-10s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+  done
+}
+
+# record NAME RESULT
+record() { STAGE_NAMES+=("$1"); STAGE_RESULTS+=("$2"); }
+
+# run_stage NAME CMD... — runs CMD, records PASS/FAIL, exits on failure.
+run_stage() {
+  local name="$1"; shift
+  note "stage: $name"
+  if "$@"; then
+    record "$name" PASS
+  else
+    record "$name" "FAIL (exit $?)"
+    FAILED=1
+    summary
+    exit 1
+  fi
+}
+
+build_dir() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" >/dev/null && cmake --build "$dir" -j "$JOBS"
+}
+
+# --- 1. Werror build + full test suite -------------------------------------
+werror_stage() {
+  build_dir build-check/werror -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRETRI_WERROR=ON &&
+  ctest --test-dir build-check/werror --output-on-failure -j "$JOBS"
+}
+run_stage werror werror_stage
+
+# --- 2. invariant linter ----------------------------------------------------
+lint_stage() { ./build-check/werror/tools/lint/retri_lint --root . ; }
+run_stage lint lint_stage
+
+if [[ "$QUICK" == 1 ]]; then
+  summary
+  exit "$FAILED"
+fi
+
+# --- 3. clang-tidy (gated on availability) ----------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  tidy_stage() {
+    build_dir build-check/tidy -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DRETRI_TIDY=ON
+  }
+  run_stage tidy tidy_stage
+else
+  note "stage: tidy — clang-tidy not installed, skipping"
+  record tidy SKIP
+fi
+
+# --- 4. AddressSanitizer build + full test suite ----------------------------
+asan_stage() {
+  build_dir build-check/asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRETRI_SANITIZE=address &&
+  ctest --test-dir build-check/asan --output-on-failure -j "$JOBS"
+}
+run_stage asan asan_stage
+
+# --- 5. ThreadSanitizer build + runner concurrency suite --------------------
+tsan_stage() {
+  build_dir build-check/tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRETRI_SANITIZE=thread &&
+  ctest --test-dir build-check/tsan --output-on-failure -L runner -j "$JOBS"
+}
+run_stage tsan tsan_stage
+
+summary
+exit "$FAILED"

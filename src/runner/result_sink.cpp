@@ -117,7 +117,11 @@ bool ResultSink::write_file(const std::string& path, const SweepResult& result,
     return false;
   }
   out << to_json(result) << '\n';
-  if (!out.flush()) {
+  out.flush();
+  // close() can surface errors flush() missed (e.g. deferred ENOSPC), so
+  // fold both into the stream state before deciding.
+  out.close();
+  if (out.fail()) {
     if (error) *error = "write to " + path + " failed";
     return false;
   }

@@ -1,12 +1,15 @@
 // bench::try_parse_args — the shared CLI grammar. Unknown flags are fatal
 // and malformed numerics are rejected (never silently defaulted); the
 // exiting parse_args is a trivial wrapper over this.
+#include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "harness.hpp"
+#include "runner/result_sink.hpp"
 
 using retri::bench::BenchArgs;
 using retri::bench::try_parse_args;
@@ -100,4 +103,87 @@ TEST(ParseArgs, ErrorNamesTheOffendingValue) {
   EXPECT_FALSE(outcome.ok);
   EXPECT_NE(outcome.error.find("--jobs"), std::string::npos);
   EXPECT_NE(outcome.error.find("many"), std::string::npos);
+}
+
+// --- export_result: --out failure semantics ---------------------------------
+//
+// Regression for the silent-artifact-loss bug class: retri_bench must exit 2
+// (usage/IO error), not 0 or a generic 1, when --out cannot be written.
+
+namespace {
+
+// Tiny but non-empty result so the JSON writer exercises a real payload.
+retri::runner::SweepResult tiny_result() {
+  retri::runner::SweepResult result;
+  result.spec.name = "unit";
+  result.spec.description = "export_result unit fixture";
+  result.spec.trials = 1;
+  return result;
+}
+
+}  // namespace
+
+TEST(ExportResult, UnwritablePathReturnsStatus2) {
+  std::FILE* err = std::tmpfile();
+  ASSERT_NE(err, nullptr);
+  const int status = retri::bench::export_result(
+      "/nonexistent-retri-dir/out.json", tiny_result(), err);
+  EXPECT_EQ(status, 2);
+
+  // The failure reason lands on the error stream, naming the path.
+  std::rewind(err);
+  char buf[256] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, err);
+  EXPECT_NE(std::string(buf, n).find("/nonexistent-retri-dir/out.json"),
+            std::string::npos);
+  std::fclose(err);
+}
+
+TEST(ExportResult, DirectoryAsOutputPathReturnsStatus2) {
+  std::FILE* err = std::tmpfile();
+  ASSERT_NE(err, nullptr);
+  const auto dir = std::filesystem::temp_directory_path();
+  EXPECT_EQ(retri::bench::export_result(dir.string(), tiny_result(), err), 2);
+  std::fclose(err);
+}
+
+TEST(ExportResult, WritablePathReturnsZeroAndWritesArtifact) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "retri_export_result_ok.json";
+  std::filesystem::remove(path);
+
+  std::FILE* err = std::tmpfile();
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(retri::bench::export_result(path.string(), tiny_result(), err), 0);
+  std::fclose(err);
+
+  ASSERT_TRUE(std::filesystem::exists(path));
+  EXPECT_GT(std::filesystem::file_size(path), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(ResultSinkWriteFile, FillsErrorForUnwritablePath) {
+  std::string error;
+  EXPECT_FALSE(retri::runner::ResultSink::write_file(
+      "/nonexistent-retri-dir/out.json", tiny_result(), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(RequireNoOut, PassesWhenOutUnset) {
+  BenchArgs args;
+  EXPECT_EQ(retri::bench::require_no_out(args, stderr), 0);
+}
+
+TEST(RequireNoOut, RejectsIgnoredOutWithStatus2AndRedirect) {
+  BenchArgs args;
+  args.out = "fig.json";
+  std::FILE* err = std::tmpfile();
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(retri::bench::require_no_out(args, err), 2);
+  std::rewind(err);
+  char buf[256] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, err);
+  const std::string msg(buf, n);
+  EXPECT_NE(msg.find("retri_bench"), std::string::npos);
+  EXPECT_NE(msg.find("fig.json"), std::string::npos);
 }

@@ -1,0 +1,289 @@
+// Unit tests for the retri_lint rule engine (tools/lint/rules.hpp):
+// pattern matching, scope allowlists, inline allow() escapes,
+// comment/string stripping, and baseline parse/format/diff.
+//
+// Fixture sources are built as plain strings; the engine blanks
+// string-literal contents when scanning real files, so quoting banned
+// constructs here cannot trip the tree-wide lint_tree test on this file.
+#include "rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace lint = retri::lint;
+
+namespace {
+
+const lint::Rule* find_rule(const std::string& id) {
+  for (const lint::Rule& rule : lint::default_rules()) {
+    if (rule.id == id) return &rule;
+  }
+  return nullptr;
+}
+
+std::vector<lint::Violation> scan(const std::string& path,
+                                  const std::string& contents) {
+  return lint::scan_file(path, contents, lint::default_rules());
+}
+
+bool has_violation(const std::vector<lint::Violation>& vs,
+                   const std::string& rule_id) {
+  return std::any_of(vs.begin(), vs.end(), [&](const lint::Violation& v) {
+    return v.rule_id == rule_id;
+  });
+}
+
+// A minimal compliant header body, reused by fixtures that should be clean.
+const char* const kCleanHeader = "#pragma once\nnamespace x { int f(); }\n";
+
+TEST(LintRules, DefaultTableHasExpectedRules) {
+  for (const char* id :
+       {"no-unseeded-rand", "no-random-device", "no-wall-clock",
+        "no-raw-thread", "header-pragma-once", "no-using-namespace-header",
+        "no-direct-io"}) {
+    EXPECT_NE(find_rule(id), nullptr) << id;
+  }
+}
+
+TEST(LintRules, FlagsStdRandWithFileAndLine) {
+  const auto vs = scan("src/core/selector.cpp",
+                       "#include <cstdlib>\n"
+                       "int pick() {\n"
+                       "  return std::rand();\n"
+                       "}\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule_id, "no-unseeded-rand");
+  EXPECT_EQ(vs[0].file, "src/core/selector.cpp");
+  EXPECT_EQ(vs[0].line, 3u);
+  EXPECT_NE(vs[0].excerpt.find("std::rand"), std::string::npos);
+}
+
+TEST(LintRules, FlagsArglessSrandAndCRand) {
+  const auto vs = scan("src/sim/engine.cpp",
+                       "void seed() { srand(42); }\n"
+                       "int draw() { return rand(); }\n");
+  EXPECT_EQ(vs.size(), 2u);
+  EXPECT_TRUE(has_violation(vs, "no-unseeded-rand"));
+}
+
+TEST(LintRules, DoesNotFlagIdentifiersContainingRand) {
+  // `operand(...)` and `grand_total(...)` must not match the \brand\( arm.
+  const auto vs = scan("src/core/model.cpp",
+                       "int operand(int v);\n"
+                       "int grand_total(int v) { return operand(v); }\n");
+  EXPECT_FALSE(has_violation(vs, "no-unseeded-rand"));
+}
+
+TEST(LintRules, ScopeAllowlistExemptsUtilFromRandomnessRules) {
+  const std::string body = "auto e = std::random_device{}();\n";
+  EXPECT_TRUE(has_violation(scan("src/core/density.cpp", body),
+                            "no-random-device"));
+  EXPECT_FALSE(has_violation(scan("src/util/random.cpp", body),
+                             "no-random-device"));
+}
+
+TEST(LintRules, FlagsWallClockReads) {
+  const auto vs = scan(
+      "src/runner/trial_runner.cpp",
+      "auto t0 = std::chrono::steady_clock::now();\n"
+      "auto t1 = std::chrono::high_resolution_clock::now();\n"
+      "long t2 = time(nullptr);\n");
+  EXPECT_EQ(vs.size(), 3u);
+  EXPECT_TRUE(has_violation(vs, "no-wall-clock"));
+}
+
+TEST(LintRules, WallClockDoesNotMatchSimulatedTimeNames) {
+  const auto vs = scan("src/sim/engine.cpp",
+                       "auto t = clock_.now();\n"
+                       "auto d = config.send_time(3);\n");
+  EXPECT_FALSE(has_violation(vs, "no-wall-clock"));
+}
+
+TEST(LintRules, RawThreadingBannedOutsideRunnerOnly) {
+  const std::string body =
+      "#include <thread>\n"
+      "void go() { std::thread t([]{}); t.detach(); }\n"
+      "auto f = std::async([]{ return 1; });\n";
+  const auto outside = scan("src/sim/medium.cpp", body);
+  EXPECT_TRUE(has_violation(outside, "no-raw-thread"));
+  // Line 2 carries both std::thread and .detach( but reports once per line.
+  EXPECT_EQ(outside.size(), 2u);
+  EXPECT_FALSE(
+      has_violation(scan("src/runner/thread_pool.cpp", body), "no-raw-thread"));
+}
+
+TEST(LintRules, HeaderMustHavePragmaOnceOrGuard) {
+  const auto missing = scan("src/core/bad.hpp", "namespace x {}\n");
+  ASSERT_TRUE(has_violation(missing, "header-pragma-once"));
+  EXPECT_EQ(missing[0].line, 1u);
+
+  EXPECT_FALSE(has_violation(scan("src/core/good.hpp", kCleanHeader),
+                             "header-pragma-once"));
+  EXPECT_FALSE(has_violation(
+      scan("src/core/guarded.h",
+           "#ifndef RETRI_GUARDED_H\n#define RETRI_GUARDED_H\n#endif\n"),
+      "header-pragma-once"));
+  // Rule only applies to header extensions.
+  EXPECT_FALSE(
+      has_violation(scan("src/core/impl.cpp", "namespace x {}\n"),
+                    "header-pragma-once"));
+}
+
+TEST(LintRules, UsingNamespaceBannedInHeadersOnly) {
+  const std::string body = "#pragma once\nusing namespace std;\n";
+  EXPECT_TRUE(has_violation(scan("src/aff/wire.hpp", body),
+                            "no-using-namespace-header"));
+  EXPECT_FALSE(has_violation(scan("tests/test_wire.cpp", body),
+                             "no-using-namespace-header"));
+}
+
+TEST(LintRules, DirectIoBannedInLibraryAllowedInCliScopes) {
+  const std::string body = "void dump() { std::cout << 1; printf(\"x\"); }\n";
+  EXPECT_TRUE(has_violation(scan("src/stats/table.cpp", body), "no-direct-io"));
+  EXPECT_TRUE(has_violation(scan("tests/test_table.cpp", body), "no-direct-io"));
+  EXPECT_FALSE(has_violation(scan("bench/fig1.cpp", body), "no-direct-io"));
+  EXPECT_FALSE(has_violation(scan("examples/quickstart.cpp", body),
+                             "no-direct-io"));
+  EXPECT_FALSE(has_violation(scan("src/util/logging.cpp", body),
+                             "no-direct-io"));
+}
+
+TEST(LintRules, SnprintfIsNotDirectIo) {
+  const auto vs = scan("src/stats/table.cpp",
+                       "char buf[32]; std::snprintf(buf, sizeof buf, \"x\");\n");
+  EXPECT_FALSE(has_violation(vs, "no-direct-io"));
+}
+
+// --- comment/string stripping ---------------------------------------------
+
+TEST(LintStrip, CommentsAndStringsAreBlanked) {
+  const std::string stripped = lint::strip_comments(
+      "int a; // std::rand here\n"
+      "/* std::thread\n   spans lines */ int b;\n"
+      "const char* s = \"std::cout\";\n");
+  EXPECT_EQ(stripped.find("std::rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("std::thread"), std::string::npos);
+  EXPECT_EQ(stripped.find("std::cout"), std::string::npos);
+  // Code and line structure survive.
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 4);
+}
+
+TEST(LintStrip, RawStringsAreBlanked) {
+  const std::string stripped = lint::strip_comments(
+      "auto j = R\"({\"cmd\":\"std::cout << x\"})\";\nint after; // tail\n");
+  EXPECT_EQ(stripped.find("std::cout"), std::string::npos);
+  EXPECT_NE(stripped.find("int after;"), std::string::npos);
+}
+
+TEST(LintStrip, ScanIgnoresBannedTokensInCommentsAndStrings) {
+  const auto vs = scan("src/core/model.cpp",
+                       "// prefer util::Xoshiro256 over std::rand\n"
+                       "const char* msg = \"std::cout is banned\";\n");
+  EXPECT_TRUE(vs.empty());
+}
+
+// --- inline escapes ---------------------------------------------------------
+
+TEST(LintEscape, LineAllowsParsesIdLists) {
+  EXPECT_TRUE(lint::line_allows("x(); // retri-lint: allow(no-direct-io)",
+                                "no-direct-io"));
+  EXPECT_TRUE(lint::line_allows(
+      "x(); // retri-lint: allow(no-raw-thread, no-direct-io)",
+      "no-direct-io"));
+  EXPECT_TRUE(lint::line_allows("x(); // retri-lint: allow(*)", "anything"));
+  EXPECT_FALSE(lint::line_allows("x(); // retri-lint: allow(no-raw-thread)",
+                                 "no-direct-io"));
+  EXPECT_FALSE(lint::line_allows("x();", "no-direct-io"));
+}
+
+TEST(LintEscape, SuppressesOnlyTheNamedRuleOnThatLine) {
+  const std::string esc = "retri-lint: allow(no-unseeded-rand)";
+  const auto vs = scan("src/core/selector.cpp",
+                       "int a = rand();  // " + esc + "\n" +
+                       "int b = rand();\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].line, 2u);
+}
+
+TEST(LintEscape, FileLevelEscapeExcusesRequiredPattern) {
+  const auto vs = scan(
+      "src/core/generated.hpp",
+      "// generated file, retri-lint: allow(header-pragma-once)\nint x;\n");
+  EXPECT_FALSE(has_violation(vs, "header-pragma-once"));
+}
+
+// --- rule_applies -----------------------------------------------------------
+
+TEST(LintScope, RuleAppliesChecksPrefixAndExtension) {
+  const lint::Rule* io = find_rule("no-direct-io");
+  ASSERT_NE(io, nullptr);
+  EXPECT_TRUE(lint::rule_applies(*io, "src/core/x.cpp"));
+  EXPECT_FALSE(lint::rule_applies(*io, "bench/x.cpp"));
+  EXPECT_FALSE(lint::rule_applies(*io, "examples/deep/nested.cpp"));
+
+  const lint::Rule* hdr = find_rule("header-pragma-once");
+  ASSERT_NE(hdr, nullptr);
+  EXPECT_TRUE(lint::rule_applies(*hdr, "src/core/x.hpp"));
+  EXPECT_FALSE(lint::rule_applies(*hdr, "src/core/x.cpp"));
+}
+
+// --- baseline ---------------------------------------------------------------
+
+TEST(LintBaseline, ParseSkipsCommentsAndBlanks) {
+  const lint::Baseline b = lint::parse_baseline(
+      "# comment\n\nsrc/a.cpp:no-direct-io\n  src/b.cpp:no-raw-thread  \n");
+  EXPECT_EQ(b.entries.size(), 2u);
+  EXPECT_EQ(b.entries.count("src/a.cpp:no-direct-io"), 1u);
+  EXPECT_EQ(b.entries.count("src/b.cpp:no-raw-thread"), 1u);
+}
+
+TEST(LintBaseline, ApplySuppressesMatchesAndReportsStale) {
+  std::vector<lint::Violation> vs;
+  vs.push_back({"src/a.cpp", 3, "no-direct-io", "m", "e"});
+  vs.push_back({"src/a.cpp", 9, "no-direct-io", "m", "e"});  // same key
+  vs.push_back({"src/b.cpp", 1, "no-raw-thread", "m", "e"});
+
+  lint::Baseline baseline;
+  baseline.entries.insert("src/a.cpp:no-direct-io");
+  baseline.entries.insert("src/gone.cpp:no-direct-io");  // stale
+
+  std::vector<std::string> stale;
+  const auto rest = lint::apply_baseline(vs, baseline, &stale);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].file, "src/b.cpp");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], "src/gone.cpp:no-direct-io");
+}
+
+TEST(LintBaseline, FormatRoundTripsThroughParse) {
+  std::vector<lint::Violation> vs;
+  vs.push_back({"src/b.cpp", 7, "no-wall-clock", "m", "e"});
+  vs.push_back({"src/a.cpp", 3, "no-direct-io", "m", "e"});
+  vs.push_back({"src/a.cpp", 5, "no-direct-io", "m", "e"});  // dedupes
+
+  const std::string text = lint::format_baseline(vs);
+  const lint::Baseline parsed = lint::parse_baseline(text);
+  EXPECT_EQ(parsed.entries.size(), 2u);
+  EXPECT_EQ(parsed.entries.count("src/a.cpp:no-direct-io"), 1u);
+  EXPECT_EQ(parsed.entries.count("src/b.cpp:no-wall-clock"), 1u);
+
+  // Empty baseline (tier-1's configuration) suppresses nothing.
+  std::vector<std::string> stale;
+  EXPECT_EQ(lint::apply_baseline(vs, lint::Baseline{}, &stale).size(), 3u);
+  EXPECT_TRUE(stale.empty());
+}
+
+TEST(LintBaseline, ViolationsSortedByLineWithinFile) {
+  const auto vs = scan("src/core/x.cpp",
+                       "int b = rand();\n"
+                       "auto d = std::random_device{}();\n");
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_LT(vs[0].line, vs[1].line);
+}
+
+}  // namespace

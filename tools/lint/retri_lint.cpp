@@ -1,0 +1,234 @@
+// retri_lint: scans src/, bench/, tests/, and examples/ for violations of
+// the repo's determinism and hygiene invariants (see rules.cpp for the
+// table) and reports them as `file:line: [rule] message` diagnostics.
+//
+//   retri_lint --root /path/to/repo            # scan, exit 1 on violations
+//   retri_lint --list-rules                    # print the rule table
+//   retri_lint --baseline FILE                 # suppress listed file:rule
+//   retri_lint --write-baseline FILE           # snapshot violations
+//   retri_lint --root R path/under/R.cpp ...   # restrict to given files
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage/IO error. Wired into
+// tier-1 as the `lint_tree` ctest with an empty baseline.
+//
+// This is a CLI: it owns its stdout/stderr, so direct printf is fine here
+// (and tools/ is outside the scanned set anyway).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+namespace lint = retri::lint;
+
+namespace {
+
+struct Options {
+  std::string root = ".";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::vector<std::string> files;  // explicit repo-relative files; empty = tree
+  bool list_rules = false;
+  bool quiet = false;
+};
+
+constexpr const char* kScanDirs[] = {"src", "bench", "tests", "examples"};
+constexpr const char* kExtensions[] = {".cpp", ".hpp", ".h", ".cc", ".cxx"};
+
+bool has_scanned_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  for (const char* want : kExtensions) {
+    if (ext == want) return true;
+  }
+  return false;
+}
+
+int usage(std::FILE* stream) {
+  std::fprintf(stream,
+               "usage: retri_lint [--root DIR] [--baseline FILE]\n"
+               "                  [--write-baseline FILE] [--list-rules]\n"
+               "                  [--quiet] [FILE...]\n"
+               "scans src/ bench/ tests/ examples/ under DIR (default .)\n"
+               "exit: 0 clean, 1 violations, 2 usage/IO error\n");
+  return 2;
+}
+
+bool parse_options(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](std::string& slot) {
+      if (i + 1 >= argc) return false;
+      slot = argv[++i];
+      return true;
+    };
+    if (arg == "--root") {
+      if (!value(opts.root)) return false;
+    } else if (arg == "--baseline") {
+      if (!value(opts.baseline_path)) return false;
+    } else if (arg == "--write-baseline") {
+      if (!value(opts.write_baseline_path)) return false;
+    } else if (arg == "--list-rules") {
+      opts.list_rules = true;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    } else {
+      opts.files.push_back(arg);
+    }
+  }
+  return true;
+}
+
+int list_rules() {
+  for (const lint::Rule& rule : lint::default_rules()) {
+    std::printf("%-26s %s\n", rule.id.c_str(),
+                rule.kind == lint::RuleKind::kRequiredPattern ? "[required]"
+                                                              : "[banned]");
+    std::printf("  pattern: %s\n", rule.pattern.c_str());
+    if (!rule.allowed_prefixes.empty()) {
+      std::printf("  allowed under:");
+      for (const std::string& p : rule.allowed_prefixes) {
+        std::printf(" %s", p.c_str());
+      }
+      std::printf("\n");
+    }
+    if (!rule.extensions.empty()) {
+      std::printf("  applies to:");
+      for (const std::string& e : rule.extensions) std::printf(" %s", e.c_str());
+      std::printf("\n");
+    }
+    std::printf("  %s\n\n", rule.message.c_str());
+  }
+  return 0;
+}
+
+/// Collects repo-relative paths (forward slashes) of every scannable file.
+std::vector<std::string> discover_files(const fs::path& root, std::string& error) {
+  std::vector<std::string> files;
+  for (const char* dir : kScanDirs) {
+    const fs::path base = root / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) {
+        error = "walking " + base.string() + ": " + ec.message();
+        return {};
+      }
+      if (!it->is_regular_file() || !has_scanned_extension(it->path())) continue;
+      files.push_back(fs::relative(it->path(), root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool read_file(const fs::path& path, std::string& contents, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot read " + path.string();
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  contents = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_options(argc, argv, opts)) return usage(stderr);
+  if (opts.list_rules) return list_rules();
+
+  const fs::path root(opts.root);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    std::fprintf(stderr, "retri_lint: root is not a directory: %s\n",
+                 opts.root.c_str());
+    return 2;
+  }
+
+  std::string error;
+  std::vector<std::string> files = opts.files;
+  if (files.empty()) {
+    files = discover_files(root, error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "retri_lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  lint::Baseline baseline;
+  if (!opts.baseline_path.empty()) {
+    std::string text;
+    if (!read_file(opts.baseline_path, text, error)) {
+      std::fprintf(stderr, "retri_lint: %s\n", error.c_str());
+      return 2;
+    }
+    baseline = lint::parse_baseline(text);
+  }
+
+  std::vector<lint::Violation> violations;
+  for (const std::string& rel : files) {
+    std::string contents;
+    if (!read_file(root / rel, contents, error)) {
+      std::fprintf(stderr, "retri_lint: %s\n", error.c_str());
+      return 2;
+    }
+    auto found = lint::scan_file(rel, contents, lint::default_rules());
+    violations.insert(violations.end(),
+                      std::make_move_iterator(found.begin()),
+                      std::make_move_iterator(found.end()));
+  }
+
+  if (!opts.write_baseline_path.empty()) {
+    std::ofstream out(opts.write_baseline_path, std::ios::trunc);
+    out << lint::format_baseline(violations);
+    if (!out.flush()) {
+      std::fprintf(stderr, "retri_lint: cannot write baseline %s\n",
+                   opts.write_baseline_path.c_str());
+      return 2;
+    }
+    std::printf("wrote %zu baseline entr%s to %s\n", violations.size(),
+                violations.size() == 1 ? "y" : "ies",
+                opts.write_baseline_path.c_str());
+    return 0;
+  }
+
+  std::vector<std::string> stale;
+  violations = lint::apply_baseline(std::move(violations), baseline, &stale);
+  for (const std::string& entry : stale) {
+    std::fprintf(stderr,
+                 "retri_lint: stale baseline entry (no longer matches): %s\n",
+                 entry.c_str());
+  }
+
+  for (const lint::Violation& v : violations) {
+    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule_id.c_str(),
+                v.message.c_str());
+    if (!v.excerpt.empty() && !opts.quiet) {
+      std::printf("    %s\n", v.excerpt.c_str());
+    }
+  }
+  if (!violations.empty()) {
+    std::printf("%zu violation%s in %zu file%s scanned\n", violations.size(),
+                violations.size() == 1 ? "" : "s", files.size(),
+                files.size() == 1 ? "" : "s");
+    return 1;
+  }
+  if (!opts.quiet) {
+    std::printf("retri_lint: %zu files clean (%zu rules)\n", files.size(),
+                lint::default_rules().size());
+  }
+  return 0;
+}

@@ -1,0 +1,336 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace retri::lint {
+namespace {
+
+// Rule-table notes:
+//  - Patterns live here, inside tools/, which the scanner never visits, so
+//    the table cannot flag itself.
+//  - Word boundaries keep the short tokens honest: `\brand\s*\(` does not
+//    match `operand(`, `\bprintf` does not match `snprintf`.
+//  - `snprintf` stays legal everywhere: it formats into a caller-owned
+//    buffer instead of emitting output, which is the thing the io rule
+//    polices.
+std::vector<Rule> make_default_rules() {
+  std::vector<Rule> rules;
+
+  rules.push_back(Rule{
+      "no-unseeded-rand",
+      RuleKind::kBannedPattern,
+      R"(\bstd::rand\b|\bsrand\s*\(|\brand\s*\()",
+      {"src/util/"},
+      {},
+      "unseeded C randomness breaks trial reproducibility; draw from a "
+      "util::Xoshiro256 seeded via runner::derive_trial_seed"});
+
+  rules.push_back(Rule{
+      "no-random-device",
+      RuleKind::kBannedPattern,
+      R"(\bstd::random_device\b|\brandom_device\b)",
+      {"src/util/"},
+      {},
+      "hardware entropy makes trials unreproducible; seeds must come from "
+      "the experiment config (runner::derive_trial_seed)"});
+
+  rules.push_back(Rule{
+      "no-wall-clock",
+      RuleKind::kBannedPattern,
+      R"(\bstd::chrono::\w*_clock::now\b|\b(steady|system|high_resolution)_clock::now\b|\btime\s*\()",
+      {"src/util/"},
+      {},
+      "wall-clock reads make sim/core/runner results depend on host timing; "
+      "simulated time flows through sim::Clock (src/sim/time.hpp)"});
+
+  rules.push_back(Rule{
+      "no-raw-thread",
+      RuleKind::kBannedPattern,
+      R"(\bstd::thread\b|\bstd::jthread\b|\bstd::async\b|\.detach\s*\()",
+      {"src/runner/"},
+      {},
+      "raw threading outside src/runner voids the deterministic-sharding "
+      "guarantee; submit work to runner::ThreadPool"});
+
+  rules.push_back(Rule{
+      "header-pragma-once",
+      RuleKind::kRequiredPattern,
+      R"(#pragma once|#ifndef\s+\w+)",
+      {},
+      {".hpp", ".h"},
+      "header lacks #pragma once (or a classic include guard)"});
+
+  rules.push_back(Rule{
+      "no-using-namespace-header",
+      RuleKind::kBannedPattern,
+      R"(^\s*using\s+namespace\b)",
+      {},
+      {".hpp", ".h"},
+      "using-namespace in a header leaks into every includer; qualify names "
+      "or alias them inside a function"});
+
+  rules.push_back(Rule{
+      "no-direct-io",
+      RuleKind::kBannedPattern,
+      R"(\bstd::cout\b|\bstd::cerr\b|\bstd::clog\b|\bprintf\s*\(|\bfprintf\s*\(|\bputs\s*\(|\bfputs\s*\()",
+      // CLIs own their stdout/stderr; the logger implementation is the one
+      // library file allowed to touch stderr.
+      {"bench/", "examples/", "src/util/logging."},
+      {},
+      "library/test code must log through util::Logger (RETRI_LOG) so "
+      "benches can silence it and tests can capture it"});
+
+  return rules;
+}
+
+bool has_prefix(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::vector<Rule>& default_rules() {
+  static const std::vector<Rule> rules = make_default_rules();
+  return rules;
+}
+
+bool rule_applies(const Rule& rule, std::string_view rel_path) {
+  if (!rule.extensions.empty()) {
+    const auto dot = rel_path.rfind('.');
+    const std::string_view ext =
+        dot == std::string_view::npos ? std::string_view{} : rel_path.substr(dot);
+    if (std::find(rule.extensions.begin(), rule.extensions.end(), ext) ==
+        rule.extensions.end()) {
+      return false;
+    }
+  }
+  for (const std::string& prefix : rule.allowed_prefixes) {
+    if (has_prefix(rel_path, prefix)) return false;
+  }
+  return true;
+}
+
+bool line_allows(std::string_view line, std::string_view rule_id) {
+  static constexpr std::string_view kMarker = "retri-lint: allow(";
+  const auto marker = line.find(kMarker);
+  if (marker == std::string_view::npos) return false;
+  const auto open = marker + kMarker.size();
+  const auto close = line.find(')', open);
+  if (close == std::string_view::npos) return false;
+  // Comma/space separated rule ids inside the parentheses.
+  std::string_view inside = line.substr(open, close - open);
+  while (!inside.empty()) {
+    const auto comma = inside.find(',');
+    std::string_view token = trim(inside.substr(0, comma));
+    if (token == rule_id || token == "*") return true;
+    if (comma == std::string_view::npos) break;
+    inside.remove_prefix(comma + 1);
+  }
+  return false;
+}
+
+std::string strip_comments(std::string_view contents) {
+  std::string out(contents);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_terminator;  // `)delim"` that ends the active raw string
+
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(out[i - 1])) &&
+                               out[i - 1] != '_'))) {
+          // Raw string literal: R"delim( ... )delim"
+          const auto paren = out.find('(', i + 2);
+          if (paren != std::string::npos) {
+            raw_terminator = ")" + out.substr(i + 2, paren - (i + 2)) + "\"";
+            state = State::kRawString;
+            i = paren;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') state = State::kCode;
+        else out[i] = ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          state = State::kCode;
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < out.size()) {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"' || c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < out.size()) {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'' || c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (out.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> scan_file(std::string_view rel_path,
+                                 std::string_view contents,
+                                 const std::vector<Rule>& rules) {
+  std::vector<Violation> violations;
+
+  std::vector<const Rule*> active;
+  for (const Rule& rule : rules) {
+    if (rule_applies(rule, rel_path)) active.push_back(&rule);
+  }
+  if (active.empty()) return violations;
+
+  const std::string stripped = strip_comments(contents);
+
+  // Split both the original (for escapes + excerpts) and the stripped copy
+  // (for matching) into lines; strip_comments preserves line structure.
+  std::vector<std::string_view> raw_lines, code_lines;
+  for (std::string_view rest : {contents}) {
+    while (!rest.empty()) {
+      const auto nl = rest.find('\n');
+      raw_lines.push_back(rest.substr(0, nl));
+      if (nl == std::string_view::npos) break;
+      rest.remove_prefix(nl + 1);
+    }
+  }
+  for (std::string_view rest = stripped; !rest.empty();) {
+    const auto nl = rest.find('\n');
+    code_lines.push_back(rest.substr(0, nl));
+    if (nl == std::string_view::npos) break;
+    rest.remove_prefix(nl + 1);
+  }
+
+  for (const Rule* rule : active) {
+    const std::regex re(rule->pattern, std::regex::ECMAScript);
+    if (rule->kind == RuleKind::kRequiredPattern) {
+      if (std::regex_search(stripped.begin(), stripped.end(), re)) continue;
+      bool excused = false;
+      for (const std::string_view line : raw_lines) {
+        if (line_allows(line, rule->id)) { excused = true; break; }
+      }
+      if (!excused) {
+        violations.push_back(
+            Violation{std::string(rel_path), 1, rule->id, rule->message, ""});
+      }
+      continue;
+    }
+    for (std::size_t n = 0; n < code_lines.size(); ++n) {
+      const std::string_view code = code_lines[n];
+      if (!std::regex_search(code.begin(), code.end(), re)) continue;
+      if (line_allows(raw_lines[n], rule->id)) continue;
+      violations.push_back(Violation{std::string(rel_path), n + 1, rule->id,
+                                     rule->message,
+                                     std::string(trim(raw_lines[n]))});
+    }
+  }
+
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule_id < b.rule_id;
+            });
+  return violations;
+}
+
+Baseline parse_baseline(std::string_view text) {
+  Baseline baseline;
+  while (!text.empty()) {
+    const auto nl = text.find('\n');
+    std::string_view line = trim(text.substr(0, nl));
+    if (!line.empty() && line.front() != '#') {
+      baseline.entries.insert(std::string(line));
+    }
+    if (nl == std::string_view::npos) break;
+    text.remove_prefix(nl + 1);
+  }
+  return baseline;
+}
+
+std::string format_baseline(const std::vector<Violation>& violations) {
+  std::set<std::string> keys;
+  for (const Violation& v : violations) keys.insert(Baseline::key(v));
+  std::string out =
+      "# retri_lint baseline: <file>:<rule-id> entries suppressed by "
+      "--baseline.\n# Tier-1 runs with an empty baseline; entries here are "
+      "temporary rollout debt.\n";
+  for (const std::string& key : keys) {
+    out += key;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<Violation> apply_baseline(std::vector<Violation> violations,
+                                      const Baseline& baseline,
+                                      std::vector<std::string>* stale) {
+  std::set<std::string> used;
+  std::vector<Violation> remaining;
+  for (Violation& v : violations) {
+    const std::string key = Baseline::key(v);
+    if (baseline.entries.count(key) != 0) {
+      used.insert(key);
+    } else {
+      remaining.push_back(std::move(v));
+    }
+  }
+  if (stale != nullptr) {
+    stale->clear();
+    for (const std::string& entry : baseline.entries) {
+      if (used.count(entry) == 0) stale->push_back(entry);
+    }
+  }
+  return remaining;
+}
+
+}  // namespace retri::lint

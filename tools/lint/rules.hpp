@@ -1,0 +1,108 @@
+// retri_lint rule engine.
+//
+// The runner's bit-identical-results guarantee (DESIGN.md §5b) rests on two
+// conventions the compiler cannot check: every source of randomness flows
+// through the seeded generators in src/util/random.hpp, and every thread is
+// owned by runner::ThreadPool. This engine turns those conventions — plus
+// the repo's header-hygiene and logging rules — into machine-checked
+// invariants: rules are data (pattern, scope allowlist, message), the
+// scanner reports file:line diagnostics, and tier-1 ctest runs the whole
+// tree through it (see tools/lint/retri_lint.cpp and the lint_tree test).
+//
+// Matching is line- and regex-based on comment-stripped source, not AST
+// based: the banned constructs are all spelled the same way at every call
+// site (std::rand, std::thread, std::cout, ...), so a lexical scan catches
+// them without dragging a compiler frontend into the build. Escapes are
+// explicit and visible in review: `// retri-lint: allow(<rule>)` on the
+// offending line (or anywhere in the file for file-level rules).
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace retri::lint {
+
+enum class RuleKind {
+  kBannedPattern,    // pattern must not appear on any (comment-stripped) line
+  kRequiredPattern,  // pattern must appear somewhere in the file
+};
+
+/// One invariant. Rules are plain data so the table in default_rules() reads
+/// like a policy document and tests can build ad-hoc rule sets.
+struct Rule {
+  std::string id;       // stable slug used in diagnostics, escapes, baselines
+  RuleKind kind = RuleKind::kBannedPattern;
+  std::string pattern;  // ECMAScript regex (case-sensitive)
+  // Repo-relative path prefixes (forward slashes) where this rule does NOT
+  // apply. Empty = applies everywhere scanned.
+  std::vector<std::string> allowed_prefixes;
+  // File extensions the rule applies to (with dot). Empty = all scanned
+  // extensions.
+  std::vector<std::string> extensions;
+  std::string message;  // one-line rationale shown with each diagnostic
+};
+
+struct Violation {
+  std::string file;     // repo-relative path, forward slashes
+  std::size_t line = 0; // 1-based; for kRequiredPattern rules this is 1
+  std::string rule_id;
+  std::string message;
+  std::string excerpt;  // offending source line, trimmed (empty for
+                        // kRequiredPattern)
+};
+
+/// The repo's invariant table. Order is the reporting order.
+const std::vector<Rule>& default_rules();
+
+/// True when `rule` applies to `rel_path` (extension matches and the path is
+/// not under any allowed prefix).
+bool rule_applies(const Rule& rule, std::string_view rel_path);
+
+/// True when `line` carries an inline escape for `rule_id`:
+///   // retri-lint: allow(rule-a, rule-b)
+bool line_allows(std::string_view line, std::string_view rule_id);
+
+/// Returns a copy of `contents` with comment text (//, /*...*/) and
+/// string/char-literal contents blanked, newlines preserved, R"(...)"
+/// aware. Doc comments naming banned constructs and test fixtures quoting
+/// them must not trip the scanner — the invariants are about executable
+/// code. Inline allow() escapes are parsed from the raw line, not this
+/// stripped copy. Exposed for tests.
+std::string strip_comments(std::string_view contents);
+
+/// Scans one file's contents against `rules`, honouring inline escapes.
+/// `rel_path` must be repo-relative with forward slashes.
+std::vector<Violation> scan_file(std::string_view rel_path,
+                                 std::string_view contents,
+                                 const std::vector<Rule>& rules);
+
+/// Baseline: suppression list so a new rule can land before the tree is
+/// clean under it. Entries are `<file>:<rule-id>` (no line numbers — lines
+/// drift on unrelated edits; a file is either excused from a rule or not).
+/// Tier-1 runs with an EMPTY baseline; the mechanism exists for future rule
+/// rollouts.
+struct Baseline {
+  std::set<std::string> entries;
+
+  static std::string key(const Violation& v) { return v.file + ":" + v.rule_id; }
+};
+
+/// Parses baseline text: one `<file>:<rule-id>` per line, `#` comments and
+/// blank lines ignored.
+Baseline parse_baseline(std::string_view text);
+
+/// Formats violations as baseline text (sorted, deduplicated) suitable for
+/// --write-baseline.
+std::string format_baseline(const std::vector<Violation>& violations);
+
+/// Removes violations covered by `baseline`. Baseline entries that matched
+/// nothing are reported through `stale` (sorted) so dead suppressions are
+/// visible and can be deleted.
+std::vector<Violation> apply_baseline(std::vector<Violation> violations,
+                                      const Baseline& baseline,
+                                      std::vector<std::string>* stale);
+
+}  // namespace retri::lint
