@@ -10,7 +10,10 @@
 #   3. tidy    — RETRI_TIDY=ON build (curated .clang-tidy, warnings fatal);
 #                SKIPPED with a notice when clang-tidy is not installed
 #   4. asan    — RETRI_SANITIZE=address build + full ctest
-#   5. tsan    — RETRI_SANITIZE=thread build + `ctest -L runner` (the
+#   5. chaos   — short randomized fault-injection soak (retri_chaos) under
+#                the asan build, plus `ctest -L chaos`; also runnable alone
+#                via `scripts/check.sh --chaos`
+#   6. tsan    — RETRI_SANITIZE=thread build + `ctest -L runner` (the
 #                concurrency suite; TSan on the single-threaded sim buys
 #                nothing but runtime)
 #
@@ -22,7 +25,9 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 QUICK=0
+CHAOS_ONLY=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
+[[ "${1:-}" == "--chaos" ]] && CHAOS_ONLY=1
 
 declare -a STAGE_NAMES=() STAGE_RESULTS=()
 FAILED=0
@@ -58,6 +63,29 @@ build_dir() {
   local dir="$1"; shift
   cmake -B "$dir" -S . "$@" >/dev/null && cmake --build "$dir" -j "$JOBS"
 }
+
+# --- chaos soak (shared by the asan stage and --chaos) ----------------------
+# Runs the seeded fault-injection soak against a sanitized build: every
+# trial's conservation invariants must hold and the --jobs 1 vs --jobs 8
+# artifacts must be byte-identical (deterministic sharding).
+chaos_soak() {
+  local build="$1"
+  build_dir "$build" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRETRI_SANITIZE=address &&
+  "$build/tools/chaos/retri_chaos" --seeds 25 --seconds 3 --jobs 1 \
+    --out "$build/chaos-j1.json" &&
+  "$build/tools/chaos/retri_chaos" --seeds 25 --seconds 3 --jobs 8 \
+    --out "$build/chaos-j8.json" &&
+  cmp "$build/chaos-j1.json" "$build/chaos-j8.json" &&
+  ctest --test-dir "$build" --output-on-failure -L chaos -j "$JOBS"
+}
+
+if [[ "$CHAOS_ONLY" == 1 ]]; then
+  chaos_only_stage() { chaos_soak build-check/asan; }
+  run_stage chaos chaos_only_stage
+  summary
+  exit "$FAILED"
+fi
 
 # --- 1. Werror build + full test suite -------------------------------------
 werror_stage() {
@@ -96,7 +124,11 @@ asan_stage() {
 }
 run_stage asan asan_stage
 
-# --- 5. ThreadSanitizer build + runner concurrency suite --------------------
+# --- 5. chaos soak under the asan build -------------------------------------
+chaos_stage() { chaos_soak build-check/asan; }
+run_stage chaos chaos_stage
+
+# --- 6. ThreadSanitizer build + runner concurrency suite --------------------
 tsan_stage() {
   build_dir build-check/tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DRETRI_SANITIZE=thread &&

@@ -2,16 +2,36 @@
 
 #include <cassert>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "util/logging.hpp"
 
 namespace retri::aff {
 
+AffDriverConfig validated(AffDriverConfig config) {
+  if (config.wire.id_bits < 1 || config.wire.id_bits > 64) {
+    throw std::invalid_argument(
+        "AffDriverConfig.wire.id_bits must be in [1, 64], got " +
+        std::to_string(config.wire.id_bits));
+  }
+  if (config.reassembly_timeout.ns() <= 0) {
+    throw std::invalid_argument(
+        "AffDriverConfig.reassembly_timeout must be positive, got " +
+        std::to_string(config.reassembly_timeout.to_seconds()) + "s");
+  }
+  if (config.max_reassembly_entries == 0) {
+    throw std::invalid_argument(
+        "AffDriverConfig.max_reassembly_entries must be >= 1, got 0");
+  }
+  return config;
+}
+
 AffDriver::AffDriver(radio::Radio& radio, core::IdSelector& selector,
                      AffDriverConfig config, std::uint64_t node_uid)
     : radio_(radio),
       selector_(selector),
-      config_(config),
+      config_(validated(config)),
       fragmenter_(FragmenterConfig{config.wire, radio.config().max_frame_bytes}),
       reassembler_(ReassemblerConfig{config.reassembly_timeout,
                                      config.max_reassembly_entries}),

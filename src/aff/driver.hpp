@@ -52,6 +52,12 @@ struct AffDriverConfig {
   core::DensityModelKind density_model = core::DensityModelKind::kEwma;
 };
 
+/// Checks an AffDriverConfig's invariants: wire.id_bits in [1, 64],
+/// positive reassembly_timeout, nonzero max_reassembly_entries. Returns the
+/// config unchanged, throws std::invalid_argument naming the offending
+/// field otherwise. AffDriver calls this on construction.
+AffDriverConfig validated(AffDriverConfig config);
+
 struct AffDriverStats {
   std::uint64_t packets_sent = 0;
   std::uint64_t fragments_sent = 0;

@@ -1,15 +1,28 @@
 #include "aff/reassembler.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "util/checksum.hpp"
 
 namespace retri::aff {
 
-Reassembler::Reassembler(ReassemblerConfig config) : config_(config) {
-  assert(config_.max_entries >= 1);
+ReassemblerConfig validated(ReassemblerConfig config) {
+  if (config.timeout.ns() <= 0) {
+    throw std::invalid_argument(
+        "ReassemblerConfig.timeout must be positive, got " +
+        std::to_string(config.timeout.to_seconds()) + "s");
+  }
+  if (config.max_entries == 0) {
+    throw std::invalid_argument(
+        "ReassemblerConfig.max_entries must be >= 1, got 0");
+  }
+  return config;
 }
+
+Reassembler::Reassembler(ReassemblerConfig config)
+    : config_(validated(config)) {}
 
 Reassembler::Entry& Reassembler::touch(std::uint64_t key, sim::TimePoint now) {
   auto it = entries_.find(key);
@@ -85,6 +98,7 @@ void Reassembler::on_intro(std::uint64_t key, std::uint16_t total_len,
     ++stats_.malformed;
     return;
   }
+  ++stats_.accepted_fragments;
   Entry& entry = touch(key, now);
   if (entry.have_intro &&
       (entry.total_len != total_len || entry.checksum != checksum)) {
@@ -120,6 +134,7 @@ void Reassembler::on_data(std::uint64_t key, std::uint16_t offset,
     ++stats_.orphan_fragments;
     return;
   }
+  ++stats_.accepted_fragments;
   Entry& entry = touch(key, now);
   write_bytes(entry, offset, payload);
   maybe_complete(key, entry);

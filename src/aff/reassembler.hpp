@@ -31,6 +31,12 @@ struct ReassemblerConfig {
   std::size_t max_entries = 1024;
 };
 
+/// Checks a ReassemblerConfig's invariants: timeout must be positive and
+/// max_entries nonzero. Returns the config unchanged, throws
+/// std::invalid_argument naming the offending field otherwise. Reassembler
+/// calls this on construction.
+ReassemblerConfig validated(ReassemblerConfig config);
+
 struct ReassemblerStats {
   std::uint64_t delivered = 0;
   std::uint64_t checksum_failed = 0;
@@ -45,6 +51,10 @@ struct ReassemblerStats {
   /// packet's introduction was lost (or its entry already closed), so the
   /// fragment cannot be attributed to any announced packet and is dropped.
   std::uint64_t orphan_fragments = 0;
+  /// Fragments that passed the malformed/orphan gates and were written
+  /// into an entry. Conservation law (asserted by the chaos harness):
+  ///   fragments_seen == accepted_fragments + malformed + orphan_fragments.
+  std::uint64_t accepted_fragments = 0;
   std::uint64_t fragments_seen = 0;
 };
 

@@ -70,7 +70,10 @@ std::optional<DecodedFragment> decode(const WireConfig& config,
   DecodedFragment out;
   if (kind == FragmentKind::kCollisionNotify) {
     if (instrumented) return std::nullopt;  // never emitted; reject
-    const auto id = r.uvar(config.id_bits);
+    // Strict read: nonzero padding bits in the id field prove corruption
+    // (encoders always write them as zero), and masking them off would
+    // yield a frame that re-encodes differently than it arrived.
+    const auto id = r.uvar_strict(config.id_bits);
     if (!id || !r.empty()) return std::nullopt;
     out.body = CollisionNotify{core::TransactionId(*id)};
     return out;
@@ -85,7 +88,7 @@ std::optional<DecodedFragment> decode(const WireConfig& config,
     out.true_packet_id = *true_id;
   }
 
-  const auto id = r.uvar(config.id_bits);
+  const auto id = r.uvar_strict(config.id_bits);
   if (!id) return std::nullopt;
 
   switch (kind) {

@@ -118,6 +118,7 @@ void TrafficSource::fire() {
   if (driver_.send_packet(payload)) {
     ++packets_sent_;
     bytes_sent_ += pending_.size;
+    if (observer_) observer_(payload);
   }
 }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "aff/driver.hpp"
@@ -111,6 +112,14 @@ class TrafficSource {
   void start(sim::TimePoint until);
   void stop();
 
+  /// Observes every successfully sent packet's payload (after the driver
+  /// accepted it). The chaos harness uses this to record ground-truth
+  /// offered content for delivery-subset invariants.
+  using PacketObserver = std::function<void(const util::Bytes&)>;
+  void set_packet_observer(PacketObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   std::uint64_t packets_sent() const noexcept { return packets_sent_; }
   std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
 
@@ -125,6 +134,7 @@ class TrafficSource {
   std::size_t max_backlog_frames_;
   sim::TimePoint until_;
   SendPlan pending_{};
+  PacketObserver observer_;
   bool running_ = false;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;

@@ -1,0 +1,323 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "aff/driver.hpp"
+#include "apps/workload.hpp"
+#include "core/selector.hpp"
+#include "fault/churn.hpp"
+#include "radio/radio.hpp"
+#include "sim/engine.hpp"
+#include "sim/topology.hpp"
+
+namespace retri::fault {
+namespace {
+
+/// FNV-1a over packet content. Used as a set key for "was this exact
+/// content offered/delivered"; a 64-bit accidental collision could mask a
+/// violation but never fabricate one.
+std::uint64_t content_hash(const util::Bytes& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string fmt_violation(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+struct Stack {
+  std::unique_ptr<radio::Radio> radio;
+  std::unique_ptr<core::IdSelector> selector;
+  std::unique_ptr<aff::AffDriver> driver;
+  std::unique_ptr<apps::TrafficSource> source;
+};
+
+void append_stats(std::string& out, const char* label, std::uint64_t value) {
+  out += label;
+  out += '=';
+  out += std::to_string(value);
+  out += ' ';
+}
+
+}  // namespace
+
+ChaosTrialResult run_chaos_trial(const ChaosTrialConfig& config) {
+  ChaosTrialResult out;
+
+  // Independent derived seeds per subsystem, same discipline as the
+  // injector's per-family streams: adding a subsystem never perturbs the
+  // draws of another for the same trial seed.
+  util::SplitMix64 mix(config.seed ^ 0xc4a05'5eedULL);
+  const std::uint64_t plan_seed = mix.next();
+  const std::uint64_t knob_seed = mix.next();
+  const std::uint64_t medium_seed = mix.next();
+  const std::uint64_t injector_seed = mix.next();
+  const std::uint64_t churn_seed = mix.next();
+
+  out.plan = random_plan(plan_seed);
+
+  // The native channel knobs randomize too: faults must compose with RF
+  // collisions, half-duplex, and independent loss, not replace them.
+  util::Xoshiro256 knobs(knob_seed);
+  sim::MediumConfig medium_config;
+  medium_config.per_link_loss = knobs.chance(0.5) ? knobs.uniform() * 0.15 : 0.0;
+  medium_config.rf_collisions = knobs.chance(0.3);
+  medium_config.half_duplex = knobs.chance(0.3);
+  medium_config.propagation_delay = sim::Duration::microseconds(
+      static_cast<std::int64_t>(knobs.below(200)));
+  out.medium_config = medium_config;
+
+  // Saturating senders offer ~3x channel capacity, so with RF collisions
+  // on the overlap probability is ~1 and nothing survives to exercise the
+  // reassemblers. Pace those trials with Poisson arrivals instead (mean
+  // interarrival 150-400ms, ~0.3-0.8 utilization): collisions still
+  // happen, but the trial stays informative.
+  const sim::Duration poisson_mean = sim::Duration::milliseconds(
+      150 + static_cast<std::int64_t>(knobs.below(251)));
+
+  sim::Simulator sim;
+  sim::BroadcastMedium medium(sim, sim::Topology::star_full_mesh(config.senders),
+                              medium_config, medium_seed);
+  FaultInjector injector(out.plan, injector_seed);
+  medium.set_interceptor(&injector);
+
+  aff::AffDriverConfig driver_config;
+  driver_config.wire.id_bits = config.id_bits;
+  driver_config.wire.instrumented = true;
+  driver_config.reassembly_timeout = config.reassembly_timeout;
+  driver_config.max_reassembly_entries = config.max_reassembly_entries;
+  driver_config.send_collision_notifications = true;
+
+  const radio::EnergyModel energy = radio::EnergyModel::rpc_like();
+  radio::RadioConfig radio_config;
+  radio_config.max_backoff = sim::Duration::milliseconds(2);
+
+  std::unordered_set<std::uint64_t> offered;
+  std::unordered_set<std::uint64_t> aff_content;
+  std::unordered_set<std::uint64_t> truth_content;
+  std::uint64_t aff_foreign = 0;
+  std::uint64_t truth_foreign = 0;
+
+  Stack receiver;
+  receiver.radio = std::make_unique<radio::Radio>(
+      medium, 0, radio_config, energy, config.seed * 31 + 7);
+  receiver.selector = core::make_selector(
+      "uniform", core::IdSpace(config.id_bits), config.seed * 37 + 11);
+  receiver.driver = std::make_unique<aff::AffDriver>(
+      *receiver.radio, *receiver.selector, driver_config, 0);
+  receiver.driver->set_packet_handler(
+      [&](const util::Bytes& packet) {
+        ++out.aff_delivered;
+        const std::uint64_t h = content_hash(packet);
+        aff_content.insert(h);
+        if (!offered.contains(h)) ++aff_foreign;
+      });
+  receiver.driver->set_truth_packet_handler(
+      [&](const util::Bytes& packet) {
+        ++out.truth_delivered;
+        const std::uint64_t h = content_hash(packet);
+        truth_content.insert(h);
+        if (!offered.contains(h)) ++truth_foreign;
+      });
+
+  std::vector<Stack> senders(config.senders);
+  std::vector<sim::NodeId> churn_nodes;
+  for (std::size_t i = 0; i < config.senders; ++i) {
+    const auto node = static_cast<sim::NodeId>(i + 1);
+    churn_nodes.push_back(node);
+    auto& s = senders[i];
+    s.radio = std::make_unique<radio::Radio>(medium, node, radio_config,
+                                             energy, config.seed * 41 + node);
+    s.selector = core::make_selector(
+        "uniform", core::IdSpace(config.id_bits), config.seed * 43 + node);
+    s.driver = std::make_unique<aff::AffDriver>(*s.radio, *s.selector,
+                                                driver_config, node);
+    std::unique_ptr<apps::Workload> workload;
+    if (medium_config.rf_collisions) {
+      workload = std::make_unique<apps::PoissonWorkload>(poisson_mean,
+                                                         config.packet_bytes);
+    } else {
+      workload = std::make_unique<apps::SaturatingWorkload>(config.packet_bytes);
+    }
+    s.source = std::make_unique<apps::TrafficSource>(
+        sim, *s.driver, std::move(workload), config.seed * 47 + node);
+    s.source->set_packet_observer([&offered](const util::Bytes& packet) {
+      offered.insert(content_hash(packet));
+    });
+    s.source->start(sim::TimePoint::origin() + config.send_duration);
+  }
+
+  ChurnSchedule churn(medium, out.plan.churn, churn_nodes, churn_seed,
+                      sim::TimePoint::origin() + config.send_duration);
+
+  // Probe events sample live reassembly entry counts across the whole run
+  // so invariant 4 is checked mid-flight, not just at quiescence.
+  const sim::TimePoint end =
+      sim::TimePoint::origin() + config.send_duration + config.drain_extra;
+  const sim::Duration probe_period = sim::Duration::milliseconds(50);
+  const auto sample_pending = [&]() {
+    std::size_t peak = receiver.driver->aff_reassembler().pending_count();
+    peak = std::max(peak,
+                    receiver.driver->truth_reassembler().pending_count());
+    for (const auto& s : senders) {
+      peak = std::max(peak, s.driver->aff_reassembler().pending_count());
+      peak = std::max(peak, s.driver->truth_reassembler().pending_count());
+    }
+    out.max_pending_observed = std::max(out.max_pending_observed, peak);
+  };
+  for (sim::TimePoint t = sim::TimePoint::origin() + probe_period; t <= end;
+       t = t + probe_period) {
+    sim.schedule_at(t, sample_pending);
+  }
+
+  sim.run_until(end);
+  sample_pending();
+
+  out.medium = medium.stats();
+  out.faults = injector.stats();
+  out.aff_reassembly = receiver.driver->aff_reassembler().stats();
+  out.truth_reassembly = receiver.driver->truth_reassembler().stats();
+  out.undecodable_frames = receiver.driver->stats().undecodable_frames;
+  out.crashes = churn.crashes();
+  out.restarts = churn.restarts();
+  for (const auto& s : senders) out.packets_offered += s.source->packets_sent();
+
+  // ---- invariant audit ----
+
+  const sim::MediumStats& m = out.medium;
+  const std::uint64_t accounted = m.delivered + m.lost_random +
+                                  m.lost_rf_collision + m.lost_half_duplex +
+                                  m.lost_disabled + m.lost_fault;
+  if (m.deliveries_attempted + m.fault_extra_deliveries != accounted) {
+    out.violations.push_back(fmt_violation(
+        "medium conservation: attempted=%llu + extra=%llu != accounted=%llu",
+        static_cast<unsigned long long>(m.deliveries_attempted),
+        static_cast<unsigned long long>(m.fault_extra_deliveries),
+        static_cast<unsigned long long>(accounted)));
+  }
+
+  const FaultStats& f = out.faults;
+  if (f.intercepted != f.dropped_burst + f.forwarded) {
+    out.violations.push_back(fmt_violation(
+        "injector conservation: intercepted=%llu != dropped=%llu + "
+        "forwarded=%llu",
+        static_cast<unsigned long long>(f.intercepted),
+        static_cast<unsigned long long>(f.dropped_burst),
+        static_cast<unsigned long long>(f.forwarded)));
+  }
+  if (f.copies_emitted < f.forwarded) {
+    out.violations.push_back(fmt_violation(
+        "injector copies: emitted=%llu < forwarded=%llu",
+        static_cast<unsigned long long>(f.copies_emitted),
+        static_cast<unsigned long long>(f.forwarded)));
+  }
+
+  const auto check_partition = [&](const char* label,
+                                   const aff::ReassemblerStats& r) {
+    if (r.fragments_seen !=
+        r.accepted_fragments + r.malformed + r.orphan_fragments) {
+      out.violations.push_back(fmt_violation(
+          "%s reassembly partition: seen=%llu != accepted=%llu + "
+          "malformed=%llu + orphans=%llu",
+          label, static_cast<unsigned long long>(r.fragments_seen),
+          static_cast<unsigned long long>(r.accepted_fragments),
+          static_cast<unsigned long long>(r.malformed),
+          static_cast<unsigned long long>(r.orphan_fragments)));
+    }
+  };
+  check_partition("aff", out.aff_reassembly);
+  check_partition("truth", out.truth_reassembly);
+
+  if (out.max_pending_observed > config.max_reassembly_entries) {
+    out.violations.push_back(fmt_violation(
+        "bounded state: observed %zu live entries > max_entries=%zu",
+        out.max_pending_observed, config.max_reassembly_entries));
+  }
+  const std::size_t residue =
+      receiver.driver->aff_reassembler().pending_count() +
+      receiver.driver->truth_reassembler().pending_count();
+  if (residue != 0) {
+    out.violations.push_back(fmt_violation(
+        "bounded state: %zu receiver entries still live after drain",
+        residue));
+  }
+
+  if (aff_foreign != 0 || truth_foreign != 0) {
+    out.violations.push_back(fmt_violation(
+        "forged delivery: %llu aff + %llu truth packets delivered whose "
+        "content no sender offered",
+        static_cast<unsigned long long>(aff_foreign),
+        static_cast<unsigned long long>(truth_foreign)));
+  }
+
+  // Impossible direction: the AFF path delivering a packet the unique-id
+  // oracle missed. Only claimable when frame content is trustworthy and
+  // the truth path closed nothing early (timeouts/evictions can kill a
+  // truth entry while identifier reuse keeps the AFF entry alive).
+  if (!out.plan.corrupting() && out.truth_reassembly.timeouts == 0 &&
+      out.truth_reassembly.evicted == 0) {
+    std::uint64_t aff_only = 0;
+    for (const std::uint64_t h : aff_content) {
+      if (!truth_content.contains(h)) ++aff_only;
+    }
+    if (aff_only != 0) {
+      out.violations.push_back(fmt_violation(
+          "impossible direction: %llu packets delivered by the AFF path "
+          "but not by ground truth",
+          static_cast<unsigned long long>(aff_only)));
+    }
+  }
+
+  return out;
+}
+
+std::string fingerprint(const ChaosTrialResult& r) {
+  std::string out;
+  out.reserve(512);
+  out += "plan{" + r.plan.describe() + "} ";
+  append_stats(out, "frames_sent", r.medium.frames_sent);
+  append_stats(out, "attempted", r.medium.deliveries_attempted);
+  append_stats(out, "delivered", r.medium.delivered);
+  append_stats(out, "lost_random", r.medium.lost_random);
+  append_stats(out, "lost_rf", r.medium.lost_rf_collision);
+  append_stats(out, "lost_hdx", r.medium.lost_half_duplex);
+  append_stats(out, "lost_off", r.medium.lost_disabled);
+  append_stats(out, "lost_fault", r.medium.lost_fault);
+  append_stats(out, "fault_extra", r.medium.fault_extra_deliveries);
+  append_stats(out, "intercepted", r.faults.intercepted);
+  append_stats(out, "dropped_burst", r.faults.dropped_burst);
+  append_stats(out, "corrupted", r.faults.corrupted_copies);
+  append_stats(out, "truncated", r.faults.truncated_copies);
+  append_stats(out, "delayed", r.faults.delayed_copies);
+  append_stats(out, "copies", r.faults.copies_emitted);
+  append_stats(out, "offered", r.packets_offered);
+  append_stats(out, "aff", r.aff_delivered);
+  append_stats(out, "truth", r.truth_delivered);
+  append_stats(out, "undecodable", r.undecodable_frames);
+  append_stats(out, "crashes", r.crashes);
+  append_stats(out, "restarts", r.restarts);
+  append_stats(out, "aff_seen", r.aff_reassembly.fragments_seen);
+  append_stats(out, "aff_checksum_failed", r.aff_reassembly.checksum_failed);
+  append_stats(out, "aff_conflicts", r.aff_reassembly.conflicting_writes);
+  append_stats(out, "truth_seen", r.truth_reassembly.fragments_seen);
+  append_stats(out, "max_pending", r.max_pending_observed);
+  out += "violations=" + std::to_string(r.violations.size());
+  for (const std::string& v : r.violations) out += "; " + v;
+  return out;
+}
+
+}  // namespace retri::fault

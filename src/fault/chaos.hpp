@@ -1,0 +1,87 @@
+// Chaos trials: the full AFF stack under a randomized hostile channel,
+// checked against conservation invariants.
+//
+// One chaos trial builds the §5.1 star topology (receiver node 0, N
+// saturating senders), attaches a FaultInjector running a random_plan()
+// and a ChurnSchedule crashing senders, runs the simulation to quiescence,
+// and then audits the run:
+//
+//   1. medium conservation — every attempted delivery (plus every
+//      injector-duplicated copy) is accounted exactly once across the
+//      MediumStats outcome buckets;
+//   2. injector conservation — every intercepted delivery either dropped
+//      in the burst state or forwarded as >= 1 copy;
+//   3. reassembler conservation — fragments_seen partitions exactly into
+//      accepted + malformed + orphan, for the AFF and ground-truth paths;
+//   4. bounded state — live reassembly entries never exceed max_entries
+//      (sampled by probe events) and drain to zero by the end of the run;
+//   5. no forged delivery — every packet either delivery path hands to
+//      the application is byte-identical to a packet some sender offered
+//      (a delivered checksum-valid forgery would mean CRC32 was beaten);
+//   6. impossible-direction agreement — when the plan cannot alter frame
+//      content (no corruption/truncation) and the ground-truth path
+//      closed no entry early (no timeouts/evictions), every packet the
+//      AFF path delivered must also have been delivered by ground truth:
+//      AFF identifiers can only lose packets the unique-id oracle keeps,
+//      never the reverse.
+//
+// Violations come back as human-readable strings; an empty vector is a
+// clean trial. Everything is keyed by ChaosTrialConfig::seed alone, so a
+// trial is bit-identical however trials are sharded across workers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aff/reassembler.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "sim/medium.hpp"
+#include "sim/time.hpp"
+
+namespace retri::fault {
+
+struct ChaosTrialConfig {
+  std::size_t senders = 4;
+  unsigned id_bits = 6;
+  std::size_t packet_bytes = 80;
+  std::size_t max_reassembly_entries = 64;
+  sim::Duration reassembly_timeout = sim::Duration::seconds(2);
+  sim::Duration send_duration = sim::Duration::seconds(5);
+  /// Post-send settle margin; must comfortably exceed the reassembly
+  /// timeout plus the plan's max_delay so invariant 4's drain-to-zero
+  /// check is sound.
+  sim::Duration drain_extra = sim::Duration::seconds(6);
+  std::uint64_t seed = 1;
+};
+
+struct ChaosTrialResult {
+  FaultPlan plan;
+  sim::MediumConfig medium_config;  // randomized native-channel knobs
+  sim::MediumStats medium;
+  FaultStats faults;
+  aff::ReassemblerStats aff_reassembly;    // receiver, AFF-keyed
+  aff::ReassemblerStats truth_reassembly;  // receiver, unique-id-keyed
+  std::uint64_t packets_offered = 0;
+  std::uint64_t aff_delivered = 0;
+  std::uint64_t truth_delivered = 0;
+  std::uint64_t undecodable_frames = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::size_t max_pending_observed = 0;
+  std::vector<std::string> violations;  // empty == clean trial
+
+  bool clean() const noexcept { return violations.empty(); }
+};
+
+/// Runs one chaos trial. The fault plan is random_plan(derived from
+/// config.seed); the stack seeds follow the runner::experiment scheme.
+ChaosTrialResult run_chaos_trial(const ChaosTrialConfig& config);
+
+/// Canonical flat rendering of every counter in the result (violations
+/// included). Two runs of the same config must produce identical
+/// fingerprints — the jobs=1 vs jobs=8 determinism check compares these.
+std::string fingerprint(const ChaosTrialResult& result);
+
+}  // namespace retri::fault

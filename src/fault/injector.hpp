@@ -1,0 +1,73 @@
+// FaultInjector: a FaultPlan's delivery-path faults, executed.
+//
+// Implements sim::DeliveryInterceptor and attaches to a BroadcastMedium
+// with set_interceptor(). For each delivery that survived the medium's
+// native loss checks, the injector applies, in order:
+//
+//   1. Gilbert–Elliott burst loss (per directed link state machine) —
+//      the delivery vanishes (medium counts lost_fault);
+//   2. duplication — the delivery fans out into 1 + k copies;
+//   3. per copy: truncation, then payload corruption, then extra delay.
+//
+// Each fault family draws from its own Xoshiro256 stream, all derived from
+// one seed via SplitMix64. Independent streams keep plans composable: a
+// plan that only adds corruption consumes nothing from the burst stream,
+// so turning one family on or off never perturbs another family's
+// decisions for the same seed — the property that makes ablation pairs
+// (e.g. burst vs. independent at equal average loss) directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "sim/medium.hpp"
+#include "util/bytes.hpp"
+#include "util/random.hpp"
+
+namespace retri::fault {
+
+struct FaultStats {
+  std::uint64_t intercepted = 0;    // deliveries offered to the injector
+  std::uint64_t dropped_burst = 0;  // vanished in the GE bad/good state
+  std::uint64_t forwarded = 0;      // deliveries that produced >= 1 copy
+  std::uint64_t copies_emitted = 0; // total copies returned to the medium
+  std::uint64_t corrupted_copies = 0;
+  std::uint64_t truncated_copies = 0;
+  std::uint64_t delayed_copies = 0;
+  // Conservation laws (asserted by the chaos harness):
+  //   intercepted == dropped_burst + forwarded
+  //   copies_emitted >= forwarded  (duplication only adds copies)
+};
+
+class FaultInjector final : public sim::DeliveryInterceptor {
+ public:
+  /// Throws std::invalid_argument if the plan fails validated().
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  std::vector<sim::DeliveryInterceptor::Injected> intercept(
+      sim::NodeId from, sim::NodeId to, const util::Bytes& payload) override;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  const FaultStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Advances the (from, to) link's GE state and draws the loss decision.
+  bool burst_lost(sim::NodeId from, sim::NodeId to);
+  /// Flips bytes in place; guarantees at least one byte changes.
+  void corrupt(util::Bytes& frame);
+
+  FaultPlan plan_;
+  util::Xoshiro256 burst_rng_;
+  util::Xoshiro256 corrupt_rng_;
+  util::Xoshiro256 truncate_rng_;
+  util::Xoshiro256 duplicate_rng_;
+  util::Xoshiro256 delay_rng_;
+  // GE channel state per directed link, keyed (from << 32) | to.
+  // false = good, true = bad.
+  std::unordered_map<std::uint64_t, bool> link_bad_;
+  FaultStats stats_;
+};
+
+}  // namespace retri::fault

@@ -1,0 +1,146 @@
+#include "fault/plan.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace retri::fault {
+namespace {
+
+void check_prob(double v, const char* field) {
+  if (std::isnan(v) || v < 0.0 || v > 1.0) {
+    char msg[128];
+    std::snprintf(msg, sizeof msg, "FaultPlan.%s must be in [0, 1], got %g",
+                  field, v);
+    throw std::invalid_argument(msg);
+  }
+}
+
+void check_duration(sim::Duration v, const char* field) {
+  if (v.ns() < 0) {
+    char msg[128];
+    std::snprintf(msg, sizeof msg,
+                  "FaultPlan.%s must be non-negative, got %gs", field,
+                  v.to_seconds());
+    throw std::invalid_argument(msg);
+  }
+}
+
+}  // namespace
+
+double BurstLossConfig::stationary_loss() const noexcept {
+  const double denom = p_good_to_bad + p_bad_to_good;
+  if (denom <= 0.0) return loss_good;  // chain never leaves the good state
+  const double pi_bad = p_good_to_bad / denom;
+  return (1.0 - pi_bad) * loss_good + pi_bad * loss_bad;
+}
+
+std::string FaultPlan::describe() const {
+  char buf[256];
+  std::string out;
+  if (burst.active()) {
+    std::snprintf(buf, sizeof buf, "burst(avg=%.3f,len=%.1f) ",
+                  burst.stationary_loss(),
+                  burst.p_bad_to_good > 0.0 ? 1.0 / burst.p_bad_to_good : 0.0);
+    out += buf;
+  }
+  if (corrupt_prob > 0.0) {
+    std::snprintf(buf, sizeof buf, "corrupt(%.3f/%.2f) ", corrupt_prob,
+                  corrupt_byte_prob);
+    out += buf;
+  }
+  if (truncate_prob > 0.0) {
+    std::snprintf(buf, sizeof buf, "trunc(%.3f) ", truncate_prob);
+    out += buf;
+  }
+  if (duplicate_prob > 0.0) {
+    std::snprintf(buf, sizeof buf, "dup(%.3f,max=%u) ", duplicate_prob,
+                  max_duplicates);
+    out += buf;
+  }
+  if (delay_prob > 0.0) {
+    std::snprintf(buf, sizeof buf, "delay(%.2f,%.0fms) ", delay_prob,
+                  max_delay.to_seconds() * 1e3);
+    out += buf;
+  }
+  if (churn.active()) {
+    std::snprintf(buf, sizeof buf, "churn(up=%.1fs,down=%.2fs) ",
+                  churn.mean_uptime.to_seconds(),
+                  churn.mean_downtime.to_seconds());
+    out += buf;
+  }
+  if (out.empty()) return "ideal";
+  out.pop_back();  // trailing space
+  return out;
+}
+
+FaultPlan validated(FaultPlan plan) {
+  check_prob(plan.burst.p_good_to_bad, "burst.p_good_to_bad");
+  check_prob(plan.burst.p_bad_to_good, "burst.p_bad_to_good");
+  check_prob(plan.burst.loss_good, "burst.loss_good");
+  check_prob(plan.burst.loss_bad, "burst.loss_bad");
+  check_prob(plan.corrupt_prob, "corrupt_prob");
+  check_prob(plan.corrupt_byte_prob, "corrupt_byte_prob");
+  check_prob(plan.truncate_prob, "truncate_prob");
+  check_prob(plan.duplicate_prob, "duplicate_prob");
+  check_prob(plan.delay_prob, "delay_prob");
+  check_duration(plan.max_delay, "max_delay");
+  check_duration(plan.churn.mean_uptime, "churn.mean_uptime");
+  check_duration(plan.churn.mean_downtime, "churn.mean_downtime");
+  if (plan.max_duplicates == 0) {
+    throw std::invalid_argument("FaultPlan.max_duplicates must be >= 1");
+  }
+  if (plan.burst.active() && plan.burst.p_bad_to_good <= 0.0) {
+    throw std::invalid_argument(
+        "FaultPlan.burst.p_bad_to_good must be > 0 when burst loss is "
+        "active (the bad state must be escapable)");
+  }
+  return plan;
+}
+
+FaultPlan random_plan(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  FaultPlan plan;
+
+  if (rng.chance(0.7)) {
+    // Target an average loss and a mean burst length, then solve the
+    // Gilbert–Elliott transition probabilities from stationarity.
+    const double mean_burst = 2.0 + rng.uniform() * 6.0;   // deliveries
+    const double avg_loss = 0.05 + rng.uniform() * 0.30;
+    plan.burst.p_bad_to_good = 1.0 / mean_burst;
+    plan.burst.loss_bad = 0.6 + rng.uniform() * 0.4;
+    plan.burst.loss_good = rng.uniform() * 0.03;
+    double pi_bad = (avg_loss - plan.burst.loss_good) /
+                    (plan.burst.loss_bad - plan.burst.loss_good);
+    pi_bad = std::fmin(std::fmax(pi_bad, 0.01), 0.9);
+    plan.burst.p_good_to_bad =
+        pi_bad * plan.burst.p_bad_to_good / (1.0 - pi_bad);
+  }
+  if (rng.chance(0.5)) {
+    plan.corrupt_prob = 0.01 + rng.uniform() * 0.11;
+    plan.corrupt_byte_prob = 0.02 + rng.uniform() * 0.28;
+  }
+  if (rng.chance(0.4)) {
+    plan.truncate_prob = 0.01 + rng.uniform() * 0.09;
+  }
+  if (rng.chance(0.5)) {
+    plan.duplicate_prob = 0.02 + rng.uniform() * 0.13;
+    plan.max_duplicates = 1 + static_cast<unsigned>(rng.below(3));
+  }
+  if (rng.chance(0.6)) {
+    plan.delay_prob = 0.05 + rng.uniform() * 0.35;
+    plan.max_delay =
+        sim::Duration::milliseconds(1 + static_cast<std::int64_t>(rng.below(80)));
+  }
+  if (rng.chance(0.5)) {
+    plan.churn.mean_uptime = sim::Duration::milliseconds(
+        2000 + static_cast<std::int64_t>(rng.below(6000)));
+    plan.churn.mean_downtime = sim::Duration::milliseconds(
+        200 + static_cast<std::int64_t>(rng.below(1300)));
+  }
+  return validated(plan);
+}
+
+}  // namespace retri::fault

@@ -1,0 +1,106 @@
+// Fault plans: the data that describes a hostile channel.
+//
+// The paper validates AFF over an essentially ideal channel (§5.1, Figure
+// 4); real RPC-radio deployments add burst loss, corruption, duplication,
+// truncation, jitter, and node churn (§3.1). A FaultPlan captures one such
+// hostile configuration as plain data so sweeps can grid over it and the
+// chaos harness can randomize it — the interpretation lives in
+// fault::FaultInjector (delivery-path faults) and fault::ChurnSchedule
+// (crash/restart churn).
+//
+// Determinism: a plan contains no generators. All randomness happens inside
+// the injector/churn objects, each drawing from its own splitmix64-derived
+// stream (see injector.hpp), so a (plan, seed) pair reproduces bit-identical
+// behavior regardless of worker count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace retri::fault {
+
+/// Gilbert–Elliott two-state burst-loss channel, tracked per directed link.
+/// Each delivery first moves the link's state (good↔bad with the transition
+/// probabilities), then drops with the state's loss probability. With
+/// loss_good=0 and loss_bad=1 the stationary average loss is
+/// p_good_to_bad / (p_good_to_bad + p_bad_to_good) and the mean burst
+/// length is 1 / p_bad_to_good deliveries.
+struct BurstLossConfig {
+  double p_good_to_bad = 0.0;
+  double p_bad_to_good = 1.0;
+  double loss_good = 0.0;
+  double loss_bad = 1.0;
+
+  bool active() const noexcept {
+    return p_good_to_bad > 0.0 || loss_good > 0.0;
+  }
+
+  /// Long-run average per-delivery loss probability of the chain.
+  double stationary_loss() const noexcept;
+};
+
+/// Scheduled node crash/restart churn. Uptime and downtime dwell times are
+/// exponential with these means; mean_uptime == 0 disables churn.
+struct ChurnConfig {
+  sim::Duration mean_uptime = sim::Duration::seconds(0);
+  sim::Duration mean_downtime = sim::Duration::milliseconds(500);
+
+  bool active() const noexcept {
+    return mean_uptime.ns() > 0 && mean_downtime.ns() > 0;
+  }
+};
+
+/// One hostile-channel configuration. Every probability is per delivery
+/// (after the medium's native loss checks); see FaultInjector for the
+/// exact order faults compose in.
+struct FaultPlan {
+  BurstLossConfig burst;
+
+  /// Probability a delivered frame is payload-corrupted; each byte of a
+  /// corrupted frame flips with corrupt_byte_prob (at least one byte is
+  /// always changed, so "corrupted" is never a silent no-op).
+  double corrupt_prob = 0.0;
+  double corrupt_byte_prob = 0.05;
+
+  /// Probability a delivered frame arrives truncated to a strictly
+  /// shorter (possibly empty) prefix.
+  double truncate_prob = 0.0;
+
+  /// Probability a delivery is duplicated; a duplicated delivery arrives
+  /// as 1 + (1..max_duplicates) copies.
+  double duplicate_prob = 0.0;
+  unsigned max_duplicates = 1;
+
+  /// Probability a copy is held back by an extra uniform delay in
+  /// (0, max_delay] — jitter that reorders frames across transmissions.
+  double delay_prob = 0.0;
+  sim::Duration max_delay = sim::Duration::milliseconds(50);
+
+  ChurnConfig churn;
+
+  /// True when the plan can alter frame *content* (corrupt or truncate).
+  /// Invariants that reason about checksum validity gate on this: under
+  /// content faults a CRC32 collision is astronomically unlikely but not
+  /// impossible, so "never" claims weaken to "checksum-verified".
+  bool corrupting() const noexcept {
+    return corrupt_prob > 0.0 || truncate_prob > 0.0;
+  }
+
+  /// Compact one-line description for soak logs.
+  std::string describe() const;
+};
+
+/// Checks a FaultPlan's invariants: probabilities real and in [0, 1],
+/// durations non-negative, max_duplicates >= 1. Returns the plan unchanged,
+/// throws std::invalid_argument naming the offending field otherwise.
+/// FaultInjector and ChurnSchedule call this on construction.
+FaultPlan validated(FaultPlan plan);
+
+/// Deterministic randomized plan for chaos soaks: independently toggles
+/// each fault family on with moderate, survivable parameter ranges, keyed
+/// entirely by `seed`. Always passes validated().
+FaultPlan random_plan(std::uint64_t seed);
+
+}  // namespace retri::fault

@@ -1,0 +1,31 @@
+#include "runner/chaos_soak.hpp"
+
+#include "runner/seeds.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace retri::runner {
+
+std::vector<fault::ChaosTrialResult> run_chaos_soak(
+    const fault::ChaosTrialConfig& base, const ChaosSoakOptions& options) {
+  const unsigned seeds = options.seeds == 0 ? 1 : options.seeds;
+  std::vector<fault::ChaosTrialResult> results(seeds);
+
+  auto run_one = [&base, &results](unsigned i) {
+    fault::ChaosTrialConfig config = base;
+    config.seed = derive_trial_seed(base.seed, i);
+    results[i] = fault::run_chaos_trial(config);
+  };
+
+  if (options.jobs <= 1) {
+    for (unsigned i = 0; i < seeds; ++i) run_one(i);
+  } else {
+    ThreadPool pool(options.jobs);
+    for (unsigned i = 0; i < seeds; ++i) {
+      pool.submit([&run_one, i] { run_one(i); });
+    }
+    pool.wait_idle();
+  }
+  return results;
+}
+
+}  // namespace retri::runner

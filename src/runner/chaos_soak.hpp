@@ -1,0 +1,27 @@
+// Chaos soak: N independent chaos trials sharded across workers.
+//
+// The bridge between fault::run_chaos_trial (one seeded trial, one
+// invariant audit) and the runner's deterministic-parallelism machinery:
+// trial i runs fault::run_chaos_trial with seed derive_trial_seed(
+// base.seed, i), results land in index slots, and the returned vector is
+// bit-identical for any jobs value — the property the retri_chaos CLI's
+// --jobs 1 vs --jobs 8 check rests on.
+#pragma once
+
+#include <vector>
+
+#include "fault/chaos.hpp"
+
+namespace retri::runner {
+
+struct ChaosSoakOptions {
+  unsigned seeds = 50;  // number of independent trials
+  unsigned jobs = 1;
+};
+
+/// Runs the soak. Trial i's config is `base` with seed
+/// derive_trial_seed(base.seed, i); everything else is shared.
+std::vector<fault::ChaosTrialResult> run_chaos_soak(
+    const fault::ChaosTrialConfig& base, const ChaosSoakOptions& options);
+
+}  // namespace retri::runner

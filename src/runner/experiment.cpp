@@ -1,10 +1,14 @@
 #include "runner/experiment.hpp"
 
+#include <cmath>
 #include <memory>
+#include <stdexcept>
 
 #include "aff/driver.hpp"
 #include "apps/workload.hpp"
 #include "core/selector.hpp"
+#include "fault/churn.hpp"
+#include "fault/injector.hpp"
 #include "radio/duty_cycle.hpp"
 #include "radio/radio.hpp"
 #include "sim/engine.hpp"
@@ -13,6 +17,44 @@
 
 namespace retri::runner {
 namespace {
+
+/// Mean Gilbert–Elliott bad-state dwell for the "burst" channel, in
+/// deliveries. Chosen so a typical burst swallows a whole multi-fragment
+/// packet rather than scattering independent frame losses.
+constexpr double kBurstMeanLength = 5.0;
+
+/// GE plan with loss_bad=1, loss_good=0 whose stationary average equals
+/// `loss_rate` — the "same average, correlated arrangement" counterpart of
+/// independent loss the ablation compares against.
+fault::FaultPlan burst_plan(double loss_rate) {
+  fault::FaultPlan plan;
+  if (loss_rate <= 0.0) return plan;
+  const double pi_bad = std::fmin(loss_rate, 0.95);
+  plan.burst.loss_bad = 1.0;
+  plan.burst.loss_good = 0.0;
+  plan.burst.p_bad_to_good = 1.0 / kBurstMeanLength;
+  plan.burst.p_good_to_bad =
+      pi_bad * plan.burst.p_bad_to_good / (1.0 - pi_bad);
+  return plan;
+}
+
+/// The fixed hostile plan behind the "chaos" channel: burst loss at the
+/// configured average plus mild corruption, duplication, delay jitter,
+/// and sender churn. Fixed (not randomized) so sweep points stay
+/// comparable across axes; the randomized soak lives in fault::chaos.
+fault::FaultPlan chaos_plan(double loss_rate) {
+  fault::FaultPlan plan = burst_plan(loss_rate <= 0.0 ? 0.1 : loss_rate);
+  plan.corrupt_prob = 0.05;
+  plan.corrupt_byte_prob = 0.05;
+  plan.truncate_prob = 0.03;
+  plan.duplicate_prob = 0.05;
+  plan.max_duplicates = 2;
+  plan.delay_prob = 0.2;
+  plan.max_delay = sim::Duration::milliseconds(20);
+  plan.churn.mean_uptime = sim::Duration::seconds(4);
+  plan.churn.mean_downtime = sim::Duration::milliseconds(500);
+  return plan;
+}
 
 sim::Topology make_topology(const ExperimentConfig& config) {
   switch (config.topology) {
@@ -44,8 +86,40 @@ std::string_view to_string(core::DensityModelKind kind) noexcept {
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  if (std::isnan(config.loss_rate) || config.loss_rate < 0.0 ||
+      config.loss_rate > 1.0) {
+    throw std::invalid_argument(
+        "ExperimentConfig.loss_rate must be in [0, 1], got " +
+        std::to_string(config.loss_rate));
+  }
+  const bool burst_channel = config.channel == "burst";
+  const bool chaos_channel = config.channel == "chaos";
+  if (!burst_channel && !chaos_channel && config.channel != "independent") {
+    throw std::invalid_argument(
+        "ExperimentConfig.channel must be independent | burst | chaos, got "
+        "\"" + config.channel + "\"");
+  }
+
   sim::Simulator sim;
-  sim::BroadcastMedium medium(sim, make_topology(config), {}, config.seed);
+  sim::MediumConfig medium_config;
+  if (!burst_channel && !chaos_channel) {
+    medium_config.per_link_loss = config.loss_rate;
+  }
+  sim::BroadcastMedium medium(sim, make_topology(config), medium_config,
+                              config.seed);
+
+  // Fault-layer channels route loss_rate through a FaultInjector instead
+  // of the medium's i.i.d. knob. Seeds follow the stack's multiplier
+  // scheme so the injector's streams are independent of every node's.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (burst_channel || chaos_channel) {
+    const fault::FaultPlan plan = burst_channel
+                                      ? burst_plan(config.loss_rate)
+                                      : chaos_plan(config.loss_rate);
+    injector = std::make_unique<fault::FaultInjector>(plan,
+                                                      config.seed * 59 + 13);
+    medium.set_interceptor(injector.get());
+  }
 
   aff::AffDriverConfig driver_config;
   driver_config.wire.id_bits = config.id_bits;
@@ -100,6 +174,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     s.source->start(sim::TimePoint::origin() + config.send_duration);
   }
 
+  // The chaos channel additionally crashes/restarts senders; the receiver
+  // (the measurement instrument) always stays up, like run_chaos_trial.
+  std::unique_ptr<fault::ChurnSchedule> churn;
+  if (injector != nullptr && injector->plan().churn.active()) {
+    std::vector<sim::NodeId> churn_nodes;
+    for (std::size_t i = 0; i < config.senders; ++i) {
+      churn_nodes.push_back(static_cast<sim::NodeId>(i + 1));
+    }
+    churn = std::make_unique<fault::ChurnSchedule>(
+        medium, injector->plan().churn, churn_nodes, config.seed * 61 + 17,
+        sim::TimePoint::origin() + config.send_duration);
+  }
+
   // Duty-cycled sender listening (§3.2): staggered phases so the senders'
   // sleep schedules are mutually unsynchronized, like unattended motes.
   std::vector<std::unique_ptr<radio::DutyCycleController>> duty;
@@ -132,6 +219,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   out.checksum_failures = reasm.checksum_failed;
   out.conflicting_writes = reasm.conflicting_writes;
   out.receiver_density_estimate = receiver.driver->density_estimate();
+  out.frames_attempted = medium.stats().deliveries_attempted;
+  out.frames_lost_channel =
+      medium.stats().lost_random + medium.stats().lost_fault;
   return out;
 }
 

@@ -59,6 +59,21 @@ struct ExperimentConfig {
   sim::Duration duty_period = sim::Duration::milliseconds(100);
   /// Which density estimator the drivers run.
   core::DensityModelKind density_model = core::DensityModelKind::kEwma;
+  /// Average per-delivery frame-loss probability of the channel (0 = the
+  /// paper's ideal channel). How the average is realized depends on
+  /// `channel`.
+  double loss_rate = 0.0;
+  /// Channel model realizing loss_rate:
+  ///   "independent" — i.i.d. per-delivery loss (MediumConfig's native
+  ///                   per_link_loss), the pre-fault-layer behavior;
+  ///   "burst"       — a Gilbert–Elliott fault plan with the same
+  ///                   stationary average but correlated losses (mean
+  ///                   burst length ~5 deliveries);
+  ///   "chaos"       — the full hostile plan scaled from loss_rate: burst
+  ///                   loss plus corruption, duplication, delay jitter,
+  ///                   and sender crash/restart churn.
+  /// Unknown values throw std::invalid_argument from run_experiment.
+  std::string channel = "independent";
   std::uint64_t seed = 1;
 };
 
@@ -72,6 +87,11 @@ struct ExperimentResult {
   double receiver_density_estimate = 0.0;
   double tx_energy_nj = 0.0;            // summed over transmitters
   std::uint64_t tx_bits = 0;            // payload bits on the air
+  std::uint64_t frames_attempted = 0;   // medium deliveries attempted
+  /// Channel-induced frame losses (independent random + fault-layer
+  /// drops), excluding RF collisions / half-duplex / powered-off, so the
+  /// burst-loss ablation can verify the measured loss matches loss_rate.
+  std::uint64_t frames_lost_channel = 0;
   /// Deliveries keyed by packet size — in mixed-length workloads the size
   /// identifies the sender class, letting ablations attribute loss to long
   /// vs. short transactions without violating address-freedom.
@@ -99,6 +119,13 @@ struct ExperimentResult {
            static_cast<double>(truth_delivered);
   }
   double collision_loss_rate() const { return 1.0 - delivery_ratio(); }
+
+  /// Measured per-delivery channel loss (should track config.loss_rate).
+  double observed_frame_loss() const {
+    if (frames_attempted == 0) return 0.0;
+    return static_cast<double>(frames_lost_channel) /
+           static_cast<double>(frames_attempted);
+  }
 };
 
 /// Runs one trial of the validation experiment. Thread-compatible: distinct

@@ -29,6 +29,8 @@ void write_config(JsonWriter& json, const ExperimentConfig& config) {
   json.member("sender_listen_duty", config.sender_listen_duty);
   json.member("duty_period_ms", config.duty_period.to_seconds() * 1e3);
   json.member("density_model", to_string(config.density_model));
+  json.member("channel", config.channel);
+  json.member("loss_rate", config.loss_rate);
   json.member("seed", config.seed);
   json.end_object();
 }
@@ -48,6 +50,9 @@ void write_trial(JsonWriter& json, const ExperimentConfig& config,
   json.member("tx_bits", trial.tx_bits);
   json.member("delivery_ratio", trial.delivery_ratio());
   json.member("collision_loss", trial.collision_loss_rate());
+  json.member("frames_attempted", trial.frames_attempted);
+  json.member("frames_lost_channel", trial.frames_lost_channel);
+  json.member("observed_frame_loss", trial.observed_frame_loss());
   json.end_object();
 }
 

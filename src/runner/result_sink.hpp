@@ -19,7 +19,9 @@ namespace retri::runner {
 class ResultSink {
  public:
   /// Bumped whenever the emitted structure changes shape.
-  static constexpr int kSchemaVersion = 1;
+  /// v2: config gains channel/loss_rate; trials gain frames_attempted,
+  /// frames_lost_channel, observed_frame_loss.
+  static constexpr int kSchemaVersion = 2;
 
   /// Serializes `result` (pretty-printed when `pretty`).
   static std::string to_json(const SweepResult& result, bool pretty = true);

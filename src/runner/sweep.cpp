@@ -26,7 +26,8 @@ void append_label(std::string& label, std::string_view part) {
 std::size_t SweepSpec::point_count() const noexcept {
   auto dim = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
   return dim(id_bits.size()) * dim(policies.size()) * dim(senders.size()) *
-         dim(duties.size()) * dim(density_models.size());
+         dim(duties.size()) * dim(density_models.size()) *
+         dim(channels.size()) * dim(loss_rates.size());
 }
 
 std::vector<SweepPoint> SweepSpec::expand() const {
@@ -37,6 +38,8 @@ std::vector<SweepPoint> SweepSpec::expand() const {
       axis_or(duties, base.sender_listen_duty);
   const std::vector<core::DensityModelKind> density_axis =
       axis_or(density_models, base.density_model);
+  const std::vector<std::string> channel_axis = axis_or(channels, base.channel);
+  const std::vector<double> loss_axis = axis_or(loss_rates, base.loss_rate);
 
   std::vector<SweepPoint> points;
   points.reserve(point_count());
@@ -45,37 +48,47 @@ std::vector<SweepPoint> SweepSpec::expand() const {
       for (const std::size_t sender_count : sender_axis) {
         for (const double duty : duty_axis) {
           for (const core::DensityModelKind density : density_axis) {
-            SweepPoint point;
-            point.config = base;
-            point.config.id_bits = bits;
-            point.config.policy = policy;
-            point.config.senders = sender_count;
-            point.config.sender_listen_duty = duty;
-            point.config.density_model = density;
-            // The notify policy only makes sense with receiver
-            // notifications enabled; couple them so grids stay expressible
-            // as plain axis lists.
-            if (policy == "listening+notify") {
-              point.config.collision_notifications = true;
-            }
-            point.config.seed = derive_point_seed(base.seed, points.size());
+            for (const std::string& channel : channel_axis) {
+              for (const double loss : loss_axis) {
+                SweepPoint point;
+                point.config = base;
+                point.config.id_bits = bits;
+                point.config.policy = policy;
+                point.config.senders = sender_count;
+                point.config.sender_listen_duty = duty;
+                point.config.density_model = density;
+                point.config.channel = channel;
+                point.config.loss_rate = loss;
+                // The notify policy only makes sense with receiver
+                // notifications enabled; couple them so grids stay
+                // expressible as plain axis lists.
+                if (policy == "listening+notify") {
+                  point.config.collision_notifications = true;
+                }
+                point.config.seed = derive_point_seed(base.seed, points.size());
 
-            std::string& label = point.label;
-            if (bits_axis.size() > 1) {
-              append_label(label, "H=" + std::to_string(bits));
+                std::string& label = point.label;
+                if (bits_axis.size() > 1) {
+                  append_label(label, "H=" + std::to_string(bits));
+                }
+                if (policy_axis.size() > 1) append_label(label, policy);
+                if (sender_axis.size() > 1) {
+                  append_label(label, "T=" + std::to_string(sender_count));
+                }
+                if (duty_axis.size() > 1) {
+                  append_label(label, "duty=" + stats::fmt(duty, 2));
+                }
+                if (density_axis.size() > 1) {
+                  append_label(label, std::string(to_string(density)));
+                }
+                if (channel_axis.size() > 1) append_label(label, channel);
+                if (loss_axis.size() > 1) {
+                  append_label(label, "loss=" + stats::fmt(loss, 2));
+                }
+                if (label.empty()) label = "base";
+                points.push_back(std::move(point));
+              }
             }
-            if (policy_axis.size() > 1) append_label(label, policy);
-            if (sender_axis.size() > 1) {
-              append_label(label, "T=" + std::to_string(sender_count));
-            }
-            if (duty_axis.size() > 1) {
-              append_label(label, "duty=" + stats::fmt(duty, 2));
-            }
-            if (density_axis.size() > 1) {
-              append_label(label, std::string(to_string(density)));
-            }
-            if (label.empty()) label = "base";
-            points.push_back(std::move(point));
           }
         }
       }
@@ -150,7 +163,8 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
 std::vector<std::string_view> named_sweeps() {
   return {"fig1",        "fig2",        "fig3",
           "fig4",        "hidden_terminal", "txn_lengths",
-          "duty_cycle",  "density_estimators", "scaling"};
+          "duty_cycle",  "density_estimators", "scaling",
+          "burst_loss",  "chaos"};
 }
 
 std::optional<SweepSpec> make_named_sweep(std::string_view name) {
@@ -205,6 +219,27 @@ std::optional<SweepSpec> make_named_sweep(std::string_view name) {
     spec.description = "sender-count scaling x identifier width (uniform)";
     spec.senders = {2, 5, 10, 20};
     spec.id_bits = {4, 8};
+  } else if (name == "burst_loss") {
+    // Gilbert–Elliott ablation: the same average frame-loss rate arranged
+    // independently vs. in bursts. Bursty arrangements clump the losses
+    // into fewer packets, so multi-fragment packet survival should be no
+    // worse than under independent loss at equal averages.
+    spec.description =
+        "independent vs Gilbert-Elliott burst loss at equal average "
+        "frame-loss rates (H=8)";
+    spec.base.id_bits = 8;
+    spec.channels = {"independent", "burst"};
+    spec.loss_rates = {0.05, 0.15, 0.30};
+  } else if (name == "chaos") {
+    // Identifier widths under the full hostile channel: how much of
+    // Figure 4's shape survives burst loss, corruption, duplication,
+    // delay jitter, and sender churn.
+    spec.description =
+        "identifier widths under the chaos channel "
+        "(burst+corrupt+dup+delay+churn)";
+    spec.base.channel = "chaos";
+    spec.base.loss_rate = 0.15;
+    spec.id_bits = {2, 4, 6, 8};
   } else {
     return std::nullopt;
   }

@@ -45,6 +45,10 @@ struct SweepSpec {
   std::vector<std::size_t> senders;
   std::vector<double> duties;
   std::vector<core::DensityModelKind> density_models;
+  /// Channel axes (see ExperimentConfig::channel / loss_rate): grid the
+  /// channel model and/or its average frame-loss rate.
+  std::vector<std::string> channels;
+  std::vector<double> loss_rates;
 
   /// Number of points the grid expands to.
   std::size_t point_count() const noexcept;

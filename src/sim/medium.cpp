@@ -2,14 +2,32 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace retri::sim {
+
+MediumConfig validated(MediumConfig config) {
+  if (std::isnan(config.per_link_loss) || config.per_link_loss < 0.0 ||
+      config.per_link_loss > 1.0) {
+    throw std::invalid_argument(
+        "MediumConfig.per_link_loss must be in [0, 1], got " +
+        std::to_string(config.per_link_loss));
+  }
+  if (config.propagation_delay.ns() < 0) {
+    throw std::invalid_argument(
+        "MediumConfig.propagation_delay must be non-negative, got " +
+        std::to_string(config.propagation_delay.to_seconds()) + "s");
+  }
+  return config;
+}
 
 BroadcastMedium::BroadcastMedium(Simulator& sim, Topology topology,
                                  MediumConfig config, std::uint64_t seed)
     : sim_(sim),
       topology_(std::move(topology)),
-      config_(config),
+      config_(validated(config)),
       rng_(seed),
       handlers_(topology_.size()),
       enabled_(topology_.size(), 1),
@@ -108,10 +126,52 @@ void BroadcastMedium::transmit(NodeId from, util::Bytes payload,
             trace_event(TraceEvent::Kind::kLostRandom, from, listener, bytes);
             return;
           }
-          ++stats_.delivered;
-          trace_event(TraceEvent::Kind::kDeliver, from, listener, bytes);
-          if (handlers_[listener]) handlers_[listener](from, *shared_payload);
+          if (interceptor_ == nullptr) {
+            deliver(from, listener, *shared_payload);
+            return;
+          }
+          deliver_through_interceptor(from, listener, *shared_payload);
         });
+  }
+}
+
+void BroadcastMedium::deliver(NodeId from, NodeId listener,
+                              const util::Bytes& payload) {
+  ++stats_.delivered;
+  trace_event(TraceEvent::Kind::kDeliver, from, listener, payload.size());
+  if (handlers_[listener]) handlers_[listener](from, payload);
+}
+
+void BroadcastMedium::deliver_through_interceptor(NodeId from, NodeId listener,
+                                                  const util::Bytes& payload) {
+  std::vector<DeliveryInterceptor::Injected> copies =
+      interceptor_->intercept(from, listener, payload);
+  if (copies.empty()) {
+    ++stats_.lost_fault;
+    trace_event(TraceEvent::Kind::kLostFault, from, listener, payload.size());
+    return;
+  }
+  stats_.fault_extra_deliveries +=
+      static_cast<std::uint64_t>(copies.size()) - 1;
+  for (DeliveryInterceptor::Injected& copy : copies) {
+    assert(copy.extra_delay.ns() >= 0);
+    if (copy.extra_delay.ns() <= 0) {
+      deliver(from, listener, copy.payload);
+      continue;
+    }
+    // Delayed copies re-check the listener's power state at arrival: a
+    // crash while the copy was in flight is an ordinary lost_disabled,
+    // keeping the conservation law exact under churn.
+    auto delayed = std::make_shared<util::Bytes>(std::move(copy.payload));
+    sim_.schedule_after(copy.extra_delay, [this, from, listener, delayed]() {
+      if (!enabled(listener)) {
+        ++stats_.lost_disabled;
+        trace_event(TraceEvent::Kind::kLostDisabled, from, listener,
+                    delayed->size());
+        return;
+      }
+      deliver(from, listener, *delayed);
+    });
   }
 }
 

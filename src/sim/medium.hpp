@@ -39,6 +39,12 @@ struct MediumConfig {
   Duration propagation_delay = Duration::nanoseconds(0);
 };
 
+/// Checks a MediumConfig's invariants: per_link_loss must be a real number
+/// in [0, 1] and propagation_delay must be non-negative. Returns the config
+/// unchanged, throws std::invalid_argument naming the offending field
+/// otherwise. BroadcastMedium calls this on construction.
+MediumConfig validated(MediumConfig config);
+
 struct MediumStats {
   std::uint64_t frames_sent = 0;            // transmit() calls
   std::uint64_t deliveries_attempted = 0;   // one per (frame, listener)
@@ -47,6 +53,37 @@ struct MediumStats {
   std::uint64_t lost_rf_collision = 0;
   std::uint64_t lost_half_duplex = 0;
   std::uint64_t lost_disabled = 0;          // listener was powered off
+  std::uint64_t lost_fault = 0;             // interceptor returned no copies
+  /// Copies an interceptor injected beyond the original delivery. The
+  /// conservation law every configuration must satisfy is
+  ///   deliveries_attempted + fault_extra_deliveries ==
+  ///       delivered + lost_random + lost_rf_collision + lost_half_duplex
+  ///       + lost_disabled + lost_fault.
+  std::uint64_t fault_extra_deliveries = 0;
+};
+
+/// Delivery-path decorator hook (implemented by fault::FaultInjector).
+///
+/// For each delivery that survived every native impairment (enabled, RF
+/// collision, half-duplex, per-link random loss), the medium asks the
+/// interceptor what actually arrives: nothing (counted lost_fault), the
+/// original payload, a corrupted/truncated copy, or several duplicated
+/// copies, each with an optional extra delay. Copies with a positive delay
+/// are rescheduled and re-checked against the listener's power state at
+/// their new delivery time (a crash between injection and arrival counts
+/// as lost_disabled).
+class DeliveryInterceptor {
+ public:
+  struct Injected {
+    util::Bytes payload;
+    Duration extra_delay = Duration::nanoseconds(0);  // must be >= 0
+  };
+
+  virtual ~DeliveryInterceptor() = default;
+
+  /// Called once per surviving delivery, in deterministic event order.
+  virtual std::vector<Injected> intercept(NodeId from, NodeId to,
+                                          const util::Bytes& payload) = 0;
 };
 
 class BroadcastMedium {
@@ -75,6 +112,15 @@ class BroadcastMedium {
   /// Observational only: recording never affects delivery.
   void set_trace(TraceRecorder* trace) noexcept { trace_ = trace; }
 
+  /// Attaches (or detaches, with nullptr) a delivery interceptor. The
+  /// interceptor must outlive every scheduled delivery (in practice: the
+  /// simulation run). At most one interceptor; faults compose *after* the
+  /// native loss checks, so the interceptor only sees frames that would
+  /// have been delivered.
+  void set_interceptor(DeliveryInterceptor* interceptor) noexcept {
+    interceptor_ = interceptor;
+  }
+
   const MediumStats& stats() const noexcept { return stats_; }
   const Topology& topology() const noexcept { return topology_; }
   /// Mutable topology access for dynamics experiments (link churn).
@@ -95,12 +141,21 @@ class BroadcastMedium {
   void trace_event(TraceEvent::Kind kind, NodeId from, NodeId to,
                    std::size_t bytes);
 
+  /// Terminal delivery step: counts, traces, and invokes the handler.
+  void deliver(NodeId from, NodeId listener, const util::Bytes& payload);
+
+  /// Runs the interceptor on a surviving delivery and dispatches the
+  /// resulting copies (immediately or rescheduled by extra_delay).
+  void deliver_through_interceptor(NodeId from, NodeId listener,
+                                   const util::Bytes& payload);
+
   Simulator& sim_;
   Topology topology_;
   MediumConfig config_;
   util::Xoshiro256 rng_;
   MediumStats stats_;
   TraceRecorder* trace_ = nullptr;
+  DeliveryInterceptor* interceptor_ = nullptr;
   std::vector<RxHandler> handlers_;
   std::vector<char> enabled_;
   std::vector<std::vector<std::shared_ptr<Reception>>> active_rx_;  // per listener

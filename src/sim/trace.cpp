@@ -13,6 +13,7 @@ std::string_view to_string(TraceEvent::Kind kind) noexcept {
     case TraceEvent::Kind::kLostCollision: return "LOST_COLL";
     case TraceEvent::Kind::kLostHalfDuplex: return "LOST_HDX";
     case TraceEvent::Kind::kLostDisabled: return "LOST_OFF";
+    case TraceEvent::Kind::kLostFault: return "LOST_FAULT";
   }
   return "?";
 }

@@ -25,6 +25,7 @@ struct TraceEvent {
     kLostCollision,  // RF collision at `to`
     kLostHalfDuplex, // `to` was transmitting during the reception
     kLostDisabled,   // `to` was powered off
+    kLostFault,      // dropped by an attached DeliveryInterceptor
   };
 
   static constexpr NodeId kNoNode = ~NodeId{0};

@@ -72,6 +72,16 @@ std::optional<std::uint64_t> BufferReader::uvar(unsigned bits) noexcept {
   return v & low_mask(bits);
 }
 
+std::optional<std::uint64_t> BufferReader::uvar_strict(unsigned bits) noexcept {
+  const std::size_t nbytes = bytes_for_bits(bits);
+  if (remaining() < nbytes) return std::nullopt;
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < nbytes; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += nbytes;
+  if ((v & ~low_mask(bits)) != 0) return std::nullopt;
+  return v;
+}
+
 std::optional<Bytes> BufferReader::raw(std::size_t n) {
   if (remaining() < n) return std::nullopt;
   Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),

@@ -62,7 +62,17 @@ class BufferReader {
   std::optional<std::uint64_t> u64() noexcept;
 
   /// Reads a field written by BufferWriter::uvar with the same bit width.
+  /// Padding bits (the high bits of the byte-aligned field beyond `bits`)
+  /// are masked off, so corrupted padding aliases onto a valid value.
   std::optional<std::uint64_t> uvar(unsigned bits) noexcept;
+
+  /// Like uvar, but rejects (nullopt) fields whose padding bits are
+  /// nonzero. BufferWriter::uvar always writes them as zero, so a nonzero
+  /// padding bit proves the frame was corrupted or framed with a different
+  /// width — wire decoders use this to drop such frames instead of
+  /// silently aliasing them onto a masked identifier (which would break
+  /// the decode→re-encode round-trip property the fuzz tests assert).
+  std::optional<std::uint64_t> uvar_strict(unsigned bits) noexcept;
 
   /// Reads exactly n bytes; nullopt if fewer remain.
   std::optional<Bytes> raw(std::size_t n);

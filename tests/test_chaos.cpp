@@ -1,0 +1,68 @@
+// Chaos harness tests: trials are clean, deterministic, and sharding-
+// invariant. Labelled `chaos` (own binary) so scripts/check.sh can select
+// them under sanitizers without rerunning the whole tier-1 suite.
+#include "fault/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runner/chaos_soak.hpp"
+
+namespace retri {
+namespace {
+
+fault::ChaosTrialConfig quick_config(std::uint64_t seed) {
+  fault::ChaosTrialConfig config;
+  config.send_duration = sim::Duration::seconds(1);
+  config.seed = seed;
+  return config;
+}
+
+TEST(ChaosTrial, SampleSeedsRunClean) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const fault::ChaosTrialResult result =
+        fault::run_chaos_trial(quick_config(seed));
+    EXPECT_TRUE(result.clean()) << "seed " << seed << ":\n"
+                                << fault::fingerprint(result);
+    EXPECT_GT(result.packets_offered, 0u);
+  }
+}
+
+TEST(ChaosTrial, SameConfigSameFingerprint) {
+  const fault::ChaosTrialConfig config = quick_config(7);
+  const std::string first = fault::fingerprint(fault::run_chaos_trial(config));
+  const std::string second = fault::fingerprint(fault::run_chaos_trial(config));
+  EXPECT_EQ(first, second);
+}
+
+TEST(ChaosTrial, DifferentSeedsDifferentPlans) {
+  const auto a = fault::run_chaos_trial(quick_config(1));
+  const auto b = fault::run_chaos_trial(quick_config(2));
+  EXPECT_NE(fault::fingerprint(a), fault::fingerprint(b));
+}
+
+TEST(ChaosSoak, JobsDoNotChangeResults) {
+  const fault::ChaosTrialConfig base = quick_config(9);
+  runner::ChaosSoakOptions serial;
+  serial.seeds = 6;
+  serial.jobs = 1;
+  runner::ChaosSoakOptions parallel = serial;
+  parallel.jobs = 4;
+
+  const auto a = runner::run_chaos_soak(base, serial);
+  const auto b = runner::run_chaos_soak(base, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(fault::fingerprint(a[i]), fault::fingerprint(b[i]))
+        << "trial " << i;
+  }
+}
+
+TEST(ChaosSoak, ZeroSeedsRunsOneTrial) {
+  runner::ChaosSoakOptions options;
+  options.seeds = 0;
+  const auto results = runner::run_chaos_soak(quick_config(3), options);
+  EXPECT_EQ(results.size(), 1u);
+}
+
+}  // namespace
+}  // namespace retri

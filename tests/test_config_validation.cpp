@@ -1,0 +1,100 @@
+// Construction-time config validation: malformed configurations must fail
+// loudly with std::invalid_argument naming the offending field, never run
+// a silently-nonsensical simulation. One suite per validated() overload.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "aff/driver.hpp"
+#include "aff/reassembler.hpp"
+#include "sim/medium.hpp"
+#include "sim/topology.hpp"
+
+namespace retri {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(MediumConfigValidation, RejectsBadLossAndDelay) {
+  sim::MediumConfig config;
+  config.per_link_loss = kNan;
+  EXPECT_THROW((void)sim::validated(config), std::invalid_argument);
+
+  config = sim::MediumConfig{};
+  config.per_link_loss = -0.01;
+  EXPECT_THROW((void)sim::validated(config), std::invalid_argument);
+
+  config = sim::MediumConfig{};
+  config.per_link_loss = 1.01;
+  EXPECT_THROW((void)sim::validated(config), std::invalid_argument);
+
+  config = sim::MediumConfig{};
+  config.propagation_delay = sim::Duration::milliseconds(-1);
+  EXPECT_THROW((void)sim::validated(config), std::invalid_argument);
+
+  EXPECT_NO_THROW((void)sim::validated(sim::MediumConfig{}));
+  config = sim::MediumConfig{};
+  config.per_link_loss = 1.0;  // boundary is legal
+  EXPECT_NO_THROW((void)sim::validated(config));
+}
+
+TEST(MediumConfigValidation, ConstructorEnforcesIt) {
+  sim::Simulator sim;
+  sim::MediumConfig config;
+  config.per_link_loss = 2.0;
+  EXPECT_THROW(
+      sim::BroadcastMedium(sim, sim::Topology::full_mesh(2), config, 1),
+      std::invalid_argument);
+}
+
+TEST(ReassemblerConfigValidation, RejectsZeroTimeoutAndCapacity) {
+  aff::ReassemblerConfig config;
+  config.timeout = sim::Duration::nanoseconds(0);
+  EXPECT_THROW((void)aff::validated(config), std::invalid_argument);
+
+  config = aff::ReassemblerConfig{};
+  config.timeout = sim::Duration::seconds(-1);
+  EXPECT_THROW((void)aff::validated(config), std::invalid_argument);
+
+  config = aff::ReassemblerConfig{};
+  config.max_entries = 0;
+  EXPECT_THROW((void)aff::validated(config), std::invalid_argument);
+
+  EXPECT_NO_THROW((void)aff::validated(aff::ReassemblerConfig{}));
+  config = aff::ReassemblerConfig{};
+  config.max_entries = 1;  // boundary is legal
+  EXPECT_NO_THROW((void)aff::validated(config));
+}
+
+TEST(ReassemblerConfigValidation, ConstructorEnforcesIt) {
+  aff::ReassemblerConfig config;
+  config.max_entries = 0;
+  EXPECT_THROW(aff::Reassembler{config}, std::invalid_argument);
+}
+
+TEST(AffDriverConfigValidation, RejectsBadIdBitsTimeoutsAndCapacity) {
+  aff::AffDriverConfig config;
+  config.wire.id_bits = 0;
+  EXPECT_THROW((void)aff::validated(config), std::invalid_argument);
+
+  config = aff::AffDriverConfig{};
+  config.wire.id_bits = 65;
+  EXPECT_THROW((void)aff::validated(config), std::invalid_argument);
+
+  config = aff::AffDriverConfig{};
+  config.reassembly_timeout = sim::Duration::nanoseconds(0);
+  EXPECT_THROW((void)aff::validated(config), std::invalid_argument);
+
+  config = aff::AffDriverConfig{};
+  config.max_reassembly_entries = 0;
+  EXPECT_THROW((void)aff::validated(config), std::invalid_argument);
+
+  EXPECT_NO_THROW((void)aff::validated(aff::AffDriverConfig{}));
+  config = aff::AffDriverConfig{};
+  config.wire.id_bits = 64;  // boundary is legal
+  EXPECT_NO_THROW((void)aff::validated(config));
+}
+
+}  // namespace
+}  // namespace retri

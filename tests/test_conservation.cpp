@@ -14,6 +14,7 @@
 #include "aff/driver.hpp"
 #include "apps/workload.hpp"
 #include "core/selector.hpp"
+#include "fault/injector.hpp"
 #include "radio/radio.hpp"
 #include "sim/medium.hpp"
 #include "sim/trace.hpp"
@@ -120,6 +121,72 @@ INSTANTIATE_TEST_SUITE_P(
       if (std::get<2>(param_info.param)) name += "_hdx";
       return name;
     });
+
+TEST(FaultConservation, MediumBooksBalanceWithInjectorAttached) {
+  // The delivery-outcome partition must survive the fault layer: every
+  // attempted delivery plus every injector-added duplicate lands in
+  // exactly one bucket (including lost_fault), in a regime where burst
+  // drops, duplication, delay, and native losses are all active at once.
+  sim::Simulator sim;
+  sim::MediumConfig medium_config;
+  medium_config.per_link_loss = 0.1;
+  medium_config.half_duplex = true;
+  sim::BroadcastMedium medium(sim, sim::Topology::full_mesh(4), medium_config,
+                              123);
+
+  fault::FaultPlan plan;
+  plan.burst.p_good_to_bad = 0.05;
+  plan.burst.p_bad_to_good = 0.2;
+  plan.duplicate_prob = 0.2;
+  plan.max_duplicates = 2;
+  plan.delay_prob = 0.3;
+  plan.max_delay = sim::Duration::milliseconds(20);
+  fault::FaultInjector injector(plan, 321);
+  medium.set_interceptor(&injector);
+
+  struct Stack {
+    std::unique_ptr<radio::Radio> radio;
+    std::unique_ptr<core::UniformSelector> selector;
+    std::unique_ptr<aff::AffDriver> driver;
+    std::unique_ptr<apps::TrafficSource> source;
+  };
+  std::vector<Stack> stacks(4);
+  for (sim::NodeId i = 0; i < 4; ++i) {
+    auto& s = stacks[i];
+    s.radio = std::make_unique<radio::Radio>(medium, i, radio::RadioConfig{},
+                                             radio::EnergyModel::rpc_like(),
+                                             10 + i);
+    s.selector = std::make_unique<core::UniformSelector>(core::IdSpace(8),
+                                                         20 + i);
+    aff::AffDriverConfig dconfig;
+    dconfig.wire.id_bits = 8;
+    s.driver = std::make_unique<aff::AffDriver>(*s.radio, *s.selector, dconfig,
+                                                i);
+    if (i != 0) {
+      s.source = std::make_unique<apps::TrafficSource>(
+          sim, *s.driver, std::make_unique<apps::SaturatingWorkload>(60),
+          30 + i);
+      s.source->start(sim::TimePoint::origin() + sim::Duration::seconds(5));
+    }
+  }
+  sim.run_until(sim::TimePoint::origin() + sim::Duration::seconds(20));
+
+  const auto& stats = medium.stats();
+  EXPECT_GT(stats.deliveries_attempted, 0u);
+  EXPECT_GT(stats.lost_fault, 0u);
+  EXPECT_GT(stats.fault_extra_deliveries, 0u);
+  EXPECT_EQ(stats.deliveries_attempted + stats.fault_extra_deliveries,
+            stats.delivered + stats.lost_random + stats.lost_rf_collision +
+                stats.lost_half_duplex + stats.lost_disabled +
+                stats.lost_fault);
+
+  const auto& fstats = injector.stats();
+  EXPECT_EQ(fstats.intercepted, fstats.dropped_burst + fstats.forwarded);
+  EXPECT_GE(fstats.copies_emitted, fstats.forwarded);
+  EXPECT_EQ(stats.lost_fault, fstats.dropped_burst);
+  EXPECT_EQ(stats.fault_extra_deliveries,
+            fstats.copies_emitted - fstats.forwarded);
+}
 
 TEST(ReassemblyConservation, FragmentsSeenPartitionAcrossOutcomes) {
   // On an ideal medium every fragment a receiver sees is accounted as part

@@ -92,6 +92,65 @@ TEST(FuzzDecoders, AffWireDecoder) {
   }
 }
 
+util::Bytes reencode(const aff::WireConfig& config,
+                     const aff::DecodedFragment& decoded) {
+  if (const auto* intro = std::get_if<aff::IntroFragment>(&decoded.body)) {
+    return aff::encode_intro(config, *intro, decoded.true_packet_id);
+  }
+  if (const auto* data = std::get_if<aff::DataFragment>(&decoded.body)) {
+    return aff::encode_data(config, *data, decoded.true_packet_id);
+  }
+  return aff::encode_notify(config,
+                            std::get<aff::CollisionNotify>(decoded.body));
+}
+
+TEST(FuzzDecoders, AffWireRoundTripProperty) {
+  // Any frame the decoder accepts must re-encode to exactly the bytes
+  // that arrived: the decoder may not normalize, mask, or tolerate
+  // trailing junk, or a corrupted frame could alias to a valid one (the
+  // historical uvar padding-bit bug, pinned below).
+  for (const unsigned id_bits : {5u, 8u, 12u, 16u}) {
+    for (const bool instrumented : {false, true}) {
+      const aff::WireConfig config{id_bits, instrumented};
+      const std::uint64_t max_id = (std::uint64_t{1} << id_bits) - 1;
+      FrameFuzzer fuzzer(1000 + id_bits * 2 + (instrumented ? 1 : 0));
+      fuzzer.add_corpus(aff::encode_intro(
+          config, {core::TransactionId(max_id), 80, 0xdeadbeef},
+          instrumented ? std::optional<std::uint64_t>{42} : std::nullopt));
+      fuzzer.add_corpus(aff::encode_data(
+          config, {core::TransactionId(1), 23, util::random_payload(23, 2)},
+          instrumented ? std::optional<std::uint64_t>{43} : std::nullopt));
+      fuzzer.add_corpus(
+          aff::encode_notify(config, {core::TransactionId(max_id / 2)}));
+      for (int i = 0; i < kFuzzIterations; ++i) {
+        const util::Bytes frame = fuzzer.next();
+        const auto decoded = aff::decode(config, frame);
+        if (!decoded) continue;
+        EXPECT_EQ(reencode(config, *decoded), frame)
+            << "id_bits=" << id_bits << " instrumented=" << instrumented
+            << " frame=" << util::to_hex(frame);
+      }
+    }
+  }
+}
+
+TEST(FuzzDecoders, NonzeroIdPaddingBitsAreRejected) {
+  // Regression: BufferReader::uvar used to mask padding bits off, so a
+  // frame whose 5-bit id field arrived with corrupted high bits decoded
+  // to a valid (different-bytes) frame. The decoder now uses uvar_strict.
+  const aff::WireConfig config{5, false};
+  for (util::Bytes frame :
+       {aff::encode_intro(config, {core::TransactionId(3), 80, 7}),
+        aff::encode_data(config,
+                         {core::TransactionId(3), 0, util::Bytes{1, 2}}),
+        aff::encode_notify(config, {core::TransactionId(3)})}) {
+    ASSERT_TRUE(aff::decode(config, frame).has_value());
+    frame[1] |= 0x80;  // id byte: bit above the 5-bit width
+    EXPECT_FALSE(aff::decode(config, frame).has_value())
+        << util::to_hex(frame);
+  }
+}
+
 TEST(FuzzDecoders, CodebookMessages) {
   FrameFuzzer fuzzer(2);
   const apps::AttributeSet attrs = {{"type", "x"}, {"unit", "y"}};

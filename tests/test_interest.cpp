@@ -104,6 +104,7 @@ TEST_F(InterestTest, CollidingIdsCauseFalseClaims) {
   SensorConfig sconfig;
   sconfig.wire.id_bits = 1;
   sconfig.base_period = sim::Duration::milliseconds(300);
+  sconfig.reinforced_period = sim::Duration::milliseconds(100);
   InterestSensor s1(s1_radio, sel1, sconfig, 0x1111,
                     [] { return std::uint16_t{0xffff}; });
   InterestSensor s2(s2_radio, sel2, sconfig, 0x2222,
@@ -129,6 +130,7 @@ TEST_F(InterestTest, WiderIdsEliminateFalseClaimsInPractice) {
   SensorConfig sconfig;
   sconfig.wire.id_bits = 16;
   sconfig.base_period = sim::Duration::milliseconds(300);
+  sconfig.reinforced_period = sim::Duration::milliseconds(100);
   InterestSensor s1(s1_radio, sel1, sconfig, 0x1111,
                     [] { return std::uint16_t{0xffff}; });
   InterestSensor s2(s2_radio, sel2, sconfig, 0x2222,

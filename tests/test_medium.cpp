@@ -190,6 +190,117 @@ TEST_F(MediumTest, DisabledNodesNeitherSendNorReceive) {
   EXPECT_EQ(rx1.size(), 1u);
 }
 
+/// Scripted DeliveryInterceptor for accounting tests: one fixed behavior,
+/// no randomness.
+class ScriptedInterceptor final : public DeliveryInterceptor {
+ public:
+  enum class Mode { kPass, kDrop, kTriplicate, kDelay };
+  Mode mode = Mode::kPass;
+  Duration delay = Duration::milliseconds(5);
+
+  std::vector<Injected> intercept(NodeId, NodeId,
+                                  const util::Bytes& payload) override {
+    switch (mode) {
+      case Mode::kDrop:
+        return {};
+      case Mode::kTriplicate: {
+        std::vector<Injected> copies(3);
+        for (auto& copy : copies) copy.payload = payload;
+        return copies;
+      }
+      case Mode::kDelay: {
+        Injected copy;
+        copy.payload = payload;
+        copy.extra_delay = delay;
+        return {std::move(copy)};
+      }
+      case Mode::kPass:
+        break;
+    }
+    Injected copy;
+    copy.payload = payload;
+    return {std::move(copy)};
+  }
+};
+
+TEST_F(MediumTest, InterceptorDropCountsAsLostFault) {
+  BroadcastMedium medium(sim, Topology::full_mesh(2), {}, 1);
+  ScriptedInterceptor interceptor;
+  interceptor.mode = ScriptedInterceptor::Mode::kDrop;
+  medium.set_interceptor(&interceptor);
+  auto& rx1 = capture(medium, 1);
+
+  medium.transmit(0, {0x01}, Duration::milliseconds(1));
+  sim.run();
+  EXPECT_TRUE(rx1.empty());
+  const MediumStats& stats = medium.stats();
+  EXPECT_EQ(stats.deliveries_attempted, 1u);
+  EXPECT_EQ(stats.lost_fault, 1u);
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_EQ(stats.fault_extra_deliveries, 0u);
+}
+
+TEST_F(MediumTest, InterceptorDuplicationCountsExtraDeliveries) {
+  BroadcastMedium medium(sim, Topology::full_mesh(2), {}, 1);
+  ScriptedInterceptor interceptor;
+  interceptor.mode = ScriptedInterceptor::Mode::kTriplicate;
+  medium.set_interceptor(&interceptor);
+  auto& rx1 = capture(medium, 1);
+
+  medium.transmit(0, {0x01, 0x02}, Duration::milliseconds(1));
+  sim.run();
+  EXPECT_EQ(rx1.size(), 3u);
+  const MediumStats& stats = medium.stats();
+  EXPECT_EQ(stats.deliveries_attempted, 1u);
+  EXPECT_EQ(stats.fault_extra_deliveries, 2u);
+  EXPECT_EQ(stats.delivered, 3u);
+  // Conservation with the fault buckets: attempted + extra == outcomes.
+  EXPECT_EQ(stats.deliveries_attempted + stats.fault_extra_deliveries,
+            stats.delivered + stats.lost_random + stats.lost_rf_collision +
+                stats.lost_half_duplex + stats.lost_disabled +
+                stats.lost_fault);
+}
+
+TEST_F(MediumTest, InterceptorDelayDefersDelivery) {
+  BroadcastMedium medium(sim, Topology::full_mesh(2), {}, 1);
+  ScriptedInterceptor interceptor;
+  interceptor.mode = ScriptedInterceptor::Mode::kDelay;
+  medium.set_interceptor(&interceptor);
+
+  TimePoint arrival = TimePoint::origin();
+  medium.attach(1, [&](NodeId, const util::Bytes&) { arrival = sim.now(); });
+
+  medium.transmit(0, {0x01}, Duration::milliseconds(1));
+  sim.run();
+  // Native arrival would be at airtime (1ms); the injected extra delay
+  // pushes it to 6ms.
+  EXPECT_EQ(arrival, TimePoint::origin() + Duration::milliseconds(6));
+  EXPECT_EQ(medium.stats().delivered, 1u);
+}
+
+TEST_F(MediumTest, DelayedCopyToNodeDisabledInFlightIsLostDisabled) {
+  // A copy delayed past a node's crash must not be delivered to the dead
+  // node: enabled() is re-checked at arrival and the loss is accounted.
+  BroadcastMedium medium(sim, Topology::full_mesh(2), {}, 1);
+  ScriptedInterceptor interceptor;
+  interceptor.mode = ScriptedInterceptor::Mode::kDelay;
+  medium.set_interceptor(&interceptor);
+  auto& rx1 = capture(medium, 1);
+
+  medium.transmit(0, {0x01}, Duration::milliseconds(1));
+  sim.schedule_at(TimePoint::origin() + Duration::milliseconds(3),
+                  [&medium]() { medium.set_enabled(1, false); });
+  sim.run();
+  EXPECT_TRUE(rx1.empty());
+  const MediumStats& stats = medium.stats();
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_EQ(stats.lost_disabled, 1u);
+  EXPECT_EQ(stats.deliveries_attempted + stats.fault_extra_deliveries,
+            stats.delivered + stats.lost_random + stats.lost_rf_collision +
+                stats.lost_half_duplex + stats.lost_disabled +
+                stats.lost_fault);
+}
+
 TEST_F(MediumTest, ReattachReplacesHandler) {
   BroadcastMedium medium(sim, Topology::full_mesh(2), {}, 1);
   int first = 0;

@@ -180,6 +180,79 @@ TEST_F(ReassemblerTest, CapacityEvictsLeastRecentlyUpdated) {
   EXPECT_TRUE(tiny.pending(3));
 }
 
+TEST_F(ReassemblerTest, TimeoutBoundaryIsInclusive) {
+  // Idle time exactly equal to the timeout expires; one nanosecond less
+  // keeps the entry. Pins the >= comparison so a refactor to > (which
+  // would keep entries alive a full extra expiry period in the driver's
+  // periodic sweep) fails loudly.
+  Reassembler short_lived(
+      ReassemblerConfig{sim::Duration::milliseconds(100), 64});
+  short_lived.on_intro(1, 40, 0x1234, at_ms(0));
+  short_lived.expire(at_ms(100) - sim::Duration::nanoseconds(1));
+  EXPECT_TRUE(short_lived.pending(1));
+  EXPECT_EQ(short_lived.stats().timeouts, 0u);
+  short_lived.expire(at_ms(100));  // idle == timeout: expires
+  EXPECT_FALSE(short_lived.pending(1));
+  EXPECT_EQ(short_lived.stats().timeouts, 1u);
+}
+
+TEST_F(ReassemblerTest, ExpireSweepsAllIdleEntriesInLruOrder) {
+  Reassembler short_lived(
+      ReassemblerConfig{sim::Duration::milliseconds(100), 64});
+  std::vector<std::uint64_t> swept;
+  short_lived.set_closed([&](std::uint64_t key) { swept.push_back(key); });
+  // Touch order 3, 1, 2 — idle order must follow updates, not insertion.
+  short_lived.on_intro(1, 40, 0, at_ms(0));
+  short_lived.on_intro(2, 40, 0, at_ms(0));
+  short_lived.on_intro(3, 40, 0, at_ms(0));
+  short_lived.on_data(3, 0, util::Bytes{1}, at_ms(10));
+  short_lived.on_data(1, 0, util::Bytes{1}, at_ms(20));
+  short_lived.on_data(2, 0, util::Bytes{1}, at_ms(30));
+  short_lived.expire(at_ms(125));  // 3 and 1 idle >= 100ms, 2 only 95ms
+  EXPECT_EQ(swept, (std::vector<std::uint64_t>{3, 1}));
+  EXPECT_EQ(short_lived.stats().timeouts, 2u);
+  EXPECT_TRUE(short_lived.pending(2));
+}
+
+TEST_F(ReassemblerTest, EvictionOrderFollowsUpdatesNotInsertion) {
+  Reassembler tiny(ReassemblerConfig{sim::Duration::seconds(10), 3});
+  std::vector<std::uint64_t> evicted;
+  tiny.set_closed([&](std::uint64_t key) { evicted.push_back(key); });
+  tiny.on_intro(1, 40, 0, at_ms(0));
+  tiny.on_intro(2, 40, 0, at_ms(1));
+  tiny.on_intro(3, 40, 0, at_ms(2));
+  // Refresh in reverse insertion order: LRU front becomes 3, then 2.
+  tiny.on_data(2, 0, util::Bytes{1}, at_ms(3));
+  tiny.on_data(1, 0, util::Bytes{1}, at_ms(4));
+  tiny.on_intro(4, 40, 0, at_ms(5));  // evicts 3 (least recently updated)
+  tiny.on_intro(5, 40, 0, at_ms(6));  // evicts 2
+  EXPECT_EQ(evicted, (std::vector<std::uint64_t>{3, 2}));
+  EXPECT_EQ(tiny.stats().evicted, 2u);
+  EXPECT_TRUE(tiny.pending(1));
+  EXPECT_TRUE(tiny.pending(4));
+  EXPECT_TRUE(tiny.pending(5));
+}
+
+TEST_F(ReassemblerTest, AcceptedFragmentsPartitionLaw) {
+  // fragments_seen == accepted + malformed + orphans, across a mix of
+  // outcomes: delivered packet, malformed intro/data, and orphaned data.
+  const util::Bytes packet = util::random_payload(40, 21);
+  feed_packet(1, packet, 20);                       // 1 intro + 2 data, accepted
+  reasm.on_intro(2, 0, 0, at_ms(1));                // malformed (zero length)
+  reasm.on_data(3, 0, util::Bytes{1, 2}, at_ms(2)); // orphan (no intro)
+  reasm.on_data(4, 0, {}, at_ms(3));                // malformed (empty)
+
+  const ReassemblerStats& stats = reasm.stats();
+  EXPECT_EQ(stats.fragments_seen, 6u);
+  EXPECT_EQ(stats.accepted_fragments, 3u);
+  EXPECT_EQ(stats.malformed, 2u);
+  EXPECT_EQ(stats.orphan_fragments, 1u);
+  EXPECT_EQ(stats.fragments_seen,
+            stats.accepted_fragments + stats.malformed +
+                stats.orphan_fragments);
+  EXPECT_EQ(stats.delivered, 1u);
+}
+
 TEST_F(ReassemblerTest, MalformedFragmentsCounted) {
   reasm.on_intro(1, 0, 0, at_ms(0));  // zero-length packet is malformed
   EXPECT_EQ(reasm.stats().malformed, 1u);

@@ -228,7 +228,7 @@ TEST(SweepRunner, ParallelSweepMatchesSerialAndExportsStableJson) {
   EXPECT_TRUE(JsonChecker(json_a).valid());
   EXPECT_NE(json_a.find("\"schema\": \"retri.sweep-result\""),
             std::string::npos);
-  EXPECT_NE(json_a.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json_a.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json_a.find("\"delivery_ratio\""), std::string::npos);
   EXPECT_NE(json_a.find("\"ci95_hi\""), std::string::npos);
   EXPECT_NE(json_a.find("H=2 uniform"), std::string::npos);

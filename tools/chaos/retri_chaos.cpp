@@ -1,0 +1,248 @@
+// retri_chaos: the chaos soak CLI.
+//
+// Runs N independent fault::run_chaos_trial trials (each with its own
+// random_plan-derived hostile channel and churn schedule), audits every
+// trial's conservation invariants, and reports per-seed outcomes. The soak
+// is the robustness gate for the AFF stack: exit status 1 means some seed
+// produced an invariant violation and the fingerprint printed for that
+// seed reproduces it exactly (`retri_chaos --seeds 1 --seed <trial_seed>`
+// replays a single trial, since trial 0's derived seed is the base seed's
+// first derivation — use the printed trial_seed with --raw-seed instead).
+//
+// Determinism contract: output and JSON artifact are pure functions of
+// (--seeds, --seconds, --senders, --bits, --seed); --jobs only shards
+// work. scripts/check.sh diffs --jobs 1 vs --jobs 8 artifacts.
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fault/chaos.hpp"
+#include "runner/chaos_soak.hpp"
+#include "runner/json.hpp"
+#include "runner/seeds.hpp"
+
+namespace {
+
+struct Args {
+  unsigned seeds = 50;
+  unsigned jobs = 1;
+  double seconds = 5.0;    // send_duration per trial
+  std::size_t senders = 4;
+  unsigned bits = 6;
+  std::uint64_t seed = 1;  // base seed; trial i uses derive_trial_seed
+  bool raw_seed = false;   // treat --seed as trial 0's exact seed
+  std::string out;         // JSON artifact path; empty = no export
+  bool verbose = false;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: retri_chaos [--seeds N] [--jobs N] [--seconds S]\n"
+               "                   [--senders N] [--bits B] [--seed X]\n"
+               "                   [--raw-seed] [--out FILE] [--verbose]\n"
+               "\n"
+               "Runs N seeded chaos trials against the AFF stack and checks\n"
+               "conservation invariants. Exit 0: all trials clean; 1: some\n"
+               "trial violated an invariant; 2: bad arguments or I/O error.\n"
+               "--raw-seed runs trial 0 with --seed verbatim (replay a\n"
+               "trial_seed printed by a previous soak).\n");
+}
+
+bool parse_u64(const char* s, std::uint64_t& value) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  value = parsed;
+  return true;
+}
+
+bool parse_unsigned(const char* s, unsigned& value) {
+  std::uint64_t wide = 0;
+  if (!parse_u64(s, wide) || wide > 1u << 20) return false;
+  value = static_cast<unsigned>(wide);
+  return true;
+}
+
+bool parse_double(const char* s, double& value) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  value = parsed;
+  return true;
+}
+
+/// Returns 0 on success, 2 on any malformed flag (printed to stderr).
+int parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    bool ok = true;
+    if (flag == "--help" || flag == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else if (flag == "--seeds") {
+      ok = parse_unsigned(next(), args.seeds) && args.seeds >= 1;
+    } else if (flag == "--jobs") {
+      ok = parse_unsigned(next(), args.jobs) && args.jobs >= 1;
+    } else if (flag == "--seconds") {
+      ok = parse_double(next(), args.seconds) && args.seconds > 0.0;
+    } else if (flag == "--senders") {
+      std::uint64_t wide = 0;
+      ok = parse_u64(next(), wide) && wide >= 1 && wide <= 64;
+      args.senders = static_cast<std::size_t>(wide);
+    } else if (flag == "--bits") {
+      ok = parse_unsigned(next(), args.bits) && args.bits >= 1 &&
+           args.bits <= 16;
+    } else if (flag == "--seed") {
+      ok = parse_u64(next(), args.seed);
+    } else if (flag == "--raw-seed") {
+      args.raw_seed = true;
+    } else if (flag == "--out") {
+      const char* value = next();
+      ok = value != nullptr;
+      if (ok) args.out = value;
+    } else if (flag == "--verbose" || flag == "-v") {
+      args.verbose = true;
+    } else {
+      std::fprintf(stderr, "retri_chaos: unknown flag '%s'\n", flag.c_str());
+      usage(stderr);
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "retri_chaos: bad or missing value for %s\n",
+                   flag.c_str());
+      return 2;
+    }
+  }
+  return 0;
+}
+
+std::string soak_json(const Args& args,
+                      const std::vector<retri::fault::ChaosTrialResult>& runs) {
+  retri::runner::JsonWriter json(/*pretty=*/true);
+  json.begin_object();
+  json.member("schema", "retri.chaos-soak");
+  json.member("schema_version", 1);
+
+  json.key("config").begin_object();
+  json.member("seeds", args.seeds);
+  json.member("seconds", args.seconds);
+  json.member("senders", args.senders);
+  json.member("id_bits", args.bits);
+  json.member("base_seed", args.seed);
+  json.member("raw_seed", args.raw_seed);
+  json.end_object();
+
+  unsigned clean = 0;
+  for (const auto& run : runs) clean += run.clean() ? 1u : 0u;
+  json.member("clean_trials", clean);
+  json.member("total_trials", runs.size());
+
+  json.key("trials").begin_array();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    json.begin_object();
+    json.member("index", i);
+    json.member("trial_seed",
+                args.raw_seed && i == 0
+                    ? args.seed
+                    : retri::runner::derive_trial_seed(args.seed, i));
+    json.member("plan", run.plan.describe());
+    json.member("packets_offered", run.packets_offered);
+    json.member("aff_delivered", run.aff_delivered);
+    json.member("truth_delivered", run.truth_delivered);
+    json.member("crashes", run.crashes);
+    json.member("restarts", run.restarts);
+    json.member("clean", run.clean());
+    json.key("violations").begin_array();
+    for (const std::string& violation : run.violations) json.value(violation);
+    json.end_array();
+    json.member("fingerprint", retri::fault::fingerprint(run));
+    json.end_object();
+  }
+  json.end_array();
+
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (const int bad = parse_args(argc, argv, args)) return bad;
+
+  retri::fault::ChaosTrialConfig base;
+  base.senders = args.senders;
+  base.id_bits = args.bits;
+  base.send_duration = retri::sim::Duration::from_seconds(args.seconds);
+  base.seed = args.seed;
+
+  std::vector<retri::fault::ChaosTrialResult> runs;
+  if (args.raw_seed) {
+    // Replay mode: run --seed verbatim as a single trial (no derivation),
+    // so a trial_seed printed by a soak reproduces that exact trial.
+    retri::fault::ChaosTrialConfig replay = base;
+    runs.push_back(retri::fault::run_chaos_trial(replay));
+  } else {
+    retri::runner::ChaosSoakOptions options;
+    options.seeds = args.seeds;
+    options.jobs = args.jobs;
+    runs = retri::runner::run_chaos_soak(base, options);
+  }
+
+  unsigned clean = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    const std::uint64_t trial_seed =
+        args.raw_seed ? args.seed
+                      : retri::runner::derive_trial_seed(args.seed, i);
+    if (run.clean()) ++clean;
+    std::printf("trial %3zu seed=%llu %s | offered=%llu aff=%llu truth=%llu "
+                "crashes=%llu plan=[%s]\n",
+                i, static_cast<unsigned long long>(trial_seed),
+                run.clean() ? "clean " : "DIRTY ",
+                static_cast<unsigned long long>(run.packets_offered),
+                static_cast<unsigned long long>(run.aff_delivered),
+                static_cast<unsigned long long>(run.truth_delivered),
+                static_cast<unsigned long long>(run.crashes),
+                run.plan.describe().c_str());
+    for (const std::string& violation : run.violations) {
+      std::printf("        violation: %s\n", violation.c_str());
+    }
+    if (args.verbose) {
+      std::printf("%s", retri::fault::fingerprint(run).c_str());
+    }
+  }
+  std::printf("chaos soak: %u/%zu trials clean\n", clean, runs.size());
+
+  if (!args.out.empty()) {
+    std::ofstream file(args.out, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      std::fprintf(stderr, "retri_chaos: cannot open %s for writing\n",
+                   args.out.c_str());
+      return 2;
+    }
+    file << soak_json(args, runs) << '\n';
+    file.close();
+    if (file.fail()) {
+      std::fprintf(stderr, "retri_chaos: write to %s failed\n",
+                   args.out.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", args.out.c_str());
+  }
+
+  return clean == runs.size() ? 0 : 1;
+}
