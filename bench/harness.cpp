@@ -100,6 +100,8 @@ bool try_parse_args(int argc, char** argv, BenchArgs& args,
       args.sweep = std::string(value);
     } else if (flag == "--list") {
       args.list = true;
+    } else if (flag == "--micro") {
+      args.micro = true;
     } else if (flag == "--csv") {
       args.csv = true;
     } else {

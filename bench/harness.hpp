@@ -35,7 +35,8 @@ TrialSummary run_trials(const ExperimentConfig& config, unsigned trials,
 
 /// Parses "--flag value" style overrides shared by the benches:
 /// --trials N, --seconds S, --senders N, --seed X, --jobs N, --out FILE,
-/// --csv, plus the retri_bench-only --sweep NAME and --list. Unknown flags
+/// --csv, plus the retri_bench-only --sweep NAME, --list, and --micro.
+/// Unknown flags
 /// and malformed numeric values are fatal (typos must not silently run the
 /// default experiment).
 struct BenchArgs {
@@ -48,6 +49,7 @@ struct BenchArgs {
   bool csv = false;
   std::string sweep;      // retri_bench: named sweep to run
   bool list = false;      // retri_bench: list available sweeps
+  bool micro = false;     // retri_bench: run the hot-path micro suite
 };
 
 /// Non-exiting parser: returns false and fills `error` on unknown flags,

@@ -11,11 +11,19 @@
 // schema-versioned JSON artifact (configs, per-trial metrics, aggregates)
 // via runner::ResultSink. Per-trial results — and the JSON file itself —
 // are bit-identical for any --jobs value.
+//
+//   retri_bench --micro [--out BENCH_micro.json]
+//
+// runs the allocation-free hot-path micro suite instead (see micro.hpp);
+// its artifact is what scripts/bench_compare.py gates against the
+// committed bench/BENCH_micro.json baseline.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "harness.hpp"
+#include "micro.hpp"
 #include "runner/result_sink.hpp"
 #include "runner/sweep.hpp"
 #include "stats/table.hpp"
@@ -36,16 +44,48 @@ int list_sweeps(std::FILE* stream) {
   return 0;
 }
 
+int run_micro(const retri::bench::BenchArgs& args) {
+  const auto results = retri::bench::run_micro_suite();
+
+  Table table({"benchmark", "ops", "ns/op", "allocs/op"});
+  for (const retri::bench::MicroResult& r : results) {
+    table.row({r.name, std::to_string(r.ops), fmt(r.ns_per_op),
+               r.allocs_per_op < 0 ? std::string("n/a") : fmt(r.allocs_per_op)});
+  }
+  if (args.csv) table.print_csv(std::cout);
+  else table.print(std::cout);
+
+  if (!args.out.empty()) {
+    // Same contract as export_result: a zero exit with the artifact
+    // silently missing would poison the bench_compare.py pipeline.
+    std::ofstream file(args.out, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", args.out.c_str());
+      return 2;
+    }
+    file << retri::bench::micro_to_json(results) << '\n';
+    if (!file.flush()) {
+      std::fprintf(stderr, "failed writing %s\n", args.out.c_str());
+      return 2;
+    }
+    std::printf("\nwrote %s (micro schema v%d, %zu benchmarks)\n",
+                args.out.c_str(), retri::bench::kMicroSchemaVersion,
+                results.size());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = retri::bench::parse_args(argc, argv);
   if (args.list) return list_sweeps(stdout);
+  if (args.micro) return run_micro(args);
   if (args.sweep.empty()) {
     std::fprintf(stderr,
                  "usage: retri_bench --sweep NAME [--jobs N] [--out FILE]\n"
                  "                   [--trials N] [--seconds S] [--senders N]\n"
-                 "                   [--seed X] [--csv] | --list\n\n");
+                 "                   [--seed X] [--csv] | --list | --micro\n\n");
     list_sweeps(stderr);
     return 2;
   }

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json artifacts and fail on regressions.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json \
+      [--metric allocs_per_op] [--tolerance-pct 0] [--require NAME ...]
+
+Reads two micro-suite artifacts (schema_version 1, as written by
+`retri_bench --micro --out FILE`), matches benchmarks by name, and exits
+nonzero when the chosen metric regressed — grew — by more than
+--tolerance-pct relative to the baseline for any benchmark, or when a
+benchmark named with --require is missing from the current file.
+
+The default gated metric is allocs_per_op because it is exactly
+reproducible: the hot paths allocate a deterministic number of times per
+operation, so any increase is a real regression, not noise. ns_per_op is
+host-dependent; gate it only with a generous tolerance on a quiet machine.
+
+A metric value of -1 means "not measured" (the allocation hook was not
+linked into the producing binary); comparisons involving -1 are skipped
+with a warning rather than failed, so a hook-less build cannot masquerade
+as a zero-allocation one.
+
+Standard library only; no third-party imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path: str) -> dict[str, dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"bench_compare: cannot read {path}: {exc}")
+    if not isinstance(doc, dict) or "benchmarks" not in doc:
+        sys.exit(f"bench_compare: {path}: not a BENCH_*.json document "
+                 "(missing 'benchmarks')")
+    schema = doc.get("schema_version")
+    if schema != 1:
+        sys.exit(f"bench_compare: {path}: unsupported schema_version "
+                 f"{schema!r} (this tool understands 1)")
+    out: dict[str, dict] = {}
+    for bench in doc["benchmarks"]:
+        name = bench.get("name")
+        if not isinstance(name, str):
+            sys.exit(f"bench_compare: {path}: benchmark entry without a name")
+        out[name] = bench
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_*.json files; nonzero exit on "
+                    "regression.")
+    parser.add_argument("baseline", help="committed baseline artifact")
+    parser.add_argument("current", help="freshly generated artifact")
+    parser.add_argument("--metric", default="allocs_per_op",
+                        help="numeric field to gate (default: allocs_per_op)")
+    parser.add_argument("--tolerance-pct", type=float, default=0.0,
+                        help="allowed growth over baseline, in percent "
+                             "(default: 0 — any increase fails)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail if this benchmark is absent from the "
+                             "current file (repeatable)")
+    args = parser.parse_args()
+    if args.tolerance_pct < 0:
+        parser.error("--tolerance-pct must be >= 0")
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    failures: list[str] = []
+    for name in args.require:
+        if name not in current:
+            failures.append(f"required benchmark missing: {name}")
+
+    compared = 0
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            # Renamed/retired benchmarks are a baseline-refresh job, not a
+            # perf failure — but say so, loudly.
+            print(f"bench_compare: note: {name} in baseline but not in "
+                  f"current; refresh the baseline if it was renamed",
+                  file=sys.stderr)
+            continue
+        if args.metric not in base or args.metric not in cur:
+            failures.append(f"{name}: metric '{args.metric}' missing")
+            continue
+        base_v = float(base[args.metric])
+        cur_v = float(cur[args.metric])
+        if base_v < 0 or cur_v < 0:
+            print(f"bench_compare: warning: {name}: {args.metric} not "
+                  f"measured (-1); skipping", file=sys.stderr)
+            continue
+        compared += 1
+        limit = base_v * (1.0 + args.tolerance_pct / 100.0)
+        delta = cur_v - base_v
+        status = "OK"
+        if cur_v > limit:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: {args.metric} {base_v:g} -> {cur_v:g} "
+                f"(+{delta:g}, limit {limit:g})")
+        print(f"  {name:<32} {args.metric}: {base_v:g} -> {cur_v:g}  "
+              f"[{status}]")
+
+    if compared == 0 and not failures:
+        failures.append(f"no benchmarks compared on metric '{args.metric}' "
+                        "(empty intersection or all unmeasured)")
+
+    if failures:
+        print("bench_compare: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK ({compared} benchmarks, metric "
+          f"{args.metric}, tolerance {args.tolerance_pct:g}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

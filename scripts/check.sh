@@ -16,6 +16,11 @@
 #   6. tsan    — RETRI_SANITIZE=thread build + `ctest -L runner` (the
 #                concurrency suite; TSan on the single-threaded sim buys
 #                nothing but runtime)
+#   7. perf    — opt-in via `scripts/check.sh --perf`: regenerates the
+#                micro-suite artifact with `retri_bench --micro` and gates
+#                allocs_per_op against the committed bench/BENCH_micro.json
+#                via scripts/bench_compare.py (zero tolerance — the metric
+#                is deterministic). Also runnable standalone.
 #
 # Exits nonzero on the first failing stage and always prints the per-stage
 # summary. Parallelism: JOBS env var, default nproc.
@@ -26,8 +31,10 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 QUICK=0
 CHAOS_ONLY=0
+PERF=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
 [[ "${1:-}" == "--chaos" ]] && CHAOS_ONLY=1
+[[ "${1:-}" == "--perf" ]] && PERF=1
 
 declare -a STAGE_NAMES=() STAGE_RESULTS=()
 FAILED=0
@@ -83,6 +90,26 @@ chaos_soak() {
 if [[ "$CHAOS_ONLY" == 1 ]]; then
   chaos_only_stage() { chaos_soak build-check/asan; }
   run_stage chaos chaos_only_stage
+  summary
+  exit "$FAILED"
+fi
+
+# --- perf regression gate (opt-in: --perf) ----------------------------------
+# Regenerates the micro artifact and diffs allocs_per_op (deterministic, so
+# zero tolerance) against the committed baseline. ns_per_op is intentionally
+# not gated here: it is host-dependent and CI machines are noisy.
+if [[ "$PERF" == 1 ]]; then
+  perf_stage() {
+    build_dir build-check/perf -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+    ctest --test-dir build-check/perf --output-on-failure -L perf_smoke \
+      -j "$JOBS" &&
+    build-check/perf/bench/retri_bench --micro \
+      --out build-check/perf/BENCH_micro.json &&
+    python3 scripts/bench_compare.py bench/BENCH_micro.json \
+      build-check/perf/BENCH_micro.json --metric allocs_per_op \
+      --require engine_schedule_fire --require medium_transmit_fanout5
+  }
+  run_stage perf perf_stage
   summary
   exit "$FAILED"
 fi

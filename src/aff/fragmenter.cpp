@@ -42,8 +42,7 @@ util::Result<std::vector<util::Bytes>, FragmentError> Fragmenter::fragment(
        offset += payload_per_fragment_) {
     const std::size_t n = std::min(payload_per_fragment_, packet.size() - offset);
     DataFragment data{id, static_cast<std::uint16_t>(offset),
-                      util::Bytes(packet.begin() + static_cast<std::ptrdiff_t>(offset),
-                                  packet.begin() + static_cast<std::ptrdiff_t>(offset + n))};
+                      packet.subspan(offset, n)};
     frames.push_back(encode_data(config_.wire, data,
                                  config_.wire.instrumented
                                      ? std::optional<std::uint64_t>(true_packet_id)

@@ -102,9 +102,9 @@ std::optional<DecodedFragment> decode(const WireConfig& config,
     case FragmentKind::kData: {
       const auto offset = r.u16();
       if (!offset) return std::nullopt;
-      const auto rest = r.rest();
-      out.body = DataFragment{core::TransactionId(*id), *offset,
-                              util::Bytes(rest.begin(), rest.end())};
+      // Zero-copy: the fragment borrows the remaining frame bytes.
+      const auto payload = r.raw_view(r.remaining());
+      out.body = DataFragment{core::TransactionId(*id), *offset, *payload};
       return out;
     }
     case FragmentKind::kCollisionNotify:

@@ -45,7 +45,10 @@ struct IntroFragment {
 struct DataFragment {
   core::TransactionId id;
   std::uint16_t offset = 0;
-  util::Bytes payload;
+  /// On decode this is a zero-copy view into the frame passed to decode();
+  /// it is valid only as long as that buffer. Callers that keep the payload
+  /// past the frame's lifetime must copy it (Reassembler does).
+  util::BytesView payload;
 };
 
 struct CollisionNotify {

@@ -48,11 +48,11 @@ std::optional<AttributeSet> deserialize_attributes(util::BytesView data) {
   for (std::uint8_t i = 0; i < *count; ++i) {
     const auto name_len = r.u16();
     if (!name_len) return std::nullopt;
-    const auto name = r.raw(*name_len);
+    const auto name = r.raw_view(*name_len);
     if (!name) return std::nullopt;
     const auto value_len = r.u16();
     if (!value_len) return std::nullopt;
-    const auto value = r.raw(*value_len);
+    const auto value = r.raw_view(*value_len);
     if (!value) return std::nullopt;
     attrs.push_back(Attribute{std::string(name->begin(), name->end()),
                               std::string(value->begin(), value->end())});

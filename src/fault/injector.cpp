@@ -56,7 +56,7 @@ void FaultInjector::corrupt(util::Bytes& frame) {
 }
 
 std::vector<sim::DeliveryInterceptor::Injected> FaultInjector::intercept(
-    sim::NodeId from, sim::NodeId to, const util::Bytes& payload) {
+    sim::NodeId from, sim::NodeId to, const util::SharedBytes& payload) {
   ++stats_.intercepted;
 
   if (plan_.burst.active() && burst_lost(from, to)) {
@@ -76,16 +76,16 @@ std::vector<sim::DeliveryInterceptor::Injected> FaultInjector::intercept(
   out.reserve(copies);
   for (std::size_t i = 0; i < copies; ++i) {
     sim::DeliveryInterceptor::Injected copy;
-    copy.payload = payload;
+    copy.payload = payload;  // shares the buffer until a fault mutates it
     if (!copy.payload.empty() && plan_.truncate_prob > 0.0 &&
         truncate_rng_.chance(plan_.truncate_prob)) {
-      copy.payload.resize(
+      copy.payload.mutable_bytes().resize(
           static_cast<std::size_t>(truncate_rng_.below(copy.payload.size())));
       ++stats_.truncated_copies;
     }
     if (!copy.payload.empty() && plan_.corrupt_prob > 0.0 &&
         corrupt_rng_.chance(plan_.corrupt_prob)) {
-      corrupt(copy.payload);
+      corrupt(copy.payload.mutable_bytes());
       ++stats_.corrupted_copies;
     }
     if (plan_.delay_prob > 0.0 && plan_.max_delay.ns() > 0 &&

@@ -47,7 +47,8 @@ class FaultInjector final : public sim::DeliveryInterceptor {
   FaultInjector(FaultPlan plan, std::uint64_t seed);
 
   std::vector<sim::DeliveryInterceptor::Injected> intercept(
-      sim::NodeId from, sim::NodeId to, const util::Bytes& payload) override;
+      sim::NodeId from, sim::NodeId to,
+      const util::SharedBytes& payload) override;
 
   const FaultPlan& plan() const noexcept { return plan_; }
   const FaultStats& stats() const noexcept { return stats_; }

@@ -138,7 +138,8 @@ void AddressedDriver::on_frame(const util::Bytes& frame) {
       ++stats_.undecodable_frames;
       return;
     }
-    reassembler_.on_data(key, *offset, r.rest(), radio_.simulator().now());
+    reassembler_.on_data(key, *offset, *r.raw_view(r.remaining()),
+                         radio_.simulator().now());
     ensure_expiry_timer();
   } else {
     ++stats_.undecodable_frames;

@@ -225,4 +225,33 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   return out;
 }
 
+std::string fingerprint(const ExperimentResult& result) {
+  std::string out;
+  const auto add = [&out](const char* key, std::uint64_t value) {
+    out += key;
+    out += '=';
+    out += std::to_string(value);
+    out += ' ';
+  };
+  add("offered", result.packets_offered);
+  add("aff", result.aff_delivered);
+  add("truth", result.truth_delivered);
+  add("cksum", result.checksum_failures);
+  add("confl", result.conflicting_writes);
+  add("notif", result.notifications_sent);
+  add("tx_bits", result.tx_bits);
+  add("frames", result.frames_attempted);
+  add("lost_ch", result.frames_lost_channel);
+  out += "aff_sizes{";
+  for (const auto& [size, n] : result.aff_by_size) {
+    out += std::to_string(size) + ":" + std::to_string(n) + ",";
+  }
+  out += "} truth_sizes{";
+  for (const auto& [size, n] : result.truth_by_size) {
+    out += std::to_string(size) + ":" + std::to_string(n) + ",";
+  }
+  out += "}";
+  return out;
+}
+
 }  // namespace retri::runner

@@ -132,4 +132,14 @@ struct ExperimentResult {
 /// configs may run concurrently (all simulation state is trial-local).
 ExperimentResult run_experiment(const ExperimentConfig& config);
 
+/// Canonical integer-field digest of a trial result, e.g.
+/// "offered=129 aff=127 ... aff_sizes{80:127,} truth_sizes{80:129,}".
+/// Deliberately excludes the floating-point fields (energy, density): those
+/// can differ in the last ulp across optimization levels (FMA contraction),
+/// while the integer fields are exact. The golden-fingerprint determinism
+/// test compares these against committed constants, so the format is part
+/// of the repo's compatibility surface — changing it means regenerating the
+/// constants in test_golden_fingerprints.cpp.
+std::string fingerprint(const ExperimentResult& result);
+
 }  // namespace retri::runner

@@ -5,42 +5,53 @@
 namespace retri::sim {
 
 void EventHandle::cancel() noexcept {
-  if (auto flag = cancelled_.lock()) *flag = true;
+  const auto slab = slab_.lock();
+  if (!slab || !slab->live(slot_, gen_)) return;
+  slab->release(slot_);
 }
 
 bool EventHandle::pending() const noexcept {
-  auto flag = cancelled_.lock();
-  return flag && !*flag;
+  const auto slab = slab_.lock();
+  return slab && slab->live(slot_, gen_);
 }
 
-EventHandle Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
+Simulator::Simulator()
+    : slab_(std::make_shared<detail::EventSlab>()) {}  // retri-lint: allow(no-shared-ptr-hot)
+
+EventHandle Simulator::schedule_at(TimePoint t, EventFn fn) {
   assert(t >= now_ && "cannot schedule into the past");
-  auto cancelled = std::make_shared<bool>(false);
-  EventHandle handle{std::weak_ptr<bool>(cancelled)};
-  queue_.push(Event{t, next_seq_++, std::move(fn), std::move(cancelled)});
-  return handle;
+  const std::uint32_t slot = slab_->acquire();
+  detail::EventSlot& s = slab_->slots[slot];
+  s.fn = std::move(fn);
+  queue_.push(Entry{t, next_seq_++, slot, s.gen});
+  return EventHandle{std::weak_ptr<detail::EventSlab>(slab_), slot, s.gen};
 }
 
-EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+EventHandle Simulator::schedule_after(Duration delay, EventFn fn) {
   assert(delay >= Duration{} && "negative delay");
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-void Simulator::skip_cancelled() {
-  while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
+void Simulator::skip_stale() {
+  while (!queue_.empty() &&
+         !slab_->live(queue_.top().slot, queue_.top().gen)) {
+    queue_.pop();
+  }
 }
 
 bool Simulator::step() {
-  skip_cancelled();
+  skip_stale();
   if (queue_.empty()) return false;
-  // Move the event out before firing: the callback may schedule new events,
-  // which mutates the queue.
-  Event ev = queue_.top();
+  const Entry top = queue_.top();
   queue_.pop();
-  now_ = ev.t;
+  now_ = top.t;
   ++fired_;
-  *ev.cancelled = true;  // marks "no longer pending" for its handle
-  ev.fn();
+  // Move the callable out and recycle the slot before firing: the callback
+  // may schedule new events (growing the slab) or cancel its own handle —
+  // the released slot makes both safe.
+  EventFn fn = std::move(slab_->slots[top.slot].fn);
+  slab_->release(top.slot);
+  fn();
   return true;
 }
 
@@ -53,7 +64,7 @@ std::uint64_t Simulator::run(std::uint64_t max_events) {
 std::uint64_t Simulator::run_until(TimePoint deadline) {
   std::uint64_t n = 0;
   for (;;) {
-    skip_cancelled();
+    skip_stale();
     if (queue_.empty() || queue_.top().t > deadline) break;
     step();
     ++n;
@@ -64,7 +75,7 @@ std::uint64_t Simulator::run_until(TimePoint deadline) {
 
 bool Simulator::empty() const noexcept {
   // Note: may report false when only cancelled events remain; run()/step()
-  // still terminate correctly because skip_cancelled drains them.
+  // still terminate correctly because skip_stale drains them.
   return queue_.empty();
 }
 

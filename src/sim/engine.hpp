@@ -5,21 +5,196 @@
 // engine is deliberately single-threaded: the paper's experiments are tens
 // of nodes over simulated minutes, and determinism (exact reproducibility of
 // Figure 4 from a seed) is worth more than parallel speedup (DESIGN.md §5).
+//
+// The hot path is allocation-free in steady state (DESIGN.md §5e): event
+// records live in a slab recycled through a free list, cancellation is a
+// generation-counter check instead of shared ownership, and the callable is
+// stored in a small-buffer-optimized EventFn whose inline storage covers
+// every closure the simulation schedules (heap fallback for oversized
+// captures). After warmup, schedule → fire → recycle touches no allocator.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace retri::sim {
 
+/// Small-buffer-optimized, move-only `void()` callable.
+///
+/// Replaces std::function on the engine hot path: closures whose captures
+/// fit kInlineBytes (and are nothrow-movable, so slab growth can relocate
+/// them) are stored inline in the event slot; anything larger falls back to
+/// one heap allocation. The budget is sized for the biggest closure the
+/// simulation core schedules — BroadcastMedium's delivery closure (~56
+/// bytes: medium pointer, node ids, reception slot, SharedBytes, two
+/// timestamps) — with headroom; tests assert representative captures stay
+/// inline (test_engine.cpp, test_alloc_hook.cpp).
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (storage()) Fn(std::forward<F>(f));
+      ops_ = inline_ops<Fn>();
+    } else {
+      ::new (storage()) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  /// Invokes the stored callable. Precondition: non-empty.
+  void operator()() {
+    assert(ops_ != nullptr && "invoking an empty EventFn");
+    ops_->invoke(storage());
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the callable fell back to the heap (capture too large or not
+  /// nothrow-movable). Exposed so tests can pin the inline size budget.
+  bool uses_heap() const noexcept { return ops_ != nullptr && ops_->heap; }
+
+  /// Destroys the stored callable (no-op when empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage());
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs dst from src, then destroys src's value.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool heap;
+  };
+
+  template <typename Fn>
+  static const Ops* inline_ops() noexcept {
+    static constexpr Ops ops{
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        },
+        [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+        false};
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() noexcept {
+    static constexpr Ops ops{
+        [](void* p) { (**static_cast<Fn**>(p))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) Fn*(*static_cast<Fn**>(src));
+        },
+        [](void* p) noexcept { delete *static_cast<Fn**>(p); },
+        true};
+    return &ops;
+  }
+
+  void move_from(EventFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage(), other.storage());
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void* storage() noexcept { return storage_; }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+namespace detail {
+
+inline constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+/// One slab slot: the callable plus the generation counter that makes
+/// recycled slots safe. `gen` is bumped exactly once per release (fire or
+/// cancel), so a handle or queue entry holding the generation it observed
+/// at schedule time can tell "still the same event" from "slot reused".
+struct EventSlot {
+  EventFn fn;
+  std::uint64_t gen = 0;
+  std::uint32_t next_free = kNoSlot;
+};
+
+/// The slab: slot storage plus an intrusive free list. Shared (once per
+/// Simulator, not per event) so EventHandles outliving the simulator stay
+/// inert instead of dangling.
+struct EventSlab {
+  std::vector<EventSlot> slots;
+  std::uint32_t free_head = kNoSlot;
+
+  std::uint32_t acquire() {
+    if (free_head != kNoSlot) {
+      const std::uint32_t slot = free_head;
+      free_head = slots[slot].next_free;
+      return slot;
+    }
+    slots.emplace_back();
+    return static_cast<std::uint32_t>(slots.size() - 1);
+  }
+
+  /// Destroys the slot's callable, invalidates outstanding handles and
+  /// queue entries for it, and recycles the slot.
+  void release(std::uint32_t slot) noexcept {
+    EventSlot& s = slots[slot];
+    s.fn.reset();
+    ++s.gen;
+    s.next_free = free_head;
+    free_head = slot;
+  }
+
+  bool live(std::uint32_t slot, std::uint64_t gen) const noexcept {
+    return slot < slots.size() && slots[slot].gen == gen;
+  }
+};
+
+}  // namespace detail
+
 /// Cancellation handle for a scheduled event. Default-constructed handles
 /// are inert. Cancelling an already-fired or already-cancelled event is a
-/// no-op, so timers can be cancelled unconditionally in destructors.
+/// no-op, so timers can be cancelled unconditionally in destructors. A
+/// handle is a (slab, slot, generation) triple: once the event fires or is
+/// cancelled the slot's generation moves on, and the handle — including one
+/// kept across slab reuse of the same slot — can never affect a later event.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -32,23 +207,28 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::weak_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
-  std::weak_ptr<bool> cancelled_;
+  EventHandle(std::weak_ptr<detail::EventSlab> slab, std::uint32_t slot,
+              std::uint64_t gen)
+      : slab_(std::move(slab)), slot_(slot), gen_(gen) {}
+
+  std::weak_ptr<detail::EventSlab> slab_;
+  std::uint32_t slot_ = detail::kNoSlot;
+  std::uint64_t gen_ = 0;
 };
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   TimePoint now() const noexcept { return now_; }
 
   /// Schedules `fn` to run at absolute time `t`. `t` must be >= now().
-  EventHandle schedule_at(TimePoint t, std::function<void()> fn);
+  EventHandle schedule_at(TimePoint t, EventFn fn);
 
   /// Schedules `fn` to run `delay` after now(). `delay` must be >= 0.
-  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+  EventHandle schedule_after(Duration delay, EventFn fn);
 
   /// Runs events until the queue is empty or `max_events` have fired.
   /// Returns the number of events fired.
@@ -67,26 +247,32 @@ class Simulator {
   std::uint64_t events_fired() const noexcept { return fired_; }
 
  private:
-  struct Event {
+  /// Queue entries are 24-byte PODs; the callable stays in the slab so
+  /// heap-ordering moves never touch it.
+  struct Entry {
     TimePoint t;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint64_t gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
       if (a.t != b.t) return a.t > b.t;
       return a.seq > b.seq;
     }
   };
 
-  /// Pops cancelled events off the queue head.
-  void skip_cancelled();
+  /// Pops entries whose slot generation moved on (cancelled events) off the
+  /// queue head.
+  void skip_stale();
 
   TimePoint now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // One allocation per Simulator (not per event); shared so handles that
+  // outlive the simulator expire instead of dangling.
+  std::shared_ptr<detail::EventSlab> slab_;  // retri-lint: allow(no-shared-ptr-hot)
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 
 }  // namespace retri::sim

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace retri::sim {
 
@@ -50,9 +51,48 @@ bool BroadcastMedium::enabled(NodeId node) const {
   return enabled_[node] != 0;
 }
 
-void BroadcastMedium::prune(std::vector<std::shared_ptr<Reception>>& list,
-                            TimePoint t) {
-  std::erase_if(list, [t](const auto& r) { return r->end <= t; });
+std::uint32_t BroadcastMedium::acquire_reception(TimePoint start,
+                                                 TimePoint end) {
+  std::uint32_t slot;
+  if (rx_free_head_ != kNoReception) {
+    slot = rx_free_head_;
+    rx_free_head_ = rx_pool_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(rx_pool_.size());
+    rx_pool_.emplace_back();
+  }
+  Reception& r = rx_pool_[slot];
+  r.start = start;
+  r.end = end;
+  r.corrupted = false;
+  r.refs = 2;  // the active-rx list + the delivery closure
+  return slot;
+}
+
+void BroadcastMedium::unref_reception(std::uint32_t slot) noexcept {
+  Reception& r = rx_pool_[slot];
+  assert(r.refs > 0);
+  if (--r.refs == 0) {
+    r.next_free = rx_free_head_;
+    rx_free_head_ = slot;
+  }
+}
+
+void BroadcastMedium::prune(ActiveRx& rx, TimePoint t) noexcept {
+  // Items are end-time-ordered, so expired receptions form a prefix:
+  // advance head instead of erasing — amortized O(1) per reception.
+  while (rx.head < rx.items.size() && rx_pool_[rx.items[rx.head]].end <= t) {
+    unref_reception(rx.items[rx.head]);
+    ++rx.head;
+  }
+  if (rx.head == rx.items.size()) {
+    rx.items.clear();
+    rx.head = 0;
+  } else if (rx.head >= 64 && rx.head >= rx.items.size() / 2) {
+    rx.items.erase(rx.items.begin(),
+                   rx.items.begin() + static_cast<std::ptrdiff_t>(rx.head));
+    rx.head = 0;
+  }
 }
 
 void BroadcastMedium::trace_event(TraceEvent::Kind kind, NodeId from,
@@ -77,73 +117,95 @@ void BroadcastMedium::transmit(NodeId from, util::Bytes payload,
   }
   tx_busy_until_[from] = std::max(tx_busy_until_[from], end);
 
-  // Payload is shared across all listeners' deliveries to avoid one copy
-  // per listener.
-  auto shared_payload = std::make_shared<util::Bytes>(std::move(payload));
+  // One buffer for the whole broadcast: every listener's delivery closure
+  // holds a refcount on it instead of its own vector copy.
+  const util::SharedBytes shared_payload{std::move(payload)};
 
   for (const NodeId listener : topology_.audience(from)) {
     ++stats_.deliveries_attempted;
 
-    auto reception = std::make_shared<Reception>(Reception{start, end, false});
+    std::uint32_t rx_slot = kNoReception;
     if (config_.rf_collisions) {
-      prune(active_rx_[listener], start);
-      for (const auto& other : active_rx_[listener]) {
+      ActiveRx& rx = active_rx_[listener];
+      prune(rx, start);
+      rx_slot = acquire_reception(start, end);
+      for (std::size_t i = rx.head; i < rx.items.size(); ++i) {
+        Reception& other = rx_pool_[rx.items[i]];
         // Overlap: the other reception has not ended when this one starts.
-        if (other->end > start) {
-          other->corrupted = true;
-          reception->corrupted = true;
+        if (other.end > start) {
+          other.corrupted = true;
+          rx_pool_[rx_slot].corrupted = true;
         }
       }
-      active_rx_[listener].push_back(reception);
+      // Keep the list end-time-ordered; with near-constant airtimes the
+      // new reception already belongs at the back, so this is O(1).
+      rx.items.push_back(rx_slot);
+      for (std::size_t i = rx.items.size() - 1;
+           i > rx.head && rx_pool_[rx.items[i - 1]].end > end; --i) {
+        std::swap(rx.items[i - 1], rx.items[i]);
+      }
     }
 
     sim_.schedule_at(
         end + config_.propagation_delay,
-        [this, listener, from, reception, shared_payload, start, end]() {
-          const std::size_t bytes = shared_payload->size();
-          if (!enabled(listener)) {
-            ++stats_.lost_disabled;
-            trace_event(TraceEvent::Kind::kLostDisabled, from, listener, bytes);
-            return;
-          }
-          if (reception->corrupted) {
-            ++stats_.lost_rf_collision;
-            trace_event(TraceEvent::Kind::kLostCollision, from, listener, bytes);
-            return;
-          }
-          // Half-duplex: lost if the listener's own transmit burst overlaps
-          // the reception interval [start, end). Evaluated at delivery time
-          // so transmissions the listener started mid-reception count.
-          if (config_.half_duplex && tx_busy_until_[listener] > start &&
-              tx_first_start_[listener] < end) {
-            ++stats_.lost_half_duplex;
-            trace_event(TraceEvent::Kind::kLostHalfDuplex, from, listener,
-                        bytes);
-            return;
-          }
-          if (config_.per_link_loss > 0.0 && rng_.chance(config_.per_link_loss)) {
-            ++stats_.lost_random;
-            trace_event(TraceEvent::Kind::kLostRandom, from, listener, bytes);
-            return;
-          }
-          if (interceptor_ == nullptr) {
-            deliver(from, listener, *shared_payload);
-            return;
-          }
-          deliver_through_interceptor(from, listener, *shared_payload);
+        [this, from, listener, rx_slot, shared_payload, start, end]() {
+          on_delivery(from, listener, rx_slot, shared_payload, start, end);
         });
   }
 }
 
-void BroadcastMedium::deliver(NodeId from, NodeId listener,
-                              const util::Bytes& payload) {
-  ++stats_.delivered;
-  trace_event(TraceEvent::Kind::kDeliver, from, listener, payload.size());
-  if (handlers_[listener]) handlers_[listener](from, payload);
+void BroadcastMedium::on_delivery(NodeId from, NodeId listener,
+                                  std::uint32_t rx_slot,
+                                  const util::SharedBytes& payload,
+                                  TimePoint start, TimePoint end) {
+  // Read the collision verdict and release the closure's reference up
+  // front, so the record is recycled on every exit path below.
+  bool corrupted = false;
+  if (rx_slot != kNoReception) {
+    corrupted = rx_pool_[rx_slot].corrupted;
+    unref_reception(rx_slot);
+  }
+  const std::size_t bytes = payload.size();
+  if (!enabled(listener)) {
+    ++stats_.lost_disabled;
+    trace_event(TraceEvent::Kind::kLostDisabled, from, listener, bytes);
+    return;
+  }
+  if (corrupted) {
+    ++stats_.lost_rf_collision;
+    trace_event(TraceEvent::Kind::kLostCollision, from, listener, bytes);
+    return;
+  }
+  // Half-duplex: lost if the listener's own transmit burst overlaps the
+  // reception interval [start, end). Evaluated at delivery time so
+  // transmissions the listener started mid-reception count.
+  if (config_.half_duplex && tx_busy_until_[listener] > start &&
+      tx_first_start_[listener] < end) {
+    ++stats_.lost_half_duplex;
+    trace_event(TraceEvent::Kind::kLostHalfDuplex, from, listener, bytes);
+    return;
+  }
+  if (config_.per_link_loss > 0.0 && rng_.chance(config_.per_link_loss)) {
+    ++stats_.lost_random;
+    trace_event(TraceEvent::Kind::kLostRandom, from, listener, bytes);
+    return;
+  }
+  if (interceptor_ == nullptr) {
+    deliver(from, listener, payload);
+    return;
+  }
+  deliver_through_interceptor(from, listener, payload);
 }
 
-void BroadcastMedium::deliver_through_interceptor(NodeId from, NodeId listener,
-                                                  const util::Bytes& payload) {
+void BroadcastMedium::deliver(NodeId from, NodeId listener,
+                              const util::SharedBytes& payload) {
+  ++stats_.delivered;
+  trace_event(TraceEvent::Kind::kDeliver, from, listener, payload.size());
+  if (handlers_[listener]) handlers_[listener](from, payload.bytes());
+}
+
+void BroadcastMedium::deliver_through_interceptor(
+    NodeId from, NodeId listener, const util::SharedBytes& payload) {
   std::vector<DeliveryInterceptor::Injected> copies =
       interceptor_->intercept(from, listener, payload);
   if (copies.empty()) {
@@ -162,16 +224,17 @@ void BroadcastMedium::deliver_through_interceptor(NodeId from, NodeId listener,
     // Delayed copies re-check the listener's power state at arrival: a
     // crash while the copy was in flight is an ordinary lost_disabled,
     // keeping the conservation law exact under churn.
-    auto delayed = std::make_shared<util::Bytes>(std::move(copy.payload));
-    sim_.schedule_after(copy.extra_delay, [this, from, listener, delayed]() {
-      if (!enabled(listener)) {
-        ++stats_.lost_disabled;
-        trace_event(TraceEvent::Kind::kLostDisabled, from, listener,
-                    delayed->size());
-        return;
-      }
-      deliver(from, listener, *delayed);
-    });
+    sim_.schedule_after(
+        copy.extra_delay,
+        [this, from, listener, delayed = std::move(copy.payload)]() {
+          if (!enabled(listener)) {
+            ++stats_.lost_disabled;
+            trace_event(TraceEvent::Kind::kLostDisabled, from, listener,
+                        delayed.size());
+            return;
+          }
+          deliver(from, listener, delayed);
+        });
   }
 }
 

@@ -72,10 +72,15 @@ struct MediumStats {
 /// are rescheduled and re-checked against the listener's power state at
 /// their new delivery time (a crash between injection and arrival counts
 /// as lost_disabled).
+///
+/// Payloads are SharedBytes: a passthrough copy (`copy.payload = payload`)
+/// shares the buffer with every other listener at refcount cost only; an
+/// interceptor that mutates must go through SharedBytes::mutable_bytes(),
+/// whose copy-on-write clone keeps the corruption local to this delivery.
 class DeliveryInterceptor {
  public:
   struct Injected {
-    util::Bytes payload;
+    util::SharedBytes payload;
     Duration extra_delay = Duration::nanoseconds(0);  // must be >= 0
   };
 
@@ -83,7 +88,7 @@ class DeliveryInterceptor {
 
   /// Called once per surviving delivery, in deterministic event order.
   virtual std::vector<Injected> intercept(NodeId from, NodeId to,
-                                          const util::Bytes& payload) = 0;
+                                          const util::SharedBytes& payload) = 0;
 };
 
 class BroadcastMedium {
@@ -128,26 +133,53 @@ class BroadcastMedium {
   Simulator& simulator() noexcept { return sim_; }
 
  private:
+  static constexpr std::uint32_t kNoReception = ~std::uint32_t{0};
+
+  /// Pooled reception record (rf_collisions mode only). Records live in
+  /// rx_pool_ and are recycled through a free list; `refs` counts the two
+  /// possible holders — the listener's active-rx list and the pending
+  /// delivery closure — and the record is recycled when both let go.
   struct Reception {
     TimePoint start;
     TimePoint end;  // end of airtime (before propagation)
     bool corrupted = false;
+    std::uint8_t refs = 0;
+    std::uint32_t next_free = kNoReception;
   };
 
-  /// Drops receptions that ended at or before `t` from a listener's
-  /// active list.
-  void prune(std::vector<std::shared_ptr<Reception>>& list, TimePoint t);
+  /// Per-listener list of in-flight receptions, ordered by ascending end
+  /// time. Pruning advances `head` past expired entries instead of erasing
+  /// (amortized O(1)); the expired prefix is compacted away once it
+  /// dominates the vector.
+  struct ActiveRx {
+    std::vector<std::uint32_t> items;  // indices into rx_pool_
+    std::size_t head = 0;
+  };
+
+  std::uint32_t acquire_reception(TimePoint start, TimePoint end);
+  void unref_reception(std::uint32_t slot) noexcept;
+
+  /// Advances `rx.head` past receptions that ended at or before `t`,
+  /// releasing their list reference.
+  void prune(ActiveRx& rx, TimePoint t) noexcept;
 
   void trace_event(TraceEvent::Kind kind, NodeId from, NodeId to,
                    std::size_t bytes);
 
   /// Terminal delivery step: counts, traces, and invokes the handler.
-  void deliver(NodeId from, NodeId listener, const util::Bytes& payload);
+  void deliver(NodeId from, NodeId listener, const util::SharedBytes& payload);
 
   /// Runs the interceptor on a surviving delivery and dispatches the
   /// resulting copies (immediately or rescheduled by extra_delay).
   void deliver_through_interceptor(NodeId from, NodeId listener,
-                                   const util::Bytes& payload);
+                                   const util::SharedBytes& payload);
+
+  /// Body of the per-listener delivery event: applies the native loss
+  /// checks in order (disabled, RF collision, half-duplex, random loss),
+  /// then delivers directly or through the interceptor.
+  void on_delivery(NodeId from, NodeId listener, std::uint32_t rx_slot,
+                   const util::SharedBytes& payload, TimePoint start,
+                   TimePoint end);
 
   Simulator& sim_;
   Topology topology_;
@@ -158,7 +190,9 @@ class BroadcastMedium {
   DeliveryInterceptor* interceptor_ = nullptr;
   std::vector<RxHandler> handlers_;
   std::vector<char> enabled_;
-  std::vector<std::vector<std::shared_ptr<Reception>>> active_rx_;  // per listener
+  std::vector<Reception> rx_pool_;
+  std::uint32_t rx_free_head_ = kNoReception;
+  std::vector<ActiveRx> active_rx_;  // per listener
   // Most recent transmission interval per node, for the half-duplex check.
   // Back-to-back transmissions coalesce (busy-until extends); the check is
   // exact unless a node's transmissions are non-contiguous *and* interleave

@@ -11,7 +11,7 @@ RandomWaypointMobility::RandomWaypointMobility(BroadcastMedium& medium,
     : medium_(medium),
       config_(config),
       rng_(seed),
-      alive_(std::make_shared<bool>(true)) {
+      alive_(std::make_shared<bool>(true)) {  // retri-lint: allow(no-shared-ptr-hot)
   assert(config_.field_side > 0.0);
   assert(config_.radio_range > 0.0);
   assert(config_.speed_min > 0.0 && config_.speed_min <= config_.speed_max);

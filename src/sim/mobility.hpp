@@ -77,7 +77,9 @@ class RandomWaypointMobility {
   std::uint64_t link_changes_ = 0;
   std::uint64_t ticks_ = 0;
   bool running_ = true;
-  std::shared_ptr<bool> alive_;
+  // Genuinely shared lifetime flag: tick closures outlive `this` when the
+  // model is destroyed mid-run. Cold path — one allocation per model.
+  std::shared_ptr<bool> alive_;  // retri-lint: allow(no-shared-ptr-hot)
 };
 
 }  // namespace retri::sim

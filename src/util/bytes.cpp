@@ -90,6 +90,13 @@ std::optional<Bytes> BufferReader::raw(std::size_t n) {
   return out;
 }
 
+std::optional<BytesView> BufferReader::raw_view(std::size_t n) noexcept {
+  if (remaining() < n) return std::nullopt;
+  BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 std::string to_hex(BytesView data) {
   static constexpr char digits[] = "0123456789abcdef";
   std::string out;

@@ -9,15 +9,67 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace retri::util {
 
 using Bytes = std::vector<std::uint8_t>;
 using BytesView = std::span<const std::uint8_t>;
+
+/// Immutable, ref-counted byte buffer with copy-on-write mutation.
+///
+/// The broadcast medium hands one SharedBytes to every listener's delivery
+/// instead of copying the payload N times; copying a SharedBytes bumps a
+/// refcount (16 bytes, no byte copy). Readers use bytes()/view(). A writer
+/// (e.g. the fault injector corrupting one listener's copy) calls
+/// mutable_bytes(), which clones the buffer only when it is actually shared
+/// — so the corruption never leaks into other listeners' deliveries, and an
+/// unshared buffer mutates in place with no copy at all. Default-constructed
+/// SharedBytes is an empty buffer (no allocation until first mutation).
+class SharedBytes {
+ public:
+  SharedBytes() noexcept = default;
+  explicit SharedBytes(Bytes bytes)
+      : data_(std::make_shared<Bytes>(std::move(bytes))) {}
+
+  /// Allocates a new buffer holding a copy of `data`.
+  static SharedBytes copy_of(BytesView data) {
+    return SharedBytes(Bytes(data.begin(), data.end()));
+  }
+
+  /// Read access; valid as long as any SharedBytes referencing the buffer
+  /// (or the returned reference's user) needs it.
+  const Bytes& bytes() const noexcept {
+    static const Bytes kEmpty;
+    return data_ ? *data_ : kEmpty;
+  }
+  BytesView view() const noexcept { return bytes(); }
+  std::size_t size() const noexcept { return data_ ? data_->size() : 0; }
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Write access. Clones the buffer first if other SharedBytes share it
+  /// (copy-on-write); mutates in place when uniquely owned.
+  Bytes& mutable_bytes() {
+    if (!data_) {
+      data_ = std::make_shared<Bytes>();
+    } else if (data_.use_count() > 1) {
+      data_ = std::make_shared<Bytes>(*data_);
+    }
+    return *data_;
+  }
+
+  /// Number of SharedBytes sharing the buffer (0 when empty-default).
+  /// Meaningful in single-threaded code only; exposed for tests.
+  long use_count() const noexcept { return data_.use_count(); }
+
+ private:
+  std::shared_ptr<Bytes> data_;
+};
 
 /// Appends big-endian fields to a byte vector.
 ///
@@ -74,8 +126,14 @@ class BufferReader {
   /// the decode→re-encode round-trip property the fuzz tests assert).
   std::optional<std::uint64_t> uvar_strict(unsigned bits) noexcept;
 
-  /// Reads exactly n bytes; nullopt if fewer remain.
+  /// Reads exactly n bytes into an owning copy; nullopt if fewer remain.
+  /// Prefer raw_view() on decode paths — this allocates.
   std::optional<Bytes> raw(std::size_t n);
+
+  /// Reads exactly n bytes as a view into the underlying buffer (no copy);
+  /// nullopt if fewer remain. The view is valid only as long as the buffer
+  /// the reader was constructed over.
+  std::optional<BytesView> raw_view(std::size_t n) noexcept;
 
   /// All bytes not yet consumed.
   BytesView rest() const noexcept { return data_.subspan(pos_); }

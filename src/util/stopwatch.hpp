@@ -1,0 +1,31 @@
+// Host-clock stopwatch for benchmarking tooling.
+//
+// Lives in src/util deliberately: the no-wall-clock lint rule confines
+// host-clock reads to this directory. Simulation and library code measure
+// time with sim::TimePoint (so results are reproducible from a seed); the
+// bench binaries measure *cost*, which is real time, and they do it through
+// this wrapper instead of touching std::chrono clocks directly.
+#pragma once
+
+#include <chrono>
+
+namespace retri::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Nanoseconds since construction or the last reset().
+  double elapsed_ns() const {
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace retri::util

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -162,6 +165,100 @@ TEST(Simulator, ScheduleAtAbsoluteTime) {
                   [&] { fired_at = sim.now(); });
   sim.run();
   EXPECT_EQ(fired_at.ns(), Duration::seconds(7).ns());
+}
+
+// The slab recycles event slots; a stale handle whose slot was reissued to
+// a newer event must not cancel (or report pending for) the new occupant.
+TEST(EventHandleGenerations, StaleHandleCannotCancelRecycledSlot) {
+  Simulator sim;
+  int first = 0;
+  int second = 0;
+  EventHandle stale =
+      sim.schedule_after(Duration::seconds(1), [&] { ++first; });
+  sim.run();  // slot is released back to the free list
+  EXPECT_EQ(first, 1);
+
+  // The free list is LIFO, so this reuses the slot `stale` points at.
+  EventHandle fresh =
+      sim.schedule_after(Duration::seconds(1), [&] { ++second; });
+  EXPECT_FALSE(stale.pending());
+  stale.cancel();  // generation mismatch: must be a no-op
+  EXPECT_TRUE(fresh.pending());
+  sim.run();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(EventHandleGenerations, CancelledSlotReuseIsAlsoGenerationChecked) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle first = sim.schedule_after(Duration::seconds(1), [] {});
+  first.cancel();
+  EventHandle second =
+      sim.schedule_after(Duration::seconds(2), [&] { ++fired; });
+  first.cancel();  // stale again; must not touch `second`
+  EXPECT_TRUE(second.pending());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventHandleGenerations, HandleOutlivingSimulatorIsInert) {
+  EventHandle h;
+  {
+    Simulator sim;
+    h = sim.schedule_after(Duration::seconds(1), [] {});
+    EXPECT_TRUE(h.pending());
+  }
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // slab is gone; must not crash
+}
+
+TEST(EventHandleGenerations, CancelOwnHandleFromCallbackIsSafe) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h;
+  h = sim.schedule_after(Duration::seconds(1), [&] {
+    ++fired;
+    h.cancel();  // slot already released before invocation; no-op
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventFnStorage, LargeCallablesFallBackToHeap) {
+  Simulator sim;
+  // 128 bytes of captured state exceeds the 64-byte inline buffer.
+  std::array<std::uint64_t, 16> big{};
+  big.fill(41);
+  std::uint64_t sum = 0;
+  sim.schedule_after(Duration::seconds(1), [big, &sum] {
+    for (const auto v : big) sum += v + 1;
+  });
+  sim.run();
+  EXPECT_EQ(sum, 16u * 42u);
+}
+
+TEST(EventFnStorage, MoveOnlyCapturesWork) {
+  Simulator sim;
+  auto payload = std::make_unique<int>(7);
+  int seen = 0;
+  sim.schedule_after(Duration::seconds(1),
+                     [p = std::move(payload), &seen] { seen = *p; });
+  sim.run();
+  EXPECT_EQ(seen, 7);
+}
+
+// Callbacks scheduling further events may grow the slab mid-fire; the
+// engine must tolerate slot storage moving under a firing event.
+TEST(EventFnStorage, CallbackGrowingSlabWhileFiringIsSafe) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::seconds(1), [&] {
+    for (int i = 0; i < 256; ++i) {
+      sim.schedule_after(Duration::seconds(1), [&] { ++fired; });
+    }
+  });
+  sim.run();
+  EXPECT_EQ(fired, 256);
 }
 
 }  // namespace

@@ -103,14 +103,14 @@ TEST(FaultInjector, DeterministicAcrossInstances) {
 
   FaultInjector a(plan, 77);
   FaultInjector b(plan, 77);
-  const util::Bytes payload = util::random_payload(27, 5);
+  const util::SharedBytes payload{util::random_payload(27, 5)};
   for (int i = 0; i < 500; ++i) {
     const auto from = static_cast<sim::NodeId>(1 + i % 3);
     const auto copies_a = a.intercept(from, 0, payload);
     const auto copies_b = b.intercept(from, 0, payload);
     ASSERT_EQ(copies_a.size(), copies_b.size());
     for (std::size_t c = 0; c < copies_a.size(); ++c) {
-      EXPECT_EQ(copies_a[c].payload, copies_b[c].payload);
+      EXPECT_EQ(copies_a[c].payload.bytes(), copies_b[c].payload.bytes());
       EXPECT_EQ(copies_a[c].extra_delay.ns(), copies_b[c].extra_delay.ns());
     }
   }
@@ -124,7 +124,7 @@ TEST(FaultInjector, BurstLossConvergesToStationaryAverage) {
   const double p_g2b = target * p_b2g / (1.0 - target);
   FaultInjector injector(burst_only(p_g2b, p_b2g), 42);
 
-  const util::Bytes payload = util::random_payload(27, 9);
+  const util::SharedBytes payload{util::random_payload(27, 9)};
   const int n = 40000;
   for (int i = 0; i < n; ++i) (void)injector.intercept(1, 0, payload);
 
@@ -142,7 +142,7 @@ TEST(FaultInjector, ChainPinnedBadDropsEverything) {
   // channel is effectively dead — the degenerate end of the GE family.
   FaultPlan plan = burst_only(1.0, 0.0001);
   FaultInjector injector(plan, 3);
-  const util::Bytes payload = util::random_payload(10, 2);
+  const util::SharedBytes payload{util::random_payload(10, 2)};
   for (int i = 0; i < 50; ++i) {
     EXPECT_TRUE(injector.intercept(1, 0, payload).empty());
   }
@@ -154,12 +154,12 @@ TEST(FaultInjector, CorruptionAlwaysChangesThePayload) {
   plan.corrupt_prob = 1.0;
   plan.corrupt_byte_prob = 0.01;  // often zero draws -> forced-flip path
   FaultInjector injector(plan, 11);
-  const util::Bytes payload = util::random_payload(27, 13);
+  const util::SharedBytes payload{util::random_payload(27, 13)};
   for (int i = 0; i < 2000; ++i) {
     const auto copies = injector.intercept(1, 0, payload);
     ASSERT_EQ(copies.size(), 1u);
     EXPECT_EQ(copies[0].payload.size(), payload.size());
-    EXPECT_NE(copies[0].payload, payload);
+    EXPECT_NE(copies[0].payload.bytes(), payload.bytes());
   }
   EXPECT_EQ(injector.stats().corrupted_copies, 2000u);
 }
@@ -168,7 +168,7 @@ TEST(FaultInjector, TruncationAlwaysShortens) {
   FaultPlan plan;
   plan.truncate_prob = 1.0;
   FaultInjector injector(plan, 19);
-  const util::Bytes payload = util::random_payload(27, 17);
+  const util::SharedBytes payload{util::random_payload(27, 17)};
   for (int i = 0; i < 500; ++i) {
     const auto copies = injector.intercept(1, 0, payload);
     ASSERT_EQ(copies.size(), 1u);
@@ -182,7 +182,7 @@ TEST(FaultInjector, DuplicationBoundsAndAccounting) {
   plan.duplicate_prob = 1.0;
   plan.max_duplicates = 3;
   FaultInjector injector(plan, 23);
-  const util::Bytes payload = util::random_payload(20, 19);
+  const util::SharedBytes payload{util::random_payload(20, 19)};
   std::uint64_t copies_total = 0;
   for (int i = 0; i < 500; ++i) {
     const auto copies = injector.intercept(1, 0, payload);
@@ -200,7 +200,7 @@ TEST(FaultInjector, DelayIsPositiveAndBounded) {
   plan.delay_prob = 1.0;
   plan.max_delay = sim::Duration::milliseconds(10);
   FaultInjector injector(plan, 29);
-  const util::Bytes payload = util::random_payload(20, 23);
+  const util::SharedBytes payload{util::random_payload(20, 23)};
   for (int i = 0; i < 500; ++i) {
     const auto copies = injector.intercept(1, 0, payload);
     ASSERT_EQ(copies.size(), 1u);
@@ -219,7 +219,7 @@ TEST(FaultInjector, FamiliesDrawFromIndependentStreams) {
 
   FaultInjector plain(burst, 101);
   FaultInjector delayed(burst_and_delay, 101);
-  const util::Bytes payload = util::random_payload(27, 31);
+  const util::SharedBytes payload{util::random_payload(27, 31)};
   for (int i = 0; i < 2000; ++i) {
     const bool dropped_plain = plain.intercept(1, 0, payload).empty();
     const bool dropped_delayed = delayed.intercept(1, 0, payload).empty();

@@ -43,7 +43,7 @@ TEST(LintRules, DefaultTableHasExpectedRules) {
   for (const char* id :
        {"no-unseeded-rand", "no-random-device", "no-wall-clock",
         "no-raw-thread", "header-pragma-once", "no-using-namespace-header",
-        "no-direct-io"}) {
+        "no-shared-ptr-hot", "no-direct-io"}) {
     EXPECT_NE(find_rule(id), nullptr) << id;
   }
 }
@@ -157,6 +157,37 @@ TEST(LintRules, SnprintfIsNotDirectIo) {
   EXPECT_FALSE(has_violation(vs, "no-direct-io"));
 }
 
+TEST(LintRules, SharedPtrBannedInSimAndCoreOnly) {
+  const std::string body =
+      "auto p = std::make_shared<int>(1);\n"
+      "std::shared_ptr<int> q;\n";
+  EXPECT_TRUE(has_violation(scan("src/sim/medium.cpp", body),
+                            "no-shared-ptr-hot"));
+  EXPECT_TRUE(has_violation(scan("src/core/selector.cpp", body),
+                            "no-shared-ptr-hot"));
+  // Outside the scoped hot paths the rule is silent: shared lifetime flags
+  // in drivers and util::SharedBytes itself are legitimate.
+  EXPECT_FALSE(has_violation(scan("src/aff/driver.cpp", body),
+                             "no-shared-ptr-hot"));
+  EXPECT_FALSE(has_violation(scan("src/util/bytes.hpp", body),
+                             "no-shared-ptr-hot"));
+  EXPECT_FALSE(has_violation(scan("tests/test_medium.cpp", body),
+                             "no-shared-ptr-hot"));
+}
+
+TEST(LintRules, SharedPtrEscapeHatchAndWeakPtrAllowed) {
+  const std::string esc = "retri-lint: allow(no-shared-ptr-hot)";
+  const auto escaped = scan(
+      "src/sim/engine.cpp",
+      "auto slab = std::make_shared<int>(1);  // " + esc + "\n");
+  EXPECT_FALSE(has_violation(escaped, "no-shared-ptr-hot"));
+  // weak_ptr observation (EventHandle) is exactly the replacement the rule
+  // pushes toward — it must not match.
+  const auto weak = scan("src/sim/engine.hpp",
+                         "#pragma once\nstd::weak_ptr<int> w;\n");
+  EXPECT_FALSE(has_violation(weak, "no-shared-ptr-hot"));
+}
+
 // --- comment/string stripping ---------------------------------------------
 
 TEST(LintStrip, CommentsAndStringsAreBlanked) {
@@ -230,6 +261,22 @@ TEST(LintScope, RuleAppliesChecksPrefixAndExtension) {
   ASSERT_NE(hdr, nullptr);
   EXPECT_TRUE(lint::rule_applies(*hdr, "src/core/x.hpp"));
   EXPECT_FALSE(lint::rule_applies(*hdr, "src/core/x.cpp"));
+}
+
+TEST(LintScope, ScopePrefixesRestrictWhereARuleApplies) {
+  const lint::Rule* hot = find_rule("no-shared-ptr-hot");
+  ASSERT_NE(hot, nullptr);
+  ASSERT_FALSE(hot->scope_prefixes.empty());
+  EXPECT_TRUE(lint::rule_applies(*hot, "src/sim/engine.cpp"));
+  EXPECT_TRUE(lint::rule_applies(*hot, "src/core/identifier.hpp"));
+  EXPECT_FALSE(lint::rule_applies(*hot, "src/aff/driver.cpp"));
+  EXPECT_FALSE(lint::rule_applies(*hot, "bench/micro_ops.cpp"));
+
+  // Rules without scope_prefixes keep their applies-everywhere default.
+  const lint::Rule* rand_rule = find_rule("no-unseeded-rand");
+  ASSERT_NE(rand_rule, nullptr);
+  EXPECT_TRUE(rand_rule->scope_prefixes.empty());
+  EXPECT_TRUE(lint::rule_applies(*rand_rule, "bench/fig1.cpp"));
 }
 
 // --- baseline ---------------------------------------------------------------

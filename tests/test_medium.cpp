@@ -199,7 +199,7 @@ class ScriptedInterceptor final : public DeliveryInterceptor {
   Duration delay = Duration::milliseconds(5);
 
   std::vector<Injected> intercept(NodeId, NodeId,
-                                  const util::Bytes& payload) override {
+                                  const util::SharedBytes& payload) override {
     switch (mode) {
       case Mode::kDrop:
         return {};

@@ -44,7 +44,8 @@ TEST_P(ReassemblyOrderTest, AnyDataOrderWithDuplicatesDelivers) {
                                      frames.value()[i]);
     const auto* data = std::get_if<aff::DataFragment>(&decoded->body);
     ASSERT_NE(data, nullptr);
-    pieces.push_back({data->offset, data->payload});
+    pieces.push_back(
+        {data->offset, util::Bytes(data->payload.begin(), data->payload.end())});
   }
   const std::size_t dups = 1 + static_cast<std::size_t>(rng.below(4));
   for (std::size_t d = 0; d < dups; ++d) {

@@ -25,7 +25,8 @@ TEST(Wire, IntroRoundTrip) {
 
 TEST(Wire, DataRoundTrip) {
   const WireConfig config{.id_bits = 12, .instrumented = false};
-  const DataFragment data{core::TransactionId(0xabc), 512, {1, 2, 3, 4}};
+  const util::Bytes payload{1, 2, 3, 4};
+  const DataFragment data{core::TransactionId(0xabc), 512, payload};
   const util::Bytes frame = encode_data(config, data);
   EXPECT_EQ(frame.size(), data_header_bytes(config) + 4);
 
@@ -35,7 +36,7 @@ TEST(Wire, DataRoundTrip) {
   ASSERT_NE(out, nullptr);
   EXPECT_EQ(out->id.value(), 0xabcu);
   EXPECT_EQ(out->offset, 512);
-  EXPECT_EQ(out->payload, (util::Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(util::Bytes(out->payload.begin(), out->payload.end()), payload);
 }
 
 TEST(Wire, NotifyRoundTrip) {

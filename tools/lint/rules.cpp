@@ -25,7 +25,8 @@ std::vector<Rule> make_default_rules() {
       {"src/util/"},
       {},
       "unseeded C randomness breaks trial reproducibility; draw from a "
-      "util::Xoshiro256 seeded via runner::derive_trial_seed"});
+      "util::Xoshiro256 seeded via runner::derive_trial_seed",
+      {}});
 
   rules.push_back(Rule{
       "no-random-device",
@@ -34,7 +35,8 @@ std::vector<Rule> make_default_rules() {
       {"src/util/"},
       {},
       "hardware entropy makes trials unreproducible; seeds must come from "
-      "the experiment config (runner::derive_trial_seed)"});
+      "the experiment config (runner::derive_trial_seed)",
+      {}});
 
   rules.push_back(Rule{
       "no-wall-clock",
@@ -43,7 +45,8 @@ std::vector<Rule> make_default_rules() {
       {"src/util/"},
       {},
       "wall-clock reads make sim/core/runner results depend on host timing; "
-      "simulated time flows through sim::Clock (src/sim/time.hpp)"});
+      "simulated time flows through sim::Clock (src/sim/time.hpp)",
+      {}});
 
   rules.push_back(Rule{
       "no-raw-thread",
@@ -52,7 +55,8 @@ std::vector<Rule> make_default_rules() {
       {"src/runner/"},
       {},
       "raw threading outside src/runner voids the deterministic-sharding "
-      "guarantee; submit work to runner::ThreadPool"});
+      "guarantee; submit work to runner::ThreadPool",
+      {}});
 
   rules.push_back(Rule{
       "header-pragma-once",
@@ -60,7 +64,8 @@ std::vector<Rule> make_default_rules() {
       R"(#pragma once|#ifndef\s+\w+)",
       {},
       {".hpp", ".h"},
-      "header lacks #pragma once (or a classic include guard)"});
+      "header lacks #pragma once (or a classic include guard)",
+      {}});
 
   rules.push_back(Rule{
       "no-using-namespace-header",
@@ -69,7 +74,20 @@ std::vector<Rule> make_default_rules() {
       {},
       {".hpp", ".h"},
       "using-namespace in a header leaks into every includer; qualify names "
-      "or alias them inside a function"});
+      "or alias them inside a function",
+      {}});
+
+  rules.push_back(Rule{
+      "no-shared-ptr-hot",
+      RuleKind::kBannedPattern,
+      R"(\bstd::make_shared\b|\bstd::shared_ptr\b)",
+      {},
+      {},
+      "shared_ptr refcounting allocates on the sim/core hot path; use the "
+      "event slab, pooled records, or util::SharedBytes — escape with "
+      "retri-lint: allow(no-shared-ptr-hot) where ownership is genuinely "
+      "shared",
+      {"src/sim/", "src/core/"}});
 
   rules.push_back(Rule{
       "no-direct-io",
@@ -80,7 +98,8 @@ std::vector<Rule> make_default_rules() {
       {"bench/", "examples/", "src/util/logging."},
       {},
       "library/test code must log through util::Logger (RETRI_LOG) so "
-      "benches can silence it and tests can capture it"});
+      "benches can silence it and tests can capture it",
+      {}});
 
   return rules;
 }
@@ -113,6 +132,14 @@ bool rule_applies(const Rule& rule, std::string_view rel_path) {
         rule.extensions.end()) {
       return false;
     }
+  }
+  if (!rule.scope_prefixes.empty()) {
+    const bool in_scope =
+        std::any_of(rule.scope_prefixes.begin(), rule.scope_prefixes.end(),
+                    [rel_path](const std::string& prefix) {
+                      return has_prefix(rel_path, prefix);
+                    });
+    if (!in_scope) return false;
   }
   for (const std::string& prefix : rule.allowed_prefixes) {
     if (has_prefix(rel_path, prefix)) return false;

@@ -43,6 +43,10 @@ struct Rule {
   // extensions.
   std::vector<std::string> extensions;
   std::string message;  // one-line rationale shown with each diagnostic
+  // Repo-relative path prefixes the rule ONLY applies under. Empty = applies
+  // everywhere not excluded. Deliberately last so the existing positional
+  // aggregate initializers (which stop at `message`) stay valid.
+  std::vector<std::string> scope_prefixes;
 };
 
 struct Violation {
@@ -57,8 +61,9 @@ struct Violation {
 /// The repo's invariant table. Order is the reporting order.
 const std::vector<Rule>& default_rules();
 
-/// True when `rule` applies to `rel_path` (extension matches and the path is
-/// not under any allowed prefix).
+/// True when `rule` applies to `rel_path` (extension matches, the path is
+/// under a scope prefix if the rule declares any, and not under any allowed
+/// prefix).
 bool rule_applies(const Rule& rule, std::string_view rel_path);
 
 /// True when `line` carries an inline escape for `rule_id`:
