@@ -33,9 +33,15 @@ constexpr std::size_t kBindingsPerPublisher = 4;
 constexpr int kReadingsPerBinding = 25;
 
 apps::AttributeSet attr_set(std::size_t publisher, std::size_t index) {
-  return {{"type", "sensor-" + std::to_string(publisher)},
-          {"series", "s" + std::to_string(index)},
-          {"region", "sector-" + std::to_string((publisher * 7 + index) % 5)},
+  std::string type = "sensor-";
+  type += std::to_string(publisher);
+  std::string series = "s";
+  series += std::to_string(index);
+  std::string region = "sector-";
+  region += std::to_string((publisher * 7 + index) % 5);
+  return {{"type", std::move(type)},
+          {"series", std::move(series)},
+          {"region", std::move(region)},
           {"unit", "counts-per-interval"}};
 }
 

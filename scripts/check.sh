@@ -13,10 +13,14 @@
 #   5. chaos   — short randomized fault-injection soak (retri_chaos) under
 #                the asan build, plus `ctest -L chaos`; also runnable alone
 #                via `scripts/check.sh --chaos`
-#   6. tsan    — RETRI_SANITIZE=thread build + `ctest -L runner` (the
+#   6. obs     — observability gate under the werror build: `ctest -L obs`
+#                (metrics/span/export suites + retri_trace CLI smoke) plus
+#                a --jobs 1 vs --jobs 8 retri_trace artifact diff (the
+#                Perfetto JSON must be byte-identical)
+#   7. tsan    — RETRI_SANITIZE=thread build + `ctest -L runner` (the
 #                concurrency suite; TSan on the single-threaded sim buys
 #                nothing but runtime)
-#   7. perf    — opt-in via `scripts/check.sh --perf`: regenerates the
+#   8. perf    — opt-in via `scripts/check.sh --perf`: regenerates the
 #                micro-suite artifact with `retri_bench --micro` and gates
 #                allocs_per_op against the committed bench/BENCH_micro.json
 #                via scripts/bench_compare.py (zero tolerance — the metric
@@ -155,7 +159,22 @@ run_stage asan asan_stage
 chaos_stage() { chaos_soak build-check/asan; }
 run_stage chaos chaos_stage
 
-# --- 6. ThreadSanitizer build + runner concurrency suite --------------------
+# --- 6. observability gate ---------------------------------------------------
+# ctest -L obs already ran inside the full werror/asan suites; this stage
+# re-selects it explicitly and then checks the retri_trace determinism
+# contract: --jobs only shards the batch, so the Perfetto artifact must be
+# byte-identical across worker counts.
+obs_stage() {
+  ctest --test-dir build-check/werror --output-on-failure -L obs -j "$JOBS" &&
+  ./build-check/werror/tools/trace/retri_trace --senders 4 --seconds 2 \
+    --trials 4 --jobs 1 --trial 1 --out build-check/werror/trace-j1.json &&
+  ./build-check/werror/tools/trace/retri_trace --senders 4 --seconds 2 \
+    --trials 4 --jobs 8 --trial 1 --out build-check/werror/trace-j8.json &&
+  cmp build-check/werror/trace-j1.json build-check/werror/trace-j8.json
+}
+run_stage obs obs_stage
+
+# --- 7. ThreadSanitizer build + runner concurrency suite --------------------
 tsan_stage() {
   build_dir build-check/tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DRETRI_SANITIZE=thread &&

@@ -2,53 +2,91 @@
 
 #include <cassert>
 #include <memory>
-#include <stdexcept>
 #include <string>
 
 #include "util/logging.hpp"
+#include "util/validate.hpp"
 
 namespace retri::aff {
 
+namespace {
+
+/// Sent-packet size histogram buckets (bytes); packets cap at 64 KiB but
+/// the interesting mass is small multi-fragment payloads.
+const std::vector<double> kPacketBytesBounds{16, 32, 64, 128, 256, 512, 1024};
+
+/// Per-node metric namespace: one driver per node, so "n<node>.aff.*"
+/// keeps several drivers distinct inside one shared trial registry.
+std::string node_prefix(sim::NodeId node) {
+  std::string out = "n";
+  out += std::to_string(node);
+  out += ".aff.";
+  return out;
+}
+
+}  // namespace
+
 AffDriverConfig validated(AffDriverConfig config) {
-  if (config.wire.id_bits < 1 || config.wire.id_bits > 64) {
-    throw std::invalid_argument(
-        "AffDriverConfig.wire.id_bits must be in [1, 64], got " +
-        std::to_string(config.wire.id_bits));
-  }
-  if (config.reassembly_timeout.ns() <= 0) {
-    throw std::invalid_argument(
-        "AffDriverConfig.reassembly_timeout must be positive, got " +
-        std::to_string(config.reassembly_timeout.to_seconds()) + "s");
-  }
-  if (config.max_reassembly_entries == 0) {
-    throw std::invalid_argument(
-        "AffDriverConfig.max_reassembly_entries must be >= 1, got 0");
-  }
+  util::Validator v{"AffDriverConfig"};
+  v.in_range("wire.id_bits", config.wire.id_bits, 1, 64);
+  v.positive_seconds("reassembly_timeout",
+                     config.reassembly_timeout.to_seconds());
+  v.at_least("max_reassembly_entries", config.max_reassembly_entries, 1);
   return config;
 }
 
 AffDriver::AffDriver(radio::Radio& radio, core::IdSelector& selector,
-                     AffDriverConfig config, std::uint64_t node_uid)
+                     AffDriverConfig config, std::uint64_t node_uid,
+                     obs::Hooks hooks)
     : radio_(radio),
       selector_(selector),
       config_(validated(config)),
+      owned_metrics_(hooks.metrics != nullptr
+                         ? nullptr
+                         : std::make_unique<obs::MetricsRegistry>()),
+      metrics_(hooks.metrics != nullptr ? hooks.metrics : owned_metrics_.get()),
+      spans_(hooks.spans),
       fragmenter_(FragmenterConfig{config.wire, radio.config().max_frame_bytes}),
       reassembler_(ReassemblerConfig{config.reassembly_timeout,
-                                     config.max_reassembly_entries}),
+                                     config.max_reassembly_entries},
+                   obs::Hooks{metrics_, spans_},
+                   node_prefix(radio.node()) + "rx.", radio.node()),
       truth_reassembler_(ReassemblerConfig{config.reassembly_timeout,
-                                           config.max_reassembly_entries}),
+                                           config.max_reassembly_entries},
+                         obs::Hooks{metrics_, spans_},
+                         node_prefix(radio.node()) + "truth.", radio.node()),
       density_(core::make_density_model(config.density_model)),
       node_uid_(node_uid),
       alive_(std::make_shared<bool>(true)) {
   assert(selector_.space().bits() == config_.wire.id_bits &&
          "selector space and wire id width must agree");
 
+  const std::string prefix = node_prefix(radio_.node());
+  counters_.packets_sent = metrics_->counter(prefix + "packets_sent");
+  counters_.fragments_sent = metrics_->counter(prefix + "fragments_sent");
+  counters_.send_failures = metrics_->counter(prefix + "send_failures");
+  counters_.packets_delivered = metrics_->counter(prefix + "packets_delivered");
+  counters_.truth_packets_delivered =
+      metrics_->counter(prefix + "truth_packets_delivered");
+  counters_.notifications_sent =
+      metrics_->counter(prefix + "notifications_sent");
+  counters_.notifications_heard =
+      metrics_->counter(prefix + "notifications_heard");
+  counters_.undecodable_frames =
+      metrics_->counter(prefix + "undecodable_frames");
+  counters_.packet_bytes =
+      metrics_->histogram(prefix + "packet_bytes", kPacketBytesBounds);
+  std::string selector_prefix = "n";
+  selector_prefix += std::to_string(radio_.node());
+  selector_prefix += ".selector.";
+  selector_.bind_metrics(*metrics_, selector_prefix);
+
   radio_.set_receive_callback([this](sim::NodeId from, const util::Bytes& frame) {
     on_frame(from, frame);
   });
 
   reassembler_.set_deliver([this](std::uint64_t, const util::Bytes& packet) {
-    ++stats_.packets_delivered;
+    counters_.packets_delivered.inc();
     if (on_packet_) on_packet_(packet);
   });
   // Every closed entry — delivered, failed, timed out, or evicted — ends one
@@ -59,9 +97,22 @@ AffDriver::AffDriver(radio::Radio& radio, core::IdSelector& selector,
   });
 
   truth_reassembler_.set_deliver([this](std::uint64_t, const util::Bytes& packet) {
-    ++stats_.truth_packets_delivered;
+    counters_.truth_packets_delivered.inc();
     if (on_truth_packet_) on_truth_packet_(packet);
   });
+}
+
+AffDriverStatsSnapshot AffDriver::stats() const noexcept {
+  AffDriverStatsSnapshot s;
+  s.packets_sent = counters_.packets_sent.value();
+  s.fragments_sent = counters_.fragments_sent.value();
+  s.send_failures = counters_.send_failures.value();
+  s.packets_delivered = counters_.packets_delivered.value();
+  s.truth_packets_delivered = counters_.truth_packets_delivered.value();
+  s.notifications_sent = counters_.notifications_sent.value();
+  s.notifications_heard = counters_.notifications_heard.value();
+  s.undecodable_frames = counters_.undecodable_frames.value();
+  return s;
 }
 
 AffDriver::~AffDriver() { *alive_ = false; }
@@ -89,12 +140,25 @@ void AffDriver::push_density_to_selector() {
 
 util::Result<core::TransactionId, SendError> AffDriver::send_packet(
     util::BytesView packet) {
+  const sim::TimePoint now = radio_.simulator().now();
   const core::TransactionId id = selector_.select();
   const std::uint64_t true_id = (node_uid_ << 32) | next_packet_seq_++;
 
+  // The sender-side transaction span opens at id selection — the paper's
+  // transaction begins the moment an ephemeral identifier is committed —
+  // and closes "drained" once the radio has flushed the packet's frames.
+  obs::SpanId span = obs::SpanId::none();
+  if (spans_ != nullptr) {
+    span = spans_->begin("transaction", "aff", radio_.node(), now);
+    spans_->annotate(span, "id", id.value());
+    spans_->annotate(span, "true_id", true_id);
+    spans_->annotate(span, "bytes", packet.size());
+  }
+
   auto frames = fragmenter_.fragment(packet, id, true_id);
   if (!frames) {
-    ++stats_.send_failures;
+    counters_.send_failures.inc();
+    if (spans_ != nullptr) spans_->end(span, now, "send_failed");
     switch (frames.error()) {
       case FragmentError::kEmptyPacket: return SendError::kEmpty;
       case FragmentError::kPacketTooLarge: return SendError::kTooLarge;
@@ -106,13 +170,21 @@ util::Result<core::TransactionId, SendError> AffDriver::send_packet(
   const std::size_t backlog = radio_.queue_depth();
   const std::size_t nframes = frames.value().size();
   for (auto& frame : frames.value()) {
+    const std::size_t frame_bytes = frame.size();
     if (!radio_.send(std::move(frame))) {
-      ++stats_.send_failures;
+      counters_.send_failures.inc();
+      if (spans_ != nullptr) spans_->end(span, now, "send_failed");
       return SendError::kRadioRejected;  // cannot happen if fragmenter agrees with radio
     }
+    if (spans_ != nullptr) {
+      spans_->instant("frag_tx", "aff", radio_.node(), now, span,
+                      static_cast<std::uint64_t>(frame_bytes));
+    }
   }
-  ++stats_.packets_sent;
-  stats_.fragments_sent += nframes;
+  counters_.packets_sent.inc();
+  counters_.fragments_sent.inc(nframes);
+  counters_.packet_bytes.record(static_cast<double>(packet.size()));
+  if (spans_ != nullptr) spans_->annotate(span, "frames", nframes);
 
   // The sender's own transaction contributes to the density it experiences.
   // It ends when the radio has drained this packet's frames; estimate that
@@ -124,9 +196,12 @@ util::Result<core::TransactionId, SendError> AffDriver::send_packet(
       radio_.config().interframe_gap + radio_.config().max_backoff;
   const sim::Duration drain = per_frame * static_cast<std::int64_t>(backlog + nframes);
   std::weak_ptr<bool> alive = alive_;
-  radio_.simulator().schedule_after(drain, [this, alive]() {
+  radio_.simulator().schedule_after(drain, [this, alive, span]() {
     const auto flag = alive.lock();
     if (!flag || !*flag) return;
+    if (spans_ != nullptr) {
+      spans_->end(span, radio_.simulator().now(), "drained");
+    }
     density_->on_end();
     push_density_to_selector();
   });
@@ -145,7 +220,7 @@ void AffDriver::maybe_notify_collision(std::uint64_t key) {
   if (conflicts == prev_conflicting_writes_) return;
   prev_conflicting_writes_ = conflicts;
   if (!config_.send_collision_notifications) return;
-  ++stats_.notifications_sent;
+  counters_.notifications_sent.inc();
   radio_.send(encode_notify(config_.wire,
                             CollisionNotify{core::TransactionId(key)}));
 }
@@ -182,7 +257,7 @@ void AffDriver::on_frame(sim::NodeId from, const util::Bytes& frame) {
   (void)from;  // address-free: the sender's identity is never used
   const auto decoded = decode(config_.wire, frame);
   if (!decoded) {
-    ++stats_.undecodable_frames;
+    counters_.undecodable_frames.inc();
     RETRI_LOG(kDebug) << "dropped undecodable frame of " << frame.size()
                       << " bytes";
     return;
@@ -192,7 +267,7 @@ void AffDriver::on_frame(sim::NodeId from, const util::Bytes& frame) {
   } else if (const auto* data = std::get_if<DataFragment>(&decoded->body)) {
     handle_data(*data, decoded->true_packet_id);
   } else if (const auto* notify = std::get_if<CollisionNotify>(&decoded->body)) {
-    ++stats_.notifications_heard;
+    counters_.notifications_heard.inc();
     selector_.notify_collision(notify->id);
   }
 }

@@ -58,7 +58,10 @@ struct AffDriverConfig {
 /// field otherwise. AffDriver calls this on construction.
 AffDriverConfig validated(AffDriverConfig config);
 
-struct AffDriverStats {
+/// Point-in-time view of the driver's tallies, built from the
+/// "n<node>.aff.*" counters in the backing obs::MetricsRegistry. stats()
+/// returns one BY VALUE — re-call it to observe later events.
+struct AffDriverStatsSnapshot {
   std::uint64_t packets_sent = 0;
   std::uint64_t fragments_sent = 0;
   std::uint64_t send_failures = 0;
@@ -69,6 +72,10 @@ struct AffDriverStats {
   std::uint64_t undecodable_frames = 0;
 };
 
+/// Deprecated spelling, kept as a thin alias for one PR while callers
+/// migrate to the snapshot name.
+using AffDriverStats = AffDriverStatsSnapshot;
+
 class AffDriver {
  public:
   using PacketHandler = std::function<void(const util::Bytes& packet)>;
@@ -76,8 +83,18 @@ class AffDriver {
   /// `node_uid` is this node's guaranteed-unique identifier — in the
   /// paper's terms the long static id that exists but is deliberately NOT
   /// sent per packet except in instrumented mode.
+  ///
+  /// `hooks` wires the driver, both reassemblers, and the selector into a
+  /// shared metrics registry under per-node prefixes ("n<node>.aff.",
+  /// "n<node>.aff.rx.", "n<node>.aff.truth.", "n<node>.selector.") and,
+  /// when hooks.spans is set, records one transaction span per sent packet
+  /// (begun at id selection, annotated with id/bytes/frames, ended
+  /// "drained" when the radio has flushed its frames) plus reassembly
+  /// spans on the receive side. Default hooks fall back to a private
+  /// registry so stats() keeps working standalone.
   AffDriver(radio::Radio& radio, core::IdSelector& selector,
-            AffDriverConfig config, std::uint64_t node_uid);
+            AffDriverConfig config, std::uint64_t node_uid,
+            obs::Hooks hooks = {});
   ~AffDriver();
 
   AffDriver(const AffDriver&) = delete;
@@ -96,7 +113,8 @@ class AffDriver {
 
   const Reassembler& aff_reassembler() const noexcept { return reassembler_; }
   const Reassembler& truth_reassembler() const noexcept { return truth_reassembler_; }
-  const AffDriverStats& stats() const noexcept { return stats_; }
+  /// Snapshot of the tallies, BY VALUE (see AffDriverStatsSnapshot).
+  AffDriverStatsSnapshot stats() const noexcept;
   const AffDriverConfig& config() const noexcept { return config_; }
   double density_estimate() const noexcept { return density_->estimate(); }
   core::IdSelector& selector() noexcept { return selector_; }
@@ -116,9 +134,29 @@ class AffDriver {
   void ensure_expiry_timer();
   void push_density_to_selector();
 
+  /// Registry-backed counter handles, one per snapshot field, plus the
+  /// sent-packet size histogram. Registered once at construction.
+  struct Counters {
+    obs::Counter packets_sent;
+    obs::Counter fragments_sent;
+    obs::Counter send_failures;
+    obs::Counter packets_delivered;
+    obs::Counter truth_packets_delivered;
+    obs::Counter notifications_sent;
+    obs::Counter notifications_heard;
+    obs::Counter undecodable_frames;
+    obs::Histogram packet_bytes;
+  };
+
   radio::Radio& radio_;
   core::IdSelector& selector_;
   AffDriverConfig config_;
+  // Observability members precede the reassemblers: the member-init list
+  // resolves hooks (falling back to owned_metrics_) before constructing
+  // them, so both reassemblers can register under per-node prefixes.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // fallback registry
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;
   Fragmenter fragmenter_;
   Reassembler reassembler_;        // keyed by AFF identifier value
   Reassembler truth_reassembler_;  // keyed by guaranteed-unique packet id
@@ -128,7 +166,7 @@ class AffDriver {
   std::uint64_t prev_conflicting_writes_ = 0;
   PacketHandler on_packet_;
   PacketHandler on_truth_packet_;
-  AffDriverStats stats_;
+  Counters counters_;
   sim::EventHandle expiry_timer_;
   // Liveness flag captured (weakly) by timer callbacks so events that fire
   // after the driver is destroyed become no-ops instead of dangling.

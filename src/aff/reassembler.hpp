@@ -16,8 +16,12 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
+#include <string>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/time.hpp"
 #include "util/bytes.hpp"
 
@@ -37,7 +41,22 @@ struct ReassemblerConfig {
 /// calls this on construction.
 ReassemblerConfig validated(ReassemblerConfig config);
 
-struct ReassemblerStats {
+/// Why an entry left the reassembly table. Every close goes through this
+/// enum exactly once, which is also what guarantees each reassembly span
+/// ends exactly once with a truthful outcome.
+enum class CloseReason : std::uint8_t {
+  kDelivered,       // checksum verified, packet handed to the deliver fn
+  kChecksumFailed,  // fully covered but the checksum disagreed (collision)
+  kTimeout,         // idle past ReassemblerConfig.timeout
+  kEvicted,         // displaced by LRU pressure at max_entries
+};
+
+std::string_view to_string(CloseReason reason) noexcept;
+
+/// Point-in-time view of the reassembler's tallies, built from the
+/// "<prefix>*" counters in the backing obs::MetricsRegistry. stats()
+/// returns one BY VALUE — re-call it to observe later events.
+struct ReassemblerStatsSnapshot {
   std::uint64_t delivered = 0;
   std::uint64_t checksum_failed = 0;
   /// Fragments that rewrote an already-received byte with different
@@ -58,6 +77,10 @@ struct ReassemblerStats {
   std::uint64_t fragments_seen = 0;
 };
 
+/// Deprecated spelling, kept as a thin alias for one PR while callers
+/// migrate to the snapshot name.
+using ReassemblerStats = ReassemblerStatsSnapshot;
+
 class Reassembler {
  public:
   /// Invoked with the verified packet when reassembly completes.
@@ -66,7 +89,17 @@ class Reassembler {
   /// failure, timeout, eviction). Drives transaction-density bookkeeping.
   using ClosedFn = std::function<void(std::uint64_t key)>;
 
-  explicit Reassembler(ReassemblerConfig config = {});
+  /// `hooks` wires the reassembler into a shared metrics registry (counter
+  /// names are `metric_prefix` + field, e.g. "n3.aff.rx.delivered") and,
+  /// when hooks.spans is set, opens one span per reassembly entry — begun
+  /// when the entry is created, annotated with the key, ended exactly once
+  /// with the CloseReason as its outcome — with accepted fragments recorded
+  /// as instants parented to that span. `track` is the span track (node id)
+  /// events are drawn on. Default hooks fall back to a private registry so
+  /// stats() keeps working standalone.
+  explicit Reassembler(ReassemblerConfig config = {}, obs::Hooks hooks = {},
+                       std::string metric_prefix = "reassembler.",
+                       std::uint32_t track = 0);
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
   void set_closed(ClosedFn fn) { closed_ = std::move(fn); }
@@ -91,7 +124,10 @@ class Reassembler {
   /// True if a packet under `key` is currently being reassembled.
   bool pending(std::uint64_t key) const { return entries_.contains(key); }
   std::size_t pending_count() const noexcept { return entries_.size(); }
-  const ReassemblerStats& stats() const noexcept { return stats_; }
+  /// Snapshot of the tallies, BY VALUE (see ReassemblerStatsSnapshot).
+  ReassemblerStatsSnapshot stats() const noexcept;
+  /// Span id of the open reassembly under `key`; none() when untracked.
+  obs::SpanId span_of(std::uint64_t key) const;
 
  private:
   struct Entry {
@@ -103,19 +139,43 @@ class Reassembler {
     std::size_t covered = 0;
     sim::TimePoint last_update;
     std::list<std::uint64_t>::iterator lru_pos;
+    obs::SpanId span;           // open reassembly span, none() when unhooked
+  };
+
+  /// Registry-backed counter handles, one per snapshot field, plus the
+  /// live-entry gauge. Registered once at construction.
+  struct Counters {
+    obs::Counter delivered;
+    obs::Counter checksum_failed;
+    obs::Counter conflicting_writes;
+    obs::Counter duplicate_fragments;
+    obs::Counter timeouts;
+    obs::Counter evicted;
+    obs::Counter malformed;
+    obs::Counter orphan_fragments;
+    obs::Counter accepted_fragments;
+    obs::Counter fragments_seen;
+    obs::Gauge pending;
   };
 
   Entry& touch(std::uint64_t key, sim::TimePoint now);
-  void close(std::uint64_t key, bool count_timeout, bool count_evicted);
-  void maybe_complete(std::uint64_t key, Entry& entry);
+  /// The single exit point of the entry table: counts by reason, ends the
+  /// entry's span with the reason as outcome, and notifies closed_.
+  void close(std::uint64_t key, CloseReason reason, sim::TimePoint now);
+  void maybe_complete(std::uint64_t key, Entry& entry, sim::TimePoint now);
   void write_bytes(Entry& entry, std::size_t offset, util::BytesView payload);
+  void fragment_instant(const char* name, const Entry& entry,
+                        sim::TimePoint now, std::size_t bytes);
 
   ReassemblerConfig config_;
   DeliverFn deliver_;
   ClosedFn closed_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // fallback registry
+  obs::SpanRecorder* spans_ = nullptr;
+  std::uint32_t track_ = 0;
+  Counters counters_;
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::list<std::uint64_t> lru_;  // least recently updated at front
-  ReassemblerStats stats_;
 };
 
 }  // namespace retri::aff

@@ -8,10 +8,20 @@
 
 namespace retri::core {
 
+void IdSelector::bind_metrics(obs::MetricsRegistry& registry,
+                              std::string_view prefix) {
+  const std::string base(prefix);
+  selects_ = registry.counter(base + "selects");
+  observes_ = registry.counter(base + "observes");
+  collision_notices_ = registry.counter(base + "collision_notices");
+  density_updates_ = registry.counter(base + "density_updates");
+  on_bind_metrics(registry, prefix);
+}
+
 UniformSelector::UniformSelector(IdSpace space, std::uint64_t seed)
     : IdSelector(space), rng_(seed) {}
 
-TransactionId UniformSelector::select() {
+TransactionId UniformSelector::do_select() {
   if (space_.bits() >= 64) return TransactionId(rng_.next());
   return TransactionId(rng_.below(space_.size()));
 }
@@ -28,13 +38,24 @@ std::size_t ListeningSelector::window() const noexcept {
   return static_cast<std::size_t>(std::ceil(2.0 * density_));
 }
 
-void ListeningSelector::set_density(double t) {
+void ListeningSelector::do_set_density(double t) {
   density_ = std::max(1.0, t);
   // Shrink immediately if the window contracted.
   trim(recent_, window());
   if (config_.heed_notifications) {
     trim(quarantined_, window() * config_.notification_multiplier);
   }
+  update_avoided_gauge();
+}
+
+void ListeningSelector::on_bind_metrics(obs::MetricsRegistry& registry,
+                                        std::string_view prefix) {
+  avoided_gauge_ = registry.gauge(std::string(prefix) + "avoided");
+  update_avoided_gauge();
+}
+
+void ListeningSelector::update_avoided_gauge() {
+  avoided_gauge_.set(static_cast<std::int64_t>(avoid_counts_.size()));
 }
 
 bool ListeningSelector::avoiding(TransactionId id) const {
@@ -58,16 +79,18 @@ void ListeningSelector::push_recent(std::deque<TransactionId>& q,
   trim(q, cap);
 }
 
-void ListeningSelector::observe(TransactionId id) {
+void ListeningSelector::do_observe(TransactionId id) {
   push_recent(recent_, id, window());
+  update_avoided_gauge();
 }
 
-void ListeningSelector::notify_collision(TransactionId id) {
+void ListeningSelector::do_notify_collision(TransactionId id) {
   if (!config_.heed_notifications) return;
   push_recent(quarantined_, id, window() * config_.notification_multiplier);
+  update_avoided_gauge();
 }
 
-TransactionId ListeningSelector::select() {
+TransactionId ListeningSelector::do_select() {
   const std::uint64_t pool = space_.size();
 
   // Nothing to avoid, or avoidance covers the whole pool: plain uniform.

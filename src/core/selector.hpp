@@ -15,14 +15,22 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "core/identifier.hpp"
+#include "obs/metrics.hpp"
 #include "util/random.hpp"
 
 namespace retri::core {
 
+/// Policy interface, template-method style: callers use the non-virtual
+/// public surface (select/observe/notify_collision/set_density), which
+/// counts into the bound metrics and forwards to the protected do_*
+/// hooks policies override. Unbound selectors count nothing — the handles
+/// are inert until bind_metrics() is called (the AFF driver binds its
+/// selector under "n<node>.selector.").
 class IdSelector {
  public:
   explicit IdSelector(IdSpace space) : space_(space) {}
@@ -31,25 +39,60 @@ class IdSelector {
   IdSelector& operator=(const IdSelector&) = delete;
 
   /// Picks an identifier for a new transaction.
-  virtual TransactionId select() = 0;
+  TransactionId select() {
+    selects_.inc();
+    return do_select();
+  }
 
   /// Reports that `id` was heard in use by a peer (e.g. an overheard intro
   /// fragment). Stateless policies ignore this.
-  virtual void observe(TransactionId id) { (void)id; }
+  void observe(TransactionId id) {
+    observes_.inc();
+    do_observe(id);
+  }
 
   /// Reports a receiver-sent collision notification for `id` (§3.2's
   /// parenthetical heuristic). Stateless policies ignore this.
-  virtual void notify_collision(TransactionId id) { (void)id; }
+  void notify_collision(TransactionId id) {
+    collision_notices_.inc();
+    do_notify_collision(id);
+  }
 
   /// Updates the policy's estimate of the transaction density T.
-  virtual void set_density(double t) { (void)t; }
+  void set_density(double t) {
+    density_updates_.inc();
+    do_set_density(t);
+  }
+
+  /// Registers this selector's counters under `prefix` (e.g.
+  /// "n3.selector.") and gives the policy a chance to register its own
+  /// metrics via on_bind_metrics. Idempotent per registry; rebinding to a
+  /// different registry repoints the handles.
+  void bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix);
 
   virtual std::string_view name() const = 0;
 
   const IdSpace& space() const noexcept { return space_; }
 
  protected:
+  virtual TransactionId do_select() = 0;
+  virtual void do_observe(TransactionId id) { (void)id; }
+  virtual void do_notify_collision(TransactionId id) { (void)id; }
+  virtual void do_set_density(double t) { (void)t; }
+  /// Policy hook for registering policy-specific metrics under `prefix`.
+  virtual void on_bind_metrics(obs::MetricsRegistry& registry,
+                               std::string_view prefix) {
+    (void)registry;
+    (void)prefix;
+  }
+
   IdSpace space_;
+
+ private:
+  obs::Counter selects_;
+  obs::Counter observes_;
+  obs::Counter collision_notices_;
+  obs::Counter density_updates_;
 };
 
 /// The paper's analyzed baseline: uniform over the whole space, no memory.
@@ -57,10 +100,11 @@ class UniformSelector final : public IdSelector {
  public:
   UniformSelector(IdSpace space, std::uint64_t seed);
 
-  TransactionId select() override;
   std::string_view name() const override { return "uniform"; }
 
  private:
+  TransactionId do_select() override;
+
   util::Xoshiro256 rng_;
 };
 
@@ -88,10 +132,6 @@ class ListeningSelector final : public IdSelector {
  public:
   ListeningSelector(IdSpace space, std::uint64_t seed, ListeningConfig config = {});
 
-  TransactionId select() override;
-  void observe(TransactionId id) override;
-  void notify_collision(TransactionId id) override;
-  void set_density(double t) override;
   std::string_view name() const override {
     return config_.heed_notifications ? "listening+notify" : "listening";
   }
@@ -102,7 +142,16 @@ class ListeningSelector final : public IdSelector {
   std::size_t avoided() const noexcept { return avoid_counts_.size(); }
 
  private:
+  TransactionId do_select() override;
+  void do_observe(TransactionId id) override;
+  void do_notify_collision(TransactionId id) override;
+  void do_set_density(double t) override;
+  void on_bind_metrics(obs::MetricsRegistry& registry,
+                       std::string_view prefix) override;
+
   bool avoiding(TransactionId id) const;
+  /// Keeps the "avoided" gauge in sync with avoid_counts_.size().
+  void update_avoided_gauge();
   void push_recent(std::deque<TransactionId>& q, TransactionId id,
                    std::size_t cap);
   void trim(std::deque<TransactionId>& q, std::size_t cap);
@@ -110,6 +159,7 @@ class ListeningSelector final : public IdSelector {
   util::Xoshiro256 rng_;
   ListeningConfig config_;
   double density_;
+  obs::Gauge avoided_gauge_;
   std::deque<TransactionId> recent_;       // heard ids, newest at back
   std::deque<TransactionId> quarantined_;  // notified collisions
   // id -> number of occurrences across both deques (membership test).

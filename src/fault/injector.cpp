@@ -20,13 +20,39 @@ std::uint64_t derive(std::uint64_t seed, std::uint64_t stream) {
 
 }  // namespace
 
-FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed,
+                             obs::Hooks hooks)
     : plan_(validated(plan)),
       burst_rng_(derive(seed, kBurst)),
       corrupt_rng_(derive(seed, kCorrupt)),
       truncate_rng_(derive(seed, kTruncate)),
       duplicate_rng_(derive(seed, kDuplicate)),
-      delay_rng_(derive(seed, kDelay)) {}
+      delay_rng_(derive(seed, kDelay)),
+      owned_metrics_(hooks.metrics != nullptr
+                         ? nullptr
+                         : std::make_unique<obs::MetricsRegistry>()) {
+  obs::MetricsRegistry& m =
+      hooks.metrics != nullptr ? *hooks.metrics : *owned_metrics_;
+  counters_.intercepted = m.counter("fault.intercepted");
+  counters_.dropped_burst = m.counter("fault.dropped_burst");
+  counters_.forwarded = m.counter("fault.forwarded");
+  counters_.copies_emitted = m.counter("fault.copies_emitted");
+  counters_.corrupted_copies = m.counter("fault.corrupted_copies");
+  counters_.truncated_copies = m.counter("fault.truncated_copies");
+  counters_.delayed_copies = m.counter("fault.delayed_copies");
+}
+
+FaultStatsSnapshot FaultInjector::stats() const noexcept {
+  FaultStatsSnapshot s;
+  s.intercepted = counters_.intercepted.value();
+  s.dropped_burst = counters_.dropped_burst.value();
+  s.forwarded = counters_.forwarded.value();
+  s.copies_emitted = counters_.copies_emitted.value();
+  s.corrupted_copies = counters_.corrupted_copies.value();
+  s.truncated_copies = counters_.truncated_copies.value();
+  s.delayed_copies = counters_.delayed_copies.value();
+  return s;
+}
 
 bool FaultInjector::burst_lost(sim::NodeId from, sim::NodeId to) {
   const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
@@ -57,13 +83,13 @@ void FaultInjector::corrupt(util::Bytes& frame) {
 
 std::vector<sim::DeliveryInterceptor::Injected> FaultInjector::intercept(
     sim::NodeId from, sim::NodeId to, const util::SharedBytes& payload) {
-  ++stats_.intercepted;
+  counters_.intercepted.inc();
 
   if (plan_.burst.active() && burst_lost(from, to)) {
-    ++stats_.dropped_burst;
+    counters_.dropped_burst.inc();
     return {};
   }
-  ++stats_.forwarded;
+  counters_.forwarded.inc();
 
   std::size_t copies = 1;
   if (plan_.duplicate_prob > 0.0 &&
@@ -81,12 +107,12 @@ std::vector<sim::DeliveryInterceptor::Injected> FaultInjector::intercept(
         truncate_rng_.chance(plan_.truncate_prob)) {
       copy.payload.mutable_bytes().resize(
           static_cast<std::size_t>(truncate_rng_.below(copy.payload.size())));
-      ++stats_.truncated_copies;
+      counters_.truncated_copies.inc();
     }
     if (!copy.payload.empty() && plan_.corrupt_prob > 0.0 &&
         corrupt_rng_.chance(plan_.corrupt_prob)) {
       corrupt(copy.payload.mutable_bytes());
-      ++stats_.corrupted_copies;
+      counters_.corrupted_copies.inc();
     }
     if (plan_.delay_prob > 0.0 && plan_.max_delay.ns() > 0 &&
         delay_rng_.chance(plan_.delay_prob)) {
@@ -94,11 +120,11 @@ std::vector<sim::DeliveryInterceptor::Injected> FaultInjector::intercept(
           1 + static_cast<std::int64_t>(
                   delay_rng_.below(static_cast<std::uint64_t>(
                       plan_.max_delay.ns()))));
-      ++stats_.delayed_copies;
+      counters_.delayed_copies.inc();
     }
     out.push_back(std::move(copy));
   }
-  stats_.copies_emitted += copies;
+  counters_.copies_emitted.inc(copies);
   return out;
 }
 

@@ -18,17 +18,22 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "fault/plan.hpp"
+#include "obs/metrics.hpp"
 #include "sim/medium.hpp"
 #include "util/bytes.hpp"
 #include "util/random.hpp"
 
 namespace retri::fault {
 
-struct FaultStats {
+/// Point-in-time view of the injector's tallies, built from the "fault.*"
+/// counters in the backing obs::MetricsRegistry. stats() returns one BY
+/// VALUE — re-call it to observe later events.
+struct FaultStatsSnapshot {
   std::uint64_t intercepted = 0;    // deliveries offered to the injector
   std::uint64_t dropped_burst = 0;  // vanished in the GE bad/good state
   std::uint64_t forwarded = 0;      // deliveries that produced >= 1 copy
@@ -41,19 +46,38 @@ struct FaultStats {
   //   copies_emitted >= forwarded  (duplication only adds copies)
 };
 
+/// Deprecated spelling, kept as a thin alias for one PR while callers
+/// migrate to the snapshot name.
+using FaultStats = FaultStatsSnapshot;
+
 class FaultInjector final : public sim::DeliveryInterceptor {
  public:
-  /// Throws std::invalid_argument if the plan fails validated().
-  FaultInjector(FaultPlan plan, std::uint64_t seed);
+  /// Throws std::invalid_argument if the plan fails validated(). `hooks`
+  /// wires the injector's tallies into a shared metrics registry under
+  /// "fault.*"; default hooks fall back to a private registry so stats()
+  /// keeps working standalone.
+  FaultInjector(FaultPlan plan, std::uint64_t seed, obs::Hooks hooks = {});
 
   std::vector<sim::DeliveryInterceptor::Injected> intercept(
       sim::NodeId from, sim::NodeId to,
       const util::SharedBytes& payload) override;
 
   const FaultPlan& plan() const noexcept { return plan_; }
-  const FaultStats& stats() const noexcept { return stats_; }
+  /// Snapshot of the tallies, BY VALUE (see FaultStatsSnapshot).
+  FaultStatsSnapshot stats() const noexcept;
 
  private:
+  /// Registry-backed counter handles, one per snapshot field.
+  struct Counters {
+    obs::Counter intercepted;
+    obs::Counter dropped_burst;
+    obs::Counter forwarded;
+    obs::Counter copies_emitted;
+    obs::Counter corrupted_copies;
+    obs::Counter truncated_copies;
+    obs::Counter delayed_copies;
+  };
+
   /// Advances the (from, to) link's GE state and draws the loss decision.
   bool burst_lost(sim::NodeId from, sim::NodeId to);
   /// Flips bytes in place; guarantees at least one byte changes.
@@ -68,7 +92,8 @@ class FaultInjector final : public sim::DeliveryInterceptor {
   // GE channel state per directed link, keyed (from << 32) | to.
   // false = good, true = bad.
   std::unordered_map<std::uint64_t, bool> link_bad_;
-  FaultStats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // fallback registry
+  Counters counters_;
 };
 
 }  // namespace retri::fault

@@ -2,33 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
-#include <stdexcept>
 
 #include "util/random.hpp"
+#include "util/validate.hpp"
 
 namespace retri::fault {
-namespace {
-
-void check_prob(double v, const char* field) {
-  if (std::isnan(v) || v < 0.0 || v > 1.0) {
-    char msg[128];
-    std::snprintf(msg, sizeof msg, "FaultPlan.%s must be in [0, 1], got %g",
-                  field, v);
-    throw std::invalid_argument(msg);
-  }
-}
-
-void check_duration(sim::Duration v, const char* field) {
-  if (v.ns() < 0) {
-    char msg[128];
-    std::snprintf(msg, sizeof msg,
-                  "FaultPlan.%s must be non-negative, got %gs", field,
-                  v.to_seconds());
-    throw std::invalid_argument(msg);
-  }
-}
-
-}  // namespace
 
 double BurstLossConfig::stationary_loss() const noexcept {
   const double denom = p_good_to_bad + p_bad_to_good;
@@ -77,25 +55,26 @@ std::string FaultPlan::describe() const {
 }
 
 FaultPlan validated(FaultPlan plan) {
-  check_prob(plan.burst.p_good_to_bad, "burst.p_good_to_bad");
-  check_prob(plan.burst.p_bad_to_good, "burst.p_bad_to_good");
-  check_prob(plan.burst.loss_good, "burst.loss_good");
-  check_prob(plan.burst.loss_bad, "burst.loss_bad");
-  check_prob(plan.corrupt_prob, "corrupt_prob");
-  check_prob(plan.corrupt_byte_prob, "corrupt_byte_prob");
-  check_prob(plan.truncate_prob, "truncate_prob");
-  check_prob(plan.duplicate_prob, "duplicate_prob");
-  check_prob(plan.delay_prob, "delay_prob");
-  check_duration(plan.max_delay, "max_delay");
-  check_duration(plan.churn.mean_uptime, "churn.mean_uptime");
-  check_duration(plan.churn.mean_downtime, "churn.mean_downtime");
-  if (plan.max_duplicates == 0) {
-    throw std::invalid_argument("FaultPlan.max_duplicates must be >= 1");
-  }
+  util::Validator v{"FaultPlan"};
+  v.probability("burst.p_good_to_bad", plan.burst.p_good_to_bad);
+  v.probability("burst.p_bad_to_good", plan.burst.p_bad_to_good);
+  v.probability("burst.loss_good", plan.burst.loss_good);
+  v.probability("burst.loss_bad", plan.burst.loss_bad);
+  v.probability("corrupt_prob", plan.corrupt_prob);
+  v.probability("corrupt_byte_prob", plan.corrupt_byte_prob);
+  v.probability("truncate_prob", plan.truncate_prob);
+  v.probability("duplicate_prob", plan.duplicate_prob);
+  v.probability("delay_prob", plan.delay_prob);
+  v.non_negative_seconds("max_delay", plan.max_delay.to_seconds());
+  v.non_negative_seconds("churn.mean_uptime",
+                         plan.churn.mean_uptime.to_seconds());
+  v.non_negative_seconds("churn.mean_downtime",
+                         plan.churn.mean_downtime.to_seconds());
+  v.at_least("max_duplicates", plan.max_duplicates, 1);
   if (plan.burst.active() && plan.burst.p_bad_to_good <= 0.0) {
-    throw std::invalid_argument(
-        "FaultPlan.burst.p_bad_to_good must be > 0 when burst loss is "
-        "active (the bad state must be escapable)");
+    v.fail_bare("burst.p_bad_to_good",
+                "be > 0 when burst loss is active (the bad state must be "
+                "escapable)");
   }
   return plan;
 }

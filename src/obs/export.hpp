@@ -1,0 +1,82 @@
+// One export surface for every artifact format.
+//
+// PRs 1-4 accumulated three separate dump paths: TraceRecorder's text/CSV
+// dumps, ResultSink's JSON writer, and the chaos CLI's inline ofstream.
+// Exporter unifies them: a format serializes itself to a string, and ONE
+// write/close-checked file writer (extracted from ResultSink::write_file,
+// which bench::export_result already wrapped) persists it — so an
+// unwritable --out path exits 2 identically in retri_bench, retri_chaos,
+// and retri_trace.
+//
+// PerfettoExporter emits Chrome trace_event JSON (the "JSON Array Format"
+// with a top-level object), loadable by chrome://tracing and Perfetto's
+// legacy importer:
+//   - spans become async "b"/"e" pairs keyed by span id (async events may
+//     overlap on one track, which concurrent transactions do);
+//   - instants become "i" events, parented spans referenced via args;
+//   - pid is constant 1 (one simulated network), tid is the obs track
+//     (conventionally the node id), named via "M" metadata events;
+//   - ts is microseconds as a round-trippable double, so identical
+//     recordings serialize byte-identically (the jobs-invariance check
+//     diffs whole files).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/json.hpp"
+
+namespace retri::obs {
+
+class Exporter {
+ public:
+  virtual ~Exporter() = default;
+
+  /// Short format tag for CLI messages, e.g. "perfetto-json" or "csv".
+  virtual std::string_view format_name() const noexcept = 0;
+
+  /// The complete artifact body. Pure: no I/O, no clocks.
+  virtual std::string serialize() const = 0;
+};
+
+/// Writes `content` to `path`, folding open, write, flush, AND close
+/// errors into the verdict (close can surface deferred ENOSPC that flush
+/// missed). Returns false and fills `error` (if non-null) on any failure.
+/// This is the single file-writing path shared by ResultSink::write_file,
+/// bench::export_result, retri_chaos --out, and retri_trace --out.
+bool write_text_file(const std::string& path, std::string_view content,
+                     std::string* error = nullptr);
+
+/// write_text_file for an Exporter. Returns true on success; on failure
+/// fills `error` with "<format>: <reason>".
+bool export_to_file(const Exporter& exporter, const std::string& path,
+                    std::string* error = nullptr);
+
+/// Exports a span recording (plus an optional metrics snapshot, embedded
+/// under the top-level "retri" key Chrome ignores) as trace_event JSON.
+/// Both referenced objects must outlive the exporter.
+class PerfettoExporter final : public Exporter {
+ public:
+  explicit PerfettoExporter(const SpanRecorder& spans,
+                            const MetricsSnapshot* metrics = nullptr)
+      : spans_(spans), metrics_(metrics) {}
+
+  std::string_view format_name() const noexcept override {
+    return "perfetto-json";
+  }
+  std::string serialize() const override;
+
+ private:
+  const SpanRecorder& spans_;
+  const MetricsSnapshot* metrics_;
+};
+
+/// Serializes a MetricsSnapshot into an open JSON object: counters as
+/// integer members, gauges as {value, peak}, histograms as {bounds,
+/// counts, total}. Shared by PerfettoExporter and runner::ResultSink so
+/// the two artifacts agree on the metric schema.
+void write_metrics_object(util::JsonWriter& json, const MetricsSnapshot& m);
+
+}  // namespace retri::obs

@@ -1,0 +1,126 @@
+#include "obs/span.hpp"
+
+#include <string>
+
+namespace retri::obs {
+namespace {
+
+std::string describe(const Span& span, std::uint32_t index) {
+  return "span #" + std::to_string(index) + " '" + span.name + "' (cat " +
+         span.category + ", track " + std::to_string(span.track) + ")";
+}
+
+}  // namespace
+
+SpanId SpanRecorder::begin(std::string_view name, std::string_view category,
+                           std::uint32_t track, sim::TimePoint start,
+                           SpanId parent) {
+  Span span;
+  span.name.assign(name);
+  span.category.assign(category);
+  span.track = track;
+  span.start = start;
+  span.parent = parent;
+  spans_.push_back(std::move(span));
+  ++open_count_;
+  return SpanId{static_cast<std::uint32_t>(spans_.size())};
+}
+
+const Span* SpanRecorder::span(SpanId id) const noexcept {
+  if (!id.valid() || id.index > spans_.size()) return nullptr;
+  return &spans_[id.index - 1];
+}
+
+bool SpanRecorder::open(SpanId id) const noexcept {
+  const Span* s = span(id);
+  return s != nullptr && !s->ended;
+}
+
+void SpanRecorder::annotate(SpanId id, std::string_view key,
+                            std::uint64_t value) {
+  if (!id.valid() || id.index > spans_.size()) return;
+  spans_[id.index - 1].attrs.push_back(SpanAttr{std::string(key), value});
+}
+
+void SpanRecorder::end(SpanId id, sim::TimePoint end, std::string_view outcome) {
+  if (!id.valid()) return;
+  if (id.index > spans_.size()) {
+    violations_.push_back("end() on unknown span #" +
+                          std::to_string(id.index));
+    return;
+  }
+  Span& span = spans_[id.index - 1];
+  if (span.ended) {
+    violations_.push_back(describe(span, id.index) + " ended twice: first '" +
+                          span.outcome + "', then '" + std::string(outcome) +
+                          "'");
+    return;
+  }
+  span.ended = true;
+  span.end = end;
+  span.outcome.assign(outcome);
+  --open_count_;
+}
+
+void SpanRecorder::instant(std::string_view name, std::string_view category,
+                           std::uint32_t track, sim::TimePoint time,
+                           SpanId parent, std::uint64_t bytes_attr) {
+  Instant event;
+  event.name.assign(name);
+  event.category.assign(category);
+  event.track = track;
+  event.time = time;
+  event.parent = parent;
+  if (bytes_attr != 0) {
+    event.attrs.push_back(SpanAttr{"bytes", bytes_attr});
+  }
+  instants_.push_back(std::move(event));
+}
+
+void SpanRecorder::finish(sim::TimePoint now) {
+  for (std::uint32_t i = 0; i < spans_.size(); ++i) {
+    if (!spans_[i].ended) end(SpanId{i + 1}, now, "unterminated");
+  }
+}
+
+std::vector<std::string> SpanRecorder::audit() const {
+  std::vector<std::string> out = violations_;
+  for (std::uint32_t i = 0; i < spans_.size(); ++i) {
+    const Span& span = spans_[i];
+    if (!span.ended) {
+      out.push_back(describe(span, i + 1) + " never ended");
+    } else if (span.end < span.start) {
+      out.push_back(describe(span, i + 1) + " ends before it starts");
+    }
+    if (span.parent.valid()) {
+      const Span* parent = this->span(span.parent);
+      if (parent == nullptr) {
+        out.push_back(describe(span, i + 1) + " has unknown parent #" +
+                      std::to_string(span.parent.index));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < instants_.size(); ++i) {
+    const Instant& event = instants_[i];
+    if (!event.parent.valid()) continue;
+    const Span* parent = span(event.parent);
+    if (parent == nullptr) {
+      out.push_back("instant #" + std::to_string(i) + " '" + event.name +
+                    "' references unknown span #" +
+                    std::to_string(event.parent.index));
+      continue;
+    }
+    const bool live_at_time =
+        parent->start <= event.time &&
+        (!parent->ended || event.time <= parent->end);
+    if (!live_at_time) {
+      out.push_back("instant #" + std::to_string(i) + " '" + event.name +
+                    "' at t=" + std::to_string(event.time.to_seconds()) +
+                    "s references " + describe(*parent, event.parent.index) +
+                    " outside its lifetime");
+    }
+  }
+  return out;
+}
+
+}  // namespace retri::obs

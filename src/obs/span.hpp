@@ -1,0 +1,123 @@
+// Protocol-level spans: the transaction timeline the counters can't show.
+//
+// A SpanRecorder captures intervals ("this transaction lived from id
+// selection until its radio drain"; "this reassembly entry was open from
+// first fragment to checksum verdict") plus point events parented to them
+// (each fragment transmitted or accepted), forming the tree
+//
+//   txn span (sender n, cat aff) ── frag_tx instants
+//   reassembly span (receiver, cat aff) ── frag_intro / frag_data instants
+//   medium frame events (cat medium) ── unparented ground-truth lane
+//
+// which obs::PerfettoExporter turns into Chrome/Perfetto trace_event JSON.
+// Recording is observational only (no randomness, no scheduling): attaching
+// a recorder cannot perturb simulation results, which the golden
+// fingerprints enforce.
+//
+// Integrity contract, checked by audit() and the obs property tests:
+//   - every span ends at most once (a second end() is recorded as a
+//     violation, not undefined behavior);
+//   - every span is eventually ended — finish() closes stragglers with
+//     outcome "unterminated" at simulation end;
+//   - every parented instant references a span that is live at the
+//     instant's timestamp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace retri::obs {
+
+/// Opaque span handle. Index 0 is "no span" (the default), so handles can
+/// be stored in POD structs without an optional wrapper.
+struct SpanId {
+  std::uint32_t index = 0;
+
+  constexpr bool valid() const noexcept { return index != 0; }
+  static constexpr SpanId none() noexcept { return {}; }
+  constexpr bool operator==(const SpanId&) const = default;
+};
+
+struct SpanAttr {
+  std::string key;
+  std::uint64_t value = 0;
+  bool operator==(const SpanAttr&) const = default;
+};
+
+struct Span {
+  std::string name;      // "txn", "reassembly", ...
+  std::string category;  // "aff", "medium", ...
+  std::uint32_t track = 0;  // display lane, conventionally the node id
+  sim::TimePoint start;
+  sim::TimePoint end;  // meaningful once `ended`
+  bool ended = false;
+  SpanId parent;         // optional parent link
+  std::string outcome;   // set at end(): delivered/timeout/drained/...
+  std::vector<SpanAttr> attrs;
+};
+
+/// Point event, optionally parented to a span (frame events reference the
+/// transaction or reassembly span they belong to; medium ground-truth
+/// events are unparented).
+struct Instant {
+  std::string name;
+  std::string category;
+  std::uint32_t track = 0;
+  sim::TimePoint time;
+  SpanId parent;
+  std::vector<SpanAttr> attrs;
+};
+
+class SpanRecorder {
+ public:
+  SpanRecorder() = default;
+
+  SpanId begin(std::string_view name, std::string_view category,
+               std::uint32_t track, sim::TimePoint start,
+               SpanId parent = SpanId::none());
+
+  /// Attaches a key/value annotation to an open or closed span. No-op for
+  /// SpanId::none().
+  void annotate(SpanId span, std::string_view key, std::uint64_t value);
+
+  /// Closes `span` at `end` with an outcome label. Ending a span twice is
+  /// recorded as an integrity violation (the first end wins); ending
+  /// SpanId::none() is a no-op.
+  void end(SpanId span, sim::TimePoint end, std::string_view outcome);
+
+  void instant(std::string_view name, std::string_view category,
+               std::uint32_t track, sim::TimePoint time,
+               SpanId parent = SpanId::none(), std::uint64_t bytes_attr = 0);
+
+  /// Closes every still-open span at `now` with outcome "unterminated".
+  /// Call once at simulation end; audit() treats spans left open even
+  /// after finish() as violations.
+  void finish(sim::TimePoint now);
+
+  /// True while `span` has begun and not ended.
+  bool open(SpanId span) const noexcept;
+  std::size_t open_count() const noexcept { return open_count_; }
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  const std::vector<Instant>& instants() const noexcept { return instants_; }
+  const Span* span(SpanId id) const noexcept;
+
+  /// Integrity audit: returns one human-readable line per violation
+  /// (double-ended span, never-ended span, instant whose parent is not
+  /// live at its timestamp, span ending before it starts). Empty means the
+  /// recording satisfies the span contract; retri_trace exits 1 otherwise.
+  std::vector<std::string> audit() const;
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+  std::vector<std::string> violations_;  // recorded at call time
+  std::size_t open_count_ = 0;
+};
+
+}  // namespace retri::obs

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "aff/driver.hpp"
+#include "util/validate.hpp"
 #include "apps/workload.hpp"
 #include "core/selector.hpp"
 #include "fault/churn.hpp"
@@ -85,20 +86,22 @@ std::string_view to_string(core::DensityModelKind kind) noexcept {
   return "?";
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
-  if (std::isnan(config.loss_rate) || config.loss_rate < 0.0 ||
-      config.loss_rate > 1.0) {
-    throw std::invalid_argument(
-        "ExperimentConfig.loss_rate must be in [0, 1], got " +
-        std::to_string(config.loss_rate));
-  }
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                obs::SpanRecorder* spans) {
+  util::Validator v{"ExperimentConfig"};
+  v.probability("loss_rate", config.loss_rate);
   const bool burst_channel = config.channel == "burst";
   const bool chaos_channel = config.channel == "chaos";
   if (!burst_channel && !chaos_channel && config.channel != "independent") {
-    throw std::invalid_argument(
-        "ExperimentConfig.channel must be independent | burst | chaos, got "
-        "\"" + config.channel + "\"");
+    v.fail_bare("channel", "be independent | burst | chaos, got \"" +
+                               config.channel + "\"");
   }
+
+  // One registry per trial: every component below registers its metrics
+  // here in construction order, which is what makes the final snapshot
+  // deterministic and jobs-invariant.
+  obs::MetricsRegistry registry;
+  const obs::Hooks hooks{&registry, spans};
 
   sim::Simulator sim;
   sim::MediumConfig medium_config;
@@ -106,7 +109,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     medium_config.per_link_loss = config.loss_rate;
   }
   sim::BroadcastMedium medium(sim, make_topology(config), medium_config,
-                              config.seed);
+                              config.seed, hooks);
 
   // Fault-layer channels route loss_rate through a FaultInjector instead
   // of the medium's i.i.d. knob. Seeds follow the stack's multiplier
@@ -116,8 +119,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     const fault::FaultPlan plan = burst_channel
                                       ? burst_plan(config.loss_rate)
                                       : chaos_plan(config.loss_rate);
-    injector = std::make_unique<fault::FaultInjector>(plan,
-                                                      config.seed * 59 + 13);
+    injector = std::make_unique<fault::FaultInjector>(
+        plan, config.seed * 59 + 13, hooks);
     medium.set_interceptor(injector.get());
   }
 
@@ -144,7 +147,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   receiver.selector = core::make_selector(
       config.policy, core::IdSpace(config.id_bits), config.seed * 37 + 11);
   receiver.driver = std::make_unique<aff::AffDriver>(
-      *receiver.radio, *receiver.selector, driver_config, 0);
+      *receiver.radio, *receiver.selector, driver_config, 0, hooks);
 
   ExperimentResult out;
   receiver.driver->set_packet_handler([&out](const util::Bytes& packet) {
@@ -163,7 +166,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     s.selector = core::make_selector(
         config.policy, core::IdSpace(config.id_bits), config.seed * 43 + node);
     s.driver = std::make_unique<aff::AffDriver>(*s.radio, *s.selector,
-                                                driver_config, node);
+                                                driver_config, node, hooks);
     const std::size_t bytes = config.per_sender_packet_bytes.empty()
                                   ? config.packet_bytes
                                   : config.per_sender_packet_bytes
@@ -203,8 +206,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
   }
 
-  sim.run_until(sim::TimePoint::origin() + config.send_duration +
-                config.drain_extra);
+  const sim::TimePoint horizon =
+      sim::TimePoint::origin() + config.send_duration + config.drain_extra;
+  sim.run_until(horizon);
+  // Close any spans still open at the horizon (e.g. a transaction whose
+  // drain estimate lands past it) with outcome "unterminated", so the
+  // recorded stream is complete and byte-stable.
+  if (spans != nullptr) spans->finish(horizon);
 
   for (const auto& s : senders) {
     out.packets_offered += s.source->packets_sent();
@@ -222,6 +230,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   out.frames_attempted = medium.stats().deliveries_attempted;
   out.frames_lost_channel =
       medium.stats().lost_random + medium.stats().lost_fault;
+  out.metrics = registry.snapshot();
   return out;
 }
 

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "core/density.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/time.hpp"
 
 namespace retri::runner {
@@ -92,6 +94,12 @@ struct ExperimentResult {
   /// drops), excluding RF collisions / half-duplex / powered-off, so the
   /// burst-loss ablation can verify the measured loss matches loss_rate.
   std::uint64_t frames_lost_channel = 0;
+  /// Every metric the trial's components registered (medium, fault
+  /// injector, every driver/reassembler/selector), snapshotted after the
+  /// simulation drained. Deterministic for a given config: registration
+  /// order is construction order and recording is event-ordered, so the
+  /// snapshot is byte-identical across --jobs counts.
+  obs::MetricsSnapshot metrics;
   /// Deliveries keyed by packet size — in mixed-length workloads the size
   /// identifies the sender class, letting ablations attribute loss to long
   /// vs. short transactions without violating address-freedom.
@@ -130,7 +138,16 @@ struct ExperimentResult {
 
 /// Runs one trial of the validation experiment. Thread-compatible: distinct
 /// configs may run concurrently (all simulation state is trial-local).
-ExperimentResult run_experiment(const ExperimentConfig& config);
+///
+/// When `spans` is non-null the whole protocol timeline is recorded into
+/// it: transaction spans (id selection → radio drain) on the sender side,
+/// reassembly spans (entry creation → delivered/checksum_failed/timeout/
+/// evicted) on the receive side, fragment instants parented to both, and
+/// the medium's frame events as ground-truth instants. The recorder is
+/// finished (stragglers closed "unterminated") at the simulation horizon,
+/// so the stream is complete and deterministic when this returns.
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                obs::SpanRecorder* spans = nullptr);
 
 /// Canonical integer-field digest of a trial result, e.g.
 /// "offered=129 aff=127 ... aff_sizes{80:127,} truth_sizes{80:129,}".

@@ -1,0 +1,46 @@
+#include "runner/observe.hpp"
+
+#include <stdexcept>
+
+#include "obs/export.hpp"
+#include "runner/seeds.hpp"
+
+namespace retri::runner {
+
+TraceCapture capture_trace(const ExperimentConfig& config,
+                           const TraceCaptureOptions& options) {
+  if (options.trials == 0) {
+    throw std::invalid_argument("TraceCaptureOptions.trials must be >= 1");
+  }
+  if (options.trial_index >= options.trials) {
+    throw std::invalid_argument(
+        "TraceCaptureOptions.trial_index must be < trials, got " +
+        std::to_string(options.trial_index) + " with " +
+        std::to_string(options.trials) + " trial(s)");
+  }
+
+  TraceCapture capture;
+  TrialRunnerOptions runner_options;
+  runner_options.jobs = options.jobs;
+  const TrialRunner runner(runner_options);
+  capture.trials = runner.run(config, options.trials);
+  capture.summary = TrialRunner::summarize(capture.trials);
+
+  // Replay the selected trial inline with the recorder attached. Same
+  // derived seed → same simulation, so the trace matches capture.trials
+  // [trial_index] exactly; doing it as a replay keeps span recording out
+  // of the worker threads entirely.
+  ExperimentConfig traced_config = config;
+  traced_config.seed = derive_trial_seed(config.seed, options.trial_index);
+  obs::SpanRecorder spans;
+  const ExperimentResult traced = run_experiment(traced_config, &spans);
+
+  capture.span_count = spans.spans().size();
+  capture.instant_count = spans.instants().size();
+  capture.violations = spans.audit();
+  const obs::PerfettoExporter exporter(spans, &traced.metrics);
+  capture.perfetto_json = exporter.serialize();
+  return capture;
+}
+
+}  // namespace retri::runner

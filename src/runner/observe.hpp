@@ -1,0 +1,50 @@
+// Trace capture: one experiment's full observability artifact.
+//
+// capture_trace() is the shared engine behind the retri_trace CLI and the
+// obs test suite: it runs a batch of trials through TrialRunner (metrics
+// snapshots, jobs-invariant aggregation), then replays one selected trial
+// with a SpanRecorder attached and serializes the protocol timeline as
+// Chrome/Perfetto trace_event JSON. The replay is legitimate because
+// run_experiment is a pure function of its config: the traced re-run is
+// bit-identical to the batch trial with the same derived seed, so the
+// artifact describes exactly the trial the summary aggregated — and the
+// Perfetto JSON is byte-identical no matter how many jobs ran the batch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "runner/trial_runner.hpp"
+
+namespace retri::runner {
+
+struct TraceCaptureOptions {
+  /// Trials to run through the TrialRunner batch.
+  unsigned trials = 1;
+  /// Worker threads for the batch (the traced replay is always inline).
+  unsigned jobs = 1;
+  /// Which trial's span stream to capture; must be < trials.
+  unsigned trial_index = 0;
+};
+
+struct TraceCapture {
+  std::vector<ExperimentResult> trials;  // per-trial results, trial order
+  TrialSummary summary;                  // folded in trial-index order
+  std::size_t span_count = 0;            // spans in the captured trial
+  std::size_t instant_count = 0;         // instants in the captured trial
+  /// Span-stream integrity violations (empty on a healthy run): double
+  /// ends, never-ended spans, events parented to dead or unknown spans.
+  std::vector<std::string> violations;
+  /// The captured trial as Perfetto trace_event JSON (obs::PerfettoExporter
+  /// output, including the trial's metrics snapshot under "retri").
+  std::string perfetto_json;
+};
+
+/// Runs the batch and captures the selected trial's trace. Throws
+/// std::invalid_argument when options are out of range (zero trials, or
+/// trial_index >= trials).
+TraceCapture capture_trace(const ExperimentConfig& config,
+                           const TraceCaptureOptions& options = {});
+
+}  // namespace retri::runner

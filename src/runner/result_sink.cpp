@@ -1,7 +1,6 @@
 #include "runner/result_sink.hpp"
 
-#include <fstream>
-
+#include "obs/export.hpp"
 #include "runner/json.hpp"
 #include "runner/seeds.hpp"
 
@@ -53,6 +52,8 @@ void write_trial(JsonWriter& json, const ExperimentConfig& config,
   json.member("frames_attempted", trial.frames_attempted);
   json.member("frames_lost_channel", trial.frames_lost_channel);
   json.member("observed_frame_loss", trial.observed_frame_loss());
+  json.key("metrics");
+  obs::write_metrics_object(json, trial.metrics);
   json.end_object();
 }
 
@@ -104,6 +105,8 @@ std::string ResultSink::to_json(const SweepResult& result, bool pretty) {
     write_trial_set(json, point.summary.delivery_ratio);
     json.key("collision_loss");
     write_trial_set(json, point.summary.collision_loss);
+    json.key("metrics_total");
+    obs::write_metrics_object(json, point.summary.metrics_total);
     json.end_object();
 
     json.end_object();
@@ -116,21 +119,7 @@ std::string ResultSink::to_json(const SweepResult& result, bool pretty) {
 
 bool ResultSink::write_file(const std::string& path, const SweepResult& result,
                             std::string* error) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    if (error) *error = "cannot open " + path + " for writing";
-    return false;
-  }
-  out << to_json(result) << '\n';
-  out.flush();
-  // close() can surface errors flush() missed (e.g. deferred ENOSPC), so
-  // fold both into the stream state before deciding.
-  out.close();
-  if (out.fail()) {
-    if (error) *error = "write to " + path + " failed";
-    return false;
-  }
-  return true;
+  return obs::write_text_file(path, to_json(result), error);
 }
 
 }  // namespace retri::runner

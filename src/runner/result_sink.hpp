@@ -21,7 +21,9 @@ class ResultSink {
   /// Bumped whenever the emitted structure changes shape.
   /// v2: config gains channel/loss_rate; trials gain frames_attempted,
   /// frames_lost_channel, observed_frame_loss.
-  static constexpr int kSchemaVersion = 2;
+  /// v3: trials gain a "metrics" object (the trial's obs::MetricsSnapshot)
+  /// and aggregates gain "metrics_total" (snapshots folded in trial order).
+  static constexpr int kSchemaVersion = 3;
 
   /// Serializes `result` (pretty-printed when `pretty`).
   static std::string to_json(const SweepResult& result, bool pretty = true);

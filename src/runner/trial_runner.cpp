@@ -58,6 +58,7 @@ TrialSummary TrialRunner::summarize(
   for (const ExperimentResult& result : results) {
     summary.delivery_ratio.add(result.delivery_ratio());
     summary.collision_loss.add(result.collision_loss_rate());
+    obs::accumulate(summary.metrics_total, result.metrics);
     summary.last = result;
   }
   return summary;

@@ -28,6 +28,10 @@ struct TrialSummary {
   stats::TrialSet delivery_ratio;
   stats::TrialSet collision_loss;
   ExperimentResult last;  // representative absolute numbers (highest index)
+  /// Per-trial metric snapshots folded in trial-index order (counters and
+  /// histogram buckets sum, gauges keep peaks) — deterministic and
+  /// jobs-invariant because the fold happens after the barrier.
+  obs::MetricsSnapshot metrics_total;
 };
 
 struct TrialProgress {

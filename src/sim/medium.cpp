@@ -2,39 +2,87 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
-#include <stdexcept>
-#include <string>
 #include <utility>
+
+#include "util/validate.hpp"
 
 namespace retri::sim {
 
+namespace {
+
+/// Frame-size histogram buckets (bytes). AFF frames on the RPC radios are
+/// small — intro frames ~16 bytes, data frames up to the fragment payload —
+/// so fine buckets at the low end tell the real story.
+const std::vector<double> kFrameBytesBounds{8, 16, 24, 32, 48, 64};
+
+/// Span-stream names for the frame trace kinds, mirroring TraceEvent::Kind.
+const char* instant_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kTransmit: return "frame.transmit";
+    case TraceEvent::Kind::kDeliver: return "frame.deliver";
+    case TraceEvent::Kind::kLostRandom: return "frame.lost_random";
+    case TraceEvent::Kind::kLostCollision: return "frame.lost_rf_collision";
+    case TraceEvent::Kind::kLostHalfDuplex: return "frame.lost_half_duplex";
+    case TraceEvent::Kind::kLostDisabled: return "frame.lost_disabled";
+    case TraceEvent::Kind::kLostFault: return "frame.lost_fault";
+  }
+  return "frame.unknown";
+}
+
+}  // namespace
+
 MediumConfig validated(MediumConfig config) {
-  if (std::isnan(config.per_link_loss) || config.per_link_loss < 0.0 ||
-      config.per_link_loss > 1.0) {
-    throw std::invalid_argument(
-        "MediumConfig.per_link_loss must be in [0, 1], got " +
-        std::to_string(config.per_link_loss));
-  }
-  if (config.propagation_delay.ns() < 0) {
-    throw std::invalid_argument(
-        "MediumConfig.propagation_delay must be non-negative, got " +
-        std::to_string(config.propagation_delay.to_seconds()) + "s");
-  }
+  util::Validator v{"MediumConfig"};
+  v.probability("per_link_loss", config.per_link_loss);
+  v.non_negative_seconds("propagation_delay",
+                         config.propagation_delay.to_seconds());
   return config;
 }
 
 BroadcastMedium::BroadcastMedium(Simulator& sim, Topology topology,
-                                 MediumConfig config, std::uint64_t seed)
+                                 MediumConfig config, std::uint64_t seed,
+                                 obs::Hooks hooks)
     : sim_(sim),
       topology_(std::move(topology)),
       config_(validated(config)),
       rng_(seed),
+      owned_metrics_(hooks.metrics != nullptr
+                         ? nullptr
+                         : std::make_unique<obs::MetricsRegistry>()),
+      metrics_(hooks.metrics != nullptr ? hooks.metrics : owned_metrics_.get()),
+      spans_(hooks.spans),
       handlers_(topology_.size()),
       enabled_(topology_.size(), 1),
       active_rx_(topology_.size()),
       tx_first_start_(topology_.size(), TimePoint::origin()),
-      tx_busy_until_(topology_.size(), TimePoint::origin()) {}
+      tx_busy_until_(topology_.size(), TimePoint::origin()) {
+  obs::MetricsRegistry& m = *metrics_;
+  counters_.frames_sent = m.counter("medium.frames_sent");
+  counters_.deliveries_attempted = m.counter("medium.deliveries_attempted");
+  counters_.delivered = m.counter("medium.delivered");
+  counters_.lost_random = m.counter("medium.lost_random");
+  counters_.lost_rf_collision = m.counter("medium.lost_rf_collision");
+  counters_.lost_half_duplex = m.counter("medium.lost_half_duplex");
+  counters_.lost_disabled = m.counter("medium.lost_disabled");
+  counters_.lost_fault = m.counter("medium.lost_fault");
+  counters_.fault_extra_deliveries =
+      m.counter("medium.fault_extra_deliveries");
+  counters_.frame_bytes = m.histogram("medium.frame_bytes", kFrameBytesBounds);
+}
+
+MediumStatsSnapshot BroadcastMedium::stats() const noexcept {
+  MediumStatsSnapshot s;
+  s.frames_sent = counters_.frames_sent.value();
+  s.deliveries_attempted = counters_.deliveries_attempted.value();
+  s.delivered = counters_.delivered.value();
+  s.lost_random = counters_.lost_random.value();
+  s.lost_rf_collision = counters_.lost_rf_collision.value();
+  s.lost_half_duplex = counters_.lost_half_duplex.value();
+  s.lost_disabled = counters_.lost_disabled.value();
+  s.lost_fault = counters_.lost_fault.value();
+  s.fault_extra_deliveries = counters_.fault_extra_deliveries.value();
+  return s;
+}
 
 void BroadcastMedium::attach(NodeId node, RxHandler handler) {
   assert(node < handlers_.size());
@@ -97,16 +145,26 @@ void BroadcastMedium::prune(ActiveRx& rx, TimePoint t) noexcept {
 
 void BroadcastMedium::trace_event(TraceEvent::Kind kind, NodeId from,
                                   NodeId to, std::size_t bytes) {
-  if (trace_ == nullptr) return;
-  trace_->record(TraceEvent{sim_.now(), kind, from, to,
-                            static_cast<std::uint32_t>(bytes)});
+  if (trace_ != nullptr) {
+    trace_->record(TraceEvent{sim_.now(), kind, from, to,
+                              static_cast<std::uint32_t>(bytes)});
+  }
+  if (spans_ != nullptr) {
+    // Bridge the frame stream into the span timeline: ground-truth instants
+    // on the track of the node the event happened *at* (the listener for
+    // delivery/loss events, the sender for transmits).
+    const NodeId track = to != TraceEvent::kNoNode ? to : from;
+    spans_->instant(instant_name(kind), "medium", track, sim_.now(),
+                    obs::SpanId::none(), static_cast<std::uint64_t>(bytes));
+  }
 }
 
 void BroadcastMedium::transmit(NodeId from, util::Bytes payload,
                                Duration airtime) {
   assert(from < topology_.size());
   if (!enabled(from)) return;
-  ++stats_.frames_sent;
+  counters_.frames_sent.inc();
+  counters_.frame_bytes.record(static_cast<double>(payload.size()));
   trace_event(TraceEvent::Kind::kTransmit, from, TraceEvent::kNoNode,
               payload.size());
 
@@ -122,7 +180,7 @@ void BroadcastMedium::transmit(NodeId from, util::Bytes payload,
   const util::SharedBytes shared_payload{std::move(payload)};
 
   for (const NodeId listener : topology_.audience(from)) {
-    ++stats_.deliveries_attempted;
+    counters_.deliveries_attempted.inc();
 
     std::uint32_t rx_slot = kNoReception;
     if (config_.rf_collisions) {
@@ -167,12 +225,12 @@ void BroadcastMedium::on_delivery(NodeId from, NodeId listener,
   }
   const std::size_t bytes = payload.size();
   if (!enabled(listener)) {
-    ++stats_.lost_disabled;
+    counters_.lost_disabled.inc();
     trace_event(TraceEvent::Kind::kLostDisabled, from, listener, bytes);
     return;
   }
   if (corrupted) {
-    ++stats_.lost_rf_collision;
+    counters_.lost_rf_collision.inc();
     trace_event(TraceEvent::Kind::kLostCollision, from, listener, bytes);
     return;
   }
@@ -181,12 +239,12 @@ void BroadcastMedium::on_delivery(NodeId from, NodeId listener,
   // transmissions the listener started mid-reception count.
   if (config_.half_duplex && tx_busy_until_[listener] > start &&
       tx_first_start_[listener] < end) {
-    ++stats_.lost_half_duplex;
+    counters_.lost_half_duplex.inc();
     trace_event(TraceEvent::Kind::kLostHalfDuplex, from, listener, bytes);
     return;
   }
   if (config_.per_link_loss > 0.0 && rng_.chance(config_.per_link_loss)) {
-    ++stats_.lost_random;
+    counters_.lost_random.inc();
     trace_event(TraceEvent::Kind::kLostRandom, from, listener, bytes);
     return;
   }
@@ -199,7 +257,7 @@ void BroadcastMedium::on_delivery(NodeId from, NodeId listener,
 
 void BroadcastMedium::deliver(NodeId from, NodeId listener,
                               const util::SharedBytes& payload) {
-  ++stats_.delivered;
+  counters_.delivered.inc();
   trace_event(TraceEvent::Kind::kDeliver, from, listener, payload.size());
   if (handlers_[listener]) handlers_[listener](from, payload.bytes());
 }
@@ -209,12 +267,12 @@ void BroadcastMedium::deliver_through_interceptor(
   std::vector<DeliveryInterceptor::Injected> copies =
       interceptor_->intercept(from, listener, payload);
   if (copies.empty()) {
-    ++stats_.lost_fault;
+    counters_.lost_fault.inc();
     trace_event(TraceEvent::Kind::kLostFault, from, listener, payload.size());
     return;
   }
-  stats_.fault_extra_deliveries +=
-      static_cast<std::uint64_t>(copies.size()) - 1;
+  counters_.fault_extra_deliveries.inc(
+      static_cast<std::uint64_t>(copies.size()) - 1);
   for (DeliveryInterceptor::Injected& copy : copies) {
     assert(copy.extra_delay.ns() >= 0);
     if (copy.extra_delay.ns() <= 0) {
@@ -228,7 +286,7 @@ void BroadcastMedium::deliver_through_interceptor(
         copy.extra_delay,
         [this, from, listener, delayed = std::move(copy.payload)]() {
           if (!enabled(listener)) {
-            ++stats_.lost_disabled;
+            counters_.lost_disabled.inc();
             trace_event(TraceEvent::Kind::kLostDisabled, from, listener,
                         delayed.size());
             return;

@@ -18,6 +18,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 #include "sim/topology.hpp"
@@ -45,7 +47,11 @@ struct MediumConfig {
 /// otherwise. BroadcastMedium calls this on construction.
 MediumConfig validated(MediumConfig config);
 
-struct MediumStats {
+/// Point-in-time view of the medium's loss buckets, built from the
+/// "medium.*" counters in the backing obs::MetricsRegistry. stats()
+/// returns one BY VALUE — it is a copy, not a live reference; re-call
+/// stats() after further simulation to observe new events.
+struct MediumStatsSnapshot {
   std::uint64_t frames_sent = 0;            // transmit() calls
   std::uint64_t deliveries_attempted = 0;   // one per (frame, listener)
   std::uint64_t delivered = 0;
@@ -61,6 +67,11 @@ struct MediumStats {
   ///       + lost_disabled + lost_fault.
   std::uint64_t fault_extra_deliveries = 0;
 };
+
+/// Deprecated spelling, kept as a thin alias for one PR while callers
+/// migrate to the snapshot name (and, for cross-layer analysis, to the
+/// registry's "medium.*" counters directly).
+using MediumStats = MediumStatsSnapshot;
 
 /// Delivery-path decorator hook (implemented by fault::FaultInjector).
 ///
@@ -96,8 +107,14 @@ class BroadcastMedium {
   /// Called on successful frame reception: (sender, frame payload).
   using RxHandler = std::function<void(NodeId, const util::Bytes&)>;
 
+  /// `hooks` wires the medium into a shared obs::MetricsRegistry (counters
+  /// under "medium.*", frame-size histogram "medium.frame_bytes") and, when
+  /// hooks.spans is set, mirrors every frame trace event as an instant in
+  /// the span stream (category "medium", track = receiving/sending node).
+  /// With default hooks the medium owns a private registry so stats() keeps
+  /// working standalone.
   BroadcastMedium(Simulator& sim, Topology topology, MediumConfig config,
-                  std::uint64_t seed);
+                  std::uint64_t seed, obs::Hooks hooks = {});
 
   /// Registers the receive handler for a node. One handler per node;
   /// re-attaching replaces the previous handler.
@@ -126,7 +143,8 @@ class BroadcastMedium {
     interceptor_ = interceptor;
   }
 
-  const MediumStats& stats() const noexcept { return stats_; }
+  /// Snapshot of the loss buckets, BY VALUE (see MediumStatsSnapshot).
+  MediumStatsSnapshot stats() const noexcept;
   const Topology& topology() const noexcept { return topology_; }
   /// Mutable topology access for dynamics experiments (link churn).
   Topology& topology() noexcept { return topology_; }
@@ -181,11 +199,31 @@ class BroadcastMedium {
                    const util::SharedBytes& payload, TimePoint start,
                    TimePoint end);
 
+  /// Registry-backed counter handles; one per MediumStatsSnapshot bucket,
+  /// plus a frame-size histogram. Registered once at construction so the
+  /// recording hot path never allocates.
+  struct Counters {
+    obs::Counter frames_sent;
+    obs::Counter deliveries_attempted;
+    obs::Counter delivered;
+    obs::Counter lost_random;
+    obs::Counter lost_rf_collision;
+    obs::Counter lost_half_duplex;
+    obs::Counter lost_disabled;
+    obs::Counter lost_fault;
+    obs::Counter fault_extra_deliveries;
+    obs::Histogram frame_bytes;
+  };
+
   Simulator& sim_;
   Topology topology_;
   MediumConfig config_;
   util::Xoshiro256 rng_;
-  MediumStats stats_;
+  /// Fallback registry, created only when no hooks.metrics was supplied.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;
+  Counters counters_;
   TraceRecorder* trace_ = nullptr;
   DeliveryInterceptor* interceptor_ = nullptr;
   std::vector<RxHandler> handlers_;

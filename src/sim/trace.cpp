@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <sstream>
 
 namespace retri::sim {
 
@@ -69,6 +70,18 @@ void TraceRecorder::dump_csv(std::ostream& out) const {
     else out << e.to;
     out << ',' << e.bytes << "\n";
   }
+}
+
+std::string TraceTextExporter::serialize() const {
+  std::ostringstream out;
+  trace_.dump(out);
+  return std::move(out).str();
+}
+
+std::string TraceCsvExporter::serialize() const {
+  std::ostringstream out;
+  trace_.dump_csv(out);
+  return std::move(out).str();
 }
 
 }  // namespace retri::sim

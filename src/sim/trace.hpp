@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "sim/time.hpp"
 #include "sim/topology.hpp"
 
@@ -66,6 +67,30 @@ class TraceRecorder {
   std::vector<TraceEvent> events_;
   std::uint64_t recorded_ = 0;
   std::uint64_t dropped_ = 0;
+};
+
+/// obs::Exporter adapters over TraceRecorder's two dump formats, so frame
+/// traces share one write/error path (obs::export_to_file) with the
+/// Perfetto exporter and ResultSink instead of each CLI hand-rolling
+/// ofstream handling. The recorder must outlive the exporter.
+class TraceTextExporter final : public obs::Exporter {
+ public:
+  explicit TraceTextExporter(const TraceRecorder& trace) : trace_(trace) {}
+  std::string_view format_name() const noexcept override { return "trace-text"; }
+  std::string serialize() const override;
+
+ private:
+  const TraceRecorder& trace_;
+};
+
+class TraceCsvExporter final : public obs::Exporter {
+ public:
+  explicit TraceCsvExporter(const TraceRecorder& trace) : trace_(trace) {}
+  std::string_view format_name() const noexcept override { return "trace-csv"; }
+  std::string serialize() const override;
+
+ private:
+  const TraceRecorder& trace_;
 };
 
 }  // namespace retri::sim

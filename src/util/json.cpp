@@ -1,11 +1,11 @@
-#include "runner/json.hpp"
+#include "util/json.hpp"
 
 #include <cassert>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 
-namespace retri::runner {
+namespace retri::util {
 
 void JsonWriter::newline_indent(std::size_t depth) {
   if (!pretty_) return;
@@ -145,4 +145,4 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
-}  // namespace retri::runner
+}  // namespace retri::util

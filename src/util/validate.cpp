@@ -1,0 +1,81 @@
+#include "util/validate.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace retri::util {
+namespace {
+
+std::string message(std::string_view struct_name, std::string_view field,
+                    std::string_view requirement) {
+  std::string out;
+  out.reserve(struct_name.size() + field.size() + requirement.size() + 8);
+  out.append(struct_name);
+  out.push_back('.');
+  out.append(field);
+  out.append(" must ");
+  out.append(requirement);
+  return out;
+}
+
+}  // namespace
+
+void Validator::fail(std::string_view field, std::string_view requirement,
+                     std::string_view got) const {
+  std::string msg = message(struct_name_, field, requirement);
+  msg.append(", got ");
+  msg.append(got);
+  throw std::invalid_argument(msg);
+}
+
+void Validator::fail_bare(std::string_view field,
+                          std::string_view requirement) const {
+  throw std::invalid_argument(message(struct_name_, field, requirement));
+}
+
+void Validator::fail_number(std::string_view field,
+                            std::string_view requirement, double got,
+                            bool seconds_suffix) const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, seconds_suffix ? "%gs" : "%g", got);
+  fail(field, requirement, buf);
+}
+
+void Validator::probability(std::string_view field, double v) const {
+  if (std::isnan(v) || v < 0.0 || v > 1.0) {
+    fail_number(field, "be in [0, 1]", v, /*seconds_suffix=*/false);
+  }
+}
+
+void Validator::positive_seconds(std::string_view field, double seconds) const {
+  if (std::isnan(seconds) || seconds <= 0.0) {
+    fail_number(field, "be positive", seconds, /*seconds_suffix=*/true);
+  }
+}
+
+void Validator::non_negative_seconds(std::string_view field,
+                                     double seconds) const {
+  if (std::isnan(seconds) || seconds < 0.0) {
+    fail_number(field, "be non-negative", seconds, /*seconds_suffix=*/true);
+  }
+}
+
+void Validator::at_least(std::string_view field, std::uint64_t v,
+                         std::uint64_t min) const {
+  if (v < min) {
+    fail(field, "be >= " + std::to_string(min), std::to_string(v));
+  }
+}
+
+void Validator::in_range(std::string_view field, std::uint64_t v,
+                         std::uint64_t lo, std::uint64_t hi) const {
+  if (v < lo || v > hi) {
+    fail(field,
+         "be in [" + std::to_string(lo) + ", " + std::to_string(hi) + "]",
+         std::to_string(v));
+  }
+}
+
+}  // namespace retri::util

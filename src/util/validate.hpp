@@ -1,0 +1,69 @@
+// The constructor-validated() pattern, extracted.
+//
+// Four config structs (MediumConfig, ReassemblerConfig, AffDriverConfig,
+// FaultPlan) independently grew a free `validated(Config)` function that
+// returns the config unchanged or throws std::invalid_argument naming the
+// offending field. Each hand-rolled its own message format; Validator is
+// the one shared helper behind all of them.
+//
+// Documented error-message format (the repo-wide contract):
+//
+//   <Struct>.<field> must <requirement>, got <value>
+//
+// e.g. "MediumConfig.per_link_loss must be in [0, 1], got 1.5" or
+// "FaultPlan.max_delay must be non-negative, got -0.001s". Numeric values
+// print with %g (shortest natural form); durations carry an "s" suffix.
+// A requirement with no meaningful got-value (e.g. a cross-field
+// constraint) may omit the ", got" clause via fail_bare().
+//
+// Usage:
+//   MediumConfig validated(MediumConfig config) {
+//     const util::Validator v("MediumConfig");
+//     v.probability("per_link_loss", config.per_link_loss);
+//     v.non_negative_seconds("propagation_delay",
+//                            config.propagation_delay.to_seconds());
+//     return config;
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace retri::util {
+
+class Validator {
+ public:
+  /// `struct_name` must outlive the validator (pass a string literal).
+  explicit constexpr Validator(std::string_view struct_name)
+      : struct_name_(struct_name) {}
+
+  /// Throws std::invalid_argument with the documented message format.
+  [[noreturn]] void fail(std::string_view field, std::string_view requirement,
+                         std::string_view got) const;
+  /// fail() without the ", got <value>" clause, for cross-field
+  /// constraints whose offending value is implied by the requirement.
+  [[noreturn]] void fail_bare(std::string_view field,
+                              std::string_view requirement) const;
+
+  /// v must be a real number in [0, 1] (NaN rejected).
+  void probability(std::string_view field, double v) const;
+  /// seconds must be > 0.
+  void positive_seconds(std::string_view field, double seconds) const;
+  /// seconds must be >= 0.
+  void non_negative_seconds(std::string_view field, double seconds) const;
+  /// v must be >= min.
+  void at_least(std::string_view field, std::uint64_t v,
+                std::uint64_t min) const;
+  /// v must be in [lo, hi].
+  void in_range(std::string_view field, std::uint64_t v, std::uint64_t lo,
+                std::uint64_t hi) const;
+
+ private:
+  [[noreturn]] void fail_number(std::string_view field,
+                                std::string_view requirement, double got,
+                                bool seconds_suffix) const;
+
+  std::string_view struct_name_;
+};
+
+}  // namespace retri::util

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/medium.hpp"
 #include "sim/topology.hpp"
@@ -29,6 +30,26 @@ TEST(AllocHook, CountingReplacementIsLinked) {
   ASSERT_TRUE(util::alloc_hook_active())
       << "src/util/alloc_hook.cpp is not linked into this binary; every "
          "other assertion in this file would vacuously pass";
+}
+
+TEST(AllocHotPath, MetricsRecordingIsAllocationFree) {
+  // Registration may allocate (names, slots); recording through the
+  // returned handles must not — that is what lets the instrumented sim
+  // hot path keep every other budget in this file.
+  obs::MetricsRegistry registry;
+  obs::Counter counter = registry.counter("frames");
+  obs::Gauge gauge = registry.gauge("pending");
+  obs::Histogram histogram = registry.histogram("bytes", {16.0, 64.0, 256.0});
+  const std::uint64_t before = util::alloc_count();
+  for (int i = 0; i < kOps; ++i) {
+    counter.inc();
+    counter.inc(3);
+    gauge.set(i);
+    histogram.record(static_cast<double>(i));
+  }
+  EXPECT_EQ(util::alloc_count() - before, 0u)
+      << "metric recording allocated in steady state";
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kOps) * 4);
 }
 
 TEST(AllocHotPath, EngineSteadyStateIsAllocationFree) {

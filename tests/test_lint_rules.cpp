@@ -43,7 +43,7 @@ TEST(LintRules, DefaultTableHasExpectedRules) {
   for (const char* id :
        {"no-unseeded-rand", "no-random-device", "no-wall-clock",
         "no-raw-thread", "header-pragma-once", "no-using-namespace-header",
-        "no-shared-ptr-hot", "no-direct-io"}) {
+        "no-shared-ptr-hot", "no-adhoc-counter", "no-direct-io"}) {
     EXPECT_NE(find_rule(id), nullptr) << id;
   }
 }
@@ -173,6 +173,38 @@ TEST(LintRules, SharedPtrBannedInSimAndCoreOnly) {
                              "no-shared-ptr-hot"));
   EXPECT_FALSE(has_violation(scan("tests/test_medium.cpp", body),
                              "no-shared-ptr-hot"));
+}
+
+TEST(LintRules, AdhocCounterBannedInSrcOutsideObs) {
+  const std::string body = "std::uint64_t frames_count = 0;\n";
+  EXPECT_TRUE(has_violation(scan("src/sim/medium.hpp", body),
+                            "no-adhoc-counter"));
+  EXPECT_TRUE(has_violation(scan("src/aff/reassembler.hpp",
+                                 "std::uint64_t drop_counts[4];\n"),
+                            "no-adhoc-counter"));
+  // The obs layer itself holds raw counts (it IS the registry), and code
+  // outside src/ (tests, benches, tools) keeps plain tallies freely.
+  EXPECT_FALSE(has_violation(scan("src/obs/metrics.hpp", body),
+                             "no-adhoc-counter"));
+  EXPECT_FALSE(has_violation(scan("tests/test_medium.cpp", body),
+                             "no-adhoc-counter"));
+  EXPECT_FALSE(has_violation(scan("bench/harness.cpp", body),
+                             "no-adhoc-counter"));
+  // Non-counter names and non-uint64 tallies are out of the rule's lane.
+  EXPECT_FALSE(has_violation(scan("src/sim/medium.hpp",
+                                  "std::uint64_t next_seq = 0;\n"),
+                             "no-adhoc-counter"));
+  EXPECT_FALSE(has_violation(scan("src/sim/medium.hpp",
+                                  "std::size_t frame_count = 0;\n"),
+                             "no-adhoc-counter"));
+}
+
+TEST(LintRules, AdhocCounterEscapeHatch) {
+  const auto vs = scan(
+      "src/fault/injector.hpp",
+      "std::uint64_t replay_count = 0;  "
+      "// retri-lint: allow(no-adhoc-counter)\n");
+  EXPECT_FALSE(has_violation(vs, "no-adhoc-counter"));
 }
 
 TEST(LintRules, SharedPtrEscapeHatchAndWeakPtrAllowed) {

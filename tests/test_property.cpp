@@ -71,8 +71,11 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u, 12u),
                        ::testing::Values(1u, 2u, 5u, 16u)),
     [](const ::testing::TestParamInfo<ModelPoint>& param_info) {
-      return "H" + std::to_string(std::get<0>(param_info.param)) + "_T" +
-             std::to_string(std::get<1>(param_info.param));
+      std::string tag = "H";
+      tag += std::to_string(std::get<0>(param_info.param));
+      tag += "_T";
+      tag += std::to_string(std::get<1>(param_info.param));
+      return tag;
     });
 
 // -- Selector distribution properties over a parameter sweep -----------------
@@ -113,7 +116,9 @@ TEST_P(SelectorWidthTest, ListeningSelectorNeverPicksAvoidedWhenRoomExists) {
 INSTANTIATE_TEST_SUITE_P(Widths, SelectorWidthTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u, 10u),
                          [](const ::testing::TestParamInfo<unsigned>& param_info) {
-                           return "H" + std::to_string(param_info.param);
+                           std::string tag = "H";
+                           tag += std::to_string(param_info.param);
+                           return tag;
                          });
 
 // -- Model surface properties over a dense grid ------------------------------

@@ -228,8 +228,12 @@ TEST(SweepRunner, ParallelSweepMatchesSerialAndExportsStableJson) {
   EXPECT_TRUE(JsonChecker(json_a).valid());
   EXPECT_NE(json_a.find("\"schema\": \"retri.sweep-result\""),
             std::string::npos);
-  EXPECT_NE(json_a.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json_a.find("\"schema_version\": 3"), std::string::npos);
   EXPECT_NE(json_a.find("\"delivery_ratio\""), std::string::npos);
+  // v3: per-trial metrics snapshots and the trial-order metrics fold.
+  EXPECT_NE(json_a.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json_a.find("\"metrics_total\""), std::string::npos);
+  EXPECT_NE(json_a.find("\"medium.frames_sent\""), std::string::npos);
   EXPECT_NE(json_a.find("\"ci95_hi\""), std::string::npos);
   EXPECT_NE(json_a.find("H=2 uniform"), std::string::npos);
   // Compact mode is valid too.

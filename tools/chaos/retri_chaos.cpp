@@ -17,11 +17,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "fault/chaos.hpp"
+#include "obs/export.hpp"
 #include "runner/chaos_soak.hpp"
 #include "runner/json.hpp"
 #include "runner/seeds.hpp"
@@ -228,17 +228,10 @@ int main(int argc, char** argv) {
   std::printf("chaos soak: %u/%zu trials clean\n", clean, runs.size());
 
   if (!args.out.empty()) {
-    std::ofstream file(args.out, std::ios::binary | std::ios::trunc);
-    if (!file) {
-      std::fprintf(stderr, "retri_chaos: cannot open %s for writing\n",
-                   args.out.c_str());
-      return 2;
-    }
-    file << soak_json(args, runs) << '\n';
-    file.close();
-    if (file.fail()) {
-      std::fprintf(stderr, "retri_chaos: write to %s failed\n",
-                   args.out.c_str());
+    std::string error;
+    if (!retri::obs::write_text_file(args.out, soak_json(args, runs) + "\n",
+                                     &error)) {
+      std::fprintf(stderr, "retri_chaos: %s\n", error.c_str());
       return 2;
     }
     std::printf("wrote %s\n", args.out.c_str());

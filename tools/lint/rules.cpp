@@ -90,6 +90,18 @@ std::vector<Rule> make_default_rules() {
       {"src/sim/", "src/core/"}});
 
   rules.push_back(Rule{
+      "no-adhoc-counter",
+      RuleKind::kBannedPattern,
+      R"(\bstd::uint64_t\s+\w*_count\w*\s*[={;\[])",
+      {"src/obs/"},
+      {},
+      "ad-hoc uint64 counter members bypass the obs layer (snapshots, "
+      "compile-out, jobs-invariant aggregation); register an obs::Counter "
+      "on the trial's MetricsRegistry — escape with retri-lint: "
+      "allow(no-adhoc-counter) for genuine non-metric state",
+      {"src/"}});
+
+  rules.push_back(Rule{
       "no-direct-io",
       RuleKind::kBannedPattern,
       R"(\bstd::cout\b|\bstd::cerr\b|\bstd::clog\b|\bprintf\s*\(|\bfprintf\s*\(|\bputs\s*\(|\bfputs\s*\()",

@@ -1,0 +1,224 @@
+// retri_trace: protocol timeline capture CLI.
+//
+// Runs a batch of §5.1 experiment trials through the parallel TrialRunner,
+// then replays one selected trial with an obs::SpanRecorder attached and
+// writes the protocol timeline — transaction and reassembly spans down to
+// per-frame events, plus the trial's metric snapshot — as Chrome/Perfetto
+// trace_event JSON. Load the artifact in chrome://tracing or
+// ui.perfetto.dev ("open with legacy importer") to see the paper's
+// ephemeral-identifier lifecycle laid out per node.
+//
+// Determinism contract: the artifact is a pure function of the experiment
+// knobs and --seed; --jobs only shards the batch (the traced replay is
+// always inline), so --jobs 1 and --jobs 8 produce byte-identical output.
+// scripts/check.sh diffs exactly that.
+//
+// Exit 0: capture clean; 1: span-stream integrity violations (double ends,
+// unterminated spans, events parented to dead spans); 2: bad arguments or
+// I/O error.
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/export.hpp"
+#include "runner/observe.hpp"
+#include "runner/seeds.hpp"
+
+namespace {
+
+struct Args {
+  std::size_t senders = 3;
+  unsigned bits = 8;
+  std::string policy = "uniform";
+  double seconds = 2.0;     // send_duration per trial
+  double loss = 0.0;        // channel loss_rate
+  std::string channel = "independent";
+  unsigned trials = 1;
+  unsigned jobs = 1;
+  unsigned trial = 0;       // which trial's spans to capture
+  std::uint64_t seed = 1;
+  std::string out;          // Perfetto JSON path; empty = no export
+  bool summary = false;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: retri_trace [--senders N] [--bits B] [--policy P]\n"
+      "                   [--seconds S] [--loss R] [--channel C]\n"
+      "                   [--trials N] [--jobs N] [--trial I] [--seed X]\n"
+      "                   [--out FILE] [--summary]\n"
+      "\n"
+      "Runs N experiment trials, replays trial I with the span recorder\n"
+      "attached, and exports its protocol timeline as Chrome/Perfetto\n"
+      "trace_event JSON (open in chrome://tracing or ui.perfetto.dev).\n"
+      "--policy is uniform | listening | listening+notify; --channel is\n"
+      "independent | burst | chaos. Output is a pure function of the\n"
+      "experiment knobs and --seed; --jobs only shards the batch.\n"
+      "Exit 0: capture clean; 1: span-stream integrity violations;\n"
+      "2: bad arguments or I/O error.\n");
+}
+
+bool parse_u64(const char* s, std::uint64_t& value) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  value = parsed;
+  return true;
+}
+
+bool parse_unsigned(const char* s, unsigned& value) {
+  std::uint64_t wide = 0;
+  if (!parse_u64(s, wide) || wide > 0xffffffffull) return false;
+  value = static_cast<unsigned>(wide);
+  return true;
+}
+
+bool parse_double(const char* s, double& value) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  value = parsed;
+  return true;
+}
+
+/// Returns 0 on success, 2 on any malformed flag (printed to stderr).
+int parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    bool ok = true;
+    if (flag == "--help" || flag == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else if (flag == "--senders") {
+      std::uint64_t wide = 0;
+      ok = parse_u64(next(), wide) && wide >= 1 && wide <= 64;
+      args.senders = static_cast<std::size_t>(wide);
+    } else if (flag == "--bits") {
+      ok = parse_unsigned(next(), args.bits) && args.bits >= 1 &&
+           args.bits <= 16;
+    } else if (flag == "--policy") {
+      const char* value = next();
+      ok = value != nullptr;
+      if (ok) args.policy = value;
+    } else if (flag == "--seconds") {
+      ok = parse_double(next(), args.seconds) && args.seconds > 0.0;
+    } else if (flag == "--loss") {
+      ok = parse_double(next(), args.loss) && args.loss >= 0.0 &&
+           args.loss < 1.0;
+    } else if (flag == "--channel") {
+      const char* value = next();
+      ok = value != nullptr;
+      if (ok) args.channel = value;
+    } else if (flag == "--trials") {
+      ok = parse_unsigned(next(), args.trials) && args.trials >= 1;
+    } else if (flag == "--jobs") {
+      ok = parse_unsigned(next(), args.jobs) && args.jobs >= 1;
+    } else if (flag == "--trial") {
+      ok = parse_unsigned(next(), args.trial);
+    } else if (flag == "--seed") {
+      ok = parse_u64(next(), args.seed);
+    } else if (flag == "--out") {
+      const char* value = next();
+      ok = value != nullptr;
+      if (ok) args.out = value;
+    } else if (flag == "--summary") {
+      args.summary = true;
+    } else {
+      std::fprintf(stderr, "retri_trace: unknown flag '%s'\n", flag.c_str());
+      usage(stderr);
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "retri_trace: bad or missing value for %s\n",
+                   flag.c_str());
+      return 2;
+    }
+  }
+  if (args.trial >= args.trials) {
+    std::fprintf(stderr,
+                 "retri_trace: --trial %u out of range for %u trial(s)\n",
+                 args.trial, args.trials);
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (const int bad = parse_args(argc, argv, args)) return bad;
+
+  retri::runner::ExperimentConfig config;
+  config.senders = args.senders;
+  config.id_bits = args.bits;
+  config.policy = args.policy;
+  config.send_duration = retri::sim::Duration::from_seconds(args.seconds);
+  config.loss_rate = args.loss;
+  config.channel = args.channel;
+  config.seed = args.seed;
+
+  retri::runner::TraceCaptureOptions options;
+  options.trials = args.trials;
+  options.jobs = args.jobs;
+  options.trial_index = args.trial;
+
+  retri::runner::TraceCapture capture;
+  try {
+    capture = retri::runner::capture_trace(config, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "retri_trace: %s\n", e.what());
+    return 2;
+  }
+
+  const auto& traced = capture.trials[args.trial];
+  std::printf("trial %u seed=%llu | offered=%llu aff=%llu truth=%llu "
+              "delivery=%.3f | spans=%zu instants=%zu\n",
+              args.trial,
+              static_cast<unsigned long long>(
+                  retri::runner::derive_trial_seed(args.seed, args.trial)),
+              static_cast<unsigned long long>(traced.packets_offered),
+              static_cast<unsigned long long>(traced.aff_delivered),
+              static_cast<unsigned long long>(traced.truth_delivered),
+              traced.delivery_ratio(), capture.span_count,
+              capture.instant_count);
+  for (const std::string& violation : capture.violations) {
+    std::printf("violation: %s\n", violation.c_str());
+  }
+
+  if (args.summary) {
+    const auto& summary = capture.summary;
+    const auto ci = summary.delivery_ratio.ci95();
+    std::printf("batch: %zu trial(s), delivery %.3f [%.3f, %.3f]\n",
+                capture.trials.size(), summary.delivery_ratio.mean(), ci.lo,
+                ci.hi);
+    for (const auto& entry : summary.metrics_total.entries) {
+      if (entry.kind != retri::obs::MetricKind::kCounter) continue;
+      std::printf("  %-42s %llu\n", entry.name.c_str(),
+                  static_cast<unsigned long long>(entry.count));
+    }
+  }
+
+  if (!args.out.empty()) {
+    std::string error;
+    if (!retri::obs::write_text_file(args.out, capture.perfetto_json,
+                                     &error)) {
+      std::fprintf(stderr, "retri_trace: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("wrote %s (%zu bytes, perfetto-json)\n", args.out.c_str(),
+                capture.perfetto_json.size());
+  }
+
+  return capture.violations.empty() ? 0 : 1;
+}
