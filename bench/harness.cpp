@@ -98,6 +98,11 @@ bool try_parse_args(int argc, char** argv, BenchArgs& args,
     } else if (flag == "--sweep") {
       if (!next_value(value)) return false;
       args.sweep = std::string(value);
+    } else if (flag == "--via") {
+      if (!next_value(value)) return false;
+      args.via = std::string(value);
+    } else if (flag == "--cache-info") {
+      args.cache_info = true;
     } else if (flag == "--list") {
       args.list = true;
     } else if (flag == "--micro") {
@@ -133,9 +138,9 @@ int require_no_out(const BenchArgs& args, std::FILE* err) {
 }
 
 int export_result(const std::string& path, const runner::SweepResult& result,
-                  std::FILE* err) {
+                  std::FILE* err, const runner::ServeAnnotations* serve) {
   std::string error;
-  if (!runner::ResultSink::write_file(path, result, &error)) {
+  if (!runner::ResultSink::write_file(path, result, &error, serve)) {
     std::fprintf(err, "%s\n", error.c_str());
     return 2;
   }

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "runner/experiment.hpp"
+#include "runner/result_sink.hpp"
 #include "runner/sweep.hpp"
 #include "runner/trial_runner.hpp"
 
@@ -50,6 +51,14 @@ struct BenchArgs {
   std::string sweep;      // retri_bench: named sweep to run
   bool list = false;      // retri_bench: list available sweeps
   bool micro = false;     // retri_bench: run the hot-path micro suite
+  /// retri_bench: fetch the sweep through a retri_serve daemon at this
+  /// Unix-socket path instead of simulating locally. Results (and the
+  /// default --out artifact) are bit-identical to a local run.
+  std::string via;
+  /// retri_bench: with --via, annotate the --out artifact with per-trial
+  /// cache provenance (schema v4 "cache"/"served_by" members). Off by
+  /// default so served artifacts stay byte-comparable to local ones.
+  bool cache_info = false;
 };
 
 /// Non-exiting parser: returns false and fills `error` on unknown flags,
@@ -68,7 +77,8 @@ BenchArgs parse_args(int argc, char** argv);
 /// zero exit with no file poisons scripted pipelines. The failure reason
 /// is printed to `err`.
 int export_result(const std::string& path, const runner::SweepResult& result,
-                  std::FILE* err);
+                  std::FILE* err,
+                  const runner::ServeAnnotations* serve = nullptr);
 
 /// Exit-2 guard for the figure/ablation binaries, which print tables but
 /// never export JSON: the shared grammar accepts --out everywhere, and

@@ -17,15 +17,26 @@
 // runs the allocation-free hot-path micro suite instead (see micro.hpp);
 // its artifact is what scripts/bench_compare.py gates against the
 // committed bench/BENCH_micro.json baseline.
+//
+//   retri_bench --sweep fig4 --via /tmp/retri.sock [--cache-info]
+//
+// fetches the sweep through a retri_serve daemon instead of simulating
+// locally: cells already in the daemon's result cache are served without
+// simulation, the rest run on the daemon's pool. The table and the --out
+// artifact are byte-identical to a local run; --cache-info opts into the
+// schema v4 provenance members (per-trial cache hit/key, served_by).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "harness.hpp"
 #include "micro.hpp"
 #include "runner/result_sink.hpp"
 #include "runner/sweep.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
 #include "stats/table.hpp"
 
 namespace runner = retri::runner;
@@ -39,7 +50,7 @@ int list_sweeps(std::FILE* stream) {
   for (const std::string_view name : runner::named_sweeps()) {
     const auto spec = runner::make_named_sweep(name);
     std::fprintf(stream, "  %-20.*s %s\n", static_cast<int>(name.size()),
-                 name.data(), spec ? spec->description.c_str() : "");
+                 name.data(), spec.ok() ? spec.value().description.c_str() : "");
   }
   return 0;
 }
@@ -85,34 +96,72 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: retri_bench --sweep NAME [--jobs N] [--out FILE]\n"
                  "                   [--trials N] [--seconds S] [--senders N]\n"
-                 "                   [--seed X] [--csv] | --list | --micro\n\n");
+                 "                   [--seed X] [--csv] [--via SOCKET\n"
+                 "                   [--cache-info]] | --list | --micro\n\n");
     list_sweeps(stderr);
     return 2;
   }
 
-  auto spec = runner::make_named_sweep(args.sweep);
-  if (!spec) {
-    std::fprintf(stderr, "unknown sweep: %s\n\n", args.sweep.c_str());
-    list_sweeps(stderr);
+  if (args.sweep == "help") return list_sweeps(stdout);
+  auto named = runner::make_named_sweep(args.sweep);
+  if (!named.ok()) {
+    std::fprintf(stderr, "%s\n", named.error().c_str());
     return 2;
   }
-  spec->trials = args.trials;
-  spec->base.seed = args.seed;
-  spec->base.senders = args.senders;
-  spec->base.send_duration = retri::sim::Duration::from_seconds(args.seconds);
+  runner::SweepSpec spec = std::move(named).value();
+  spec.trials = args.trials;
+  spec.base.seed = args.seed;
+  spec.base.senders = args.senders;
+  spec.base.send_duration = retri::sim::Duration::from_seconds(args.seconds);
 
-  std::printf("sweep %s: %s\n(%zu points x %u trials x %.0f s, %u jobs)\n\n",
-              spec->name.c_str(), spec->description.c_str(),
-              spec->point_count(), spec->trials, args.seconds, args.jobs);
+  std::printf("sweep %s: %s\n(%zu points x %u trials x %.0f s, %s)\n\n",
+              spec.name.c_str(), spec.description.c_str(), spec.point_count(),
+              spec.trials, args.seconds,
+              args.via.empty() ? (std::to_string(args.jobs) + " jobs").c_str()
+                               : ("via " + args.via).c_str());
 
-  runner::SweepOptions options;
-  options.jobs = args.jobs;
-  options.on_point_done = [](const runner::SweepProgress& progress) {
-    std::fprintf(stderr, "[%zu/%zu] %.*s\n", progress.points_done,
-                 progress.points_total, static_cast<int>(progress.label.size()),
-                 progress.label.data());
-  };
-  const runner::SweepResult result = runner::SweepRunner(options).run(*spec);
+  runner::SweepResult result;
+  retri::runner::ServeAnnotations annotations;
+  bool annotated = false;
+  if (!args.via.empty()) {
+    // Server-fetched path: the daemon serves cached cells and simulates the
+    // rest; the reassembled result is bit-identical to a local run.
+    auto served = retri::serve::run_sweep_via(args.via, spec);
+    if (!served.ok()) {
+      std::fprintf(stderr, "retri_bench: %s\n", served.error().c_str());
+      return 1;
+    }
+    result = std::move(served.value().result);
+    std::fprintf(stderr, "served by %s: %llu cache hits, %llu simulated\n",
+                 served.value().job_id.c_str(),
+                 static_cast<unsigned long long>(served.value().hits),
+                 static_cast<unsigned long long>(served.value().misses));
+    if (args.cache_info) {
+      annotations.served_by = served.value().job_id;
+      annotations.code_version = std::string(retri::serve::kCodeVersion);
+      for (const auto& point : served.value().cache_info) {
+        auto& out = annotations.trials.emplace_back();
+        for (const retri::serve::TrialCacheInfo& info : point) {
+          out.push_back({info.hit, info.key});
+        }
+      }
+      annotated = true;
+    }
+  } else {
+    if (args.cache_info) {
+      std::fprintf(stderr, "--cache-info requires --via SOCKET\n");
+      return 2;
+    }
+    runner::SweepOptions options;
+    options.jobs = args.jobs;
+    options.on_point_done = [](const runner::SweepProgress& progress) {
+      std::fprintf(stderr, "[%zu/%zu] %.*s\n", progress.points_done,
+                   progress.points_total,
+                   static_cast<int>(progress.label.size()),
+                   progress.label.data());
+    };
+    result = runner::SweepRunner(options).run(spec);
+  }
 
   Table table({"point", "delivery mean", "loss mean", "loss sd", "ci95 lo",
                "ci95 hi", "packets/trial"});
@@ -130,7 +179,8 @@ int main(int argc, char** argv) {
   if (!args.out.empty()) {
     // Exit 2 (usage/IO error) when --out is unwritable: scripted pipelines
     // must never see a zero exit with the artifact silently missing.
-    if (const int status = retri::bench::export_result(args.out, result, stderr)) {
+    if (const int status = retri::bench::export_result(
+            args.out, result, stderr, annotated ? &annotations : nullptr)) {
       return status;
     }
     std::printf("\nwrote %s (schema v%d, %zu points)\n", args.out.c_str(),

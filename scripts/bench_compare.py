@@ -3,7 +3,8 @@
 
 Usage:
   bench_compare.py BASELINE.json CURRENT.json \
-      [--metric allocs_per_op] [--tolerance-pct 0] [--require NAME ...]
+      [--metric allocs_per_op] [--tolerance-pct 0] [--require NAME ...] \
+      [--append-history bench/BENCH_history.jsonl]
 
 Reads two micro-suite artifacts (schema_version 1, as written by
 `retri_bench --micro --out FILE`), matches benchmarks by name, and exits
@@ -21,12 +22,18 @@ linked into the producing binary); comparisons involving -1 are skipped
 with a warning rather than failed, so a hook-less build cannot masquerade
 as a zero-allocation one.
 
+With --append-history FILE, each gated run also appends one JSON line
+({ts, metric, status, current, baseline}) to FILE. scripts/check.sh --perf
+points it at the committed bench/BENCH_history.jsonl, so the repo keeps a
+greppable growth curve of every benchmark across its history.
+
 Standard library only; no third-party imports.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import sys
 
@@ -68,6 +75,10 @@ def main() -> int:
                         metavar="NAME",
                         help="fail if this benchmark is absent from the "
                              "current file (repeatable)")
+    parser.add_argument("--append-history", metavar="FILE", default=None,
+                        help="append one JSON line recording this gated "
+                             "run's per-benchmark metrics to FILE "
+                             "(e.g. the committed bench/BENCH_history.jsonl)")
     args = parser.parse_args()
     if args.tolerance_pct < 0:
         parser.error("--tolerance-pct must be >= 0")
@@ -114,6 +125,28 @@ def main() -> int:
     if compared == 0 and not failures:
         failures.append(f"no benchmarks compared on metric '{args.metric}' "
                         "(empty intersection or all unmeasured)")
+
+    if args.append_history:
+        # One compact JSON line per gated run: the growth curve of every
+        # benchmark's metric over the repo's history, greppable and
+        # plottable without parsing full artifacts. Recorded for failing
+        # runs too — a regression is exactly the data point worth keeping.
+        record = {
+            "ts": datetime.datetime.now(datetime.timezone.utc)
+                  .strftime("%Y-%m-%dT%H:%M:%SZ"),
+            "metric": args.metric,
+            "status": "fail" if failures else "ok",
+            "current": {name: bench.get(args.metric)
+                        for name, bench in sorted(current.items())},
+            "baseline": {name: bench.get(args.metric)
+                         for name, bench in sorted(baseline.items())},
+        }
+        try:
+            with open(args.append_history, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        except OSError as exc:
+            failures.append(f"cannot append history to "
+                            f"{args.append_history}: {exc}")
 
     if failures:
         print("bench_compare: FAIL", file=sys.stderr)

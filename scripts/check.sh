@@ -17,14 +17,21 @@
 #                (metrics/span/export suites + retri_trace CLI smoke) plus
 #                a --jobs 1 vs --jobs 8 retri_trace artifact diff (the
 #                Perfetto JSON must be byte-identical)
-#   7. tsan    — RETRI_SANITIZE=thread build + `ctest -L runner` (the
+#   7. serve   — sweep-serving gate under the werror build: `ctest -L serve`
+#                (cache/codec/wire/server suites) plus scripts/serve_smoke.sh
+#                (daemon on a temp socket; same sweep submitted twice; the
+#                second run must be 100% cache hits with --out artifacts
+#                byte-identical to a local retri_bench run)
+#   8. tsan    — RETRI_SANITIZE=thread build + `ctest -L runner` (the
 #                concurrency suite; TSan on the single-threaded sim buys
 #                nothing but runtime)
-#   8. perf    — opt-in via `scripts/check.sh --perf`: regenerates the
+#   9. perf    — opt-in via `scripts/check.sh --perf`: regenerates the
 #                micro-suite artifact with `retri_bench --micro` and gates
 #                allocs_per_op against the committed bench/BENCH_micro.json
 #                via scripts/bench_compare.py (zero tolerance — the metric
-#                is deterministic). Also runnable standalone.
+#                is deterministic), appending the run's metrics to the
+#                committed bench/BENCH_history.jsonl. Also runnable
+#                standalone.
 #
 # Exits nonzero on the first failing stage and always prints the per-stage
 # summary. Parallelism: JOBS env var, default nproc.
@@ -111,7 +118,8 @@ if [[ "$PERF" == 1 ]]; then
       --out build-check/perf/BENCH_micro.json &&
     python3 scripts/bench_compare.py bench/BENCH_micro.json \
       build-check/perf/BENCH_micro.json --metric allocs_per_op \
-      --require engine_schedule_fire --require medium_transmit_fanout5
+      --require engine_schedule_fire --require medium_transmit_fanout5 \
+      --append-history bench/BENCH_history.jsonl
   }
   run_stage perf perf_stage
   summary
@@ -174,7 +182,18 @@ obs_stage() {
 }
 run_stage obs obs_stage
 
-# --- 7. ThreadSanitizer build + runner concurrency suite --------------------
+# --- 7. sweep-serving gate ---------------------------------------------------
+# Unit suites for the cache/codec/wire/server layers, then the end-to-end
+# contract: a daemon on a temp socket must serve a repeated sweep entirely
+# from cache, byte-identical to a local retri_bench run.
+serve_stage() {
+  ctest --test-dir build-check/werror --output-on-failure -L serve \
+    -j "$JOBS" &&
+  scripts/serve_smoke.sh build-check/werror
+}
+run_stage serve serve_stage
+
+# --- 8. ThreadSanitizer build + runner concurrency suite --------------------
 tsan_stage() {
   build_dir build-check/tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DRETRI_SANITIZE=thread &&

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the retri_serve daemon (DESIGN.md §5g).
+#
+#   scripts/serve_smoke.sh BUILD_DIR
+#
+# Boots a daemon on a temp Unix socket with a disk cache, then checks the
+# serving contract end to end:
+#   1. first submit of a sweep simulates every cell (0 cache hits);
+#   2. the identical second submit is 100% cache hits, 0 simulations;
+#   3. the two --out artifacts are byte-identical to each other AND to a
+#      local `retri_bench --sweep` run of the same spec;
+#   4. `retri_bench --via` fetches the same bytes through the bench client;
+#   5. --status answers, --shutdown stops the daemon with exit 0.
+#
+# Exits nonzero on the first broken link, printing the daemon log.
+
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build-check/werror}"
+SERVE="$BUILD/tools/serve/retri_serve"
+BENCH="$BUILD/bench/retri_bench"
+for bin in "$SERVE" "$BENCH"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "serve_smoke: missing binary $bin (build first)" >&2
+    exit 2
+  fi
+done
+
+TMP="$(mktemp -d)"
+SOCK="$TMP/retri.sock"
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill "$DAEMON_PID" 2>/dev/null
+    wait "$DAEMON_PID" 2>/dev/null
+  fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  echo "---- daemon log ----" >&2
+  cat "$TMP/daemon.log" >&2 || true
+  exit 1
+}
+
+# A small but non-trivial spec: fig1 is 6 points; x2 trials = 12 cells.
+FLAGS=(--trials 2 --seconds 1 --senders 3 --seed 7)
+
+"$SERVE" --serve "$SOCK" --cache "$TMP/cache" --state "$TMP/state" \
+  --jobs 2 2>"$TMP/daemon.log" &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  [[ -S "$SOCK" ]] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died before binding"
+  sleep 0.1
+done
+[[ -S "$SOCK" ]] || fail "daemon never bound $SOCK"
+
+# 1. Cold submit: every cell must be simulated.
+"$SERVE" --submit fig1 --via "$SOCK" "${FLAGS[@]}" \
+  --out "$TMP/served1.json" | tee "$TMP/run1.txt" ||
+  fail "first submit failed"
+grep -q -- '— 0 cache hits' "$TMP/run1.txt" ||
+  fail "first submit reported cache hits against an empty cache"
+
+# 2. Warm submit: 100% hits, zero simulations.
+"$SERVE" --submit fig1 --via "$SOCK" "${FLAGS[@]}" \
+  --out "$TMP/served2.json" | tee "$TMP/run2.txt" ||
+  fail "second submit failed"
+grep -q -- ', 0 simulated' "$TMP/run2.txt" ||
+  fail "second submit re-simulated cached cells"
+grep -q -- '— 0 cache hits' "$TMP/run2.txt" &&
+  fail "second submit saw no cache hits"
+
+# 3. Bit-identity: warm == cold == local, at a different local --jobs.
+cmp "$TMP/served1.json" "$TMP/served2.json" ||
+  fail "cold and warm artifacts differ"
+"$BENCH" --sweep fig1 --jobs 4 "${FLAGS[@]}" --out "$TMP/local.json" \
+  >/dev/null || fail "local retri_bench run failed"
+cmp "$TMP/served1.json" "$TMP/local.json" ||
+  fail "served artifact differs from local retri_bench"
+
+# 4. The bench client fetches the same bytes through the daemon.
+"$BENCH" --sweep fig1 --via "$SOCK" "${FLAGS[@]}" --out "$TMP/via.json" \
+  >/dev/null 2>"$TMP/via.txt" || fail "retri_bench --via failed"
+grep -q -- ', 0 simulated' "$TMP/via.txt" ||
+  fail "retri_bench --via missed a fully warm cache"
+cmp "$TMP/via.json" "$TMP/local.json" ||
+  fail "retri_bench --via artifact differs from local"
+
+# 5. Control plane: status answers, shutdown is clean.
+"$SERVE" --status --via "$SOCK" | grep -q 'cache: entries=' ||
+  fail "--status gave no cache line"
+"$SERVE" --shutdown --via "$SOCK" || fail "--shutdown failed"
+wait "$DAEMON_PID"
+RC=$?
+DAEMON_PID=""
+[[ "$RC" == 0 ]] || fail "daemon exited with $RC after shutdown"
+
+echo "serve_smoke: OK (cold+warm submits, bit-identical artifacts, clean shutdown)"

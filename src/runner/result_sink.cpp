@@ -35,7 +35,9 @@ void write_config(JsonWriter& json, const ExperimentConfig& config) {
 }
 
 void write_trial(JsonWriter& json, const ExperimentConfig& config,
-                 const ExperimentResult& trial) {
+                 const ExperimentResult& trial,
+                 const ServeAnnotations::TrialCache* cache,
+                 const std::string* code_version) {
   json.begin_object();
   json.member("seed", config.seed);
   json.member("packets_offered", trial.packets_offered);
@@ -54,6 +56,14 @@ void write_trial(JsonWriter& json, const ExperimentConfig& config,
   json.member("observed_frame_loss", trial.observed_frame_loss());
   json.key("metrics");
   obs::write_metrics_object(json, trial.metrics);
+  if (cache != nullptr) {
+    json.key("cache").begin_object();
+    json.member("hit", cache->hit);
+    json.member("key", cache->key);
+    json.member("code_version",
+                code_version != nullptr ? *code_version : std::string());
+    json.end_object();
+  }
   json.end_object();
 }
 
@@ -71,11 +81,13 @@ void write_trial_set(JsonWriter& json, const stats::TrialSet& set) {
 
 }  // namespace
 
-std::string ResultSink::to_json(const SweepResult& result, bool pretty) {
+std::string ResultSink::to_json(const SweepResult& result, bool pretty,
+                                const ServeAnnotations* serve) {
   JsonWriter json(pretty);
   json.begin_object();
   json.member("schema", "retri.sweep-result");
   json.member("schema_version", kSchemaVersion);
+  if (serve != nullptr) json.member("served_by", serve->served_by);
 
   json.key("sweep").begin_object();
   json.member("name", result.spec.name);
@@ -86,7 +98,8 @@ std::string ResultSink::to_json(const SweepResult& result, bool pretty) {
   json.end_object();
 
   json.key("points").begin_array();
-  for (const SweepPointResult& point : result.points) {
+  for (std::size_t p = 0; p < result.points.size(); ++p) {
+    const SweepPointResult& point = result.points[p];
     json.begin_object();
     json.member("label", point.label);
     json.key("config");
@@ -96,7 +109,13 @@ std::string ResultSink::to_json(const SweepResult& result, bool pretty) {
     for (std::size_t t = 0; t < point.trials.size(); ++t) {
       ExperimentConfig trial_config = point.config;
       trial_config.seed = derive_trial_seed(point.config.seed, t);
-      write_trial(json, trial_config, point.trials[t]);
+      const ServeAnnotations::TrialCache* cache = nullptr;
+      if (serve != nullptr && p < serve->trials.size() &&
+          t < serve->trials[p].size()) {
+        cache = &serve->trials[p][t];
+      }
+      write_trial(json, trial_config, point.trials[t], cache,
+                  serve != nullptr ? &serve->code_version : nullptr);
     }
     json.end_array();
 
@@ -118,8 +137,9 @@ std::string ResultSink::to_json(const SweepResult& result, bool pretty) {
 }
 
 bool ResultSink::write_file(const std::string& path, const SweepResult& result,
-                            std::string* error) {
-  return obs::write_text_file(path, to_json(result), error);
+                            std::string* error, const ServeAnnotations* serve) {
+  return obs::write_text_file(path, to_json(result, /*pretty=*/true, serve),
+                              error);
 }
 
 }  // namespace retri::runner

@@ -11,10 +11,27 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "runner/sweep.hpp"
 
 namespace retri::runner {
+
+/// Opt-in provenance for server-fetched sweeps: which daemon job produced
+/// the artifact and, per (point, trial), whether the result came from the
+/// result cache and under which content address. Deliberately not part of
+/// the default artifact — the determinism contract is that a served sweep's
+/// default export is byte-identical to a local run's, and provenance is
+/// anything but a pure function of the SweepResult.
+struct ServeAnnotations {
+  std::string served_by;     // job id on the daemon
+  std::string code_version;  // serve::kCodeVersion at fetch time
+  struct TrialCache {
+    bool hit = false;
+    std::string key;  // cache content address of the cell
+  };
+  std::vector<std::vector<TrialCache>> trials;  // [point][trial]
+};
 
 class ResultSink {
  public:
@@ -23,15 +40,22 @@ class ResultSink {
   /// frames_lost_channel, observed_frame_loss.
   /// v3: trials gain a "metrics" object (the trial's obs::MetricsSnapshot)
   /// and aggregates gain "metrics_total" (snapshots folded in trial order).
-  static constexpr int kSchemaVersion = 3;
+  /// v4: optional serve provenance — top-level "served_by" and per-trial
+  /// "cache" {hit, key, code_version} objects — emitted only when
+  /// ServeAnnotations are passed (retri_bench --via --cache-info); default
+  /// artifacts carry no serve members and stay bit-comparable to local runs.
+  static constexpr int kSchemaVersion = 4;
 
-  /// Serializes `result` (pretty-printed when `pretty`).
-  static std::string to_json(const SweepResult& result, bool pretty = true);
+  /// Serializes `result` (pretty-printed when `pretty`). `serve`, when
+  /// non-null, adds the v4 provenance members.
+  static std::string to_json(const SweepResult& result, bool pretty = true,
+                             const ServeAnnotations* serve = nullptr);
 
   /// Writes to_json() to `path`. Returns false and fills `error` (if
   /// non-null) when the file cannot be written.
   static bool write_file(const std::string& path, const SweepResult& result,
-                         std::string* error = nullptr);
+                         std::string* error = nullptr,
+                         const ServeAnnotations* serve = nullptr);
 };
 
 }  // namespace retri::runner

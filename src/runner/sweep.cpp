@@ -167,7 +167,7 @@ std::vector<std::string_view> named_sweeps() {
           "burst_loss",  "chaos"};
 }
 
-std::optional<SweepSpec> make_named_sweep(std::string_view name) {
+util::Result<SweepSpec, std::string> make_named_sweep(std::string_view name) {
   SweepSpec spec;
   spec.name = std::string(name);
   if (name == "fig1") {
@@ -241,7 +241,15 @@ std::optional<SweepSpec> make_named_sweep(std::string_view name) {
     spec.base.loss_rate = 0.15;
     spec.id_bits = {2, 4, 6, 8};
   } else {
-    return std::nullopt;
+    // Name the alternatives in the error: the CLI surfaces this string
+    // verbatim, so a typo'd --sweep tells the user what would have worked.
+    std::string error = "unknown sweep \"" + std::string(name) +
+                        "\"; available sweeps:";
+    for (const std::string_view known : named_sweeps()) {
+      error += ' ';
+      error += known;
+    }
+    return error;
   }
   return spec;
 }

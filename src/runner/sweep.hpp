@@ -13,12 +13,12 @@
 
 #include <cstddef>
 #include <functional>
-#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "runner/trial_runner.hpp"
+#include "util/result.hpp"
 
 namespace retri::runner {
 
@@ -100,9 +100,10 @@ class SweepRunner {
 /// Names accepted by make_named_sweep, in presentation order.
 std::vector<std::string_view> named_sweeps();
 
-/// Builds the registered sweep grid for `name` (see named_sweeps()), or
-/// nullopt for an unknown name. The caller typically overrides trials,
+/// Builds the registered sweep grid for `name` (see named_sweeps()). An
+/// unknown name returns an error message that lists every available sweep
+/// — CLIs print it verbatim. The caller typically overrides trials,
 /// base.seed, base.send_duration, and base.senders from CLI flags.
-std::optional<SweepSpec> make_named_sweep(std::string_view name);
+util::Result<SweepSpec, std::string> make_named_sweep(std::string_view name);
 
 }  // namespace retri::runner

@@ -1,0 +1,125 @@
+// Content-addressed result cache: (canonical cell, code version) → trial.
+//
+// The sweep grids the paper's figures run are re-simulated constantly — CI
+// re-runs the same (config, seed) cells on every commit, and overlapping
+// sweeps share most of their points. Every trial is a pure function of its
+// canonical cell (the config JSON with the derived trial seed baked in)
+// plus the code version, so its result can be memoized under
+//   key = fnv1a64(code_version ‖ canonical cell JSON)
+// and served without simulating. Three properties make the cache safe to
+// trust:
+//   1. the code version is part of the key, so a simulator change can never
+//      serve a stale result — it simply misses;
+//   2. every entry carries a CRC-32 over its serialized body, checked when
+//      the on-disk store is loaded AND on every hit, so a corrupted or
+//      hand-edited entry is detected rather than returned;
+//   3. the entry stores the producer's semantic fingerprint
+//      (runner::fingerprint / fault::fingerprint), which the server
+//      re-derives from the decoded body on each hit — a body that decodes
+//      cleanly but no longer describes the same trial is rejected too.
+// Entries are bounded by a byte budget with LRU eviction (get() refreshes
+// recency) and persist as one file per key under `dir`, so a restarted
+// daemon reloads its memo table instead of re-simulating history.
+//
+// Not thread-safe: the owning layer (serve::Server, the cached chaos soak)
+// serializes access under its own mutex, the same discipline the
+// MetricsRegistry uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace retri::serve {
+
+/// Bumped whenever run_experiment / run_chaos_trial results could change
+/// for the same config — the golden-fingerprint suite is the tripwire that
+/// forces the bump. Part of every cache key, so stale entries become
+/// unreachable instead of wrong.
+inline constexpr std::string_view kCodeVersion = "retri-sim-v1";
+
+struct CacheOptions {
+  /// Directory for the persistent store; empty = memory-only (tests, or a
+  /// deliberately ephemeral daemon). Created if missing.
+  std::string dir;
+  /// Byte budget over the sum of entry body sizes. Inserting past it
+  /// evicts least-recently-used entries; a single body larger than the
+  /// budget is rejected outright.
+  std::size_t byte_budget = 256u << 20;
+  /// Optional registry for serve.cache.* metrics (hit/miss/evict/corrupt
+  /// counters, entries/bytes gauges).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(CacheOptions options);
+
+  struct Entry {
+    std::string kind;         // producer tag, e.g. "sweep-trial"
+    std::string fingerprint;  // semantic fingerprint at insertion time
+    std::string body;         // serialized result (compact JSON)
+  };
+
+  /// CRC-verified lookup. A hit refreshes LRU recency; a body failing its
+  /// stored CRC is dropped (and its file deleted) and reported as a miss.
+  std::optional<Entry> get(const std::string& key);
+
+  /// Presence probe with no side effects: no LRU refresh, no metrics. Used
+  /// for admission-control sizing ("how many cells would miss?") where a
+  /// metered get() would skew hit statistics before the job is admitted.
+  bool contains(const std::string& key) const noexcept {
+    return index_.count(key) != 0;
+  }
+
+  /// Inserts or replaces `key`, persists it (when dir is set), then evicts
+  /// LRU entries until the byte budget holds.
+  void put(const std::string& key, std::string kind, std::string fingerprint,
+           std::string body);
+
+  /// Removes `key` (memory + disk). Used by callers whose semantic
+  /// verification of a hit failed.
+  void invalidate(const std::string& key);
+
+  std::size_t entries() const noexcept { return index_.size(); }
+  std::size_t bytes() const noexcept { return bytes_; }
+
+  /// Keys are pure content addresses: hex(fnv1a64(code_version ‖ '\n' ‖
+  /// canonical_cell)). The cell JSON must already embed the trial seed.
+  static std::string make_key(std::string_view code_version,
+                              std::string_view canonical_cell);
+
+ private:
+  struct Slot {
+    std::list<std::string>::iterator lru;  // position in lru_ (front = MRU)
+    Entry entry;
+    std::uint32_t body_crc = 0;
+  };
+
+  void load_store();
+  void persist(const std::string& key, const Slot& slot) const;
+  void remove_file(const std::string& key) const;
+  void evict_to_budget();
+  void drop(const std::string& key);
+
+  CacheOptions options_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, Slot> index_;
+  std::size_t bytes_ = 0;
+
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Counter corrupt_;
+  obs::Counter rejected_;
+  obs::Gauge entries_gauge_;
+  obs::Gauge bytes_gauge_;
+};
+
+}  // namespace retri::serve

@@ -1,0 +1,200 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "runner/trial_runner.hpp"
+#include "serve/protocol.hpp"
+#include "serve/wire.hpp"
+#include "util/json_parse.hpp"
+
+namespace retri::serve {
+
+namespace {
+
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+util::Result<int, std::string> connect_uds(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return std::string("client: bad socket path");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return std::string("client: socket(): ") + std::strerror(errno);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string error =
+        "client: connect(" + path + "): " + std::strerror(errno);
+    ::close(fd);
+    return error;
+  }
+  return fd;
+}
+
+bool send_frame(int fd, const std::string& body) {
+  const std::string frame = encode_frame(body);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+util::Result<util::JsonValue, std::string> read_message(int fd,
+                                                        FrameDecoder& decoder) {
+  std::string body;
+  while (true) {
+    if (auto next = decoder.next()) {
+      body = std::move(*next);
+      break;
+    }
+    if (decoder.corrupt()) return std::string("client: oversized frame");
+    char buf[65536];
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n == 0) return std::string("client: connection closed by daemon");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::string("client: read(): ") + std::strerror(errno);
+    }
+    decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+  auto parsed = util::parse_json(body);
+  if (!parsed.ok()) return "client: bad frame: " + parsed.error().describe();
+  return std::move(parsed).value();
+}
+
+}  // namespace
+
+util::Result<ServedSweep, std::string> run_sweep_via(
+    const std::string& socket_path, const runner::SweepSpec& spec) {
+  auto connected = connect_uds(socket_path);
+  if (!connected.ok()) return connected.error();
+  Fd fd{connected.value()};
+  FrameDecoder decoder;
+
+  if (!send_frame(fd.fd, encode_submit(spec))) {
+    return std::string("client: send failed: ") + std::strerror(errno);
+  }
+  auto reply = read_message(fd.fd, decoder);
+  if (!reply.ok()) return reply.error();
+  const std::string type = message_type(reply.value());
+  if (type == "rejected") {
+    auto rejection = decode_rejected(reply.value());
+    const std::uint64_t retry =
+        rejection.ok() ? rejection.value().retry_after_ms : 0;
+    return "daemon rejected the job (" +
+           (rejection.ok() ? rejection.value().reason : "unknown") +
+           "); retry after " + std::to_string(retry) + " ms";
+  }
+  if (type == "error") {
+    return "daemon error: " + reply.value().str("message");
+  }
+  auto accepted = decode_accepted(reply.value());
+  if (!accepted.ok()) return accepted.error();
+
+  // Expansion is deterministic, so the skeleton (labels, per-point configs)
+  // is rebuilt locally and only results travel.
+  ServedSweep served;
+  served.job_id = accepted.value().job_id;
+  served.result.spec = spec;
+  const std::vector<runner::SweepPoint> points = spec.expand();
+  const unsigned trials = std::max(1u, spec.trials);
+  if (accepted.value().cells !=
+      static_cast<std::uint64_t>(points.size()) * trials) {
+    return std::string("client: daemon expanded a different grid (version "
+                       "skew between client and daemon?)");
+  }
+  served.result.points.resize(points.size());
+  served.cache_info.assign(points.size(),
+                           std::vector<TrialCacheInfo>(trials));
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    served.result.points[p].label = points[p].label;
+    served.result.points[p].config = points[p].config;
+    served.result.points[p].trials.resize(trials);
+  }
+
+  std::uint64_t received = 0;
+  while (true) {
+    auto message = read_message(fd.fd, decoder);
+    if (!message.ok()) return message.error();
+    auto event = decode_event(message.value());
+    if (!event.ok()) return event.error();
+    ServeEvent& ev = event.value();
+    if (ev.kind == ServeEvent::Kind::kTrial) {
+      if (ev.point >= points.size() || ev.trial >= trials) {
+        return std::string("client: trial event outside the submitted grid");
+      }
+      served.result.points[ev.point].trials[ev.trial] = std::move(ev.result);
+      served.cache_info[ev.point][ev.trial] =
+          TrialCacheInfo{ev.cache_hit, std::move(ev.key)};
+      ++received;
+      continue;
+    }
+    if (!ev.error.empty()) return "job failed on the daemon: " + ev.error;
+    if (received != ev.cells) {
+      return std::string("client: stream ended short of the full grid");
+    }
+    served.hits = ev.hits;
+    served.misses = ev.misses;
+    break;
+  }
+
+  // Same fold as SweepRunner: trial-index order, after all results landed —
+  // completion order on the wire cannot leak into the summaries.
+  for (runner::SweepPointResult& point : served.result.points) {
+    point.summary = runner::TrialRunner::summarize(point.trials);
+  }
+  return served;
+}
+
+util::Result<ServerStatus, std::string> fetch_status(
+    const std::string& socket_path) {
+  auto connected = connect_uds(socket_path);
+  if (!connected.ok()) return connected.error();
+  Fd fd{connected.value()};
+  FrameDecoder decoder;
+  if (!send_frame(fd.fd, encode_status_request())) {
+    return std::string("client: send failed: ") + std::strerror(errno);
+  }
+  auto reply = read_message(fd.fd, decoder);
+  if (!reply.ok()) return reply.error();
+  return decode_status(reply.value());
+}
+
+util::Result<int, std::string> request_shutdown(
+    const std::string& socket_path) {
+  auto connected = connect_uds(socket_path);
+  if (!connected.ok()) return connected.error();
+  Fd fd{connected.value()};
+  FrameDecoder decoder;
+  if (!send_frame(fd.fd, encode_shutdown())) {
+    return std::string("client: send failed: ") + std::strerror(errno);
+  }
+  auto reply = read_message(fd.fd, decoder);
+  if (!reply.ok()) return reply.error();
+  if (message_type(reply.value()) != "bye") {
+    return std::string("client: unexpected reply to shutdown");
+  }
+  return 0;
+}
+
+}  // namespace retri::serve

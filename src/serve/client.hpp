@@ -1,0 +1,49 @@
+// Client side of the serve protocol: submit a sweep, reassemble the stream.
+//
+// run_sweep_via() is the library behind `retri_bench --via` and
+// `retri_serve --submit`: it expands the spec locally (expansion is
+// deterministic, so labels and point configs need not cross the wire),
+// submits, and slots each streamed trial event into its (point, trial)
+// position. Completion order on the wire is scheduling-dependent; the
+// reassembled SweepResult is not — summaries are folded in trial-index
+// order exactly like SweepRunner, which is why a served artifact is
+// byte-identical to a local run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "util/result.hpp"
+
+namespace retri::serve {
+
+/// Cache provenance of one trial, in (point, trial) order.
+struct TrialCacheInfo {
+  bool hit = false;
+  std::string key;
+};
+
+struct ServedSweep {
+  runner::SweepResult result;
+  std::string job_id;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::vector<std::vector<TrialCacheInfo>> cache_info;  // [point][trial]
+};
+
+/// Submits `spec` to the daemon at `socket_path` and blocks until the job's
+/// stream completes. Errors (connect failure, rejection, protocol trouble,
+/// job failure) come back as one-line strings.
+util::Result<ServedSweep, std::string> run_sweep_via(
+    const std::string& socket_path, const runner::SweepSpec& spec);
+
+/// One status round-trip.
+util::Result<ServerStatus, std::string> fetch_status(
+    const std::string& socket_path);
+
+/// Asks the daemon to shut down; returns once it acknowledges.
+util::Result<int, std::string> request_shutdown(
+    const std::string& socket_path);
+
+}  // namespace retri::serve

@@ -1,0 +1,37 @@
+// Unix-domain-socket front end for serve::Server.
+//
+// One poll() loop on the caller's thread multiplexes the listening socket,
+// every client connection, and a self-pipe the Server's event hook writes
+// to — pool workers finishing a cell wake the loop without the daemon
+// owning any thread of its own (src/runner's ThreadPool stays the repo's
+// only thread spawner). Per connection: a FrameDecoder reassembles inbound
+// frames, an outbound buffer absorbs result streams faster than the client
+// drains them, and job ownership routes each ServeEvent to the connection
+// that submitted it (events for vanished clients — including resumed
+// checkpoint jobs — are discarded; their results are already in the cache).
+//
+// Lifecycle: bind → resume checkpointed jobs → serve until a shutdown
+// message → drain in-flight cells → flush → exit. The socket file is
+// unlinked on both startup (stale socket from a killed daemon) and exit.
+#pragma once
+
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/result.hpp"
+
+namespace retri::serve {
+
+struct DaemonOptions {
+  std::string socket_path;
+  ServerOptions server;
+  /// Print one-line lifecycle notes (listening / resumed / shutdown) to
+  /// stderr. CLIs enable it; tests keep it off.
+  bool verbose = false;
+};
+
+/// Runs the daemon until shutdown. Returns 0 on clean exit, or an error
+/// string if the socket could not be set up.
+util::Result<int, std::string> run_daemon(const DaemonOptions& options);
+
+}  // namespace retri::serve

@@ -1,0 +1,185 @@
+#include "serve/protocol.hpp"
+
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace retri::serve {
+
+namespace {
+
+util::JsonWriter typed(std::string_view type) {
+  util::JsonWriter json(/*pretty=*/false);
+  json.begin_object();
+  json.member("type", type);
+  return json;
+}
+
+}  // namespace
+
+std::string encode_submit(const runner::SweepSpec& spec) {
+  util::JsonWriter json = typed("submit");
+  json.key("spec");
+  write_sweep_spec(json, spec);
+  json.end_object();
+  return json.str();
+}
+
+std::string encode_status_request() {
+  util::JsonWriter json = typed("status");
+  json.end_object();
+  return json.str();
+}
+
+std::string encode_shutdown() {
+  util::JsonWriter json = typed("shutdown");
+  json.end_object();
+  return json.str();
+}
+
+std::string encode_accepted(const Submitted& submitted) {
+  util::JsonWriter json = typed("accepted");
+  json.member("job", submitted.job_id);
+  json.member("points", static_cast<std::uint64_t>(submitted.points));
+  json.member("trials", submitted.trials);
+  json.member("cells", submitted.cells);
+  json.end_object();
+  return json.str();
+}
+
+std::string encode_rejected(const Rejection& rejection) {
+  util::JsonWriter json = typed("rejected");
+  json.member("reason", rejection.reason);
+  json.member("retry_after_ms", rejection.retry_after_ms);
+  json.end_object();
+  return json.str();
+}
+
+std::string encode_event(const ServeEvent& event) {
+  if (event.kind == ServeEvent::Kind::kTrial) {
+    util::JsonWriter json = typed("trial");
+    json.member("job", event.job_id);
+    json.member("cell", event.cell);
+    json.member("point", static_cast<std::uint64_t>(event.point));
+    json.member("trial", event.trial);
+    json.member("label", event.label);
+    json.member("cache_hit", event.cache_hit);
+    json.member("key", event.key);
+    json.key("result");
+    write_result(json, event.result);
+    json.end_object();
+    return json.str();
+  }
+  util::JsonWriter json = typed("done");
+  json.member("job", event.job_id);
+  json.member("cells", event.cells);
+  json.member("hits", event.hits);
+  json.member("misses", event.misses);
+  json.member("error", event.error);
+  json.end_object();
+  return json.str();
+}
+
+std::string encode_status(const ServerStatus& status) {
+  util::JsonWriter json = typed("status");
+  json.member("jobs_active", status.jobs_active);
+  json.member("jobs_submitted", status.jobs_submitted);
+  json.member("jobs_completed", status.jobs_completed);
+  json.member("jobs_rejected", status.jobs_rejected);
+  json.member("queue_depth", status.queue_depth);
+  json.member("events_pending", status.events_pending);
+  json.member("cache_entries", status.cache_entries);
+  json.member("cache_bytes", status.cache_bytes);
+  json.end_object();
+  return json.str();
+}
+
+std::string encode_error(std::string_view message) {
+  util::JsonWriter json = typed("error");
+  json.member("message", message);
+  json.end_object();
+  return json.str();
+}
+
+std::string encode_bye() {
+  util::JsonWriter json = typed("bye");
+  json.end_object();
+  return json.str();
+}
+
+std::string message_type(const util::JsonValue& doc) {
+  return doc.is_object() ? doc.str("type") : std::string();
+}
+
+util::Result<Submitted, std::string> decode_accepted(
+    const util::JsonValue& doc) {
+  if (message_type(doc) != "accepted") {
+    return std::string("accepted: wrong message type");
+  }
+  Submitted submitted;
+  submitted.job_id = doc.str("job");
+  submitted.points = static_cast<std::size_t>(doc.u64("points"));
+  submitted.trials = static_cast<unsigned>(doc.u64("trials"));
+  submitted.cells = doc.u64("cells");
+  if (submitted.job_id.empty()) return std::string("accepted: missing job id");
+  return submitted;
+}
+
+util::Result<Rejection, std::string> decode_rejected(
+    const util::JsonValue& doc) {
+  if (message_type(doc) != "rejected") {
+    return std::string("rejected: wrong message type");
+  }
+  return Rejection{doc.str("reason"), doc.u64("retry_after_ms")};
+}
+
+util::Result<ServeEvent, std::string> decode_event(const util::JsonValue& doc) {
+  const std::string type = message_type(doc);
+  if (type == "trial") {
+    ServeEvent event;
+    event.kind = ServeEvent::Kind::kTrial;
+    event.job_id = doc.str("job");
+    event.cell = doc.u64("cell");
+    event.point = static_cast<std::size_t>(doc.u64("point"));
+    event.trial = static_cast<unsigned>(doc.u64("trial"));
+    event.label = doc.str("label");
+    event.cache_hit = doc.boolean("cache_hit");
+    event.key = doc.str("key");
+    const util::JsonValue* result = doc.find("result");
+    if (result == nullptr) return std::string("trial: missing result");
+    auto decoded = decode_result(*result);
+    if (!decoded.ok()) return "trial: " + decoded.error();
+    event.result = std::move(decoded).value();
+    return event;
+  }
+  if (type == "done") {
+    ServeEvent event;
+    event.kind = ServeEvent::Kind::kJobDone;
+    event.job_id = doc.str("job");
+    event.cells = doc.u64("cells");
+    event.hits = doc.u64("hits");
+    event.misses = doc.u64("misses");
+    event.error = doc.str("error");
+    return event;
+  }
+  return "event: unexpected message type \"" + type + "\"";
+}
+
+util::Result<ServerStatus, std::string> decode_status(
+    const util::JsonValue& doc) {
+  if (message_type(doc) != "status") {
+    return std::string("status: wrong message type");
+  }
+  ServerStatus status;
+  status.jobs_active = doc.u64("jobs_active");
+  status.jobs_submitted = doc.u64("jobs_submitted");
+  status.jobs_completed = doc.u64("jobs_completed");
+  status.jobs_rejected = doc.u64("jobs_rejected");
+  status.queue_depth = doc.u64("queue_depth");
+  status.events_pending = doc.u64("events_pending");
+  status.cache_entries = doc.u64("cache_entries");
+  status.cache_bytes = doc.u64("cache_bytes");
+  return status;
+}
+
+}  // namespace retri::serve

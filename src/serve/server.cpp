@@ -1,0 +1,344 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "runner/seeds.hpp"
+
+namespace retri::serve {
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kTrialKind = "sweep-trial";
+
+CacheOptions cache_options(const ServerOptions& options) {
+  CacheOptions cache = options.cache;
+  if (cache.metrics == nullptr) cache.metrics = options.metrics;
+  return cache;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      jobs_dir_(options_.state_dir.empty()
+                    ? std::string()
+                    : options_.state_dir + "/jobs"),
+      cache_(cache_options(options_)),
+      pool_(std::max(1u, options_.jobs)) {
+  if (obs::MetricsRegistry* m = options_.metrics) {
+    jobs_submitted_ = m->counter("serve.jobs.submitted");
+    jobs_completed_ = m->counter("serve.jobs.completed");
+    jobs_rejected_ = m->counter("serve.jobs.rejected");
+    jobs_resumed_ = m->counter("serve.jobs.resumed");
+    trials_served_ = m->counter("serve.trials.streamed");
+    trials_executed_ = m->counter("serve.trials.executed");
+    queue_depth_ = m->gauge("serve.queue.depth");
+  }
+  if (!jobs_dir_.empty()) {
+    std::error_code ec;
+    fs::create_directories(jobs_dir_, ec);
+  }
+}
+
+Server::~Server() {
+  // pool_ is the last member, so its destructor (drain + join) runs before
+  // any state the workers touch is torn down. Nothing else to do.
+}
+
+util::Result<Submitted, Rejection> Server::submit(
+    const runner::SweepSpec& spec) {
+  // Expansion, seeding, and key derivation are pure — do them unlocked.
+  const std::vector<runner::SweepPoint> points = spec.expand();
+  const unsigned trials = std::max(1u, spec.trials);
+
+  struct Cell {
+    std::uint64_t index;
+    std::size_t point;
+    unsigned trial;
+    runner::ExperimentConfig config;
+    std::string key;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(points.size() * trials);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (unsigned t = 0; t < trials; ++t) {
+      // The cache cell is the exact input run_experiment sees: the point's
+      // config with the derived trial seed substituted, mirroring
+      // TrialRunner's seeding so served results are bit-identical to local.
+      runner::ExperimentConfig config = points[p].config;
+      config.seed = runner::derive_trial_seed(points[p].config.seed, t);
+      std::string key =
+          ResultCache::make_key(kCodeVersion, canonical_cell(config));
+      cells.push_back(Cell{static_cast<std::uint64_t>(p) * trials + t, p, t,
+                           std::move(config), std::move(key)});
+    }
+  }
+
+  Submitted submitted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    // Admission control against in-flight work, sized with the side-effect
+    // free probe (a metered get() here would skew hit statistics and LRU
+    // order for a job that may be rejected).
+    std::size_t would_miss = 0;
+    for (const Cell& cell : cells) {
+      if (!cache_.contains(cell.key)) ++would_miss;
+    }
+    if (in_flight_ + would_miss > options_.queue_capacity) {
+      jobs_rejected_.inc();
+      return Rejection{
+          "queue full: " + std::to_string(in_flight_) +
+              " cells in flight, job needs " + std::to_string(would_miss),
+          500};
+    }
+
+    Job job;
+    job.hash = spec_hash(spec);
+    job.id = job.hash.substr(0, 12) + "-" + std::to_string(++seq_);
+    job.spec = spec;
+    job.cells_total = cells.size();
+    jobs_submitted_.inc();
+
+    submitted = Submitted{job.id, points.size(), trials,
+                          static_cast<std::uint64_t>(cells.size())};
+
+    for (Cell& cell : cells) {
+      bool served = false;
+      if (auto entry = cache_.get(cell.key)) {
+        // The CRC already passed inside get(); now verify semantics: the
+        // body must decode and re-derive the fingerprint recorded at
+        // insertion. Anything less is treated as corruption, not a hit.
+        if (entry->kind == kTrialKind) {
+          auto decoded = decode_result_text(entry->body);
+          if (decoded.ok() &&
+              runner::fingerprint(decoded.value()) == entry->fingerprint) {
+            ServeEvent event;
+            event.kind = ServeEvent::Kind::kTrial;
+            event.job_id = job.id;
+            event.cell = cell.index;
+            event.point = cell.point;
+            event.trial = cell.trial;
+            event.label = points[cell.point].label;
+            event.cache_hit = true;
+            event.key = cell.key;
+            event.result = std::move(decoded).value();
+            push_event_locked(std::move(event));
+            trials_served_.inc();
+            job.hit_count++;
+            job.cells_done++;
+            job.done_cells.push_back(cell.index);
+            served = true;
+          }
+        }
+        if (!served) cache_.invalidate(cell.key);
+      }
+      if (!served) {
+        ++in_flight_;
+        queue_depth_.set(static_cast<std::int64_t>(in_flight_));
+        pool_.submit([this, job_id = job.id, index = cell.index,
+                      point = cell.point, trial = cell.trial,
+                      label = points[cell.point].label,
+                      config = std::move(cell.config),
+                      key = std::move(cell.key)]() mutable {
+          run_cell(job_id, index, point, trial, std::move(label),
+                   std::move(config), std::move(key));
+        });
+      }
+    }
+
+    auto [it, inserted] = jobs_.emplace(job.id, std::move(job));
+    (void)inserted;
+    write_checkpoint_locked(it->second);
+    if (it->second.cells_done == it->second.cells_total) {
+      finish_job_locked(it->second);
+    }
+  }
+  notify();
+  return submitted;
+}
+
+void Server::run_cell(const std::string& job_id, std::uint64_t cell,
+                      std::size_t point, unsigned trial, std::string label,
+                      runner::ExperimentConfig config, std::string key) {
+  runner::ExperimentResult result;
+  std::string error;
+  try {
+    result = runner::run_experiment(config);
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+    queue_depth_.set(static_cast<std::int64_t>(in_flight_));
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return;  // job failed earlier and was closed
+    Job& job = it->second;
+    job.cells_done++;
+    if (error.empty()) {
+      cache_.put(key, std::string(kTrialKind), runner::fingerprint(result),
+                 encode_result(result));
+      trials_executed_.inc();
+      trials_served_.inc();
+      job.miss_count++;
+      job.done_cells.push_back(cell);
+      write_checkpoint_locked(job);
+
+      ServeEvent event;
+      event.kind = ServeEvent::Kind::kTrial;
+      event.job_id = job_id;
+      event.cell = cell;
+      event.point = point;
+      event.trial = trial;
+      event.label = std::move(label);
+      event.cache_hit = false;
+      event.key = std::move(key);
+      event.result = std::move(result);
+      push_event_locked(std::move(event));
+    } else if (job.error.empty()) {
+      job.error = error;
+    }
+    if (job.cells_done == job.cells_total) finish_job_locked(job);
+  }
+  notify();
+}
+
+void Server::push_event_locked(ServeEvent event) {
+  events_.push_back(std::move(event));
+}
+
+void Server::finish_job_locked(Job& job) {
+  ServeEvent done;
+  done.kind = ServeEvent::Kind::kJobDone;
+  done.job_id = job.id;
+  done.cells = job.cells_total;
+  done.hits = job.hit_count;
+  done.misses = job.miss_count;
+  done.error = job.error;
+  push_event_locked(std::move(done));
+  jobs_completed_.inc();
+  if (!jobs_dir_.empty() && job.error.empty()) {
+    // Complete jobs need no resume record; failed ones keep theirs so a
+    // restart retries the missing cells.
+    std::error_code ec;
+    fs::remove(fs::path(jobs_dir_) / (job.hash + ".json"), ec);
+  }
+  const std::string id = job.id;
+  jobs_.erase(id);
+}
+
+void Server::write_checkpoint_locked(const Job& job) const {
+  if (jobs_dir_.empty()) return;
+  JobCheckpoint checkpoint;
+  checkpoint.spec_hash = job.hash;
+  checkpoint.spec = job.spec;
+  checkpoint.done = job.done_cells;
+  std::sort(checkpoint.done.begin(), checkpoint.done.end());
+  const fs::path path = fs::path(jobs_dir_) / (job.hash + ".json");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << encode_checkpoint(checkpoint) << '\n';
+}
+
+std::optional<ServeEvent> Server::poll_event() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.empty()) return std::nullopt;
+  ServeEvent event = std::move(events_.front());
+  events_.pop_front();
+  return event;
+}
+
+std::optional<ServeEvent> Server::wait_event() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  event_cv_.wait(lock, [this] { return !events_.empty() || jobs_.empty(); });
+  if (events_.empty()) return std::nullopt;
+  ServeEvent event = std::move(events_.front());
+  events_.pop_front();
+  return event;
+}
+
+void Server::drain() {
+  // wait_idle() is the barrier for miss cells; all-hit jobs completed
+  // synchronously inside submit(). Rethrows nothing: run_cell catches.
+  pool_.wait_idle();
+}
+
+ServerStatus Server::status() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServerStatus status;
+  status.jobs_active = jobs_.size();
+  status.jobs_submitted = jobs_submitted_.value();
+  status.jobs_completed = jobs_completed_.value();
+  status.jobs_rejected = jobs_rejected_.value();
+  status.queue_depth = in_flight_;
+  status.events_pending = events_.size();
+  status.cache_entries = cache_.entries();
+  status.cache_bytes = cache_.bytes();
+  return status;
+}
+
+std::size_t Server::resume_checkpointed_jobs() {
+  if (jobs_dir_.empty()) return 0;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (fs::directory_iterator it(jobs_dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file() && it->path().extension() == ".json") {
+      files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t resumed = 0;
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto checkpoint = decode_checkpoint(buf.str());
+    if (!checkpoint.ok()) {
+      std::error_code rm;
+      fs::remove(path, rm);  // quarantine: an unreadable record cannot resume
+      continue;
+    }
+    const JobCheckpoint& record = checkpoint.value();
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(record.spec.point_count()) *
+        std::max(1u, record.spec.trials);
+    if (record.done.size() >= total) {
+      std::error_code rm;
+      fs::remove(path, rm);  // finished between checkpoint and shutdown
+      continue;
+    }
+    // Resubmission leans on the cache: cells in `done` were committed, so
+    // they hit; only the remainder re-simulates.
+    if (submit(record.spec).ok()) {
+      ++resumed;
+      std::lock_guard<std::mutex> lock(mutex_);
+      jobs_resumed_.inc();
+    }
+  }
+  return resumed;
+}
+
+void Server::set_event_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  event_hook_ = std::move(hook);
+}
+
+void Server::notify() {
+  event_cv_.notify_all();
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hook = event_hook_;
+  }
+  if (hook) hook();
+}
+
+}  // namespace retri::serve

@@ -1,0 +1,367 @@
+#include "util/json_parse.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cstdio>
+
+namespace retri::util {
+
+namespace {
+
+bool is_ws(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+bool is_digit(char c) noexcept { return c >= '0' && c <= '9'; }
+
+/// Appends `code` (a Unicode scalar value) to `out` as UTF-8.
+void append_utf8(std::string& out, std::uint32_t code) {
+  if (code < 0x80) {
+    out.push_back(static_cast<char>(code));
+  } else if (code < 0x800) {
+    out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+    out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+  } else if (code < 0x10000) {
+    out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+  } else {
+    out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+  }
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<JsonValue, JsonParseError> run() {
+    skip_ws();
+    JsonValue value;
+    if (!parse_value(value, 0)) return std::move(error_);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after the document"), std::move(error_);
+    }
+    return value;
+  }
+
+ private:
+  bool fail(std::string message) {
+    // Keep the first (innermost) failure; callers unwind through it.
+    if (error_.message.empty()) {
+      error_.offset = pos_;
+      error_.message = std::move(message);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && is_ws(text_[pos_])) ++pos_;
+  }
+
+  bool consume(char expected, const char* what) {
+    if (pos_ >= text_.size() || text_[pos_] != expected) {
+      return fail(std::string("expected ") + what);
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, std::size_t depth) {
+    if (depth > max_depth_) return fail("nesting depth limit exceeded");
+    if (pos_ >= text_.size()) return fail("unexpected end of document");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        out = JsonValue();
+        out.kind_ = JsonValue::Kind::kString;
+        return parse_string(out.string_);
+      }
+      case 't': return parse_literal("true", JsonValue::boolean_value(true), out);
+      case 'f': return parse_literal("false", JsonValue::boolean_value(false), out);
+      case 'n': return parse_literal("null", JsonValue::null(), out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(std::string_view word, JsonValue value, JsonValue& out) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("unexpected token");
+    }
+    pos_ += word.size();
+    out = std::move(value);
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
+      return fail("malformed number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // leading zero may not be followed by more digits
+    } else {
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
+        return fail("malformed number: digits required after '.'");
+      }
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
+        return fail("malformed number: digits required in exponent");
+      }
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    out = JsonValue::number(std::string(text_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  bool parse_hex4(std::uint32_t& value) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return fail("non-hex digit in \\u escape");
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"', "'\"'")) return false;
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t code = 0;
+          if (!parse_hex4(code)) return false;
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              std::uint32_t low = 0;
+              if (!parse_hex4(low)) return false;
+              if (low < 0xdc00 || low > 0xdfff) {
+                return fail("invalid low surrogate");
+              }
+              code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+            } else {
+              return fail("unpaired high surrogate");
+            }
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            return fail("unpaired low surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: return fail("unknown escape character");
+      }
+    }
+  }
+
+  bool parse_array(JsonValue& out, std::size_t depth) {
+    ++pos_;  // '['
+    out = JsonValue();
+    out.kind_ = JsonValue::Kind::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      skip_ws();
+      if (!parse_value(item, depth + 1)) return false;
+      out.items_.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']', "',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue& out, std::size_t depth) {
+    ++pos_;  // '{'
+    out = JsonValue();
+    out.kind_ = JsonValue::Kind::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':', "':'")) return false;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.members_.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}', "',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+  JsonParseError error_;
+};
+
+std::uint64_t JsonValue::as_u64() const noexcept {
+  if (!is_number()) return 0;
+  std::uint64_t value = 0;
+  const char* first = string_.data();
+  const char* last = first + string_.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  return (ec == std::errc{} && ptr == last) ? value : 0;
+}
+
+std::int64_t JsonValue::as_i64() const noexcept {
+  if (!is_number()) return 0;
+  std::int64_t value = 0;
+  const char* first = string_.data();
+  const char* last = first + string_.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  return (ec == std::errc{} && ptr == last) ? value : 0;
+}
+
+double JsonValue::as_double() const noexcept {
+  if (!is_number()) return 0.0;
+  double value = 0.0;
+  const char* first = string_.data();
+  const char* last = first + string_.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  return (ec == std::errc{} && ptr == last) ? value : 0.0;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::uint64_t JsonValue::u64(std::string_view key, std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_u64() : fallback;
+}
+
+std::int64_t JsonValue::i64(std::string_view key, std::int64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_i64() : fallback;
+}
+
+double JsonValue::dbl(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : fallback;
+}
+
+std::string JsonValue::str(std::string_view key, std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::move(fallback);
+}
+
+bool JsonValue::boolean(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+JsonValue JsonValue::boolean_value(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::number(std::string raw_token) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.string_ = std::move(raw_token);
+  return out;
+}
+
+JsonValue JsonValue::string_value(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.items_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::object(std::vector<std::pair<std::string, JsonValue>> m) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.members_ = std::move(m);
+  return out;
+}
+
+std::string JsonParseError::describe() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "offset %zu: ", offset);
+  return std::string(buf) + message;
+}
+
+Result<JsonValue, JsonParseError> parse_json(std::string_view text,
+                                             std::size_t max_depth) {
+  return JsonParser(text, max_depth).run();
+}
+
+}  // namespace retri::util

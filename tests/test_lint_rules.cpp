@@ -151,6 +151,21 @@ TEST(LintRules, DirectIoBannedInLibraryAllowedInCliScopes) {
                              "no-direct-io"));
 }
 
+TEST(LintRules, ServeDaemonIoIsAnchorSanctionedNotPathExempt) {
+  // src/serve is a library scope like any other: its daemon's stderr
+  // diagnostics are sanctioned line by line with allow() anchors, never by
+  // widening the rule's path allowlist.
+  const std::string bare =
+      "std::fprintf(stderr, \"retri_serve: listening on %s\\n\", path);\n";
+  EXPECT_TRUE(has_violation(scan("src/serve/daemon.cpp", bare),
+                            "no-direct-io"));
+  const std::string anchored =
+      "std::fprintf(stderr,  // retri-lint: allow(no-direct-io)\n"
+      "             \"retri_serve: listening on %s\\n\", path);\n";
+  EXPECT_FALSE(has_violation(scan("src/serve/daemon.cpp", anchored),
+                             "no-direct-io"));
+}
+
 TEST(LintRules, SnprintfIsNotDirectIo) {
   const auto vs = scan("src/stats/table.cpp",
                        "char buf[32]; std::snprintf(buf, sizeof buf, \"x\");\n");

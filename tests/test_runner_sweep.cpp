@@ -177,14 +177,21 @@ TEST(NamedSweeps, RegistryCoversFiguresAndAblations) {
   EXPECT_GE(names.size(), 8u);
   for (const std::string_view name : names) {
     const auto spec = runner::make_named_sweep(name);
-    ASSERT_TRUE(spec.has_value()) << name;
-    EXPECT_EQ(spec->name, name);
-    EXPECT_FALSE(spec->description.empty()) << name;
-    EXPECT_GE(spec->point_count(), 2u) << name;
+    ASSERT_TRUE(spec.ok()) << name;
+    EXPECT_EQ(spec.value().name, name);
+    EXPECT_FALSE(spec.value().description.empty()) << name;
+    EXPECT_GE(spec.value().point_count(), 2u) << name;
   }
-  EXPECT_FALSE(runner::make_named_sweep("no_such_sweep").has_value());
+  // An unknown name fails with an error that names every real sweep, so a
+  // typo'd --sweep is self-correcting at the CLI.
+  const auto unknown = runner::make_named_sweep("no_such_sweep");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error().find("no_such_sweep"), std::string::npos);
+  for (const std::string_view name : names) {
+    EXPECT_NE(unknown.error().find(name), std::string::npos) << name;
+  }
   // The validation grid: widths 1..10 x {uniform, listening}.
-  EXPECT_EQ(runner::make_named_sweep("fig4")->point_count(), 20u);
+  EXPECT_EQ(runner::make_named_sweep("fig4").value().point_count(), 20u);
 }
 
 TEST(SweepRunner, ParallelSweepMatchesSerialAndExportsStableJson) {
@@ -228,7 +235,7 @@ TEST(SweepRunner, ParallelSweepMatchesSerialAndExportsStableJson) {
   EXPECT_TRUE(JsonChecker(json_a).valid());
   EXPECT_NE(json_a.find("\"schema\": \"retri.sweep-result\""),
             std::string::npos);
-  EXPECT_NE(json_a.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json_a.find("\"schema_version\": 4"), std::string::npos);
   EXPECT_NE(json_a.find("\"delivery_ratio\""), std::string::npos);
   // v3: per-trial metrics snapshots and the trial-order metrics fold.
   EXPECT_NE(json_a.find("\"metrics\""), std::string::npos);

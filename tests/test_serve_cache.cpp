@@ -1,0 +1,210 @@
+// serve::ResultCache edge cases: LRU order under a byte budget, corruption
+// detection (tampered files must never be served), and restart reload of
+// the on-disk store. Bodies here are plain tokens, not real trial JSON —
+// the cache is content-agnostic; semantic verification is the server's job.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "serve/cache.hpp"
+
+namespace serve = retri::serve;
+namespace fs = std::filesystem;
+
+namespace {
+
+class ServeCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("retri_serve_cache_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static std::string body_of(std::size_t bytes, char fill) {
+    return std::string(bytes, fill);
+  }
+
+  fs::path dir_;
+};
+
+}  // namespace
+
+TEST_F(ServeCacheTest, GetIsMeteredContainsIsNot) {
+  retri::obs::MetricsRegistry metrics;
+  serve::CacheOptions options;
+  options.metrics = &metrics;
+  serve::ResultCache cache(options);
+
+  EXPECT_FALSE(cache.contains("k"));
+  EXPECT_FALSE(cache.get("k").has_value());
+  cache.put("k", "kind", "fp", "body");
+  EXPECT_TRUE(cache.contains("k"));
+  const auto entry = cache.get("k");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->kind, "kind");
+  EXPECT_EQ(entry->fingerprint, "fp");
+  EXPECT_EQ(entry->body, "body");
+
+  const auto snapshot = metrics.snapshot();
+  EXPECT_EQ(snapshot.counter("serve.cache.hit"), 1u);
+  EXPECT_EQ(snapshot.counter("serve.cache.miss"), 1u);
+  // contains() probes (2 calls above) must not have counted as anything.
+  EXPECT_EQ(snapshot.counter("serve.cache.hit") +
+                snapshot.counter("serve.cache.miss"),
+            2u);
+}
+
+TEST_F(ServeCacheTest, LruEvictionOrderUnderByteBudget) {
+  retri::obs::MetricsRegistry metrics;
+  serve::CacheOptions options;
+  options.byte_budget = 100;
+  options.metrics = &metrics;
+  serve::ResultCache cache(options);
+
+  cache.put("a", "k", "fa", body_of(40, 'a'));
+  cache.put("b", "k", "fb", body_of(40, 'b'));
+  ASSERT_TRUE(cache.get("a").has_value());  // refresh: a is now MRU
+  cache.put("c", "k", "fc", body_of(40, 'c'));
+
+  // 120 bytes against a 100-byte budget: the LRU entry — b, because a was
+  // refreshed — must be the one evicted.
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.bytes(), 80u);
+  EXPECT_EQ(metrics.snapshot().counter("serve.cache.evict"), 1u);
+}
+
+TEST_F(ServeCacheTest, BodyLargerThanBudgetIsRejectedOutright) {
+  retri::obs::MetricsRegistry metrics;
+  serve::CacheOptions options;
+  options.byte_budget = 10;
+  options.metrics = &metrics;
+  serve::ResultCache cache(options);
+
+  cache.put("big", "k", "f", body_of(11, 'x'));
+  EXPECT_FALSE(cache.contains("big"));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(metrics.snapshot().counter("serve.cache.rejected"), 1u);
+}
+
+TEST_F(ServeCacheTest, RestartReloadsTheOnDiskStore) {
+  serve::CacheOptions options;
+  options.dir = dir_.string();
+  {
+    serve::ResultCache cache(options);
+    cache.put("aaaa", "sweep-trial", "fp-a", "body-a");
+    cache.put("bbbb", "sweep-trial", "fp-b", "body-b");
+    cache.put("cccc", "chaos-trial", "fp-c", "body-c");
+  }
+
+  serve::ResultCache reloaded(options);
+  EXPECT_EQ(reloaded.entries(), 3u);
+  const auto b = reloaded.get("bbbb");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->kind, "sweep-trial");
+  EXPECT_EQ(b->fingerprint, "fp-b");
+  EXPECT_EQ(b->body, "body-b");
+  const auto c = reloaded.get("cccc");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->kind, "chaos-trial");
+}
+
+TEST_F(ServeCacheTest, TamperedEntryIsRejectedAndQuarantined) {
+  serve::CacheOptions options;
+  options.dir = dir_.string();
+  {
+    serve::ResultCache cache(options);
+    cache.put("feed", "sweep-trial", "fp", "body-AAAA");
+    cache.put("f00d", "sweep-trial", "fp", "body-BBBB");
+  }
+
+  // Flip one body byte on disk without touching the recorded CRC. The
+  // reload must treat the entry as corrupt — deleted, never served.
+  const fs::path victim = dir_ / "feed.json";
+  std::string text;
+  {
+    std::ifstream in(victim, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  const auto at = text.find("body-AAAA");
+  ASSERT_NE(at, std::string::npos);
+  text[at + 5] = 'Z';
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+
+  retri::obs::MetricsRegistry metrics;
+  serve::CacheOptions reopen = options;
+  reopen.metrics = &metrics;
+  serve::ResultCache reloaded(reopen);
+  EXPECT_FALSE(reloaded.contains("feed"));
+  EXPECT_TRUE(reloaded.contains("f00d"));
+  EXPECT_FALSE(fs::exists(victim));  // quarantined by deletion
+  EXPECT_EQ(metrics.snapshot().counter("serve.cache.corrupt"), 1u);
+}
+
+TEST_F(ServeCacheTest, ForeignFileIsQuarantinedOnLoad) {
+  fs::create_directories(dir_);
+  {
+    std::ofstream out(dir_ / "junk.json", std::ios::binary);
+    out << "this is not a cache entry\n";
+  }
+  serve::CacheOptions options;
+  options.dir = dir_.string();
+  serve::ResultCache cache(options);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_FALSE(fs::exists(dir_ / "junk.json"));
+}
+
+TEST_F(ServeCacheTest, InvalidateRemovesMemoryAndDisk) {
+  serve::CacheOptions options;
+  options.dir = dir_.string();
+  serve::ResultCache cache(options);
+  cache.put("gone", "k", "f", "body");
+  ASSERT_TRUE(fs::exists(dir_ / "gone.json"));
+  cache.invalidate("gone");
+  EXPECT_FALSE(cache.contains("gone"));
+  EXPECT_FALSE(fs::exists(dir_ / "gone.json"));
+}
+
+TEST_F(ServeCacheTest, ShrunkBudgetTrimsTheReloadedStore) {
+  serve::CacheOptions options;
+  options.dir = dir_.string();
+  {
+    serve::ResultCache cache(options);
+    cache.put("k1", "k", "f", body_of(40, '1'));
+    cache.put("k2", "k", "f", body_of(40, '2'));
+    cache.put("k3", "k", "f", body_of(40, '3'));
+  }
+  serve::CacheOptions shrunk = options;
+  shrunk.byte_budget = 50;
+  serve::ResultCache reloaded(shrunk);
+  EXPECT_LE(reloaded.bytes(), 50u);
+  EXPECT_EQ(reloaded.entries(), 1u);
+}
+
+TEST(ServeCacheKey, DependsOnCodeVersionAndCell) {
+  const std::string cell = R"({"senders":5,"seed":42})";
+  const std::string k1 = serve::ResultCache::make_key("v1", cell);
+  const std::string k2 = serve::ResultCache::make_key("v2", cell);
+  const std::string k3 =
+      serve::ResultCache::make_key("v1", R"({"senders":5,"seed":43})");
+  EXPECT_EQ(k1.size(), 16u);
+  EXPECT_NE(k1, k2);  // a code bump makes every old entry unreachable
+  EXPECT_NE(k1, k3);  // any cell change re-addresses the result
+  EXPECT_EQ(k1, serve::ResultCache::make_key("v1", cell));  // stable
+}

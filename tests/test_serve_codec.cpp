@@ -1,0 +1,287 @@
+// serve codec round-trips: every value the daemon persists or streams must
+// survive encode → parse → decode → re-encode byte-identically, including
+// 64-bit seeds and nanosecond durations. Byte-comparing the re-encoding is
+// the strongest equality available and is exactly the property the cache's
+// bit-identical-serving guarantee rests on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "runner/experiment.hpp"
+#include "runner/sweep.hpp"
+#include "serve/codec.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "sim/time.hpp"
+#include "util/json_parse.hpp"
+
+namespace serve = retri::serve;
+namespace runner = retri::runner;
+namespace util = retri::util;
+
+namespace {
+
+runner::ExperimentConfig gnarly_config() {
+  runner::ExperimentConfig config;
+  config.senders = 7;
+  config.topology = runner::TopologyKind::kHiddenTerminal;
+  config.id_bits = 12;
+  config.policy = "listening+notify";
+  config.packet_bytes = 240;
+  config.per_sender_packet_bytes = {24, 240, 80};
+  config.send_duration = retri::sim::Duration::nanoseconds(1234567891011LL);
+  config.drain_extra = retri::sim::Duration::nanoseconds(987654321LL);
+  config.collision_notifications = true;
+  config.tx_jitter = retri::sim::Duration::nanoseconds(2000001);
+  config.sender_listen_duty = 0.37;
+  config.duty_period = retri::sim::Duration::nanoseconds(100000007);
+  config.density_model = retri::core::DensityModelKind::kPeakWindow;
+  config.loss_rate = 0.15;
+  config.channel = "burst";
+  config.seed = 11400714819323198485ull;  // does not survive a double
+  return config;
+}
+
+runner::ExperimentResult gnarly_result() {
+  runner::ExperimentResult result;
+  result.packets_offered = 12345;
+  result.aff_delivered = 12001;
+  result.truth_delivered = 12100;
+  result.checksum_failures = 3;
+  result.conflicting_writes = 1;
+  result.notifications_sent = 42;
+  result.receiver_density_estimate = 6.125;
+  result.tx_energy_nj = 98765.4321;
+  result.tx_bits = 1u << 22;
+  result.frames_attempted = 54321;
+  result.frames_lost_channel = 8123;
+  retri::obs::MetricsRegistry registry;
+  registry.counter("medium.frames").inc(54321);
+  registry.gauge("queue.depth").set(7);
+  auto histogram = registry.histogram("reasm.size", {1.0, 4.0, 16.0});
+  histogram.record(2.0);
+  histogram.record(100.0);
+  result.metrics = registry.snapshot();
+  result.aff_by_size = {{24, 4000}, {240, 8001}};
+  result.truth_by_size = {{24, 4040}, {240, 8060}};
+  return result;
+}
+
+runner::SweepSpec gnarly_spec() {
+  runner::SweepSpec spec;
+  spec.name = "codec-roundtrip";
+  spec.description = "every axis populated";
+  spec.trials = 3;
+  spec.base = gnarly_config();
+  spec.id_bits = {2, 4, 8};
+  spec.policies = {"uniform", "listening"};
+  spec.senders = {2, 5};
+  spec.duties = {0.25, 1.0};
+  spec.density_models = {retri::core::DensityModelKind::kEwma,
+                         retri::core::DensityModelKind::kInstantaneous};
+  spec.channels = {"independent", "chaos"};
+  spec.loss_rates = {0.0, 0.3};
+  return spec;
+}
+
+}  // namespace
+
+TEST(ServeCodec, ConfigRoundTripsByteIdentically) {
+  const runner::ExperimentConfig config = gnarly_config();
+  const std::string cell = serve::canonical_cell(config);
+
+  const auto doc = util::parse_json(cell);
+  ASSERT_TRUE(doc.ok());
+  const auto decoded = serve::decode_config(doc.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(serve::canonical_cell(decoded.value()), cell);
+  EXPECT_EQ(decoded.value().seed, config.seed);
+  EXPECT_EQ(decoded.value().send_duration.ns(), config.send_duration.ns());
+  EXPECT_EQ(decoded.value().per_sender_packet_bytes,
+            config.per_sender_packet_bytes);
+}
+
+TEST(ServeCodec, CanonicalCellChangesWithTheSeed) {
+  runner::ExperimentConfig config = gnarly_config();
+  const std::string cell = serve::canonical_cell(config);
+  config.seed += 1;
+  EXPECT_NE(serve::canonical_cell(config), cell);
+}
+
+TEST(ServeCodec, ConfigDecodeIsStrict) {
+  // Removing any field must fail with an error naming the field — a cache
+  // body that decodes "close enough" is a stale-result bug.
+  const auto doc = util::parse_json(R"({"senders":5,"topology":"nowhere"})");
+  ASSERT_TRUE(doc.ok());
+  const auto missing = serve::decode_config(doc.value());
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error().find("id_bits"), std::string::npos);
+}
+
+TEST(ServeCodec, ResultRoundTripsByteIdentically) {
+  const runner::ExperimentResult result = gnarly_result();
+  const std::string body = serve::encode_result(result);
+
+  const auto decoded = serve::decode_result_text(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(serve::encode_result(decoded.value()), body);
+  // The fingerprint — what the server re-derives on every hit — must be
+  // preserved exactly through the codec.
+  EXPECT_EQ(runner::fingerprint(decoded.value()), runner::fingerprint(result));
+  EXPECT_EQ(decoded.value().metrics, result.metrics);
+  EXPECT_EQ(decoded.value().aff_by_size, result.aff_by_size);
+}
+
+TEST(ServeCodec, ResultDecodeRejectsTruncatedBodies) {
+  const std::string body = serve::encode_result(gnarly_result());
+  EXPECT_FALSE(serve::decode_result_text(body.substr(0, body.size() / 2)).ok());
+  EXPECT_FALSE(serve::decode_result_text("{}").ok());
+}
+
+TEST(ServeCodec, SweepSpecRoundTripsByteIdentically) {
+  const runner::SweepSpec spec = gnarly_spec();
+  const std::string encoded = serve::encode_sweep_spec(spec);
+
+  const auto doc = util::parse_json(encoded);
+  ASSERT_TRUE(doc.ok());
+  const auto decoded = serve::decode_sweep_spec(doc.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(serve::encode_sweep_spec(decoded.value()), encoded);
+  EXPECT_EQ(decoded.value().point_count(), spec.point_count());
+  EXPECT_EQ(decoded.value().base.seed, spec.base.seed);
+}
+
+TEST(ServeCodec, CheckpointRoundTripsAndHashesStably) {
+  serve::JobCheckpoint checkpoint;
+  checkpoint.spec = gnarly_spec();
+  checkpoint.spec_hash = serve::spec_hash(checkpoint.spec);
+  checkpoint.done = {0, 3, 17, 40};
+
+  const std::string encoded = serve::encode_checkpoint(checkpoint);
+  const auto decoded = serve::decode_checkpoint(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().spec_hash, checkpoint.spec_hash);
+  EXPECT_EQ(decoded.value().done, checkpoint.done);
+  // Re-encoding the decode must reproduce the bytes — the full structural
+  // round-trip, spec included.
+  EXPECT_EQ(serve::encode_checkpoint(decoded.value()), encoded);
+
+  // The hash is a pure function of the spec's content.
+  EXPECT_EQ(serve::spec_hash(decoded.value().spec), checkpoint.spec_hash);
+  runner::SweepSpec other = gnarly_spec();
+  other.trials += 1;
+  EXPECT_NE(serve::spec_hash(other), checkpoint.spec_hash);
+
+  EXPECT_FALSE(serve::decode_checkpoint("not json").ok());
+  EXPECT_FALSE(serve::decode_checkpoint(R"({"schema":"wrong"})").ok());
+}
+
+TEST(ServeProtocol, RequestAndResponseBodiesRoundTrip) {
+  // submit
+  const runner::SweepSpec spec = gnarly_spec();
+  const auto submit = util::parse_json(serve::encode_submit(spec));
+  ASSERT_TRUE(submit.ok());
+  EXPECT_EQ(serve::message_type(submit.value()), "submit");
+  const util::JsonValue* wired = submit.value().find("spec");
+  ASSERT_NE(wired, nullptr);
+  const auto respec = serve::decode_sweep_spec(*wired);
+  ASSERT_TRUE(respec.ok()) << respec.error();
+  EXPECT_EQ(serve::encode_sweep_spec(respec.value()),
+            serve::encode_sweep_spec(spec));
+
+  // status / shutdown request types
+  const auto status_req = util::parse_json(serve::encode_status_request());
+  ASSERT_TRUE(status_req.ok());
+  EXPECT_EQ(serve::message_type(status_req.value()), "status");
+  const auto shutdown = util::parse_json(serve::encode_shutdown());
+  ASSERT_TRUE(shutdown.ok());
+  EXPECT_EQ(serve::message_type(shutdown.value()), "shutdown");
+
+  // accepted
+  serve::Submitted submitted{"abcdef123456-1", 4, 3, 12};
+  const auto accepted = util::parse_json(serve::encode_accepted(submitted));
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(serve::message_type(accepted.value()), "accepted");
+  const auto resub = serve::decode_accepted(accepted.value());
+  ASSERT_TRUE(resub.ok()) << resub.error();
+  EXPECT_EQ(resub.value().job_id, submitted.job_id);
+  EXPECT_EQ(resub.value().points, submitted.points);
+  EXPECT_EQ(resub.value().trials, submitted.trials);
+  EXPECT_EQ(resub.value().cells, submitted.cells);
+
+  // rejected
+  serve::Rejection rejection{"queue full: 9 cells in flight", 500};
+  const auto rejected = util::parse_json(serve::encode_rejected(rejection));
+  ASSERT_TRUE(rejected.ok());
+  const auto rerej = serve::decode_rejected(rejected.value());
+  ASSERT_TRUE(rerej.ok()) << rerej.error();
+  EXPECT_EQ(rerej.value().reason, rejection.reason);
+  EXPECT_EQ(rerej.value().retry_after_ms, rejection.retry_after_ms);
+
+  // status response
+  serve::ServerStatus status;
+  status.jobs_active = 1;
+  status.jobs_submitted = 5;
+  status.jobs_completed = 4;
+  status.jobs_rejected = 2;
+  status.queue_depth = 3;
+  status.events_pending = 7;
+  status.cache_entries = 11;
+  status.cache_bytes = 4096;
+  const auto wire_status = util::parse_json(serve::encode_status(status));
+  ASSERT_TRUE(wire_status.ok());
+  const auto restat = serve::decode_status(wire_status.value());
+  ASSERT_TRUE(restat.ok()) << restat.error();
+  EXPECT_EQ(restat.value().jobs_active, status.jobs_active);
+  EXPECT_EQ(restat.value().jobs_completed, status.jobs_completed);
+  EXPECT_EQ(restat.value().queue_depth, status.queue_depth);
+  EXPECT_EQ(restat.value().cache_bytes, status.cache_bytes);
+}
+
+TEST(ServeProtocol, TrialAndDoneEventsRoundTrip) {
+  serve::ServeEvent trial;
+  trial.kind = serve::ServeEvent::Kind::kTrial;
+  trial.job_id = "abcdef123456-1";
+  trial.cell = 7;
+  trial.point = 2;
+  trial.trial = 1;
+  trial.label = "H=4 listening";
+  trial.cache_hit = true;
+  trial.key = "0123456789abcdef";
+  trial.result = gnarly_result();
+  const auto trial_doc = util::parse_json(serve::encode_event(trial));
+  ASSERT_TRUE(trial_doc.ok());
+  EXPECT_EQ(serve::message_type(trial_doc.value()), "trial");
+  const auto retrial = serve::decode_event(trial_doc.value());
+  ASSERT_TRUE(retrial.ok()) << retrial.error();
+  EXPECT_EQ(retrial.value().kind, serve::ServeEvent::Kind::kTrial);
+  EXPECT_EQ(retrial.value().job_id, trial.job_id);
+  EXPECT_EQ(retrial.value().cell, trial.cell);
+  EXPECT_EQ(retrial.value().point, trial.point);
+  EXPECT_EQ(retrial.value().trial, trial.trial);
+  EXPECT_EQ(retrial.value().label, trial.label);
+  EXPECT_TRUE(retrial.value().cache_hit);
+  EXPECT_EQ(retrial.value().key, trial.key);
+  EXPECT_EQ(serve::encode_result(retrial.value().result),
+            serve::encode_result(trial.result));
+
+  serve::ServeEvent done;
+  done.kind = serve::ServeEvent::Kind::kJobDone;
+  done.job_id = "abcdef123456-1";
+  done.cells = 12;
+  done.hits = 9;
+  done.misses = 3;
+  done.error = "";
+  const auto done_doc = util::parse_json(serve::encode_event(done));
+  ASSERT_TRUE(done_doc.ok());
+  EXPECT_EQ(serve::message_type(done_doc.value()), "done");
+  const auto redone = serve::decode_event(done_doc.value());
+  ASSERT_TRUE(redone.ok()) << redone.error();
+  EXPECT_EQ(redone.value().kind, serve::ServeEvent::Kind::kJobDone);
+  EXPECT_EQ(redone.value().cells, done.cells);
+  EXPECT_EQ(redone.value().hits, done.hits);
+  EXPECT_EQ(redone.value().misses, done.misses);
+  EXPECT_TRUE(redone.value().error.empty());
+}

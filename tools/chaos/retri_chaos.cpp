@@ -9,9 +9,15 @@
 // replays a single trial, since trial 0's derived seed is the base seed's
 // first derivation — use the printed trial_seed with --raw-seed instead).
 //
+// --cache DIR memoizes trials in a serve::ResultCache store: a re-run (or
+// a soak killed halfway) serves already-simulated seeds from disk and only
+// simulates the remainder. Cached records are fingerprint-verified on
+// every hit; output is bit-identical to an uncached soak.
+//
 // Determinism contract: output and JSON artifact are pure functions of
 // (--seeds, --seconds, --senders, --bits, --seed); --jobs only shards
-// work. scripts/check.sh diffs --jobs 1 vs --jobs 8 artifacts.
+// work and --cache only skips it. scripts/check.sh diffs --jobs 1 vs
+// --jobs 8 artifacts.
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -25,6 +31,7 @@
 #include "runner/chaos_soak.hpp"
 #include "runner/json.hpp"
 #include "runner/seeds.hpp"
+#include "serve/chaos_cells.hpp"
 
 namespace {
 
@@ -37,6 +44,7 @@ struct Args {
   std::uint64_t seed = 1;  // base seed; trial i uses derive_trial_seed
   bool raw_seed = false;   // treat --seed as trial 0's exact seed
   std::string out;         // JSON artifact path; empty = no export
+  std::string cache;       // memo-table directory; empty = no memoization
   bool verbose = false;
 };
 
@@ -44,13 +52,16 @@ void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: retri_chaos [--seeds N] [--jobs N] [--seconds S]\n"
                "                   [--senders N] [--bits B] [--seed X]\n"
-               "                   [--raw-seed] [--out FILE] [--verbose]\n"
+               "                   [--raw-seed] [--out FILE] [--cache DIR]\n"
+               "                   [--verbose]\n"
                "\n"
                "Runs N seeded chaos trials against the AFF stack and checks\n"
                "conservation invariants. Exit 0: all trials clean; 1: some\n"
                "trial violated an invariant; 2: bad arguments or I/O error.\n"
                "--raw-seed runs trial 0 with --seed verbatim (replay a\n"
-               "trial_seed printed by a previous soak).\n");
+               "trial_seed printed by a previous soak). --cache DIR serves\n"
+               "already-simulated seeds from an on-disk memo table, so a\n"
+               "killed soak resumes instead of restarting.\n");
 }
 
 bool parse_u64(const char* s, std::uint64_t& value) {
@@ -112,6 +123,10 @@ int parse_args(int argc, char** argv, Args& args) {
       const char* value = next();
       ok = value != nullptr;
       if (ok) args.out = value;
+    } else if (flag == "--cache") {
+      const char* value = next();
+      ok = value != nullptr && *value != '\0';
+      if (ok) args.cache = value;
     } else if (flag == "--verbose" || flag == "-v") {
       args.verbose = true;
     } else {
@@ -125,11 +140,19 @@ int parse_args(int argc, char** argv, Args& args) {
       return 2;
     }
   }
+  if (args.raw_seed && !args.cache.empty()) {
+    // Replay mode exists to re-run one suspect seed from scratch; serving
+    // it from the memo table would defeat the point.
+    std::fprintf(stderr, "retri_chaos: --raw-seed and --cache are mutually "
+                         "exclusive (replays must re-simulate)\n");
+    return 2;
+  }
   return 0;
 }
 
-std::string soak_json(const Args& args,
-                      const std::vector<retri::fault::ChaosTrialResult>& runs) {
+std::string soak_json(
+    const Args& args,
+    const std::vector<retri::serve::ChaosCellRecord>& records) {
   retri::runner::JsonWriter json(/*pretty=*/true);
   json.begin_object();
   json.member("schema", "retri.chaos-soak");
@@ -145,30 +168,32 @@ std::string soak_json(const Args& args,
   json.end_object();
 
   unsigned clean = 0;
-  for (const auto& run : runs) clean += run.clean() ? 1u : 0u;
+  for (const auto& record : records) clean += record.clean() ? 1u : 0u;
   json.member("clean_trials", clean);
-  json.member("total_trials", runs.size());
+  json.member("total_trials", records.size());
 
   json.key("trials").begin_array();
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const auto& run = runs[i];
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& record = records[i];
     json.begin_object();
     json.member("index", i);
     json.member("trial_seed",
                 args.raw_seed && i == 0
                     ? args.seed
                     : retri::runner::derive_trial_seed(args.seed, i));
-    json.member("plan", run.plan.describe());
-    json.member("packets_offered", run.packets_offered);
-    json.member("aff_delivered", run.aff_delivered);
-    json.member("truth_delivered", run.truth_delivered);
-    json.member("crashes", run.crashes);
-    json.member("restarts", run.restarts);
-    json.member("clean", run.clean());
+    json.member("plan", record.plan);
+    json.member("packets_offered", record.packets_offered);
+    json.member("aff_delivered", record.aff_delivered);
+    json.member("truth_delivered", record.truth_delivered);
+    json.member("crashes", record.crashes);
+    json.member("restarts", record.restarts);
+    json.member("clean", record.clean());
     json.key("violations").begin_array();
-    for (const std::string& violation : run.violations) json.value(violation);
+    for (const std::string& violation : record.violations) {
+      json.value(violation);
+    }
     json.end_array();
-    json.member("fingerprint", retri::fault::fingerprint(run));
+    json.member("fingerprint", record.fingerprint);
     json.end_object();
   }
   json.end_array();
@@ -189,47 +214,61 @@ int main(int argc, char** argv) {
   base.send_duration = retri::sim::Duration::from_seconds(args.seconds);
   base.seed = args.seed;
 
-  std::vector<retri::fault::ChaosTrialResult> runs;
+  std::vector<retri::serve::ChaosCellRecord> records;
   if (args.raw_seed) {
     // Replay mode: run --seed verbatim as a single trial (no derivation),
     // so a trial_seed printed by a soak reproduces that exact trial.
     retri::fault::ChaosTrialConfig replay = base;
-    runs.push_back(retri::fault::run_chaos_trial(replay));
+    records.push_back(
+        retri::serve::project(retri::fault::run_chaos_trial(replay)));
+  } else if (!args.cache.empty()) {
+    retri::serve::CachedChaosOptions options;
+    options.seeds = args.seeds;
+    options.jobs = args.jobs;
+    options.cache_dir = args.cache;
+    const retri::serve::CachedChaosSoak soak =
+        retri::serve::run_cached_chaos_soak(base, options);
+    records = soak.records;
+    std::printf("cache %s: %llu hits, %llu simulated\n", args.cache.c_str(),
+                static_cast<unsigned long long>(soak.hits),
+                static_cast<unsigned long long>(soak.misses));
   } else {
     retri::runner::ChaosSoakOptions options;
     options.seeds = args.seeds;
     options.jobs = args.jobs;
-    runs = retri::runner::run_chaos_soak(base, options);
+    for (const auto& run : retri::runner::run_chaos_soak(base, options)) {
+      records.push_back(retri::serve::project(run));
+    }
   }
 
   unsigned clean = 0;
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const auto& run = runs[i];
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& record = records[i];
     const std::uint64_t trial_seed =
         args.raw_seed ? args.seed
                       : retri::runner::derive_trial_seed(args.seed, i);
-    if (run.clean()) ++clean;
+    if (record.clean()) ++clean;
     std::printf("trial %3zu seed=%llu %s | offered=%llu aff=%llu truth=%llu "
                 "crashes=%llu plan=[%s]\n",
                 i, static_cast<unsigned long long>(trial_seed),
-                run.clean() ? "clean " : "DIRTY ",
-                static_cast<unsigned long long>(run.packets_offered),
-                static_cast<unsigned long long>(run.aff_delivered),
-                static_cast<unsigned long long>(run.truth_delivered),
-                static_cast<unsigned long long>(run.crashes),
-                run.plan.describe().c_str());
-    for (const std::string& violation : run.violations) {
+                record.clean() ? "clean " : "DIRTY ",
+                static_cast<unsigned long long>(record.packets_offered),
+                static_cast<unsigned long long>(record.aff_delivered),
+                static_cast<unsigned long long>(record.truth_delivered),
+                static_cast<unsigned long long>(record.crashes),
+                record.plan.c_str());
+    for (const std::string& violation : record.violations) {
       std::printf("        violation: %s\n", violation.c_str());
     }
     if (args.verbose) {
-      std::printf("%s", retri::fault::fingerprint(run).c_str());
+      std::printf("%s", record.fingerprint.c_str());
     }
   }
-  std::printf("chaos soak: %u/%zu trials clean\n", clean, runs.size());
+  std::printf("chaos soak: %u/%zu trials clean\n", clean, records.size());
 
   if (!args.out.empty()) {
     std::string error;
-    if (!retri::obs::write_text_file(args.out, soak_json(args, runs) + "\n",
+    if (!retri::obs::write_text_file(args.out, soak_json(args, records) + "\n",
                                      &error)) {
       std::fprintf(stderr, "retri_chaos: %s\n", error.c_str());
       return 2;
@@ -237,5 +276,5 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", args.out.c_str());
   }
 
-  return clean == runs.size() ? 0 : 1;
+  return clean == records.size() ? 0 : 1;
 }

@@ -1,0 +1,326 @@
+// retri_serve: the sweep-serving daemon and its control CLI.
+//
+// Daemon mode binds a Unix-domain socket and serves sweep jobs out of the
+// content-addressed result cache, simulating only cells the cache has
+// never seen (DESIGN.md §5g):
+//
+//   retri_serve --serve /tmp/retri.sock --cache /var/tmp/retri-cache
+//               --state /var/tmp/retri-state --jobs 4
+//
+// Client modes talk to a running daemon:
+//
+//   retri_serve --submit fig4 --via /tmp/retri.sock --out fig4.json
+//   retri_serve --status --via /tmp/retri.sock
+//   retri_serve --shutdown --via /tmp/retri.sock
+//
+// --submit reuses the same client library as `retri_bench --via`, so its
+// --out artifact is byte-identical to a local `retri_bench --sweep` run
+// (add --cache-info for the schema v4 provenance members instead).
+//
+// Exit status: 0 success; 1 daemon/communication failure (connect refused,
+// job rejected or failed, daemon socket error); 2 bad arguments or I/O.
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/sweep.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+struct Args {
+  // Mode selectors (exactly one required).
+  std::string serve_socket;   // --serve SOCK: run the daemon
+  std::string submit_sweep;   // --submit NAME: run a sweep through --via
+  bool status = false;        // --status: one status round-trip
+  bool shutdown = false;      // --shutdown: ask the daemon to exit
+
+  // Daemon options.
+  std::string cache_dir;      // --cache DIR (empty: memory-only cache)
+  std::string state_dir;      // --state DIR (empty: no checkpoints)
+  std::uint64_t cache_bytes = 256u << 20;  // --cache-bytes N
+  unsigned jobs = 1;          // --jobs N: pool workers for miss cells
+  std::uint64_t queue = 256;  // --queue N: max in-flight miss cells
+  bool quiet = false;         // --quiet: suppress lifecycle lines
+
+  // Client options.
+  std::string via;            // --via SOCK: daemon to talk to
+  unsigned trials = 10;       // --trials N
+  double seconds = 30.0;      // --seconds S
+  std::uint64_t senders = 0;  // --senders N (0: keep the sweep's default)
+  std::uint64_t seed = 1;     // --seed X
+  std::string out;            // --out FILE: JSON artifact
+  bool cache_info = false;    // --cache-info: schema v4 provenance members
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: retri_serve --serve SOCK [--cache DIR] [--cache-bytes N]\n"
+      "                   [--state DIR] [--jobs N] [--queue N] [--quiet]\n"
+      "       retri_serve --submit SWEEP --via SOCK [--trials N]\n"
+      "                   [--seconds S] [--senders N] [--seed X]\n"
+      "                   [--out FILE] [--cache-info]\n"
+      "       retri_serve --status --via SOCK\n"
+      "       retri_serve --shutdown --via SOCK\n"
+      "\n"
+      "Daemon mode serves sweep jobs from a content-addressed result\n"
+      "cache, simulating only cells the cache has never seen; submitted\n"
+      "sweeps stream back per-trial and reassemble byte-identically to a\n"
+      "local `retri_bench --sweep` run. Exit 0: success; 1: daemon or\n"
+      "communication failure; 2: bad arguments or I/O error.\n");
+}
+
+bool parse_u64(const char* s, std::uint64_t& value) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  value = parsed;
+  return true;
+}
+
+bool parse_unsigned(const char* s, unsigned& value) {
+  std::uint64_t wide = 0;
+  if (!parse_u64(s, wide) || wide > 1u << 20) return false;
+  value = static_cast<unsigned>(wide);
+  return true;
+}
+
+bool parse_double(const char* s, double& value) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  value = parsed;
+  return true;
+}
+
+/// Returns 0 on success, 2 on any malformed flag (printed to stderr).
+int parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    bool ok = true;
+    if (flag == "--help" || flag == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else if (flag == "--serve") {
+      const char* value = next();
+      ok = value != nullptr && *value != '\0';
+      if (ok) args.serve_socket = value;
+    } else if (flag == "--submit") {
+      const char* value = next();
+      ok = value != nullptr && *value != '\0';
+      if (ok) args.submit_sweep = value;
+    } else if (flag == "--status") {
+      args.status = true;
+    } else if (flag == "--shutdown") {
+      args.shutdown = true;
+    } else if (flag == "--via") {
+      const char* value = next();
+      ok = value != nullptr && *value != '\0';
+      if (ok) args.via = value;
+    } else if (flag == "--cache") {
+      const char* value = next();
+      ok = value != nullptr && *value != '\0';
+      if (ok) args.cache_dir = value;
+    } else if (flag == "--state") {
+      const char* value = next();
+      ok = value != nullptr && *value != '\0';
+      if (ok) args.state_dir = value;
+    } else if (flag == "--cache-bytes") {
+      ok = parse_u64(next(), args.cache_bytes) && args.cache_bytes >= 1;
+    } else if (flag == "--jobs") {
+      ok = parse_unsigned(next(), args.jobs) && args.jobs >= 1;
+    } else if (flag == "--queue") {
+      ok = parse_u64(next(), args.queue) && args.queue >= 1;
+    } else if (flag == "--quiet") {
+      args.quiet = true;
+    } else if (flag == "--trials") {
+      ok = parse_unsigned(next(), args.trials) && args.trials >= 1;
+    } else if (flag == "--seconds") {
+      ok = parse_double(next(), args.seconds) && args.seconds > 0.0;
+    } else if (flag == "--senders") {
+      ok = parse_u64(next(), args.senders) && args.senders >= 1 &&
+           args.senders <= 64;
+    } else if (flag == "--seed") {
+      ok = parse_u64(next(), args.seed);
+    } else if (flag == "--out") {
+      const char* value = next();
+      ok = value != nullptr && *value != '\0';
+      if (ok) args.out = value;
+    } else if (flag == "--cache-info") {
+      args.cache_info = true;
+    } else {
+      std::fprintf(stderr, "retri_serve: unknown flag '%s'\n", flag.c_str());
+      usage(stderr);
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "retri_serve: bad or missing value for %s\n",
+                   flag.c_str());
+      return 2;
+    }
+  }
+
+  const int modes = (args.serve_socket.empty() ? 0 : 1) +
+                    (args.submit_sweep.empty() ? 0 : 1) +
+                    (args.status ? 1 : 0) + (args.shutdown ? 1 : 0);
+  if (modes != 1) {
+    std::fprintf(stderr,
+                 "retri_serve: exactly one of --serve, --submit, --status, "
+                 "--shutdown is required\n");
+    usage(stderr);
+    return 2;
+  }
+  if (args.serve_socket.empty() && args.via.empty()) {
+    std::fprintf(stderr, "retri_serve: client modes need --via SOCK\n");
+    return 2;
+  }
+  return 0;
+}
+
+int run_serve(const Args& args) {
+  retri::obs::MetricsRegistry metrics;
+  retri::serve::DaemonOptions options;
+  options.socket_path = args.serve_socket;
+  options.verbose = !args.quiet;
+  options.server.cache.dir = args.cache_dir;
+  options.server.cache.byte_budget =
+      static_cast<std::size_t>(args.cache_bytes);
+  options.server.cache.metrics = &metrics;
+  options.server.state_dir = args.state_dir;
+  options.server.jobs = args.jobs;
+  options.server.queue_capacity = static_cast<std::size_t>(args.queue);
+  options.server.metrics = &metrics;
+
+  const auto rc = retri::serve::run_daemon(options);
+  if (!rc.ok()) {
+    std::fprintf(stderr, "retri_serve: %s\n", rc.error().c_str());
+    return 1;
+  }
+
+  if (!args.quiet) {
+    // One line per serve.* metric at exit: the daemon's self-report of how
+    // much simulation the cache saved this run.
+    const auto snapshot = metrics.snapshot();
+    for (const retri::obs::MetricValue& m : snapshot.entries) {
+      if (m.kind == retri::obs::MetricKind::kCounter) {
+        std::fprintf(stderr, "retri_serve: %s = %llu\n", m.name.c_str(),
+                     static_cast<unsigned long long>(m.count));
+      } else if (m.kind == retri::obs::MetricKind::kGauge) {
+        std::fprintf(stderr, "retri_serve: %s = %lld (peak %lld)\n",
+                     m.name.c_str(), static_cast<long long>(m.level),
+                     static_cast<long long>(m.peak));
+      }
+    }
+  }
+  return rc.value();
+}
+
+int run_submit(const Args& args) {
+  auto named = retri::runner::make_named_sweep(args.submit_sweep);
+  if (!named.ok()) {
+    std::fprintf(stderr, "retri_serve: %s\n", named.error().c_str());
+    return 2;
+  }
+  retri::runner::SweepSpec spec = std::move(named).value();
+  spec.trials = args.trials;
+  spec.base.seed = args.seed;
+  if (args.senders != 0) {
+    spec.base.senders = static_cast<std::size_t>(args.senders);
+  }
+  spec.base.send_duration = retri::sim::Duration::from_seconds(args.seconds);
+
+  auto served = retri::serve::run_sweep_via(args.via, spec);
+  if (!served.ok()) {
+    std::fprintf(stderr, "retri_serve: %s\n", served.error().c_str());
+    return 1;
+  }
+  const retri::serve::ServedSweep& sweep = served.value();
+  std::printf("job %s: %zu points x %u trials — %llu cache hits, %llu "
+              "simulated\n",
+              sweep.job_id.c_str(), sweep.result.points.size(), spec.trials,
+              static_cast<unsigned long long>(sweep.hits),
+              static_cast<unsigned long long>(sweep.misses));
+
+  if (!args.out.empty()) {
+    retri::runner::ServeAnnotations annotations;
+    if (args.cache_info) {
+      annotations.served_by = sweep.job_id;
+      annotations.code_version = std::string(retri::serve::kCodeVersion);
+      for (const auto& point : sweep.cache_info) {
+        auto& out = annotations.trials.emplace_back();
+        for (const retri::serve::TrialCacheInfo& info : point) {
+          out.push_back({info.hit, info.key});
+        }
+      }
+    }
+    std::string error;
+    if (!retri::runner::ResultSink::write_file(
+            args.out, sweep.result, &error,
+            args.cache_info ? &annotations : nullptr)) {
+      std::fprintf(stderr, "retri_serve: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("wrote %s (schema v%d, %zu points)\n", args.out.c_str(),
+                retri::runner::ResultSink::kSchemaVersion,
+                sweep.result.points.size());
+  }
+  return 0;
+}
+
+int run_status(const Args& args) {
+  const auto status = retri::serve::fetch_status(args.via);
+  if (!status.ok()) {
+    std::fprintf(stderr, "retri_serve: %s\n", status.error().c_str());
+    return 1;
+  }
+  const retri::serve::ServerStatus& s = status.value();
+  std::printf("jobs:  active=%llu submitted=%llu completed=%llu "
+              "rejected=%llu\n",
+              static_cast<unsigned long long>(s.jobs_active),
+              static_cast<unsigned long long>(s.jobs_submitted),
+              static_cast<unsigned long long>(s.jobs_completed),
+              static_cast<unsigned long long>(s.jobs_rejected));
+  std::printf("queue: depth=%llu events_pending=%llu\n",
+              static_cast<unsigned long long>(s.queue_depth),
+              static_cast<unsigned long long>(s.events_pending));
+  std::printf("cache: entries=%llu bytes=%llu\n",
+              static_cast<unsigned long long>(s.cache_entries),
+              static_cast<unsigned long long>(s.cache_bytes));
+  return 0;
+}
+
+int run_shutdown(const Args& args) {
+  const auto rc = retri::serve::request_shutdown(args.via);
+  if (!rc.ok()) {
+    std::fprintf(stderr, "retri_serve: %s\n", rc.error().c_str());
+    return 1;
+  }
+  std::printf("daemon at %s acknowledged shutdown\n", args.via.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (const int bad = parse_args(argc, argv, args)) return bad;
+  if (!args.serve_socket.empty()) return run_serve(args);
+  if (!args.submit_sweep.empty()) return run_submit(args);
+  if (args.status) return run_status(args);
+  return run_shutdown(args);
+}
