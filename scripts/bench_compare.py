@@ -35,6 +35,7 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import sys
 
 
@@ -142,6 +143,9 @@ def main() -> int:
                          for name, bench in sorted(baseline.items())},
         }
         try:
+            parent = os.path.dirname(args.append_history)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
             with open(args.append_history, "a", encoding="utf-8") as fh:
                 fh.write(json.dumps(record, separators=(",", ":")) + "\n")
         except OSError as exc:

@@ -7,25 +7,27 @@
 # Stages (each is a fresh build tree under build-check/):
 #   1. werror  — RelWithDebInfo + RETRI_WERROR=ON, full build, full ctest
 #   2. lint    — retri_lint over the tree with an empty baseline
-#   3. tidy    — RETRI_TIDY=ON build (curated .clang-tidy, warnings fatal);
+#   3. graph   — retri_lint --graph check: include-graph layering + cycle
+#                rules over src/ (also part of --quick)
+#   4. tidy    — RETRI_TIDY=ON build (curated .clang-tidy, warnings fatal);
 #                SKIPPED with a notice when clang-tidy is not installed
-#   4. asan    — RETRI_SANITIZE=address build + full ctest
-#   5. chaos   — short randomized fault-injection soak (retri_chaos) under
+#   5. asan    — RETRI_SANITIZE=address build + full ctest
+#   6. chaos   — short randomized fault-injection soak (retri_chaos) under
 #                the asan build, plus `ctest -L chaos`; also runnable alone
 #                via `scripts/check.sh --chaos`
-#   6. obs     — observability gate under the werror build: `ctest -L obs`
+#   7. obs     — observability gate under the werror build: `ctest -L obs`
 #                (metrics/span/export suites + retri_trace CLI smoke) plus
 #                a --jobs 1 vs --jobs 8 retri_trace artifact diff (the
 #                Perfetto JSON must be byte-identical)
-#   7. serve   — sweep-serving gate under the werror build: `ctest -L serve`
+#   8. serve   — sweep-serving gate under the werror build: `ctest -L serve`
 #                (cache/codec/wire/server suites) plus scripts/serve_smoke.sh
 #                (daemon on a temp socket; same sweep submitted twice; the
 #                second run must be 100% cache hits with --out artifacts
 #                byte-identical to a local retri_bench run)
-#   8. tsan    — RETRI_SANITIZE=thread build + `ctest -L runner` (the
+#   9. tsan    — RETRI_SANITIZE=thread build + `ctest -L runner` (the
 #                concurrency suite; TSan on the single-threaded sim buys
 #                nothing but runtime)
-#   9. perf    — opt-in via `scripts/check.sh --perf`: regenerates the
+#  10. perf    — opt-in via `scripts/check.sh --perf`: regenerates the
 #                micro-suite artifact with `retri_bench --micro` and gates
 #                allocs_per_op against the committed bench/BENCH_micro.json
 #                via scripts/bench_compare.py (zero tolerance — the metric
@@ -138,12 +140,20 @@ run_stage werror werror_stage
 lint_stage() { ./build-check/werror/tools/lint/retri_lint --root . ; }
 run_stage lint lint_stage
 
+# --- 3. include-graph layering ----------------------------------------------
+# Same binary, graph engine only: the declared layer order and the no-cycle
+# invariant over src/ modules. Cheap enough to live in --quick.
+graph_stage() {
+  ./build-check/werror/tools/lint/retri_lint --root . --graph check
+}
+run_stage graph graph_stage
+
 if [[ "$QUICK" == 1 ]]; then
   summary
   exit "$FAILED"
 fi
 
-# --- 3. clang-tidy (gated on availability) ----------------------------------
+# --- 4. clang-tidy (gated on availability) ----------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   tidy_stage() {
     build_dir build-check/tidy -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -155,7 +165,7 @@ else
   record tidy SKIP
 fi
 
-# --- 4. AddressSanitizer build + full test suite ----------------------------
+# --- 5. AddressSanitizer build + full test suite ----------------------------
 asan_stage() {
   build_dir build-check/asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DRETRI_SANITIZE=address &&
@@ -163,11 +173,11 @@ asan_stage() {
 }
 run_stage asan asan_stage
 
-# --- 5. chaos soak under the asan build -------------------------------------
+# --- 6. chaos soak under the asan build -------------------------------------
 chaos_stage() { chaos_soak build-check/asan; }
 run_stage chaos chaos_stage
 
-# --- 6. observability gate ---------------------------------------------------
+# --- 7. observability gate ---------------------------------------------------
 # ctest -L obs already ran inside the full werror/asan suites; this stage
 # re-selects it explicitly and then checks the retri_trace determinism
 # contract: --jobs only shards the batch, so the Perfetto artifact must be
@@ -182,7 +192,7 @@ obs_stage() {
 }
 run_stage obs obs_stage
 
-# --- 7. sweep-serving gate ---------------------------------------------------
+# --- 8. sweep-serving gate ---------------------------------------------------
 # Unit suites for the cache/codec/wire/server layers, then the end-to-end
 # contract: a daemon on a temp socket must serve a repeated sweep entirely
 # from cache, byte-identical to a local retri_bench run.
@@ -193,7 +203,7 @@ serve_stage() {
 }
 run_stage serve serve_stage
 
-# --- 8. ThreadSanitizer build + runner concurrency suite --------------------
+# --- 9. ThreadSanitizer build + runner concurrency suite --------------------
 tsan_stage() {
   build_dir build-check/tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DRETRI_SANITIZE=thread &&

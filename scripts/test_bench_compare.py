@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Self-test for bench_compare.py, run as the `bench_compare` ctest.
+
+Covers the gating contract (OK run, regression, missing --require) and the
+--append-history behaviors: appending to an existing file, and creating the
+history file — parent directories included — when neither exists yet, as on
+a fresh checkout before the first `check.sh --perf` run.
+
+Standard library only; exits nonzero on the first failed expectation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def artifact(path: str, allocs: dict[str, float]) -> None:
+    doc = {
+        "schema_version": 1,
+        "benchmarks": [{"name": name, "allocs_per_op": value}
+                       for name, value in sorted(allocs.items())],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+
+
+def run(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, SCRIPT, *argv],
+                          capture_output=True, text=True)
+
+
+def check(cond: bool, what: str, proc: subprocess.CompletedProcess) -> None:
+    if not cond:
+        sys.stderr.write(f"FAIL: {what}\n"
+                         f"  exit={proc.returncode}\n"
+                         f"  stdout={proc.stdout!r}\n"
+                         f"  stderr={proc.stderr!r}\n")
+        sys.exit(1)
+    print(f"ok: {what}")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        base = os.path.join(tmp, "base.json")
+        cur = os.path.join(tmp, "cur.json")
+        artifact(base, {"engine_fire": 0.0, "fanout": 2.0})
+
+        artifact(cur, {"engine_fire": 0.0, "fanout": 2.0})
+        proc = run(base, cur)
+        check(proc.returncode == 0, "identical artifacts pass", proc)
+
+        artifact(cur, {"engine_fire": 1.0, "fanout": 2.0})
+        proc = run(base, cur)
+        check(proc.returncode == 1 and "REGRESSED" in proc.stdout,
+              "alloc growth fails at zero tolerance", proc)
+
+        artifact(cur, {"engine_fire": 0.0, "fanout": 2.0})
+        proc = run(base, cur, "--require", "not_there")
+        check(proc.returncode == 1 and "not_there" in proc.stderr,
+              "missing --require benchmark fails", proc)
+
+        # --append-history must create the file AND its parent directories
+        # when absent (fresh checkout: bench/BENCH_history.jsonl not yet
+        # committed), then append on later runs.
+        history = os.path.join(tmp, "no", "such", "dir", "history.jsonl")
+        proc = run(base, cur, "--append-history", history)
+        check(proc.returncode == 0 and os.path.exists(history),
+              "append-history creates missing file and parent dirs", proc)
+        proc = run(base, cur, "--append-history", history)
+        check(proc.returncode == 0, "append-history appends on rerun", proc)
+        with open(history, "r", encoding="utf-8") as fh:
+            lines = [json.loads(line) for line in fh]
+        check(len(lines) == 2 and
+              all(rec["status"] == "ok" and
+                  rec["current"]["engine_fire"] == 0.0 for rec in lines),
+              "history holds one parseable record per run", proc)
+
+        # A bare filename (no directory component) must not trip makedirs.
+        old_cwd = os.getcwd()
+        os.chdir(tmp)
+        try:
+            proc = run(base, cur, "--append-history", "bare.jsonl")
+        finally:
+            os.chdir(old_cwd)
+        check(proc.returncode == 0 and
+              os.path.exists(os.path.join(tmp, "bare.jsonl")),
+              "append-history with bare filename works", proc)
+
+    print("test_bench_compare: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,11 +3,22 @@
 #include <algorithm>
 
 #include "util/checksum.hpp"
+#include "util/validate.hpp"
 
 namespace retri::aff {
 
+FragmenterConfig validated(FragmenterConfig config) {
+  config.wire = validated(config.wire);
+  util::Validator v{"FragmenterConfig"};
+  // A frame too small for a data header + payload byte is a RUNTIME
+  // condition (kFrameTooSmall) so callers can probe it; only a frame of
+  // zero bytes is nonsensical enough to reject at construction.
+  v.at_least("max_frame_bytes", config.max_frame_bytes, 1);
+  return config;
+}
+
 Fragmenter::Fragmenter(FragmenterConfig config)
-    : config_(config),
+    : config_(validated(config)),
       payload_per_fragment_(
           config_.max_frame_bytes > data_header_bytes(config_.wire)
               ? config_.max_frame_bytes - data_header_bytes(config_.wire)

@@ -30,6 +30,10 @@ struct FragmenterConfig {
   std::size_t max_frame_bytes = 27;
 };
 
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field. The Fragmenter constructor applies this.
+FragmenterConfig validated(FragmenterConfig config);
+
 class Fragmenter {
  public:
   explicit Fragmenter(FragmenterConfig config);

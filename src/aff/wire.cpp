@@ -1,8 +1,16 @@
 #include "aff/wire.hpp"
 
 #include "util/bitops.hpp"
+#include "util/validate.hpp"
 
 namespace retri::aff {
+
+WireConfig validated(WireConfig config) {
+  util::Validator v{"WireConfig"};
+  v.in_range("id_bits", config.id_bits, 1, 64);
+  return config;
+}
+
 namespace {
 
 std::uint8_t kind_byte(FragmentKind kind, bool instrumented) {

@@ -72,6 +72,10 @@ struct WireConfig {
   bool instrumented = false;
 };
 
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field (util/validate.hpp message format).
+WireConfig validated(WireConfig config);
+
 /// Header bytes an intro fragment occupies (kind + [true id] + id + len + checksum).
 std::size_t intro_header_bytes(const WireConfig& config) noexcept;
 /// Header bytes a data fragment occupies before its payload.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/validate.hpp"
+
 namespace retri::apps {
 namespace {
 
@@ -14,11 +16,22 @@ std::string attrs_key_of(const AttributeSet& attrs) {
 
 }  // namespace
 
+DiffusionConfig validated(DiffusionConfig config) {
+  util::Validator v{"DiffusionConfig"};
+  v.in_range("id_bits", config.id_bits, 1, 64);
+  v.at_least("interest_ttl", config.interest_ttl, 1);
+  v.at_least("data_ttl", config.data_ttl, 1);
+  v.positive_seconds("interest_lifetime",
+                     config.interest_lifetime.to_seconds());
+  v.at_least("data_seen_window", config.data_seen_window, 1);
+  return config;
+}
+
 DiffusionNode::DiffusionNode(radio::Radio& radio, core::IdSelector& selector,
                              DiffusionConfig config, std::uint32_t node_uid)
     : radio_(radio),
       selector_(selector),
-      config_(config),
+      config_(validated(config)),
       node_uid_(node_uid) {
   assert(selector_.space().bits() == config_.id_bits);
   radio_.set_receive_callback(

@@ -52,6 +52,10 @@ struct DiffusionConfig {
   std::size_t data_seen_window = 64;
 };
 
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field. The DiffusionNode constructor applies this.
+DiffusionConfig validated(DiffusionConfig config);
+
 struct DiffusionStats {
   std::uint64_t interests_sent = 0;
   std::uint64_t interests_relayed = 0;

@@ -3,14 +3,23 @@
 #include <cassert>
 
 #include "util/bytes.hpp"
+#include "util/validate.hpp"
 
 namespace retri::apps {
+
+FloodConfig validated(FloodConfig config) {
+  util::Validator v{"FloodConfig"};
+  v.in_range("id_bits", config.id_bits, 1, 64);
+  v.at_least("default_ttl", config.default_ttl, 1);
+  v.at_least("seen_window", config.seen_window, 1);
+  return config;
+}
 
 ScopedFlooder::ScopedFlooder(radio::Radio& radio, core::IdSelector& selector,
                              FloodConfig config, std::uint32_t node_uid)
     : radio_(radio),
       selector_(selector),
-      config_(config),
+      config_(validated(config)),
       node_uid_(node_uid) {
   assert(selector_.space().bits() == config_.id_bits);
   assert(config_.seen_window >= 1);

@@ -38,6 +38,10 @@ struct FloodConfig {
   std::size_t seen_window = 64;
 };
 
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field. The ScopedFlooder constructor applies this.
+FloodConfig validated(FloodConfig config);
+
 struct FloodStats {
   std::uint64_t originated = 0;
   std::uint64_t relayed = 0;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "util/bytes.hpp"
+#include "util/validate.hpp"
 
 namespace retri::apps {
 namespace {
@@ -12,12 +13,27 @@ constexpr std::uint8_t kReinforceKind = 0x32;
 
 }  // namespace
 
+SensorConfig validated(SensorConfig config) {
+  util::Validator v{"SensorConfig"};
+  v.in_range("wire.id_bits", config.wire.id_bits, 1, 64);
+  v.positive_seconds("base_period", config.base_period.to_seconds());
+  v.positive_seconds("reinforced_period",
+                     config.reinforced_period.to_seconds());
+  if (config.reinforced_period > config.base_period) {
+    v.fail_bare("reinforced_period", "be <= base_period");
+  }
+  v.non_negative_seconds("reinforcement_ttl",
+                         config.reinforcement_ttl.to_seconds());
+  v.at_least("recent_ids", config.recent_ids, 1);
+  return config;
+}
+
 InterestSensor::InterestSensor(radio::Radio& radio, core::IdSelector& selector,
                                SensorConfig config, std::uint32_t uid,
                                SampleFn sample)
     : radio_(radio),
       selector_(selector),
-      config_(config),
+      config_(validated(config)),
       uid_(uid),
       sample_(std::move(sample)),
       alive_(std::make_shared<bool>(true)) {
@@ -98,8 +114,14 @@ void InterestSensor::on_frame(const util::Bytes& frame) {
   }
 }
 
+SinkConfig validated(SinkConfig config) {
+  util::Validator v{"SinkConfig"};
+  v.in_range("wire.id_bits", config.wire.id_bits, 1, 64);
+  return config;
+}
+
 InterestSink::InterestSink(radio::Radio& radio, SinkConfig config)
-    : radio_(radio), config_(config) {
+    : radio_(radio), config_(validated(config)) {
   radio_.set_receive_callback(
       [this](sim::NodeId, const util::Bytes& frame) { on_frame(frame); });
 }

@@ -45,6 +45,10 @@ struct SensorConfig {
   std::size_t recent_ids = 8;
 };
 
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field. The InterestSensor constructor applies this.
+SensorConfig validated(SensorConfig config);
+
 struct SensorStats {
   std::uint64_t readings_sent = 0;
   std::uint64_t reinforcements_claimed = 0;  // id matched one of ours
@@ -92,6 +96,10 @@ struct SinkConfig {
   /// Readings with value >= threshold are interesting and get reinforced.
   std::uint16_t interest_threshold = 0x8000;
 };
+
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field. The InterestSink constructor applies this.
+SinkConfig validated(SinkConfig config);
 
 struct SinkStats {
   std::uint64_t readings_heard = 0;

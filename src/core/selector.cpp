@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/validate.hpp"
+
 namespace retri::core {
 
 void IdSelector::bind_metrics(obs::MetricsRegistry& registry,
@@ -26,11 +28,18 @@ TransactionId UniformSelector::do_select() {
   return TransactionId(rng_.below(space_.size()));
 }
 
+ListeningConfig validated(ListeningConfig config) {
+  util::Validator v{"ListeningConfig"};
+  v.non_negative("initial_density", config.initial_density);
+  v.at_least("notification_multiplier", config.notification_multiplier, 1);
+  return config;
+}
+
 ListeningSelector::ListeningSelector(IdSpace space, std::uint64_t seed,
                                      ListeningConfig config)
     : IdSelector(space),
       rng_(seed),
-      config_(config),
+      config_(validated(config)),
       density_(std::max(1.0, config.initial_density)) {}
 
 std::size_t ListeningSelector::window() const noexcept {

@@ -120,6 +120,10 @@ struct ListeningConfig {
   std::size_t notification_multiplier = 2;
 };
 
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field. The ListeningSelector constructor applies this.
+ListeningConfig validated(ListeningConfig config);
+
 /// The paper's listening heuristic: select uniformly from identifiers NOT
 /// heard within the most recent 2T observed transactions.
 ///

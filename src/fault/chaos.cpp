@@ -14,6 +14,7 @@
 #include "radio/radio.hpp"
 #include "sim/engine.hpp"
 #include "sim/topology.hpp"
+#include "util/validate.hpp"
 
 namespace retri::fault {
 namespace {
@@ -55,7 +56,25 @@ void append_stats(std::string& out, const char* label, std::uint64_t value) {
 
 }  // namespace
 
+ChaosTrialConfig validated(ChaosTrialConfig config) {
+  util::Validator v{"ChaosTrialConfig"};
+  v.at_least("senders", config.senders, 1);
+  v.in_range("id_bits", config.id_bits, 1, 64);
+  v.at_least("packet_bytes", config.packet_bytes, 1);
+  v.at_least("max_reassembly_entries", config.max_reassembly_entries, 1);
+  v.positive_seconds("reassembly_timeout",
+                     config.reassembly_timeout.to_seconds());
+  v.positive_seconds("send_duration", config.send_duration.to_seconds());
+  if (config.drain_extra <= config.reassembly_timeout) {
+    v.fail_bare("drain_extra",
+                "exceed reassembly_timeout (invariant 4's drain-to-zero "
+                "check needs pending entries to expire before measurement)");
+  }
+  return config;
+}
+
 ChaosTrialResult run_chaos_trial(const ChaosTrialConfig& config) {
+  validated(config);  // reject bad knobs before any component exists
   ChaosTrialResult out;
 
   // Independent derived seeds per subsystem, same discipline as the

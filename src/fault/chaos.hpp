@@ -56,6 +56,10 @@ struct ChaosTrialConfig {
   std::uint64_t seed = 1;
 };
 
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field. run_chaos_trial applies this before building anything.
+ChaosTrialConfig validated(ChaosTrialConfig config);
+
 struct ChaosTrialResult {
   FaultPlan plan;
   sim::MediumConfig medium_config;  // randomized native-channel knobs

@@ -54,28 +54,38 @@ std::string FaultPlan::describe() const {
   return out;
 }
 
+BurstLossConfig validated(BurstLossConfig config) {
+  util::Validator v{"BurstLossConfig"};
+  v.probability("p_good_to_bad", config.p_good_to_bad);
+  v.probability("p_bad_to_good", config.p_bad_to_good);
+  v.probability("loss_good", config.loss_good);
+  v.probability("loss_bad", config.loss_bad);
+  if (config.active() && config.p_bad_to_good <= 0.0) {
+    v.fail_bare("p_bad_to_good",
+                "be > 0 when burst loss is active (the bad state must be "
+                "escapable)");
+  }
+  return config;
+}
+
+ChurnConfig validated(ChurnConfig config) {
+  util::Validator v{"ChurnConfig"};
+  v.non_negative_seconds("mean_uptime", config.mean_uptime.to_seconds());
+  v.non_negative_seconds("mean_downtime", config.mean_downtime.to_seconds());
+  return config;
+}
+
 FaultPlan validated(FaultPlan plan) {
+  plan.burst = validated(plan.burst);
+  plan.churn = validated(plan.churn);
   util::Validator v{"FaultPlan"};
-  v.probability("burst.p_good_to_bad", plan.burst.p_good_to_bad);
-  v.probability("burst.p_bad_to_good", plan.burst.p_bad_to_good);
-  v.probability("burst.loss_good", plan.burst.loss_good);
-  v.probability("burst.loss_bad", plan.burst.loss_bad);
   v.probability("corrupt_prob", plan.corrupt_prob);
   v.probability("corrupt_byte_prob", plan.corrupt_byte_prob);
   v.probability("truncate_prob", plan.truncate_prob);
   v.probability("duplicate_prob", plan.duplicate_prob);
   v.probability("delay_prob", plan.delay_prob);
   v.non_negative_seconds("max_delay", plan.max_delay.to_seconds());
-  v.non_negative_seconds("churn.mean_uptime",
-                         plan.churn.mean_uptime.to_seconds());
-  v.non_negative_seconds("churn.mean_downtime",
-                         plan.churn.mean_downtime.to_seconds());
   v.at_least("max_duplicates", plan.max_duplicates, 1);
-  if (plan.burst.active() && plan.burst.p_bad_to_good <= 0.0) {
-    v.fail_bare("burst.p_bad_to_good",
-                "be > 0 when burst loss is active (the bad state must be "
-                "escapable)");
-  }
   return plan;
 }
 

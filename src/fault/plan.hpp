@@ -92,9 +92,16 @@ struct FaultPlan {
   std::string describe() const;
 };
 
-/// Checks a FaultPlan's invariants: probabilities real and in [0, 1],
-/// durations non-negative, max_duplicates >= 1. Returns the plan unchanged,
-/// throws std::invalid_argument naming the offending field otherwise.
+/// Per-family invariants: probabilities real and in [0, 1], an active
+/// burst chain escapable, dwell times non-negative. Each returns the
+/// config unchanged or throws std::invalid_argument naming the field.
+BurstLossConfig validated(BurstLossConfig config);
+ChurnConfig validated(ChurnConfig config);
+
+/// Checks a FaultPlan's invariants: the per-family checks above plus
+/// probabilities real and in [0, 1], durations non-negative,
+/// max_duplicates >= 1. Returns the plan unchanged, throws
+/// std::invalid_argument naming the offending field otherwise.
 /// FaultInjector and ChurnSchedule call this on construction.
 FaultPlan validated(FaultPlan plan);
 

@@ -5,6 +5,7 @@
 
 #include "util/bitops.hpp"
 #include "util/checksum.hpp"
+#include "util/validate.hpp"
 
 namespace retri::net {
 namespace {
@@ -14,11 +15,20 @@ constexpr std::uint8_t kDataKind = 0x12;
 
 }  // namespace
 
+AddressedConfig validated(AddressedConfig config) {
+  util::Validator v{"AddressedConfig"};
+  v.in_range("addr_bits", config.addr_bits, 1, 48);
+  v.positive_seconds("reassembly_timeout",
+                     config.reassembly_timeout.to_seconds());
+  v.at_least("max_reassembly_entries", config.max_reassembly_entries, 1);
+  return config;
+}
+
 AddressedDriver::AddressedDriver(radio::Radio& radio, Address source,
                                  AddressedConfig config)
     : radio_(radio),
       source_(source),
-      config_(config),
+      config_(validated(config)),
       payload_per_fragment_(
           radio.config().max_frame_bytes > data_header_bytes()
               ? radio.config().max_frame_bytes - data_header_bytes()

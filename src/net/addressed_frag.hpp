@@ -38,6 +38,10 @@ struct AddressedConfig {
   std::size_t max_reassembly_entries = 1024;
 };
 
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field. The AddressedDriver constructor applies this.
+AddressedConfig validated(AddressedConfig config);
+
 struct AddressedStats {
   std::uint64_t packets_sent = 0;
   std::uint64_t fragments_sent = 0;

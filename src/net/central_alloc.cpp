@@ -4,6 +4,7 @@
 
 #include "util/bitops.hpp"
 #include "util/bytes.hpp"
+#include "util/validate.hpp"
 
 namespace retri::net {
 namespace {
@@ -46,11 +47,19 @@ void CentralAllocServer::on_frame(const util::Bytes& frame) {
   radio_.send(w.take());
 }
 
+CentralClientConfig validated(CentralClientConfig config) {
+  util::Validator v{"CentralClientConfig"};
+  v.in_range("addr_bits", config.addr_bits, 1, 48);
+  v.positive_seconds("request_timeout",
+                     config.request_timeout.to_seconds());
+  return config;
+}
+
 CentralAllocClient::CentralAllocClient(radio::Radio& radio,
                                        CentralClientConfig config,
                                        std::uint64_t seed)
     : radio_(radio),
-      config_(config),
+      config_(validated(config)),
       rng_(seed),
       alive_(std::make_shared<bool>(true)) {
   radio_.set_receive_callback(

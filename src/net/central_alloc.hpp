@@ -63,6 +63,10 @@ struct CentralClientConfig {
   unsigned max_retries = 4;
 };
 
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field. The CentralAllocClient constructor applies this.
+CentralClientConfig validated(CentralClientConfig config);
+
 /// A joining node: request, await grant, retry, give up.
 class CentralAllocClient {
  public:

@@ -5,6 +5,7 @@
 #include "util/bitops.hpp"
 #include "util/bytes.hpp"
 #include "util/logging.hpp"
+#include "util/validate.hpp"
 
 namespace retri::net {
 namespace {
@@ -14,10 +15,17 @@ constexpr std::uint8_t kDefendKind = 0x22;
 
 }  // namespace
 
+DynAllocConfig validated(DynAllocConfig config) {
+  util::Validator v{"DynAllocConfig"};
+  v.in_range("addr_bits", config.addr_bits, 1, 48);
+  v.positive_seconds("claim_wait", config.claim_wait.to_seconds());
+  return config;
+}
+
 DynAllocNode::DynAllocNode(radio::Radio& radio, DynAllocConfig config,
                            std::uint64_t seed)
     : radio_(radio),
-      config_(config),
+      config_(validated(config)),
       rng_(seed),
       alive_(std::make_shared<bool>(true)) {
   assert(config_.addr_bits >= 1 && config_.addr_bits <= 48);

@@ -39,6 +39,10 @@ struct DynAllocConfig {
   unsigned max_attempts = 0;
 };
 
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field. The DynAllocNode constructor applies this.
+DynAllocConfig validated(DynAllocConfig config);
+
 struct DynAllocStats {
   std::uint64_t claims_sent = 0;
   std::uint64_t defends_sent = 0;

@@ -73,7 +73,7 @@ constexpr int kTraceSchemaVersion = 1;
 /// Microseconds since origin, the trace_event clock unit. Nanosecond sim
 /// time divides exactly into a double's 53-bit mantissa for any plausible
 /// run length, and to_chars round-trips it byte-stably.
-double ts_us(sim::TimePoint t) {
+double ts_us(util::TimePoint t) {
   return static_cast<double>(t.since_origin().ns()) / 1000.0;
 }
 
@@ -83,7 +83,7 @@ void write_attrs(util::JsonWriter& json, const std::vector<SpanAttr>& attrs) {
 
 void write_common(util::JsonWriter& json, std::string_view name,
                   std::string_view category, std::uint32_t track,
-                  sim::TimePoint time) {
+                  util::TimePoint time) {
   json.member("name", name);
   json.member("cat", category);
   json.member("pid", 1);

@@ -13,7 +13,7 @@ std::string describe(const Span& span, std::uint32_t index) {
 }  // namespace
 
 SpanId SpanRecorder::begin(std::string_view name, std::string_view category,
-                           std::uint32_t track, sim::TimePoint start,
+                           std::uint32_t track, util::TimePoint start,
                            SpanId parent) {
   Span span;
   span.name.assign(name);
@@ -42,7 +42,7 @@ void SpanRecorder::annotate(SpanId id, std::string_view key,
   spans_[id.index - 1].attrs.push_back(SpanAttr{std::string(key), value});
 }
 
-void SpanRecorder::end(SpanId id, sim::TimePoint end, std::string_view outcome) {
+void SpanRecorder::end(SpanId id, util::TimePoint end, std::string_view outcome) {
   if (!id.valid()) return;
   if (id.index > spans_.size()) {
     violations_.push_back("end() on unknown span #" +
@@ -63,7 +63,7 @@ void SpanRecorder::end(SpanId id, sim::TimePoint end, std::string_view outcome) 
 }
 
 void SpanRecorder::instant(std::string_view name, std::string_view category,
-                           std::uint32_t track, sim::TimePoint time,
+                           std::uint32_t track, util::TimePoint time,
                            SpanId parent, std::uint64_t bytes_attr) {
   Instant event;
   event.name.assign(name);
@@ -77,7 +77,7 @@ void SpanRecorder::instant(std::string_view name, std::string_view category,
   instants_.push_back(std::move(event));
 }
 
-void SpanRecorder::finish(sim::TimePoint now) {
+void SpanRecorder::finish(util::TimePoint now) {
   for (std::uint32_t i = 0; i < spans_.size(); ++i) {
     if (!spans_[i].ended) end(SpanId{i + 1}, now, "unterminated");
   }

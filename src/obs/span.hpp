@@ -29,7 +29,7 @@
 #include <utility>
 #include <vector>
 
-#include "sim/time.hpp"
+#include "util/time.hpp"
 
 namespace retri::obs {
 
@@ -53,8 +53,8 @@ struct Span {
   std::string name;      // "txn", "reassembly", ...
   std::string category;  // "aff", "medium", ...
   std::uint32_t track = 0;  // display lane, conventionally the node id
-  sim::TimePoint start;
-  sim::TimePoint end;  // meaningful once `ended`
+  util::TimePoint start;
+  util::TimePoint end;  // meaningful once `ended`
   bool ended = false;
   SpanId parent;         // optional parent link
   std::string outcome;   // set at end(): delivered/timeout/drained/...
@@ -68,7 +68,7 @@ struct Instant {
   std::string name;
   std::string category;
   std::uint32_t track = 0;
-  sim::TimePoint time;
+  util::TimePoint time;
   SpanId parent;
   std::vector<SpanAttr> attrs;
 };
@@ -78,7 +78,7 @@ class SpanRecorder {
   SpanRecorder() = default;
 
   SpanId begin(std::string_view name, std::string_view category,
-               std::uint32_t track, sim::TimePoint start,
+               std::uint32_t track, util::TimePoint start,
                SpanId parent = SpanId::none());
 
   /// Attaches a key/value annotation to an open or closed span. No-op for
@@ -88,16 +88,16 @@ class SpanRecorder {
   /// Closes `span` at `end` with an outcome label. Ending a span twice is
   /// recorded as an integrity violation (the first end wins); ending
   /// SpanId::none() is a no-op.
-  void end(SpanId span, sim::TimePoint end, std::string_view outcome);
+  void end(SpanId span, util::TimePoint end, std::string_view outcome);
 
   void instant(std::string_view name, std::string_view category,
-               std::uint32_t track, sim::TimePoint time,
+               std::uint32_t track, util::TimePoint time,
                SpanId parent = SpanId::none(), std::uint64_t bytes_attr = 0);
 
   /// Closes every still-open span at `now` with outcome "unterminated".
   /// Call once at simulation end; audit() treats spans left open even
   /// after finish() as violations.
-  void finish(sim::TimePoint now);
+  void finish(util::TimePoint now);
 
   /// True while `span` has begun and not ended.
   bool open(SpanId span) const noexcept;

@@ -3,11 +3,21 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/validate.hpp"
+
 namespace retri::radio {
+
+DutyCycleConfig validated(DutyCycleConfig config) {
+  util::Validator v{"DutyCycleConfig"};
+  v.positive_seconds("period", config.period.to_seconds());
+  v.probability("on_fraction", config.on_fraction);
+  v.non_negative_seconds("phase", config.phase.to_seconds());
+  return config;
+}
 
 DutyCycleController::DutyCycleController(Radio& radio, DutyCycleConfig config)
     : radio_(radio),
-      config_(config),
+      config_(validated(config)),
       on_span_(sim::Duration::from_seconds(
           config.period.to_seconds() * std::clamp(config.on_fraction, 0.0, 1.0))),
       last_transition_(radio.simulator().now()),

@@ -30,6 +30,10 @@ struct DutyCycleConfig {
       sim::TimePoint::origin() + sim::Duration::seconds(3'000'000'000);
 };
 
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field. The DutyCycleController constructor applies this.
+DutyCycleConfig validated(DutyCycleConfig config);
+
 class DutyCycleController {
  public:
   /// Takes control of radio.set_listening(). With on_fraction >= 1 the

@@ -3,13 +3,25 @@
 #include <cassert>
 #include <utility>
 
+#include "util/validate.hpp"
+
 namespace retri::radio {
+
+RadioConfig validated(RadioConfig config) {
+  util::Validator v{"RadioConfig"};
+  v.at_least("max_frame_bytes", config.max_frame_bytes, 1);
+  v.positive("bitrate_bps", config.bitrate_bps);
+  v.non_negative_seconds("interframe_gap",
+                         config.interframe_gap.to_seconds());
+  v.non_negative_seconds("max_backoff", config.max_backoff.to_seconds());
+  return config;
+}
 
 Radio::Radio(sim::BroadcastMedium& medium, sim::NodeId node, RadioConfig config,
              EnergyModel energy_model, std::uint64_t seed)
     : medium_(medium),
       node_(node),
-      config_(config),
+      config_(validated(config)),
       energy_(energy_model),
       rng_(seed) {
   assert(config_.bitrate_bps > 0.0);

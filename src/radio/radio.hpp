@@ -38,6 +38,10 @@ struct RadioConfig {
   sim::Duration max_backoff = sim::Duration::nanoseconds(0);
 };
 
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field. The Radio constructor applies this.
+RadioConfig validated(RadioConfig config);
+
 struct RadioCounters {
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_received = 0;

@@ -86,16 +86,35 @@ std::string_view to_string(core::DensityModelKind kind) noexcept {
   return "?";
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config,
-                                obs::SpanRecorder* spans) {
+ExperimentConfig validated(ExperimentConfig config) {
   util::Validator v{"ExperimentConfig"};
+  v.at_least("senders", config.senders, 1);
+  v.in_range("id_bits", config.id_bits, 1, 64);
+  v.at_least("packet_bytes", config.packet_bytes, 1);
+  for (const std::size_t bytes : config.per_sender_packet_bytes) {
+    v.at_least("per_sender_packet_bytes[]", bytes, 1);
+  }
+  v.positive_seconds("send_duration", config.send_duration.to_seconds());
+  v.non_negative_seconds("drain_extra", config.drain_extra.to_seconds());
+  v.non_negative_seconds("tx_jitter", config.tx_jitter.to_seconds());
+  v.probability("sender_listen_duty", config.sender_listen_duty);
+  v.positive_seconds("duty_period", config.duty_period.to_seconds());
   v.probability("loss_rate", config.loss_rate);
-  const bool burst_channel = config.channel == "burst";
-  const bool chaos_channel = config.channel == "chaos";
-  if (!burst_channel && !chaos_channel && config.channel != "independent") {
+  if (config.channel != "independent" && config.channel != "burst" &&
+      config.channel != "chaos") {
     v.fail_bare("channel", "be independent | burst | chaos, got \"" +
                                config.channel + "\"");
   }
+  // config.policy is validated by core::make_selector when the stack is
+  // built; duplicating the name list here would just let them drift.
+  return config;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                obs::SpanRecorder* spans) {
+  validated(config);  // reject bad knobs before any component exists
+  const bool burst_channel = config.channel == "burst";
+  const bool chaos_channel = config.channel == "chaos";
 
   // One registry per trial: every component below registers its metrics
   // here in construction order, which is what makes the final snapshot

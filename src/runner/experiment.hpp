@@ -79,6 +79,10 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
 };
 
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field. run_experiment applies this before building the stack.
+ExperimentConfig validated(ExperimentConfig config);
+
 struct ExperimentResult {
   std::uint64_t packets_offered = 0;    // sum over senders
   std::uint64_t aff_delivered = 0;      // realistic path at the receiver

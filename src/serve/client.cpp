@@ -36,7 +36,7 @@ util::Result<int, std::string> connect_uds(const std::string& path) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
-    const std::string error =
+    std::string error =
         "client: connect(" + path + "): " + std::strerror(errno);
     ::close(fd);
     return error;

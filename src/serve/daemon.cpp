@@ -55,12 +55,12 @@ util::Result<int, std::string> run_daemon(const DaemonOptions& options) {
               options.socket_path.size() + 1);
   if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) != 0) {
-    const std::string error = errno_text("daemon: bind()");
+    std::string error = errno_text("daemon: bind()");
     ::close(listen_fd);
     return error;
   }
   if (::listen(listen_fd, 8) != 0) {
-    const std::string error = errno_text("daemon: listen()");
+    std::string error = errno_text("daemon: listen()");
     ::close(listen_fd);
     return error;
   }
@@ -70,7 +70,7 @@ util::Result<int, std::string> run_daemon(const DaemonOptions& options) {
   // wakes the poll loop without the daemon needing a thread of its own.
   int pipe_fds[2] = {-1, -1};
   if (::pipe(pipe_fds) != 0) {
-    const std::string error = errno_text("daemon: pipe()");
+    std::string error = errno_text("daemon: pipe()");
     ::close(listen_fd);
     return error;
   }

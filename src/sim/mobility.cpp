@@ -3,13 +3,28 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/validate.hpp"
+
 namespace retri::sim {
+
+MobilityConfig validated(MobilityConfig config) {
+  util::Validator v{"MobilityConfig"};
+  v.positive("field_side", config.field_side);
+  v.positive("radio_range", config.radio_range);
+  v.non_negative("speed_min", config.speed_min);
+  v.positive("speed_max", config.speed_max);
+  if (config.speed_max < config.speed_min) {
+    v.fail_bare("speed_max", "be >= speed_min");
+  }
+  v.positive_seconds("tick", config.tick.to_seconds());
+  return config;
+}
 
 RandomWaypointMobility::RandomWaypointMobility(BroadcastMedium& medium,
                                                MobilityConfig config,
                                                std::uint64_t seed)
     : medium_(medium),
-      config_(config),
+      config_(validated(config)),
       rng_(seed),
       alive_(std::make_shared<bool>(true)) {  // retri-lint: allow(no-shared-ptr-hot)
   assert(config_.field_side > 0.0);

@@ -32,6 +32,10 @@ struct MobilityConfig {
   TimePoint stop_at = TimePoint::origin() + Duration::seconds(3'000'000'000);
 };
 
+/// Returns `config` unchanged or throws std::invalid_argument naming the
+/// offending field. The RandomWaypointMobility constructor applies this.
+MobilityConfig validated(MobilityConfig config);
+
 struct Position {
   double x = 0.0;
   double y = 0.0;

@@ -49,6 +49,18 @@ void Validator::probability(std::string_view field, double v) const {
   }
 }
 
+void Validator::positive(std::string_view field, double v) const {
+  if (std::isnan(v) || v <= 0.0) {
+    fail_number(field, "be positive", v, /*seconds_suffix=*/false);
+  }
+}
+
+void Validator::non_negative(std::string_view field, double v) const {
+  if (std::isnan(v) || v < 0.0) {
+    fail_number(field, "be non-negative", v, /*seconds_suffix=*/false);
+  }
+}
+
 void Validator::positive_seconds(std::string_view field, double seconds) const {
   if (std::isnan(seconds) || seconds <= 0.0) {
     fail_number(field, "be positive", seconds, /*seconds_suffix=*/true);

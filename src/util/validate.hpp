@@ -47,6 +47,11 @@ class Validator {
 
   /// v must be a real number in [0, 1] (NaN rejected).
   void probability(std::string_view field, double v) const;
+  /// v must be a real number > 0 (NaN rejected). For unit-less doubles;
+  /// durations go through positive_seconds for the "s"-suffixed message.
+  void positive(std::string_view field, double v) const;
+  /// v must be a real number >= 0 (NaN rejected).
+  void non_negative(std::string_view field, double v) const;
   /// seconds must be > 0.
   void positive_seconds(std::string_view field, double seconds) const;
   /// seconds must be >= 0.

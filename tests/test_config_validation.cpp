@@ -8,8 +8,14 @@
 
 #include "aff/driver.hpp"
 #include "aff/reassembler.hpp"
+#include "aff/wire.hpp"
+#include "apps/flood.hpp"
+#include "apps/interest.hpp"
+#include "radio/duty_cycle.hpp"
 #include "sim/medium.hpp"
+#include "sim/mobility.hpp"
 #include "sim/topology.hpp"
+#include "util/validate.hpp"
 
 namespace retri {
 namespace {
@@ -94,6 +100,93 @@ TEST(AffDriverConfigValidation, RejectsBadIdBitsTimeoutsAndCapacity) {
   config = aff::AffDriverConfig{};
   config.wire.id_bits = 64;  // boundary is legal
   EXPECT_NO_THROW((void)aff::validated(config));
+}
+
+TEST(ValidatorPrimitives, PositiveAndNonNegative) {
+  util::Validator v("Thing");
+  EXPECT_NO_THROW(v.positive("x", 0.5));
+  EXPECT_THROW(v.positive("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(v.positive("x", -1.0), std::invalid_argument);
+  EXPECT_THROW(v.positive("x", kNan), std::invalid_argument);
+
+  EXPECT_NO_THROW(v.non_negative("y", 0.0));  // boundary is legal
+  EXPECT_THROW(v.non_negative("y", -0.1), std::invalid_argument);
+  EXPECT_THROW(v.non_negative("y", kNan), std::invalid_argument);
+}
+
+TEST(WireConfigValidation, RejectsBadIdBits) {
+  aff::WireConfig config;
+  config.id_bits = 0;
+  EXPECT_THROW((void)aff::validated(config), std::invalid_argument);
+  config.id_bits = 65;
+  EXPECT_THROW((void)aff::validated(config), std::invalid_argument);
+  config.id_bits = 64;  // boundary is legal
+  EXPECT_NO_THROW((void)aff::validated(config));
+}
+
+TEST(FloodConfigValidation, RejectsZeroTtlAndWindow) {
+  apps::FloodConfig config;
+  config.default_ttl = 0;
+  EXPECT_THROW((void)apps::validated(config), std::invalid_argument);
+
+  config = apps::FloodConfig{};
+  config.seen_window = 0;
+  EXPECT_THROW((void)apps::validated(config), std::invalid_argument);
+
+  EXPECT_NO_THROW((void)apps::validated(apps::FloodConfig{}));
+}
+
+TEST(SensorConfigValidation, RejectsInvertedPeriods) {
+  apps::SensorConfig config;
+  config.base_period = sim::Duration::seconds(0);
+  EXPECT_THROW((void)apps::validated(config), std::invalid_argument);
+
+  // The cross-field constraint: reinforcement must not slow sensing down.
+  config = apps::SensorConfig{};
+  config.reinforced_period = config.base_period + sim::Duration::seconds(1);
+  EXPECT_THROW((void)apps::validated(config), std::invalid_argument);
+
+  config = apps::SensorConfig{};
+  config.recent_ids = 0;
+  EXPECT_THROW((void)apps::validated(config), std::invalid_argument);
+
+  EXPECT_NO_THROW((void)apps::validated(apps::SensorConfig{}));
+}
+
+TEST(DutyCycleConfigValidation, RejectsBadPeriodAndFraction) {
+  radio::DutyCycleConfig config;
+  config.period = sim::Duration::nanoseconds(0);
+  EXPECT_THROW((void)radio::validated(config), std::invalid_argument);
+
+  config = radio::DutyCycleConfig{};
+  config.on_fraction = 1.5;
+  EXPECT_THROW((void)radio::validated(config), std::invalid_argument);
+
+  config = radio::DutyCycleConfig{};
+  config.phase = sim::Duration::milliseconds(-1);
+  EXPECT_THROW((void)radio::validated(config), std::invalid_argument);
+
+  // Always-off and always-on are both legal operating points (the energy
+  // ablation sweeps straight through them).
+  config = radio::DutyCycleConfig{};
+  config.on_fraction = 0.0;
+  EXPECT_NO_THROW((void)radio::validated(config));
+  config.on_fraction = 1.0;
+  EXPECT_NO_THROW((void)radio::validated(config));
+}
+
+TEST(MobilityConfigValidation, RejectsInvertedSpeedRange) {
+  sim::MobilityConfig config;
+  config.field_side = 0.0;
+  EXPECT_THROW((void)sim::validated(config), std::invalid_argument);
+
+  config = sim::MobilityConfig{};
+  config.speed_min = 3.0;  // > speed_max of 2.0
+  EXPECT_THROW((void)sim::validated(config), std::invalid_argument);
+
+  config = sim::MobilityConfig{};
+  config.speed_min = 0.0;  // stationary low end is legal
+  EXPECT_NO_THROW((void)sim::validated(config));
 }
 
 }  // namespace

@@ -43,9 +43,19 @@ TEST(LintRules, DefaultTableHasExpectedRules) {
   for (const char* id :
        {"no-unseeded-rand", "no-random-device", "no-wall-clock",
         "no-raw-thread", "header-pragma-once", "no-using-namespace-header",
-        "no-shared-ptr-hot", "no-adhoc-counter", "no-direct-io"}) {
+        "no-shared-ptr-hot", "no-adhoc-counter", "no-direct-io",
+        "no-global-mutable-state", "no-float-eq", "config-has-validated",
+        "layer-order", "include-cycle"}) {
     EXPECT_NE(find_rule(id), nullptr) << id;
   }
+}
+
+TEST(LintRules, EveryRuleKindMapsToAnEngineName) {
+  EXPECT_EQ(lint::engine_name(lint::RuleKind::kBannedPattern), "line");
+  EXPECT_EQ(lint::engine_name(lint::RuleKind::kRequiredPattern), "line");
+  EXPECT_EQ(lint::engine_name(lint::RuleKind::kBannedTokens), "token");
+  EXPECT_EQ(lint::engine_name(lint::RuleKind::kTokenCheck), "token");
+  EXPECT_EQ(lint::engine_name(lint::RuleKind::kGraphCheck), "graph");
 }
 
 TEST(LintRules, FlagsStdRandWithFileAndLine) {
@@ -86,11 +96,15 @@ TEST(LintRules, ScopeAllowlistExemptsUtilFromRandomnessRules) {
 }
 
 TEST(LintRules, FlagsWallClockReads) {
+  // Locals, not globals: keep this fixture out of no-global-mutable-state
+  // territory so the count isolates the wall-clock rule.
   const auto vs = scan(
       "src/runner/trial_runner.cpp",
-      "auto t0 = std::chrono::steady_clock::now();\n"
-      "auto t1 = std::chrono::high_resolution_clock::now();\n"
-      "long t2 = time(nullptr);\n");
+      "void f() {\n"
+      "  auto t0 = std::chrono::steady_clock::now();\n"
+      "  auto t1 = std::chrono::high_resolution_clock::now();\n"
+      "  long t2 = time(nullptr);\n"
+      "}\n");
   EXPECT_EQ(vs.size(), 3u);
   EXPECT_TRUE(has_violation(vs, "no-wall-clock"));
 }
@@ -106,7 +120,7 @@ TEST(LintRules, RawThreadingBannedOutsideRunnerOnly) {
   const std::string body =
       "#include <thread>\n"
       "void go() { std::thread t([]{}); t.detach(); }\n"
-      "auto f = std::async([]{ return 1; });\n";
+      "void h() { auto f = std::async([]{ return 1; }); }\n";
   const auto outside = scan("src/sim/medium.cpp", body);
   EXPECT_TRUE(has_violation(outside, "no-raw-thread"));
   // Line 2 carries both std::thread and .detach( but reports once per line.
@@ -282,10 +296,12 @@ TEST(LintEscape, LineAllowsParsesIdLists) {
 TEST(LintEscape, SuppressesOnlyTheNamedRuleOnThatLine) {
   const std::string esc = "retri-lint: allow(no-unseeded-rand)";
   const auto vs = scan("src/core/selector.cpp",
-                       "int a = rand();  // " + esc + "\n" +
-                       "int b = rand();\n");
+                       "void f() {\n"
+                       "  int a = rand();  // " + esc + "\n" +
+                       "  int b = rand();\n"
+                       "}\n");
   ASSERT_EQ(vs.size(), 1u);
-  EXPECT_EQ(vs[0].line, 2u);
+  EXPECT_EQ(vs[0].line, 3u);
 }
 
 TEST(LintEscape, FileLevelEscapeExcusesRequiredPattern) {
@@ -374,10 +390,166 @@ TEST(LintBaseline, FormatRoundTripsThroughParse) {
 
 TEST(LintBaseline, ViolationsSortedByLineWithinFile) {
   const auto vs = scan("src/core/x.cpp",
-                       "int b = rand();\n"
-                       "auto d = std::random_device{}();\n");
+                       "void f() {\n"
+                       "  int b = rand();\n"
+                       "  auto d = std::random_device{}();\n"
+                       "}\n");
   ASSERT_EQ(vs.size(), 2u);
   EXPECT_LT(vs[0].line, vs[1].line);
+}
+
+
+// ---- Token-engine semantic rules -----------------------------------------
+
+TEST(LintGlobalState, FlagsMutableNamespaceScopeVariables) {
+  const auto vs = scan("src/core/state.cpp",
+                       "namespace retri::core {\n"
+                       "int counter = 0;\n"
+                       "}  // namespace retri::core\n");
+  ASSERT_TRUE(has_violation(vs, "no-global-mutable-state"));
+  for (const auto& v : vs) {
+    if (v.rule_id == "no-global-mutable-state") {
+      EXPECT_EQ(v.line, 2u);
+    }
+  }
+}
+
+TEST(LintGlobalState, ConstConstexprAndThreadLocalAreClean) {
+  const auto vs = scan(
+      "src/core/state.cpp",
+      "namespace retri::core {\n"
+      "const int kA = 1;\n"
+      "constexpr double kB = 2.0;\n"
+      "inline constexpr char kC[] = \"x\";\n"
+      "thread_local int scratch = 0;\n"
+      "static const unsigned kD[4] = {1, 2, 3, 4};\n"
+      "}  // namespace\n");
+  EXPECT_FALSE(has_violation(vs, "no-global-mutable-state"));
+}
+
+TEST(LintGlobalState, LocalsMembersAndFunctionsAreClean) {
+  const auto vs = scan(
+      "src/core/state.cpp",
+      "namespace retri::core {\n"
+      "int f(int arg) {\n"
+      "  int local = arg;\n"
+      "  return local;\n"
+      "}\n"
+      "class C {\n"
+      " public:\n"
+      "  int member = 0;  // mutable, but per-instance\n"
+      "};\n"
+      "double p_success(unsigned id_bits, double density) noexcept;\n"
+      "int g();\n"
+      "}  // namespace\n");
+  EXPECT_FALSE(has_violation(vs, "no-global-mutable-state"));
+}
+
+TEST(LintGlobalState, AllowEscapeSuppresses) {
+  const auto vs = scan(
+      "src/core/state.cpp",
+      "namespace retri::core {\n"
+      "int hits = 0;  // retri-lint: allow(no-global-mutable-state)\n"
+      "}  // namespace\n");
+  EXPECT_FALSE(has_violation(vs, "no-global-mutable-state"));
+}
+
+TEST(LintGlobalState, OnlyAppliesUnderSrc) {
+  const auto vs = scan("tools/lint/retri_lint.cpp", "int flag = 0;\n");
+  EXPECT_FALSE(has_violation(vs, "no-global-mutable-state"));
+}
+
+TEST(LintFloatEq, FlagsFloatComparisonsInNumericModules) {
+  const auto vs = scan("src/sim/engine.cpp",
+                       "bool f(double a, double b) {\n"
+                       "  return a == b;\n"
+                       "}\n");
+  ASSERT_TRUE(has_violation(vs, "no-float-eq"));
+}
+
+TEST(LintFloatEq, FlagsLiteralAndNotEqualForms) {
+  const auto vs = scan("src/stats/agg.cpp",
+                       "bool g(double x) { return x != 0.5; }\n"
+                       "bool h(float y) { return 1.0e-3 == y; }\n");
+  int count = 0;
+  for (const auto& v : vs) count += (v.rule_id == "no-float-eq");
+  EXPECT_EQ(count, 2);
+}
+
+TEST(LintFloatEq, IntegerComparisonsAreClean) {
+  const auto vs = scan("src/sim/engine.cpp",
+                       "bool f(int a, std::size_t b) {\n"
+                       "  return a == 3 && b != 4u;\n"
+                       "}\n");
+  EXPECT_FALSE(has_violation(vs, "no-float-eq"));
+}
+
+TEST(LintFloatEq, OutsideScopedModulesIsClean) {
+  // The rule is scoped to src/sim, src/stats, src/radio; core is exempt.
+  const auto vs = scan("src/core/model.cpp",
+                       "bool f(double a, double b) { return a == b; }\n");
+  EXPECT_FALSE(has_violation(vs, "no-float-eq"));
+}
+
+TEST(LintConfigValidated, FlagsConfigStructWithoutValidated) {
+  const auto vs = scan("src/net/thing.hpp",
+                       "#pragma once\n"
+                       "namespace retri::net {\n"
+                       "struct ThingConfig {\n"
+                       "  int knob = 1;\n"
+                       "};\n"
+                       "}  // namespace\n");
+  ASSERT_TRUE(has_violation(vs, "config-has-validated"));
+}
+
+TEST(LintConfigValidated, MemberDeclarationSatisfies) {
+  const auto vs = scan("src/net/thing.hpp",
+                       "#pragma once\n"
+                       "namespace retri::net {\n"
+                       "struct ThingConfig {\n"
+                       "  int knob = 1;\n"
+                       "  void validated() const;\n"
+                       "};\n"
+                       "}  // namespace\n");
+  EXPECT_FALSE(has_violation(vs, "config-has-validated"));
+}
+
+TEST(LintConfigValidated, FreeFunctionIdiomSatisfies) {
+  const auto vs = scan("src/net/thing.hpp",
+                       "#pragma once\n"
+                       "namespace retri::net {\n"
+                       "struct ThingConfig {\n"
+                       "  int knob = 1;\n"
+                       "};\n"
+                       "ThingConfig validated(ThingConfig config);\n"
+                       "}  // namespace\n");
+  EXPECT_FALSE(has_violation(vs, "config-has-validated"));
+}
+
+TEST(LintConfigValidated, NonConfigStructsAreIgnored) {
+  const auto vs = scan("src/net/thing.hpp",
+                       "#pragma once\n"
+                       "namespace retri::net {\n"
+                       "struct ThingStats {\n"
+                       "  int count = 0;\n"
+                       "};\n"
+                       "}  // namespace\n");
+  EXPECT_FALSE(has_violation(vs, "config-has-validated"));
+}
+
+TEST(LintConfigValidated, BaselineSuppressesWhileRolloutPends) {
+  const auto vs = scan("src/net/thing.hpp",
+                       "#pragma once\n"
+                       "namespace retri::net {\n"
+                       "struct ThingConfig { int knob = 1; };\n"
+                       "}  // namespace\n");
+  ASSERT_TRUE(has_violation(vs, "config-has-validated"));
+  lint::Baseline baseline;
+  baseline.entries.insert("src/net/thing.hpp:config-has-validated");
+  std::vector<std::string> stale;
+  const auto remaining = lint::apply_baseline(vs, baseline, &stale);
+  EXPECT_FALSE(has_violation(remaining, "config-has-validated"));
+  EXPECT_TRUE(stale.empty());
 }
 
 }  // namespace

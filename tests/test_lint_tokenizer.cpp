@@ -1,0 +1,225 @@
+// Unit tests for the retri_lint C++ tokenizer (tools/lint/tokenizer.hpp):
+// the lexical traps that fool line-oriented scanners — raw strings with
+// custom delimiters, line continuations, encoding prefixes, digit
+// separators — plus the comment/string classification strip_comments and
+// the token rules build on.
+#include "tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace lint = retri::lint;
+using lint::TokKind;
+
+namespace {
+
+std::vector<lint::Token> lex(const std::string& src) {
+  return lint::tokenize(src);
+}
+
+// Texts of all tokens of `kind`, in stream order.
+std::vector<std::string> texts_of(const std::vector<lint::Token>& tokens,
+                                  TokKind kind) {
+  std::vector<std::string> out;
+  for (const lint::Token& t : tokens) {
+    if (t.kind == kind) out.push_back(t.text);
+  }
+  return out;
+}
+
+TEST(LintTokenizer, BasicStreamKindsAndLines) {
+  const auto tokens = lex("int x = 42;\nreturn x;\n");
+  ASSERT_GE(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].kind, TokKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[3].kind, TokKind::kNumber);
+  EXPECT_EQ(tokens[3].text, "42");
+  EXPECT_EQ(tokens[5].text, "return");
+  EXPECT_EQ(tokens[5].line, 2u);
+}
+
+TEST(LintTokenizer, QualifiedNamePunctuatorIsOneToken) {
+  const auto tokens = lex("std::rand(); std :: rand();");
+  const auto puncts = texts_of(tokens, TokKind::kPunct);
+  // Both spellings produce the same `::` token, which is what makes the
+  // token patterns whitespace-proof.
+  int colons = 0;
+  for (const std::string& p : puncts) colons += (p == "::");
+  EXPECT_EQ(colons, 2);
+}
+
+TEST(LintTokenizer, DigitSeparatorsStayInNumbers) {
+  // The adversarial fixture that fooled the old strip_comments: a
+  // quote-naive scanner treats the first ' as a char-literal opener, eats
+  // through the second ', and blanks real code after it.
+  const auto tokens = lex("long n = 1'000'000; int r = evil();");
+  const auto numbers = texts_of(tokens, TokKind::kNumber);
+  ASSERT_EQ(numbers.size(), 1u);
+  EXPECT_EQ(numbers[0], "1'000'000");
+  // The call after the separators is still visible as code.
+  const auto idents = texts_of(tokens, TokKind::kIdentifier);
+  EXPECT_NE(std::find(idents.begin(), idents.end(), "evil"), idents.end());
+  // And nothing was classified as a char literal.
+  EXPECT_TRUE(texts_of(tokens, TokKind::kChar).empty());
+}
+
+TEST(LintTokenizer, DigitSeparatorAdversaryNoLongerFoolsStripComments) {
+  // End-to-end regression: with the old char-literal state machine this
+  // stripped the banned call and the scan came back clean.
+  const std::string body =
+      "void f() {\n"
+      "  long n = 1'000'000;  int y = 1'500'000;\n"
+      "  int r = std::rand();\n"
+      "}\n";
+  const auto vs =
+      lint::scan_file("src/core/evil.cpp", body, lint::default_rules());
+  bool found = false;
+  for (const auto& v : vs) found |= (v.rule_id == "no-unseeded-rand");
+  EXPECT_TRUE(found);
+}
+
+TEST(LintTokenizer, RawStringsWithCustomDelimiters) {
+  const auto tokens = lex("auto s = R\"x(no \"comment\" // here */)x\";");
+  const auto strings = texts_of(tokens, TokKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "R\"x(no \"comment\" // here */)x\"");
+  // Nothing inside the raw string leaked out as comment or code.
+  EXPECT_TRUE(texts_of(tokens, TokKind::kComment).empty());
+  const auto idents = texts_of(tokens, TokKind::kIdentifier);
+  EXPECT_EQ(std::find(idents.begin(), idents.end(), "comment"), idents.end());
+}
+
+TEST(LintTokenizer, RawStringPrematureParenIsNotTheTerminator) {
+  // )x" appears in the body with the wrong delimiter; only )y" ends it.
+  const auto tokens = lex("auto s = R\"y(has )x\" inside)y\"; int after;");
+  const auto strings = texts_of(tokens, TokKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "R\"y(has )x\" inside)y\"");
+  const auto idents = texts_of(tokens, TokKind::kIdentifier);
+  EXPECT_NE(std::find(idents.begin(), idents.end(), "after"), idents.end());
+}
+
+TEST(LintTokenizer, EncodingPrefixedLiterals) {
+  const auto tokens =
+      lex("auto a = u8\"bytes\"; auto b = L\"wide\"; auto c = u'\\u00e9';");
+  const auto strings = texts_of(tokens, TokKind::kString);
+  ASSERT_EQ(strings.size(), 2u);
+  EXPECT_EQ(strings[0], "u8\"bytes\"");
+  EXPECT_EQ(strings[1], "L\"wide\"");
+  const auto chars = texts_of(tokens, TokKind::kChar);
+  ASSERT_EQ(chars.size(), 1u);
+  EXPECT_EQ(chars[0], "u'\\u00e9'");
+}
+
+TEST(LintTokenizer, PrefixLookalikeIdentifiersStayIdentifiers) {
+  // A prefix spelling is only a literal prefix when the quote follows
+  // immediately: `u8R` alone and `LRx` are ordinary identifiers, while
+  // `LR"(raw)"` is a raw string.
+  const auto tokens = lex("int u8R = 1; int LRx = 2; auto s = LR\"(raw)\";");
+  const auto idents = texts_of(tokens, TokKind::kIdentifier);
+  EXPECT_NE(std::find(idents.begin(), idents.end(), "u8R"), idents.end());
+  EXPECT_NE(std::find(idents.begin(), idents.end(), "LRx"), idents.end());
+  const auto strings = texts_of(tokens, TokKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "LR\"(raw)\"");
+}
+
+TEST(LintTokenizer, LineContinuationsSpliceTokens) {
+  // A splice inside an identifier joins it; the line count still advances
+  // so later tokens report correct lines.
+  const auto tokens = lex("int spli\\\nced = 1;\nint next;\n");
+  const auto idents = texts_of(tokens, TokKind::kIdentifier);
+  EXPECT_NE(std::find(idents.begin(), idents.end(), "spliced"), idents.end());
+  for (const lint::Token& t : tokens) {
+    if (t.text == "next") {
+      EXPECT_EQ(t.line, 3u);
+    }
+  }
+}
+
+TEST(LintTokenizer, LineContinuationExtendsLineComment) {
+  // A // comment whose line ends in a backslash swallows the next physical
+  // line too — the banned call on it is NOT live code.
+  const auto tokens = lex("// comment continues \\\nstd::rand();\nint live;\n");
+  const auto idents = texts_of(tokens, TokKind::kIdentifier);
+  EXPECT_EQ(std::find(idents.begin(), idents.end(), "rand"), idents.end());
+  EXPECT_NE(std::find(idents.begin(), idents.end(), "live"), idents.end());
+}
+
+TEST(LintTokenizer, BlockCommentOpenerInsideStringIsText) {
+  const auto tokens = lex("auto s = \"not /* a comment\"; int live = 1;");
+  EXPECT_TRUE(texts_of(tokens, TokKind::kComment).empty());
+  const auto idents = texts_of(tokens, TokKind::kIdentifier);
+  EXPECT_NE(std::find(idents.begin(), idents.end(), "live"), idents.end());
+}
+
+TEST(LintTokenizer, StringOpenerInsideBlockCommentIsComment) {
+  const auto tokens = lex("/* \" */ int live = 1;");
+  ASSERT_EQ(texts_of(tokens, TokKind::kComment).size(), 1u);
+  const auto idents = texts_of(tokens, TokKind::kIdentifier);
+  EXPECT_NE(std::find(idents.begin(), idents.end(), "live"), idents.end());
+}
+
+TEST(LintTokenizer, DirectivesAreOneLogicalLine) {
+  const auto tokens =
+      lex("#define LONG(a, b) \\\n  ((a) + (b))\nint after;\n");
+  const auto directives = texts_of(tokens, TokKind::kDirective);
+  ASSERT_EQ(directives.size(), 1u);
+  // The continuation joined both physical lines into one directive text.
+  EXPECT_NE(directives[0].find("(a) + (b)"), std::string::npos);
+  for (const lint::Token& t : tokens) {
+    if (t.text == "after") {
+      EXPECT_EQ(t.line, 3u);
+    }
+  }
+}
+
+TEST(LintTokenizer, FloatLiteralsLexWhole) {
+  const auto tokens = lex("double a = 1.5e-3; double b = 0x1.8p+2;");
+  const auto numbers = texts_of(tokens, TokKind::kNumber);
+  ASSERT_EQ(numbers.size(), 2u);
+  EXPECT_EQ(numbers[0], "1.5e-3");
+  EXPECT_EQ(numbers[1], "0x1.8p+2");
+}
+
+TEST(LintTokenizer, UnterminatedStringRecoversAtNewline) {
+  // One bad line must not swallow the rest of the file.
+  const auto tokens = lex("auto s = \"oops;\nint live = 1;\n");
+  const auto idents = texts_of(tokens, TokKind::kIdentifier);
+  EXPECT_NE(std::find(idents.begin(), idents.end(), "live"), idents.end());
+}
+
+TEST(LintTokenizer, CodeTokensFiltersCommentsAndDirectives) {
+  const auto tokens = lex("#include <x>\n// c\nint a; /* b */\n");
+  const auto code = lint::code_tokens(tokens);
+  for (const lint::Token& t : code) {
+    EXPECT_NE(t.kind, TokKind::kComment);
+    EXPECT_NE(t.kind, TokKind::kDirective);
+  }
+  ASSERT_EQ(code.size(), 3u);  // int a ;
+  EXPECT_EQ(code[0].text, "int");
+}
+
+TEST(LintTokenizer, MatchTokenSequencesHandlesSpacedQualifiedNames) {
+  const auto tokens = lint::code_tokens(lex(
+      "int a = std :: rand();\nint b = std::rand();\nint c = strand();\n"));
+  const auto lines = lint::match_token_sequences(tokens, "std :: rand");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], 1u);
+  EXPECT_EQ(lines[1], 2u);
+}
+
+TEST(LintTokenizer, MatchTokenSequencesSuffixWildcard) {
+  const auto tokens = lint::code_tokens(
+      lex("auto t = steady_clock :: now();\nauto u = my_clock.now();\n"));
+  const auto lines =
+      lint::match_token_sequences(tokens, "*_clock :: now | *_clock . now");
+  ASSERT_EQ(lines.size(), 2u);
+}
+
+}  // namespace

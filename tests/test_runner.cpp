@@ -180,3 +180,23 @@ TEST(ExperimentResult, ClassLossClampedToUnitInterval) {
 
   EXPECT_EQ(result.class_loss(999), 0.0);  // unknown class: no truth basis
 }
+
+TEST(ExperimentConfigValidation, RejectsBadKnobs) {
+  runner::ExperimentConfig config;
+  config.senders = 0;
+  EXPECT_THROW((void)runner::validated(config), std::invalid_argument);
+
+  config = runner::ExperimentConfig{};
+  config.loss_rate = 1.5;
+  EXPECT_THROW((void)runner::validated(config), std::invalid_argument);
+
+  config = runner::ExperimentConfig{};
+  config.channel = "sometimes";
+  EXPECT_THROW((void)runner::validated(config), std::invalid_argument);
+
+  config = runner::ExperimentConfig{};
+  config.per_sender_packet_bytes = {80, 0, 40};
+  EXPECT_THROW((void)runner::validated(config), std::invalid_argument);
+
+  EXPECT_NO_THROW((void)runner::validated(runner::ExperimentConfig{}));
+}

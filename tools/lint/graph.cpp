@@ -1,0 +1,260 @@
+#include "graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "tokenizer.hpp"
+
+namespace retri::lint {
+namespace {
+
+/// Module of a repo-relative path under src/ ("src/sim/engine.hpp" ->
+/// "sim"), or empty when the path is not a src/ module file.
+std::string module_of(std::string_view rel_path) {
+  constexpr std::string_view kSrc = "src/";
+  if (rel_path.substr(0, kSrc.size()) != kSrc) return {};
+  const std::string_view rest = rel_path.substr(kSrc.size());
+  const auto slash = rest.find('/');
+  if (slash == std::string_view::npos) return {};
+  return std::string(rest.substr(0, slash));
+}
+
+/// Parses `#include "target"` out of a directive's text, or empty.
+/// <system> includes never name repo modules and are ignored.
+std::string include_target(std::string_view directive) {
+  auto pos = directive.find('#');
+  if (pos == std::string_view::npos) return {};
+  pos = directive.find("include", pos);
+  if (pos == std::string_view::npos) return {};
+  const auto open = directive.find('"', pos);
+  if (open == std::string_view::npos) return {};
+  const auto close = directive.find('"', open + 1);
+  if (close == std::string_view::npos) return {};
+  return std::string(directive.substr(open + 1, close - open - 1));
+}
+
+const Rule* find_rule(const std::vector<Rule>& rules, std::string_view id) {
+  for (const Rule& rule : rules) {
+    if (rule.id == id && rule.kind == RuleKind::kGraphCheck) return &rule;
+  }
+  return nullptr;
+}
+
+/// Representative edge for module pair (from, to): the lexicographically
+/// first (file, line) — deterministic and stable under unrelated edits.
+const IncludeEdge* representative(const std::vector<IncludeEdge>& edges,
+                                  std::string_view from, std::string_view to) {
+  for (const IncludeEdge& e : edges) {  // edges are sorted by (file, line)
+    if (e.from == from && e.to == to) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+LayerSpec LayerSpec::parse(std::string_view pattern) {
+  LayerSpec spec;
+  std::size_t pos = 0;
+  while (pos <= pattern.size()) {
+    auto sep = pattern.find('<', pos);
+    if (sep == std::string_view::npos) sep = pattern.size();
+    std::string_view name = pattern.substr(pos, sep - pos);
+    while (!name.empty() && name.front() == ' ') name.remove_prefix(1);
+    while (!name.empty() && name.back() == ' ') name.remove_suffix(1);
+    if (!name.empty()) spec.order.push_back(std::string(name));
+    if (sep == pattern.size()) break;
+    pos = sep + 1;
+  }
+  return spec;
+}
+
+std::size_t LayerSpec::rank(std::string_view module) const {
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == module) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+std::vector<IncludeEdge> collect_edges(const std::vector<SourceFile>& files,
+                                       const LayerSpec& spec) {
+  std::vector<IncludeEdge> edges;
+  for (const SourceFile& file : files) {
+    const std::string from = module_of(file.rel_path);
+    if (from.empty()) continue;
+    // Physical lines, for edge raw_line: the directive token's text stops
+    // before any trailing comment, but allow() escapes live in exactly
+    // that comment, so the escape check needs the whole line.
+    std::vector<std::string_view> lines;
+    {
+      std::string_view rest = file.contents;
+      while (!rest.empty()) {
+        const auto nl = rest.find('\n');
+        lines.push_back(rest.substr(0, nl));
+        if (nl == std::string_view::npos) break;
+        rest.remove_prefix(nl + 1);
+      }
+    }
+    for (const Token& tok : tokenize(file.contents)) {
+      if (tok.kind != TokKind::kDirective) continue;
+      const std::string target = include_target(tok.text);
+      if (target.empty()) continue;
+      const auto slash = target.find('/');
+      if (slash == std::string::npos) continue;  // "local.hpp" style
+      const std::string to = target.substr(0, slash);
+      if (to == from) continue;
+      // Only declared modules form edges; "tools/..." or stray paths are
+      // not part of the layer universe.
+      if (!spec.known(to) && module_of("src/" + target).empty()) continue;
+      const std::string raw_line =
+          tok.line - 1 < lines.size() ? std::string(lines[tok.line - 1])
+                                      : tok.text;
+      edges.push_back(IncludeEdge{file.rel_path, tok.line, raw_line, from, to});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const IncludeEdge& a, const IncludeEdge& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.line < b.line;
+            });
+  return edges;
+}
+
+std::vector<Violation> check_graph(const std::vector<SourceFile>& files,
+                                   const std::vector<Rule>& rules) {
+  std::vector<Violation> out;
+  const Rule* layer_rule = find_rule(rules, "layer-order");
+  const Rule* cycle_rule = find_rule(rules, "include-cycle");
+  if (layer_rule == nullptr && cycle_rule == nullptr) return out;
+  const LayerSpec spec =
+      LayerSpec::parse(layer_rule != nullptr ? layer_rule->pattern
+                                             : cycle_rule->pattern);
+  const std::vector<IncludeEdge> edges = collect_edges(files, spec);
+
+  if (layer_rule != nullptr) {
+    // Unknown modules first: a new src/ dir must be declared in the layer
+    // order before the checker can reason about it.
+    std::set<std::string> unknown;
+    for (const SourceFile& file : files) {
+      const std::string mod = module_of(file.rel_path);
+      if (!mod.empty() && !spec.known(mod) && unknown.insert(mod).second) {
+        out.push_back(Violation{
+            file.rel_path, 1, layer_rule->id,
+            "module '" + mod + "' is not in the declared layer order (" +
+                layer_rule->pattern + "); add it at its place in the table",
+            ""});
+      }
+    }
+    std::set<std::string> reported;  // one violation per (file, to-module)
+    for (const IncludeEdge& e : edges) {
+      if (!spec.known(e.from) || !spec.known(e.to)) continue;
+      if (spec.rank(e.to) <= spec.rank(e.from)) continue;
+      if (line_allows(e.raw_line, layer_rule->id)) continue;
+      if (!reported.insert(e.file + ":" + e.to).second) continue;
+      out.push_back(Violation{
+          e.file, e.line, layer_rule->id,
+          "'" + e.from + "' (layer " + std::to_string(spec.rank(e.from)) +
+              ") must not include '" + e.to + "' (layer " +
+              std::to_string(spec.rank(e.to)) + "): " + layer_rule->message,
+          e.raw_line});
+    }
+  }
+
+  if (cycle_rule != nullptr) {
+    // Module adjacency (deduped), then one report per cycle: for each
+    // module in a cycle with itself, BFS the shortest path back to it and
+    // report only when it is the lexicographically smallest member — one
+    // violation per distinct cycle, deterministic.
+    std::map<std::string, std::set<std::string>> adj;
+    for (const IncludeEdge& e : edges) adj[e.from].insert(e.to);
+
+    std::set<std::string> modules;
+    for (const auto& [from, tos] : adj) {
+      modules.insert(from);
+      modules.insert(tos.begin(), tos.end());
+    }
+
+    for (const std::string& start : modules) {
+      // BFS for the shortest path start -> ... -> start.
+      std::map<std::string, std::string> parent;
+      std::queue<std::string> frontier;
+      frontier.push(start);
+      std::vector<std::string> cycle;  // [start, m1, ..., start] when found
+      while (!frontier.empty() && cycle.empty()) {
+        const std::string cur = frontier.front();
+        frontier.pop();
+        const auto it = adj.find(cur);
+        if (it == adj.end()) continue;
+        for (const std::string& next : it->second) {
+          if (next == start) {
+            std::vector<std::string> rev;  // cur back to (excl.) start
+            for (std::string m = cur; m != start; m = parent.at(m)) {
+              rev.push_back(m);
+            }
+            cycle.push_back(start);
+            cycle.insert(cycle.end(), rev.rbegin(), rev.rend());
+            cycle.push_back(start);
+            break;
+          }
+          if (parent.count(next) == 0) {
+            parent[next] = cur;
+            frontier.push(next);
+          }
+        }
+      }
+      if (cycle.empty()) continue;
+      // Report each cycle once: only from its smallest member.
+      if (*std::min_element(cycle.begin(), cycle.end()) != start) continue;
+
+      std::string path = cycle.front();
+      for (std::size_t i = 1; i < cycle.size(); ++i) path += " -> " + cycle[i];
+      const IncludeEdge* anchor = representative(edges, cycle[0], cycle[1]);
+      if (anchor == nullptr) continue;
+      if (line_allows(anchor->raw_line, cycle_rule->id)) continue;
+      out.push_back(Violation{
+          anchor->file, anchor->line, cycle_rule->id,
+          "include cycle " + path + ": " + cycle_rule->message,
+          anchor->raw_line});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    if (a.rule_id != b.rule_id) return a.rule_id < b.rule_id;
+    if (a.file != b.file) return a.file < b.file;
+    return a.line < b.line;
+  });
+  return out;
+}
+
+std::string graph_dot(const std::vector<SourceFile>& files,
+                      const LayerSpec& spec) {
+  const std::vector<IncludeEdge> edges = collect_edges(files, spec);
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  std::set<std::string> modules(spec.order.begin(), spec.order.end());
+  for (const IncludeEdge& e : edges) {
+    ++counts[{e.from, e.to}];
+    modules.insert(e.from);
+    modules.insert(e.to);
+  }
+  std::string dot;
+  dot += "// Module include graph, generated by `retri_lint --graph dot`.\n";
+  dot += "// Nodes are src/ modules; an edge a -> b is `a includes b`,\n";
+  dot += "// labeled with the number of #include directives. Layers per\n";
+  dot += "// the declared order (tools/lint/rules.cpp, layer-order rule).\n";
+  dot += "digraph retri_modules {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (const std::string& mod : modules) {
+    const std::size_t rank = spec.rank(mod);
+    dot += "  \"" + mod + "\" [label=\"" + mod +
+           (spec.known(mod) ? " (" + std::to_string(rank) + ")" : " (?)") +
+           "\"];\n";
+  }
+  for (const auto& [edge, count] : counts) {
+    dot += "  \"" + edge.first + "\" -> \"" + edge.second + "\" [label=\"" +
+           std::to_string(count) + "\"];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace retri::lint

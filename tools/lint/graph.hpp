@@ -1,0 +1,79 @@
+// The graph engine: include-graph analysis over src/ (DESIGN.md §5h).
+//
+// Modules are the first-level directories under src/ (src/sim/engine.hpp
+// belongs to module `sim`); an `#include "mod/..."` directive is a
+// dependency edge. Two rules run over the resulting DAG, both carrying
+// the declared layer order in their pattern so the architecture itself is
+// rules-as-data:
+//
+//   layer-order   — an edge must point downward: a module may include
+//                   only modules declared strictly before it. Unknown
+//                   modules (a new src/ dir nobody declared) are also
+//                   flagged so the table cannot silently rot.
+//   include-cycle — module-level cycles are reported once per strongly
+//                   connected component, with the shortest offending
+//                   module path, anchored to a representative #include
+//                   line (which is where an allow() escape goes).
+//
+// The analyzer is whole-tree by construction, so it runs when retri_lint
+// scans the full tree (and under `--graph check`), never on explicit
+// file-list invocations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace retri::lint {
+
+/// One scanned file, repo-relative path with forward slashes + contents.
+struct SourceFile {
+  std::string rel_path;
+  std::string contents;
+};
+
+/// A module-to-module dependency, anchored to the #include that creates
+/// it. Self-edges are not recorded.
+struct IncludeEdge {
+  std::string file;      // including file (repo-relative)
+  std::size_t line = 0;  // 1-based line of the #include
+  std::string raw_line;  // the directive text, for excerpts and allow()
+  std::string from;      // including module
+  std::string to;        // included module
+};
+
+/// The declared layer order, parsed from a graph rule's pattern
+/// ("util < obs < ..."). rank() is the position; unknown modules get
+/// npos.
+struct LayerSpec {
+  std::vector<std::string> order;
+
+  static LayerSpec parse(std::string_view pattern);
+  std::size_t rank(std::string_view module) const;
+  bool known(std::string_view module) const {
+    return rank(module) != static_cast<std::size_t>(-1);
+  }
+};
+
+/// Extracts every cross-module include edge from the src/ files in
+/// `files` (non-src files are ignored). Edges are sorted by (file, line)
+/// so every consumer is deterministic.
+std::vector<IncludeEdge> collect_edges(const std::vector<SourceFile>& files,
+                                       const LayerSpec& spec);
+
+/// Runs the kGraphCheck rules in `rules` over `files`; returns violations
+/// in reporting order (layer-order first, then cycles). allow() escapes
+/// on the anchoring #include line suppress as usual.
+std::vector<Violation> check_graph(const std::vector<SourceFile>& files,
+                                   const std::vector<Rule>& rules);
+
+/// Renders the module graph as Graphviz DOT (deterministic output), edges
+/// labeled with their file counts and layers as ranks — the committed
+/// docs/include-graph.dot artifact.
+std::string graph_dot(const std::vector<SourceFile>& files,
+                      const LayerSpec& spec);
+
+}  // namespace retri::lint

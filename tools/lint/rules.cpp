@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <iterator>
 #include <regex>
 
 namespace retri::lint {
@@ -10,18 +11,25 @@ namespace {
 // Rule-table notes:
 //  - Patterns live here, inside tools/, which the scanner never visits, so
 //    the table cannot flag itself.
-//  - Word boundaries keep the short tokens honest: `\brand\s*\(` does not
-//    match `operand(`, `\bprintf` does not match `snprintf`.
+//  - The determinism rules use the token engine: `std :: rand`,
+//    `std\<newline>::rand`, and `using std::rand` all produce the same
+//    token sequence, so spelling games cannot dodge them. Exact token
+//    text keeps short names honest: identifier `operand` is not `rand`.
 //  - `snprintf` stays legal everywhere: it formats into a caller-owned
 //    buffer instead of emitting output, which is the thing the io rule
 //    polices.
+//  - The graph rules carry the declared module layer order in their
+//    pattern — the architecture is data here, not code in graph.cpp. The
+//    order reflects the real dependency structure (DESIGN.md §5h): obs is
+//    a low-level service consumed by core/sim/aff/fault, and apps sit
+//    below the fault/runner harness layers that drive them.
 std::vector<Rule> make_default_rules() {
   std::vector<Rule> rules;
 
   rules.push_back(Rule{
       "no-unseeded-rand",
-      RuleKind::kBannedPattern,
-      R"(\bstd::rand\b|\bsrand\s*\(|\brand\s*\()",
+      RuleKind::kBannedTokens,
+      "std :: rand | srand ( | rand (",
       {"src/util/"},
       {},
       "unseeded C randomness breaks trial reproducibility; draw from a "
@@ -30,8 +38,8 @@ std::vector<Rule> make_default_rules() {
 
   rules.push_back(Rule{
       "no-random-device",
-      RuleKind::kBannedPattern,
-      R"(\bstd::random_device\b|\brandom_device\b)",
+      RuleKind::kBannedTokens,
+      "std :: random_device | random_device",
       {"src/util/"},
       {},
       "hardware entropy makes trials unreproducible; seeds must come from "
@@ -40,8 +48,8 @@ std::vector<Rule> make_default_rules() {
 
   rules.push_back(Rule{
       "no-wall-clock",
-      RuleKind::kBannedPattern,
-      R"(\bstd::chrono::\w*_clock::now\b|\b(steady|system|high_resolution)_clock::now\b|\btime\s*\()",
+      RuleKind::kBannedTokens,
+      "*_clock :: now | time (",
       {"src/util/"},
       {},
       "wall-clock reads make sim/core/runner results depend on host timing; "
@@ -50,13 +58,49 @@ std::vector<Rule> make_default_rules() {
 
   rules.push_back(Rule{
       "no-raw-thread",
-      RuleKind::kBannedPattern,
-      R"(\bstd::thread\b|\bstd::jthread\b|\bstd::async\b|\.detach\s*\()",
+      RuleKind::kBannedTokens,
+      "std :: thread | std :: jthread | std :: async | . detach ( | "
+      "-> detach (",
       {"src/runner/"},
       {},
       "raw threading outside src/runner voids the deterministic-sharding "
       "guarantee; submit work to runner::ThreadPool",
       {}});
+
+  rules.push_back(Rule{
+      "no-global-mutable-state",
+      RuleKind::kTokenCheck,
+      "",
+      {},
+      {},
+      "namespace-scope mutable state breaks trial isolation the moment a "
+      "trial shards across workers; make it const/constexpr, pass it "
+      "through the trial's context, or escape with retri-lint: "
+      "allow(no-global-mutable-state) + a rationale",
+      {"src/"}});
+
+  rules.push_back(Rule{
+      "no-float-eq",
+      RuleKind::kTokenCheck,
+      "",
+      {},
+      {},
+      "exact ==/!= on floating-point values is order-of-evaluation bait "
+      "once trials shard; compare against an epsilon, compare integer "
+      "nanoseconds, or escape with retri-lint: allow(no-float-eq) where "
+      "bit-exactness is the contract",
+      {"src/sim/", "src/stats/", "src/radio/"}});
+
+  rules.push_back(Rule{
+      "config-has-validated",
+      RuleKind::kTokenCheck,
+      "",
+      {},
+      {},
+      "every *Config struct declares validated() (member or the free "
+      "`XConfig validated(XConfig)` idiom, util/validate.hpp) so invalid "
+      "configs throw at construction instead of skewing results",
+      {"src/"}});
 
   rules.push_back(Rule{
       "header-pragma-once",
@@ -113,6 +157,34 @@ std::vector<Rule> make_default_rules() {
       "benches can silence it and tests can capture it",
       {}});
 
+  // The declared layer order: `a < b` means b may include a, never the
+  // reverse. Both graph rules share it so the cycle checker knows the
+  // module universe.
+  const std::string layer_order =
+      "util < obs < core < sim < radio < aff < net < apps < stats < "
+      "fault < runner < serve";
+
+  rules.push_back(Rule{
+      "layer-order",
+      RuleKind::kGraphCheck,
+      layer_order,
+      {},
+      {},
+      "a module may only include modules declared below it; an upward "
+      "include couples a foundation layer to its consumers and is how "
+      "hidden state sneaks across the trial boundary",
+      {"src/"}});
+
+  rules.push_back(Rule{
+      "include-cycle",
+      RuleKind::kGraphCheck,
+      layer_order,
+      {},
+      {},
+      "module include cycles make layers unbuildable and untestable in "
+      "isolation; break the cycle by hoisting the shared type downward",
+      {"src/"}});
+
   return rules;
 }
 
@@ -129,6 +201,20 @@ std::string_view trim(std::string_view s) {
 }
 
 }  // namespace
+
+std::string_view engine_name(RuleKind kind) {
+  switch (kind) {
+    case RuleKind::kBannedPattern:
+    case RuleKind::kRequiredPattern:
+      return "line";
+    case RuleKind::kBannedTokens:
+    case RuleKind::kTokenCheck:
+      return "token";
+    case RuleKind::kGraphCheck:
+      return "graph";
+  }
+  return "?";
+}
 
 const std::vector<Rule>& default_rules() {
   static const std::vector<Rule> rules = make_default_rules();
@@ -179,81 +265,20 @@ bool line_allows(std::string_view line, std::string_view rule_id) {
 }
 
 std::string strip_comments(std::string_view contents) {
+  // Built on the tokenizer: everything it classifies as a comment or a
+  // string/char literal is blanked byte-for-byte (newlines kept so line
+  // numbers survive). The predecessor of this function was a hand-rolled
+  // state machine that misread digit separators (1'000'000) as char
+  // literals and could blank real code after them — the tokenizer knows
+  // the difference.
   std::string out(contents);
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_terminator;  // `)delim"` that ends the active raw string
-
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(out[i - 1])) &&
-                               out[i - 1] != '_'))) {
-          // Raw string literal: R"delim( ... )delim"
-          const auto paren = out.find('(', i + 2);
-          if (paren != std::string::npos) {
-            raw_terminator = ")" + out.substr(i + 2, paren - (i + 2)) + "\"";
-            state = State::kRawString;
-            i = paren;
-          }
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') state = State::kCode;
-        else out[i] = ' ';
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = out[i + 1] = ' ';
-          state = State::kCode;
-          ++i;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && i + 1 < out.size()) {
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"' || c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && i + 1 < out.size()) {
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'' || c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRawString:
-        if (out.compare(i, raw_terminator.size(), raw_terminator) == 0) {
-          i += raw_terminator.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
+  for (const Token& tok : tokenize(contents)) {
+    if (tok.kind != TokKind::kComment && tok.kind != TokKind::kString &&
+        tok.kind != TokKind::kChar) {
+      continue;
+    }
+    for (std::size_t i = tok.begin; i < tok.end && i < out.size(); ++i) {
+      if (out[i] != '\n') out[i] = ' ';
     }
   }
   return out;
@@ -290,7 +315,41 @@ std::vector<Violation> scan_file(std::string_view rel_path,
     rest.remove_prefix(nl + 1);
   }
 
+  // Token-engine rules share one tokenize() per file.
+  std::vector<Token> tokens;
+  bool tokenized = false;
+  auto ensure_tokens = [&] {
+    if (!tokenized) {
+      tokens = tokenize(contents);
+      tokenized = true;
+    }
+  };
+
   for (const Rule* rule : active) {
+    if (rule->kind == RuleKind::kGraphCheck) continue;  // whole-tree pass
+    if (rule->kind == RuleKind::kTokenCheck) {
+      ensure_tokens();
+      auto found = run_token_check(rel_path, contents, tokens, *rule);
+      violations.insert(violations.end(),
+                        std::make_move_iterator(found.begin()),
+                        std::make_move_iterator(found.end()));
+      continue;
+    }
+    if (rule->kind == RuleKind::kBannedTokens) {
+      ensure_tokens();
+      const std::vector<Token> code = code_tokens(tokens);
+      for (const std::size_t line : match_token_sequences(code, rule->pattern)) {
+        if (line - 1 < raw_lines.size() &&
+            line_allows(raw_lines[line - 1], rule->id)) {
+          continue;
+        }
+        violations.push_back(Violation{
+            std::string(rel_path), line, rule->id, rule->message,
+            line - 1 < raw_lines.size() ? std::string(trim(raw_lines[line - 1]))
+                                        : std::string()});
+      }
+      continue;
+    }
     const std::regex re(rule->pattern, std::regex::ECMAScript);
     if (rule->kind == RuleKind::kRequiredPattern) {
       if (std::regex_search(stripped.begin(), stripped.end(), re)) continue;

@@ -1,0 +1,472 @@
+// The token engine: semantic rules over the tokenizer.hpp stream.
+//
+// These checks are deliberately heuristic lexers-of-structure, not a
+// compiler frontend. Each one is tuned so that a miss is a false negative
+// (some exotic spelling slips through) rather than a false positive on the
+// real tree; the adversarial cases live in tests/test_lint_rules.cpp. The
+// known blind spots are documented on each check.
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace retri::lint {
+namespace {
+
+/// The raw source line `n` (1-based) of `contents`, trimmed — violation
+/// excerpts quote the original text, not the token stream.
+std::string line_excerpt(std::string_view contents, std::size_t n) {
+  std::size_t line = 1;
+  std::size_t start = 0;
+  while (line < n) {
+    const auto nl = contents.find('\n', start);
+    if (nl == std::string_view::npos) return {};
+    start = nl + 1;
+    ++line;
+  }
+  auto end = contents.find('\n', start);
+  if (end == std::string_view::npos) end = contents.size();
+  std::string_view s = contents.substr(start, end - start);
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return std::string(s);
+}
+
+bool raw_line_allows(std::string_view contents, std::size_t n,
+                     std::string_view rule_id) {
+  std::size_t line = 1;
+  std::size_t start = 0;
+  while (line < n) {
+    const auto nl = contents.find('\n', start);
+    if (nl == std::string_view::npos) return false;
+    start = nl + 1;
+    ++line;
+  }
+  auto end = contents.find('\n', start);
+  if (end == std::string_view::npos) end = contents.size();
+  return line_allows(contents.substr(start, end - start), rule_id);
+}
+
+void push_violation(std::vector<Violation>& out, std::string_view rel_path,
+                    std::string_view contents, std::size_t line,
+                    const Rule& rule, std::string detail = {}) {
+  if (raw_line_allows(contents, line, rule.id)) return;
+  std::string message = rule.message;
+  if (!detail.empty()) message += " [" + detail + "]";
+  out.push_back(Violation{std::string(rel_path), line, rule.id,
+                          std::move(message), line_excerpt(contents, line)});
+}
+
+bool token_is(const Token& t, std::string_view text) { return t.text == text; }
+
+// --- no-global-mutable-state ------------------------------------------------
+//
+// Flags namespace-scope variable definitions that are not const/constexpr/
+// constinit/thread_local under src/. A single mutable global shared across
+// worker threads is the #1 hazard for sharding a trial internally: it is
+// invisible to the per-trial seed discipline and to TSan until two trials
+// race on it.
+//
+// Scope tracking: a brace opened by `namespace` keeps namespace scope; one
+// opened by class/struct/union/enum is type scope; one opened after a
+// top-level `(` is a function body; one opened inside a statement carrying
+// a top-level `=` (or a bare initializer) belongs to the statement and the
+// statement continues after it. Statements at namespace scope ending in
+// `;` are classified: skip-keyword starts (using/typedef/...), anything
+// const-qualified, and function declarations pass; what remains is a
+// mutable definition.
+//
+// Known blind spots, accepted: `const char* p` (pointer-to-const but
+// mutable pointer) passes the const screen; `int x(3);` function-style
+// init reads as a function declaration; macro-hidden definitions are
+// invisible. All three are absent from the tree and caught in review.
+
+enum class ScopeKind { kNamespace, kType, kOpaque, kStatementInit };
+
+bool is_skip_keyword(std::string_view t) {
+  return t == "using" || t == "typedef" || t == "namespace" ||
+         t == "template" || t == "friend" || t == "static_assert" ||
+         t == "extern" || t == "class" || t == "struct" || t == "union" ||
+         t == "enum" || t == "asm" || t == "concept" || t == "requires" ||
+         t == "export" || t == "operator";
+}
+
+bool is_const_qualifier(std::string_view t) {
+  return t == "const" || t == "constexpr" || t == "constinit" ||
+         t == "thread_local";
+}
+
+/// Index of the first top-level (paren/bracket depth 0) `=` in stmt, or
+/// npos. `==`/`!=`/`<=`... are single tokens, so plain `=` is unambiguous.
+std::size_t top_level_assign(const std::vector<Token>& stmt) {
+  std::size_t depth = 0;
+  for (std::size_t i = 0; i < stmt.size(); ++i) {
+    const std::string& t = stmt[i].text;
+    if (t == "(" || t == "[") ++depth;
+    else if ((t == ")" || t == "]") && depth > 0) --depth;
+    else if (depth == 0 && t == "=") return i;
+  }
+  return std::string::npos;
+}
+
+bool contains_top_level(const std::vector<Token>& stmt, std::size_t end,
+                        std::string_view text) {
+  std::size_t depth = 0;
+  for (std::size_t i = 0; i < end && i < stmt.size(); ++i) {
+    const std::string& t = stmt[i].text;
+    if (depth == 0 && t == text) return true;  // before depth bookkeeping,
+    if (t == "(" || t == "[") ++depth;         // so `(` itself can match
+    else if ((t == ")" || t == "]") && depth > 0) --depth;
+  }
+  return false;
+}
+
+/// Strips leading [[attribute]] groups; returns the first real index.
+std::size_t skip_attributes(const std::vector<Token>& stmt) {
+  std::size_t i = 0;
+  while (i + 1 < stmt.size() && stmt[i].text == "[" && stmt[i + 1].text == "[") {
+    std::size_t depth = 0;
+    while (i < stmt.size()) {
+      if (stmt[i].text == "[") ++depth;
+      else if (stmt[i].text == "]" && --depth == 0) {
+        ++i;
+        break;
+      }
+      ++i;
+    }
+  }
+  return i;
+}
+
+void classify_statement(const std::vector<Token>& stmt,
+                        std::string_view rel_path, std::string_view contents,
+                        const Rule& rule, std::vector<Violation>& out) {
+  const std::size_t first = skip_attributes(stmt);
+  if (first >= stmt.size() || stmt.size() - first < 2) return;
+  if (is_skip_keyword(stmt[first].text)) return;
+  for (std::size_t i = first; i < stmt.size(); ++i) {
+    if (is_const_qualifier(stmt[i].text)) return;
+    if (stmt[i].text == "operator") return;
+  }
+  const std::size_t assign = top_level_assign(stmt);
+  if (assign != std::string::npos) {
+    // `= delete` / `= default` are function declarations, not variables.
+    if (assign + 1 < stmt.size() && (stmt[assign + 1].text == "delete" ||
+                                     stmt[assign + 1].text == "default")) {
+      return;
+    }
+    // Declarator is everything before the `=`; find the variable name (the
+    // last identifier) for the diagnostic line.
+    for (std::size_t i = assign; i-- > first;) {
+      if (stmt[i].kind == TokKind::kIdentifier) {
+        push_violation(out, rel_path, contents, stmt[i].line, rule,
+                       stmt[i].text);
+        return;
+      }
+    }
+    return;
+  }
+  // No initializer. A top-level `(` means a function declaration; without
+  // one, `type name;` at namespace scope is a (zero-initialized mutable)
+  // definition. Trailing `[dims]` of array declarators are stripped.
+  if (contains_top_level(stmt, stmt.size(), "(")) return;
+  std::size_t last = stmt.size();
+  while (last > first && stmt[last - 1].text == "]") {
+    std::size_t depth = 0;
+    while (last > first) {
+      --last;
+      if (stmt[last].text == "]") ++depth;
+      else if (stmt[last].text == "[" && --depth == 0) break;
+    }
+  }
+  if (last == 0) return;
+  const Token& name = stmt[last - 1];
+  if (name.kind != TokKind::kIdentifier) return;
+  push_violation(out, rel_path, contents, name.line, rule, name.text);
+}
+
+std::vector<Violation> check_global_mutable_state(std::string_view rel_path,
+                                                  std::string_view contents,
+                                                  const std::vector<Token>& code,
+                                                  const Rule& rule) {
+  std::vector<Violation> out;
+  std::vector<ScopeKind> scopes;  // empty = file (namespace) scope
+  std::vector<Token> stmt;
+
+  auto at_namespace_scope = [&] {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (*it != ScopeKind::kNamespace) return false;
+    }
+    return true;
+  };
+
+  for (const Token& tok : code) {
+    if (tok.text == "{") {
+      ScopeKind kind = ScopeKind::kOpaque;
+      if (at_namespace_scope()) {
+        const bool has_assign = top_level_assign(stmt) != std::string::npos;
+        bool type_kw = false, ns_kw = false;
+        for (const Token& t : stmt) {
+          if (t.text == "namespace") ns_kw = true;
+          if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+              t.text == "enum") {
+            type_kw = true;
+          }
+        }
+        if (ns_kw) kind = ScopeKind::kNamespace;
+        else if (type_kw) kind = ScopeKind::kType;
+        else if (has_assign) kind = ScopeKind::kStatementInit;
+        else if (contains_top_level(stmt, stmt.size(), "(")) kind = ScopeKind::kOpaque;
+        else if (!stmt.empty()) kind = ScopeKind::kStatementInit;
+      }
+      scopes.push_back(kind);
+      if (kind != ScopeKind::kStatementInit) stmt.clear();
+      continue;
+    }
+    if (tok.text == "}") {
+      const ScopeKind kind = scopes.empty() ? ScopeKind::kOpaque : scopes.back();
+      if (!scopes.empty()) scopes.pop_back();
+      // A statement-owned brace (brace init) keeps its statement alive;
+      // any other close discards the accumulated tokens.
+      if (kind != ScopeKind::kStatementInit) stmt.clear();
+      continue;
+    }
+    const bool in_stmt_init =
+        !scopes.empty() && scopes.back() == ScopeKind::kStatementInit;
+    if (!at_namespace_scope() && !in_stmt_init) continue;
+    if (in_stmt_init) continue;  // initializer contents are not declarators
+    if (tok.text == ";") {
+      classify_statement(stmt, rel_path, contents, rule, out);
+      stmt.clear();
+      continue;
+    }
+    stmt.push_back(tok);
+  }
+  return out;
+}
+
+// --- no-float-eq ------------------------------------------------------------
+//
+// Flags `==`/`!=` where either adjacent operand is lexically floating
+// point: a float literal, an identifier declared `double`/`float` in the
+// same file, or a call of / cast to such a name. Cross-file types and
+// `auto` deductions are blind spots; the sim/stats/radio hot paths the
+// rule scopes to declare their floats locally.
+
+bool is_float_literal(const Token& t) {
+  if (t.kind != TokKind::kNumber) return false;
+  const std::string& s = t.text;
+  const bool hex = s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X');
+  if (hex) {  // hex floats have a p-exponent; 0x1F is an int
+    return s.find('p') != std::string::npos || s.find('P') != std::string::npos;
+  }
+  if (s.find('.') != std::string::npos) return true;
+  if (s.find('e') != std::string::npos || s.find('E') != std::string::npos) {
+    return true;
+  }
+  const char back = s.back();
+  return back == 'f' || back == 'F';  // 1f / 1.0F
+}
+
+std::set<std::string> collect_float_names(const std::vector<Token>& code) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    if (!token_is(code[i], "double") && !token_is(code[i], "float")) continue;
+    // `double a`, `double a, b`, `double mean(` — functions returning
+    // float count: comparing their call result is still a float compare.
+    std::size_t j = i + 1;
+    while (j < code.size() && code[j].kind == TokKind::kIdentifier) {
+      names.insert(code[j].text);
+      if (j + 1 < code.size() && token_is(code[j + 1], ",")) j += 2;
+      else break;
+    }
+  }
+  return names;
+}
+
+/// The token index of the head of the operand ending at `i` (exclusive
+/// scan left): for `)` walks to the matching `(` and takes the token
+/// before it (a call or parenthesized expression), otherwise `i` itself.
+std::size_t operand_head_left(const std::vector<Token>& code, std::size_t i) {
+  if (!token_is(code[i], ")")) return i;
+  std::size_t depth = 0;
+  std::size_t j = i;
+  while (true) {
+    if (token_is(code[j], ")")) ++depth;
+    else if (token_is(code[j], "(") && --depth == 0) break;
+    if (j == 0) return i;
+    --j;
+  }
+  return j > 0 ? j - 1 : i;
+}
+
+std::vector<Violation> check_float_eq(std::string_view rel_path,
+                                      std::string_view contents,
+                                      const std::vector<Token>& code,
+                                      const Rule& rule) {
+  std::vector<Violation> out;
+  const std::set<std::string> floats = collect_float_names(code);
+  auto is_floaty = [&](const Token& t) {
+    return is_float_literal(t) ||
+           (t.kind == TokKind::kIdentifier && floats.count(t.text) != 0);
+  };
+  for (std::size_t i = 1; i + 1 < code.size(); ++i) {
+    if (!token_is(code[i], "==") && !token_is(code[i], "!=")) continue;
+    bool floaty = false;
+    const std::size_t left = operand_head_left(code, i - 1);
+    if (is_floaty(code[left])) floaty = true;
+    std::size_t right = i + 1;
+    while (right < code.size() && token_is(code[right], "(")) ++right;
+    if (right < code.size() && is_floaty(code[right])) floaty = true;
+    if (!floaty) continue;
+    push_violation(out, rel_path, contents, code[i].line, rule);
+  }
+  return out;
+}
+
+// --- config-has-validated ---------------------------------------------------
+//
+// Every `struct FooConfig { ... }` definition under src/ must come with a
+// validated() declaration: either a member `validated(` inside the body or
+// the repo's idiomatic free function `FooConfig validated(FooConfig)`
+// (util/validate.hpp documents the pattern and the error-message format).
+// Constructor-time validation is how MediumConfig-class bugs (§5d) stay
+// impossible; this rule keeps new config structs from skipping it.
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::vector<Violation> check_config_validated(std::string_view rel_path,
+                                              std::string_view contents,
+                                              const std::vector<Token>& code,
+                                              const Rule& rule) {
+  std::vector<Violation> out;
+  for (std::size_t i = 0; i + 2 < code.size(); ++i) {
+    if (!token_is(code[i], "struct") && !token_is(code[i], "class")) continue;
+    const Token& name = code[i + 1];
+    if (name.kind != TokKind::kIdentifier || !ends_with(name.text, "Config")) {
+      continue;
+    }
+    // Find the opening brace of a definition; `struct FooConfig;` forward
+    // declarations and `struct FooConfig x;` variable uses don't qualify.
+    std::size_t j = i + 2;
+    if (j < code.size() && token_is(code[j], "final")) ++j;
+    if (j < code.size() && token_is(code[j], ":")) {
+      while (j < code.size() && !token_is(code[j], "{") &&
+             !token_is(code[j], ";")) {
+        ++j;
+      }
+    }
+    if (j >= code.size() || !token_is(code[j], "{")) continue;
+    // Body = matching brace range; a member `validated(` satisfies.
+    std::size_t depth = 0;
+    std::size_t body_end = j;
+    bool member = false;
+    for (; body_end < code.size(); ++body_end) {
+      if (token_is(code[body_end], "{")) ++depth;
+      else if (token_is(code[body_end], "}") && --depth == 0) break;
+      if (code[body_end].kind == TokKind::kIdentifier &&
+          code[body_end].text == "validated" && body_end + 1 < code.size() &&
+          token_is(code[body_end + 1], "(")) {
+        member = true;
+      }
+    }
+    bool free_fn = false;
+    for (std::size_t k = 0; !member && k + 2 < code.size(); ++k) {
+      if (code[k].text == name.text && code[k + 1].text == "validated" &&
+          token_is(code[k + 2], "(")) {
+        free_fn = true;
+        break;
+      }
+    }
+    if (!member && !free_fn) {
+      push_violation(out, rel_path, contents, code[i].line, rule, name.text);
+    }
+    i = body_end;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> match_token_sequences(const std::vector<Token>& code,
+                                               std::string_view pattern) {
+  // Parse alternatives once: `a :: b | c (` -> {{a,::,b},{c,(}}.
+  std::vector<std::vector<std::string>> alts;
+  std::size_t start = 0;
+  while (start <= pattern.size()) {
+    auto bar = pattern.find('|', start);
+    if (bar == std::string_view::npos) bar = pattern.size();
+    std::vector<std::string> elems;
+    std::size_t p = start;
+    while (p < bar) {
+      while (p < bar && pattern[p] == ' ') ++p;
+      std::size_t q = p;
+      while (q < bar && pattern[q] != ' ') ++q;
+      if (q > p) elems.push_back(std::string(pattern.substr(p, q - p)));
+      p = q;
+    }
+    if (!elems.empty()) alts.push_back(std::move(elems));
+    if (bar == pattern.size()) break;
+    start = bar + 1;
+  }
+
+  std::vector<std::size_t> lines;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const auto& alt : alts) {
+      if (i + alt.size() > code.size()) continue;
+      bool match = true;
+      for (std::size_t j = 0; j < alt.size(); ++j) {
+        const Token& tok = code[i + j];
+        const std::string& elem = alt[j];
+        if (elem.size() > 1 && elem[0] == '*') {
+          const std::string_view suffix(elem.data() + 1, elem.size() - 1);
+          if (tok.kind != TokKind::kIdentifier || !ends_with(tok.text, suffix)) {
+            match = false;
+            break;
+          }
+        } else if (tok.text != elem) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        if (lines.empty() || lines.back() != code[i].line) {
+          if (std::find(lines.begin(), lines.end(), code[i].line) ==
+              lines.end()) {
+            lines.push_back(code[i].line);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+std::vector<Violation> run_token_check(std::string_view rel_path,
+                                       std::string_view contents,
+                                       const std::vector<Token>& tokens,
+                                       const Rule& rule) {
+  const std::vector<Token> code = code_tokens(tokens);
+  if (rule.id == "no-global-mutable-state") {
+    return check_global_mutable_state(rel_path, contents, code, rule);
+  }
+  if (rule.id == "no-float-eq") {
+    return check_float_eq(rel_path, contents, code, rule);
+  }
+  if (rule.id == "config-has-validated") {
+    return check_config_validated(rel_path, contents, code, rule);
+  }
+  return {};
+}
+
+}  // namespace retri::lint

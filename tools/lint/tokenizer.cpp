@@ -1,0 +1,367 @@
+#include "tokenizer.hpp"
+
+#include <cctype>
+
+namespace retri::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// True when `prefix` (a just-lexed identifier) turns a following `"` into
+/// a string literal. The trailing-R forms are raw.
+bool is_string_prefix(std::string_view prefix) {
+  return prefix == "u8" || prefix == "u" || prefix == "U" || prefix == "L" ||
+         prefix == "R" || prefix == "uR" || prefix == "u8R" || prefix == "UR" ||
+         prefix == "LR";
+}
+bool is_char_prefix(std::string_view prefix) {
+  return prefix == "u8" || prefix == "u" || prefix == "U" || prefix == "L";
+}
+
+// Multi-character punctuators the rule engines care to see whole. `::` is
+// the load-bearing one (qualified-name matching); comparison and shift
+// operators ride along so no-float-eq sees `==`/`!=` as single tokens.
+constexpr std::string_view kPuncts3[] = {"...", "<=>", "->*", "<<=", ">>="};
+constexpr std::string_view kPuncts2[] = {
+    "::", "==", "!=", "<=", ">=", "->", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##", "++", "--"};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    while (pos_ < src_.size()) {
+      skip_splices();
+      if (pos_ >= src_.size()) break;
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (is_ident_start(c)) {
+        lex_identifier_or_prefixed_literal();
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        lex_number();
+        continue;
+      }
+      if (c == '"') {
+        lex_string('"');
+        continue;
+      }
+      if (c == '\'') {
+        lex_string('\'');
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  // Length of a line splice (backslash-newline) at offset i, or 0.
+  std::size_t splice_len(std::size_t i) const {
+    if (i >= src_.size() || src_[i] != '\\') return 0;
+    if (i + 1 < src_.size() && src_[i + 1] == '\n') return 2;
+    if (i + 2 < src_.size() && src_[i + 1] == '\r' && src_[i + 2] == '\n') return 3;
+    return 0;
+  }
+
+  // Consumes any splices at the cursor (each spans one newline).
+  void skip_splices() {
+    while (true) {
+      const std::size_t len = splice_len(pos_);
+      if (len == 0) return;
+      pos_ += len;
+      ++line_;
+    }
+  }
+
+  // Effective character `k` positions ahead, looking through splices.
+  char peek(std::size_t k) const {
+    std::size_t i = pos_;
+    std::size_t remaining = k;
+    while (i < src_.size()) {
+      const std::size_t len = splice_len(i);
+      if (len != 0) {
+        i += len;
+        continue;
+      }
+      if (remaining == 0) return src_[i];
+      --remaining;
+      ++i;
+    }
+    return '\0';
+  }
+
+  void emit(TokKind kind, std::size_t begin, std::string text,
+            std::size_t line) {
+    out_.push_back(Token{kind, std::move(text), line, begin, pos_});
+  }
+
+  void lex_line_comment() {
+    const std::size_t begin = pos_;
+    const std::size_t line = line_;
+    pos_ += 2;
+    // A splice continues the comment onto the next physical line.
+    while (pos_ < src_.size()) {
+      skip_splices();
+      if (pos_ >= src_.size() || src_[pos_] == '\n') break;
+      ++pos_;
+    }
+    emit(TokKind::kComment, begin, {}, line);
+  }
+
+  void lex_block_comment() {
+    const std::size_t begin = pos_;
+    const std::size_t line = line_;
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    emit(TokKind::kComment, begin, {}, line);
+  }
+
+  void lex_directive() {
+    const std::size_t begin = pos_;
+    const std::size_t line = line_;
+    std::string text;
+    bool in_quote = false;
+    while (pos_ < src_.size()) {
+      if (!in_quote) {
+        skip_splices();
+        if (pos_ >= src_.size()) break;
+        // A trailing comment is not part of the directive; hand it back to
+        // the main loop so strip_comments still blanks it.
+        if (src_[pos_] == '/' &&
+            (peek(1) == '/' || peek(1) == '*')) {
+          break;
+        }
+      } else {
+        const std::size_t len = splice_len(pos_);
+        if (len != 0) {
+          pos_ += len;
+          ++line_;
+          continue;
+        }
+      }
+      const char c = src_[pos_];
+      if (c == '\n') break;
+      if (c == '"') in_quote = !in_quote;
+      text.push_back(c);
+      ++pos_;
+    }
+    emit(TokKind::kDirective, begin, std::move(text), line);
+  }
+
+  void lex_identifier_or_prefixed_literal() {
+    const std::size_t begin = pos_;
+    const std::size_t line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      skip_splices();
+      if (pos_ >= src_.size() || !is_ident_char(src_[pos_])) break;
+      text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    skip_splices();
+    const char next = pos_ < src_.size() ? src_[pos_] : '\0';
+    if (next == '"' && is_string_prefix(text)) {
+      if (text.back() == 'R') {
+        lex_raw_string(begin, line);
+      } else {
+        lex_string_body(begin, line, '"', TokKind::kString);
+      }
+      return;
+    }
+    if (next == '\'' && is_char_prefix(text)) {
+      lex_string_body(begin, line, '\'', TokKind::kChar);
+      return;
+    }
+    emit(TokKind::kIdentifier, begin, std::move(text), line);
+  }
+
+  void lex_number() {
+    const std::size_t begin = pos_;
+    const std::size_t line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      skip_splices();
+      if (pos_ >= src_.size()) break;
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '.') {
+        text.push_back(c);
+        ++pos_;
+        // Exponent sign: e/E (decimal) and p/P (hex float) may be followed
+        // by +/- that belongs to the number.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            pos_ < src_.size() && (peek(0) == '+' || peek(0) == '-') &&
+            text.size() > 1) {
+          text.push_back(peek(0));
+          skip_splices();
+          ++pos_;
+        }
+        continue;
+      }
+      // Digit separator: a quote between alphanumerics stays in the
+      // number. This is the case that fooled the old strip_comments.
+      if (c == '\'' && is_ident_char(peek(1))) {
+        text.push_back('\'');
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    emit(TokKind::kNumber, begin, std::move(text), line);
+  }
+
+  void lex_string(char quote) {
+    const std::size_t begin = pos_;
+    const std::size_t line = line_;
+    lex_string_body(begin, line, quote,
+                    quote == '"' ? TokKind::kString : TokKind::kChar);
+  }
+
+  // Cursor sits on the opening quote. Consumes through the closing quote;
+  // an unterminated literal ends at the newline (compiler-style recovery)
+  // so one bad line cannot swallow the rest of the file.
+  void lex_string_body(std::size_t begin, std::size_t line, char quote,
+                       TokKind kind) {
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      skip_splices();
+      if (pos_ >= src_.size()) break;
+      const char c = src_[pos_];
+      if (c == '\n') break;  // unterminated; leave the newline for the loop
+      if (c == '\\') {  // escape sequence: skip the backslash + escaped char
+        pos_ += (src_.size() - pos_ >= 2) ? std::size_t{2} : std::size_t{1};
+        continue;
+      }
+      ++pos_;
+      if (c == quote) break;
+    }
+    emit(kind, begin, std::string(src_.substr(begin, pos_ - begin)), line);
+  }
+
+  // Cursor sits on the `"` after an R-suffixed prefix. Raw strings do not
+  // process splices; the terminator is )delim" verbatim.
+  void lex_raw_string(std::size_t begin, std::size_t line) {
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && delim.size() <= 16) {
+      const char c = src_[pos_];
+      if (c == '(') break;
+      if (c == ')' || c == '\\' || c == ' ' || c == '\n') break;  // malformed
+      delim.push_back(c);
+      ++pos_;
+    }
+    if (pos_ >= src_.size() || src_[pos_] != '(') {
+      // Malformed raw string; treat what we consumed as a plain token and
+      // let the main loop carry on.
+      emit(TokKind::kString, begin,
+           std::string(src_.substr(begin, pos_ - begin)), line);
+      return;
+    }
+    ++pos_;  // the (
+    const std::string terminator = ")" + delim + "\"";
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == ')' &&
+          src_.compare(pos_, terminator.size(), terminator) == 0) {
+        pos_ += terminator.size();
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    emit(TokKind::kString, begin,
+         std::string(src_.substr(begin, pos_ - begin)), line);
+  }
+
+  void lex_punct() {
+    const std::size_t begin = pos_;
+    const std::size_t line = line_;
+    for (const std::string_view p : kPuncts3) {
+      if (peek(0) == p[0] && peek(1) == p[1] && peek(2) == p[2]) {
+        advance_through_splices(3);
+        emit(TokKind::kPunct, begin, std::string(p), line);
+        return;
+      }
+    }
+    for (const std::string_view p : kPuncts2) {
+      if (peek(0) == p[0] && peek(1) == p[1]) {
+        advance_through_splices(2);
+        emit(TokKind::kPunct, begin, std::string(p), line);
+        return;
+      }
+    }
+    const char c = src_[pos_];
+    ++pos_;
+    emit(TokKind::kPunct, begin, std::string(1, c), line);
+  }
+
+  // Advances over n effective characters, consuming any splices between.
+  void advance_through_splices(std::size_t n) {
+    while (n > 0 && pos_ < src_.size()) {
+      skip_splices();
+      ++pos_;
+      --n;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  return Lexer(source).run();
+}
+
+std::vector<Token> code_tokens(const std::vector<Token>& tokens) {
+  std::vector<Token> out;
+  out.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    if (t.kind != TokKind::kComment && t.kind != TokKind::kDirective) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace retri::lint

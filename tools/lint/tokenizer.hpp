@@ -1,0 +1,65 @@
+// A dependency-free C++ tokenizer for the retri_lint token engine.
+//
+// The line/regex engine in rules.cpp sees comment-stripped *text*; the
+// rules added for intra-trial parallelism (no-global-mutable-state,
+// no-float-eq, config-has-validated, qualified-name matching that is
+// whitespace-proof) need to see *structure*: where namespace scope ends,
+// whether `std :: rand` is the same construct as `std::rand`, whether a
+// `'` starts a char literal or separates digits. This tokenizer produces
+// that structure as a flat `{kind, text, line}` stream.
+//
+// It is a lexer, not a compiler frontend: no preprocessing (each
+// `#directive` logical line becomes one opaque kDirective token), no
+// keyword table (keywords are kIdentifier; rule code compares text), and
+// no semantic analysis. It does handle the lexical traps that fool
+// line-oriented scanners:
+//   - line continuations (backslash-newline) inside comments, strings,
+//     identifiers, and directives;
+//   - raw strings with custom delimiters, R"x(...)x", including unmatched
+//     quotes and comment openers in the body;
+//   - encoding prefixes (u8/u/U/L, optionally + R) on string and char
+//     literals;
+//   - digit separators (1'000'000), which a quote-naive scanner misreads
+//     as char literals and then blanks real code (see
+//     tests/test_lint_tokenizer.cpp for the adversarial fixture).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace retri::lint {
+
+enum class TokKind {
+  kIdentifier,  // identifiers and keywords (no keyword table)
+  kNumber,      // pp-number: integers, floats, hex floats, separators
+  kString,      // any string literal, prefix and delimiters included
+  kChar,        // any character literal, prefix included
+  kPunct,       // operators/punctuation; `::` and friends are one token
+  kComment,     // // or /* */, one token per comment
+  kDirective,   // a whole preprocessor logical line (continuations joined)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  // Token spelling with line continuations removed. For kString/kChar the
+  // whole literal including prefix/delimiters; for kDirective the logical
+  // line; for kComment empty (the text is never needed, offsets are).
+  std::string text;
+  std::size_t line = 0;   // 1-based line of the token's first character
+  std::size_t begin = 0;  // byte offsets into the original source
+  std::size_t end = 0;    // (half-open; includes any interior splices)
+};
+
+/// Tokenizes `source`. Never fails: unterminated literals/comments end at
+/// newline (strings/chars, matching how compilers recover) or EOF. The
+/// stream contains every byte class except whitespace; consumers filter
+/// kComment/kDirective as needed.
+std::vector<Token> tokenize(std::string_view source);
+
+/// Returns `tokens` minus comments and directives — the stream the
+/// semantic rule checks walk.
+std::vector<Token> code_tokens(const std::vector<Token>& tokens);
+
+}  // namespace retri::lint
