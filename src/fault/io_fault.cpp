@@ -1,0 +1,200 @@
+#include "fault/io_fault.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/random.hpp"
+#include "util/validate.hpp"
+
+namespace retri::fault {
+namespace {
+
+// Stream indices for the per-family seed derivation. Appending new families
+// is fine; reordering would silently change every seeded run. The constant
+// is distinct from the delivery-path injector's (0xfa417) so an IoFault
+// family can never collide with a medium-fault family at equal seeds.
+enum Stream : std::uint64_t {
+  kShortWrite = 0,
+  kEintr = 1,
+  kEnospc = 2,
+  kPartialRead = 3,
+  kDisconnect = 4,
+};
+
+std::uint64_t derive(std::uint64_t seed, std::uint64_t stream) {
+  util::SplitMix64 mix(seed ^ (0x10fa417'0000ULL + stream));
+  return mix.next();
+}
+
+std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void append(std::string& out, std::string_view label, double value) {
+  if (value <= 0.0) return;
+  if (!out.empty()) out += ' ';
+  out += label;
+  out += '=';
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string IoFaultPlan::describe() const {
+  std::string out;
+  append(out, "short_write", short_write_prob);
+  append(out, "eintr", eintr_prob);
+  append(out, "enospc", enospc_prob);
+  append(out, "partial_read", partial_read_prob);
+  append(out, "disconnect", disconnect_prob);
+  if (!crash_at.empty()) {
+    if (!out.empty()) out += ' ';
+    out += "crash_at=" + crash_at + "+" + std::to_string(crash_after);
+  }
+  if (out.empty()) out = "io-clean";
+  return out;
+}
+
+IoFaultPlan validated(IoFaultPlan plan) {
+  util::Validator v("IoFaultPlan");
+  v.probability("short_write_prob", plan.short_write_prob);
+  v.probability("eintr_prob", plan.eintr_prob);
+  v.probability("enospc_prob", plan.enospc_prob);
+  v.probability("partial_read_prob", plan.partial_read_prob);
+  v.probability("disconnect_prob", plan.disconnect_prob);
+  return plan;
+}
+
+IoFaultPlan random_io_plan(std::uint64_t seed) {
+  util::Xoshiro256 rng(util::SplitMix64(seed ^ 0x10fa417'5ea7ULL).next());
+  IoFaultPlan plan;
+  // Each family toggles on independently (p = 1/2) with survivable rates:
+  // the point is exercising the retry/short-write loops, not starving the
+  // store so hard nothing ever persists.
+  if (rng.below(2) == 0) plan.short_write_prob = 0.05 + rng.uniform() * 0.45;
+  if (rng.below(2) == 0) plan.eintr_prob = 0.05 + rng.uniform() * 0.35;
+  if (rng.below(2) == 0) plan.enospc_prob = rng.uniform() * 0.3;
+  if (rng.below(2) == 0) plan.partial_read_prob = 0.05 + rng.uniform() * 0.45;
+  if (rng.below(2) == 0) plan.disconnect_prob = rng.uniform() * 0.1;
+  return validated(plan);
+}
+
+IoFaultInjector::IoFaultInjector(IoFaultPlan plan, std::uint64_t seed,
+                                 obs::Hooks hooks)
+    : plan_(validated(std::move(plan))),
+      short_write_seed_(derive(seed, kShortWrite)),
+      eintr_seed_(derive(seed, kEintr)),
+      enospc_seed_(derive(seed, kEnospc)),
+      partial_read_seed_(derive(seed, kPartialRead)),
+      disconnect_seed_(derive(seed, kDisconnect)),
+      owned_metrics_(hooks.metrics != nullptr
+                         ? nullptr
+                         : std::make_unique<obs::MetricsRegistry>()) {
+  obs::MetricsRegistry& m =
+      hooks.metrics != nullptr ? *hooks.metrics : *owned_metrics_;
+  counters_.short_writes = m.counter("fault.io.short_writes");
+  counters_.eintr_injected = m.counter("fault.io.eintr");
+  counters_.enospc_injected = m.counter("fault.io.enospc");
+  counters_.partial_reads = m.counter("fault.io.partial_reads");
+  counters_.disconnects = m.counter("fault.io.disconnects");
+  counters_.crash_point_visits = m.counter("fault.io.crash_point_visits");
+}
+
+IoFaultStatsSnapshot IoFaultInjector::stats() const noexcept {
+  IoFaultStatsSnapshot s;
+  s.short_writes = counters_.short_writes.value();
+  s.eintr_injected = counters_.eintr_injected.value();
+  s.enospc_injected = counters_.enospc_injected.value();
+  s.partial_reads = counters_.partial_reads.value();
+  s.disconnects = counters_.disconnects.value();
+  s.crash_point_visits = counters_.crash_point_visits.value();
+  return s;
+}
+
+double IoFaultInjector::draw(std::uint64_t family_seed,
+                             std::string_view op_key,
+                             std::uint64_t ordinal) const {
+  // Pure function of the triple: no mutable stream state, so decisions are
+  // identical under any worker interleaving (the jobs-invariance contract).
+  util::SplitMix64 mix(family_seed ^ fnv1a64(op_key) ^
+                       (ordinal * 0x9e3779b97f4a7c15ULL));
+  return static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+}
+
+std::size_t IoFaultInjector::draw_below(std::uint64_t family_seed,
+                                        std::string_view op_key,
+                                        std::uint64_t ordinal,
+                                        std::size_t n) const {
+  util::SplitMix64 mix(family_seed ^ fnv1a64(op_key) ^
+                       (ordinal * 0x9e3779b97f4a7c15ULL));
+  mix.next();  // decorrelate from the probability draw above
+  return static_cast<std::size_t>(mix.next() % n) + 1;
+}
+
+std::size_t IoFaultInjector::clamp_write(std::string_view op_key,
+                                         std::uint64_t ordinal,
+                                         std::size_t n) {
+  if (n <= 1 || plan_.short_write_prob <= 0.0) return n;
+  if (draw(short_write_seed_, op_key, ordinal) >= plan_.short_write_prob) {
+    return n;
+  }
+  counters_.short_writes.inc();
+  return draw_below(short_write_seed_, op_key, ordinal, n - 1);
+}
+
+std::size_t IoFaultInjector::clamp_read(std::string_view op_key,
+                                        std::uint64_t ordinal,
+                                        std::size_t n) {
+  if (n <= 1 || plan_.partial_read_prob <= 0.0) return n;
+  if (draw(partial_read_seed_, op_key, ordinal) >= plan_.partial_read_prob) {
+    return n;
+  }
+  counters_.partial_reads.inc();
+  return draw_below(partial_read_seed_, op_key, ordinal, n - 1);
+}
+
+bool IoFaultInjector::inject_eintr(std::string_view op_key,
+                                   std::uint64_t ordinal) {
+  if (plan_.eintr_prob <= 0.0) return false;
+  if (draw(eintr_seed_, op_key, ordinal) >= plan_.eintr_prob) return false;
+  counters_.eintr_injected.inc();
+  return true;
+}
+
+bool IoFaultInjector::inject_enospc(std::string_view op_key) {
+  // Keyed by op key alone: a store op either has space or it does not; a
+  // per-chunk draw would model a disk that flickers between full and free.
+  if (plan_.enospc_prob <= 0.0) return false;
+  if (draw(enospc_seed_, op_key, 0) >= plan_.enospc_prob) return false;
+  counters_.enospc_injected.inc();
+  return true;
+}
+
+bool IoFaultInjector::inject_disconnect(std::string_view op_key,
+                                        std::uint64_t ordinal) {
+  if (plan_.disconnect_prob <= 0.0) return false;
+  if (draw(disconnect_seed_, op_key, ordinal) >= plan_.disconnect_prob) {
+    return false;
+  }
+  counters_.disconnects.inc();
+  return true;
+}
+
+void IoFaultInjector::crash_point(std::string_view name) {
+  counters_.crash_point_visits.inc();
+  if (plan_.crash_at.empty() || name != plan_.crash_at) return;
+  const std::uint64_t visit =
+      crash_visits_.fetch_add(1, std::memory_order_relaxed);
+  if (visit >= plan_.crash_after) {
+    throw CrashPointHit(std::string(name));
+  }
+}
+
+}  // namespace retri::fault

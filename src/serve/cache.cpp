@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "serve/io.hpp"
 #include "util/bytes.hpp"
 #include "util/checksum.hpp"
 #include "util/json.hpp"
@@ -36,15 +37,17 @@ std::uint64_t fnv1a64(std::string_view data) noexcept {
 }  // namespace
 
 ResultCache::ResultCache(CacheOptions options) : options_(std::move(options)) {
-  if (obs::MetricsRegistry* m = options_.metrics) {
-    hits_ = m->counter("serve.cache.hit");
-    misses_ = m->counter("serve.cache.miss");
-    evictions_ = m->counter("serve.cache.evict");
-    corrupt_ = m->counter("serve.cache.corrupt");
-    rejected_ = m->counter("serve.cache.rejected");
-    entries_gauge_ = m->gauge("serve.cache.entries");
-    bytes_gauge_ = m->gauge("serve.cache.bytes");
-  }
+  obs::MetricsRegistry* m =
+      options_.metrics != nullptr ? options_.metrics : &owned_metrics_;
+  hits_ = m->counter("serve.cache.hit");
+  misses_ = m->counter("serve.cache.miss");
+  evictions_ = m->counter("serve.cache.evict");
+  corrupt_ = m->counter("serve.cache.corrupt");
+  rejected_ = m->counter("serve.cache.rejected");
+  quarantined_ = m->counter("serve.cache.quarantined");
+  persist_fail_ = m->counter("serve.cache.persist_fail");
+  entries_gauge_ = m->gauge("serve.cache.entries");
+  bytes_gauge_ = m->gauge("serve.cache.bytes");
   if (!options_.dir.empty()) {
     std::error_code ec;
     fs::create_directories(options_.dir, ec);
@@ -97,7 +100,7 @@ void ResultCache::put(const std::string& key, std::string kind,
     return;
   }
   const auto existing = index_.find(key);
-  if (existing != index_.end()) drop(key);
+  if (existing != index_.end()) drop(key, /*unlink=*/false);
 
   lru_.push_front(key);
   Slot slot;
@@ -129,16 +132,16 @@ void ResultCache::evict_to_budget() {
   }
 }
 
-void ResultCache::drop(const std::string& key) {
+void ResultCache::drop(const std::string& key, bool unlink) {
   const auto it = index_.find(key);
   if (it == index_.end()) return;
   bytes_ -= it->second.entry.body.size();
   lru_.erase(it->second.lru);
   index_.erase(it);
-  remove_file(key);
+  if (unlink) remove_file(key);
 }
 
-void ResultCache::persist(const std::string& key, const Slot& slot) const {
+void ResultCache::persist(const std::string& key, const Slot& slot) {
   if (options_.dir.empty()) return;
   util::JsonWriter json(/*pretty=*/false);
   json.begin_object();
@@ -154,10 +157,15 @@ void ResultCache::persist(const std::string& key, const Slot& slot) const {
   json.end_object();
 
   const fs::path path = fs::path(options_.dir) / (key + ".json");
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out << json.str() << '\n';
-  // A failed persist leaves the entry memory-only; the next restart simply
-  // misses on it. No error surface needed beyond best effort.
+  // Atomic replace (temp + fsync + rename): a crash mid-persist can tear
+  // the *.tmp, never the entry under its final name. op_key = cache key, so
+  // injected faults are content-addressed and jobs-invariant.
+  auto written = atomic_write_file(path.string(), json.str() + "\n", key,
+                                   options_.io_faults);
+  if (!written.ok()) {
+    // The entry stays memory-only; the next restart simply misses on it.
+    persist_fail_.inc();
+  }
 }
 
 void ResultCache::remove_file(const std::string& key) const {
@@ -171,8 +179,19 @@ void ResultCache::load_store() {
   std::vector<fs::path> files;
   for (fs::directory_iterator it(options_.dir, ec), end; !ec && it != end;
        it.increment(ec)) {
-    if (it->is_regular_file() && it->path().extension() == ".json") {
+    if (!it->is_regular_file()) continue;
+    if (it->path().extension() == ".json") {
       files.push_back(it->path());
+      continue;
+    }
+    if (it->path().extension() == ".tmp") {
+      // An orphaned temp file is the footprint of a write that crashed
+      // before its rename. The entry under the final name (if any) is still
+      // the old, consistent one; the orphan holds an untrusted prefix and
+      // is quarantined by deletion.
+      quarantined_.inc();
+      std::error_code rm;
+      fs::remove(it->path(), rm);
     }
   }
   // Deterministic reload order (directory iteration order is not): sorted
@@ -217,6 +236,7 @@ void ResultCache::load_store() {
       // Tampered, truncated, or foreign file: quarantine by deletion so it
       // cannot be re-reported every restart.
       corrupt_.inc();
+      quarantined_.inc();
       std::error_code rm;
       fs::remove(path, rm);
     }

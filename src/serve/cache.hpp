@@ -21,6 +21,14 @@
 // recency) and persist as one file per key under `dir`, so a restarted
 // daemon reloads its memo table instead of re-simulating history.
 //
+// Crash safety (DESIGN.md §5i): every store write goes through
+// serve::atomic_write_file — temp file, fsync, rename, directory fsync — so
+// a kill at any instant leaves the old entry, the new entry, or an orphaned
+// `*.tmp`. load_store() quarantines those orphans (and anything failing its
+// CRC) by deletion, counted on serve.cache.quarantined; a torn entry can
+// therefore never be served. The crash-point tests in test_serve_cache.cpp
+// arm each point in serve::kCrashPoints and audit exactly this contract.
+//
 // Not thread-safe: the owning layer (serve::Server, the cached chaos soak)
 // serializes access under its own mutex, the same discipline the
 // MetricsRegistry uses.
@@ -34,6 +42,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "fault/io_fault.hpp"
 #include "obs/metrics.hpp"
 
 namespace retri::serve {
@@ -55,6 +64,9 @@ struct CacheOptions {
   /// Optional registry for serve.cache.* metrics (hit/miss/evict/corrupt
   /// counters, entries/bytes gauges).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional fault hook for the persist path (crash points, injected
+  /// ENOSPC, short writes). Null in production.
+  fault::IoFaultInjector* io_faults = nullptr;
 };
 
 class ResultCache {
@@ -90,6 +102,15 @@ class ResultCache {
   std::size_t entries() const noexcept { return index_.size(); }
   std::size_t bytes() const noexcept { return bytes_; }
 
+  // Counter reads for status reporting (ServerStatus / retri_serve
+  // --status). Cheap slot reads; zero when metrics are compiled out.
+  std::uint64_t hits() const noexcept { return hits_.value(); }
+  std::uint64_t misses() const noexcept { return misses_.value(); }
+  /// Files removed from the store because they could not be trusted:
+  /// orphaned `*.tmp` from crashed writes plus entries failing CRC or
+  /// schema checks at load time.
+  std::uint64_t quarantined() const noexcept { return quarantined_.value(); }
+
   /// Keys are pure content addresses: hex(fnv1a64(code_version ‖ '\n' ‖
   /// canonical_cell)). The cell JSON must already embed the trial seed.
   static std::string make_key(std::string_view code_version,
@@ -103,12 +124,19 @@ class ResultCache {
   };
 
   void load_store();
-  void persist(const std::string& key, const Slot& slot) const;
+  void persist(const std::string& key, const Slot& slot);
   void remove_file(const std::string& key) const;
   void evict_to_budget();
-  void drop(const std::string& key);
+  /// unlink=false forgets the in-memory entry but leaves its file for the
+  /// atomic rename to replace — the overwrite path must never unlink first,
+  /// or a crash between unlink and rename loses the old entry.
+  void drop(const std::string& key, bool unlink = true);
 
   CacheOptions options_;
+  /// Fallback registry when no external one is attached, so the counter
+  /// accessors above always read real values (same pattern as
+  /// fault::FaultInjector).
+  obs::MetricsRegistry owned_metrics_;
   std::list<std::string> lru_;  // front = most recently used
   std::unordered_map<std::string, Slot> index_;
   std::size_t bytes_ = 0;
@@ -118,6 +146,8 @@ class ResultCache {
   obs::Counter evictions_;
   obs::Counter corrupt_;
   obs::Counter rejected_;
+  obs::Counter quarantined_;
+  obs::Counter persist_fail_;
   obs::Gauge entries_gauge_;
   obs::Gauge bytes_gauge_;
 };

@@ -1,4 +1,5 @@
-// Client side of the serve protocol: submit a sweep, reassemble the stream.
+// Client side of the serve protocol: submit a sweep, reassemble the stream,
+// and survive a hostile daemon/host while doing it.
 //
 // run_sweep_via() is the library behind `retri_bench --via` and
 // `retri_serve --submit`: it expands the spec locally (expansion is
@@ -8,15 +9,70 @@
 // reassembled SweepResult is not — summaries are folded in trial-index
 // order exactly like SweepRunner, which is why a served artifact is
 // byte-identical to a local run.
+//
+// Fault tolerance (DESIGN.md §5i): every call runs under a RetryPolicy —
+// capped decorrelated-jitter backoff, an overall deadline budget, and
+// poll-bounded connect/read/write (no syscall can block past its op
+// timeout). Connect failures, timeouts, mid-stream disconnects, and
+// queue-shed rejections (whose retry_after_ms floors the next backoff) all
+// retry; resubmission is safe because cells are content-addressed — a
+// half-streamed job resubmits as cache hits, never as duplicate work.
+// Protocol violations and daemon-reported job failures are deterministic
+// and fail immediately. Every outcome is a typed ClientError, so callers
+// can distinguish "the daemon is overloaded, come back later" from "this
+// job can never succeed".
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "fault/io_fault.hpp"
+#include "serve/retry.hpp"
 #include "serve/server.hpp"
 #include "util/result.hpp"
 
 namespace retri::serve {
+
+/// Why a client call gave up. kRejected/kTimeout/kDeadline/kIo are
+/// transient classes (already retried up to the policy's budget);
+/// kProtocol and kDaemon are deterministic and were not retried.
+struct ClientError {
+  enum class Kind {
+    kConnect,   // could not reach the daemon (refused, bad path)
+    kTimeout,   // an op timed out inside its poll bound
+    kDeadline,  // the overall deadline budget ran out
+    kRejected,  // daemon shed the job every time (queue full)
+    kIo,        // read/write failed or the peer vanished mid-stream
+    kProtocol,  // malformed/unexpected frames — retrying cannot help
+    kDaemon,    // the daemon reported the job itself failed
+  };
+  Kind kind = Kind::kIo;
+  std::string message;
+  /// Attempts consumed before giving up (>= 1).
+  unsigned attempts = 1;
+  /// Last retry_after_ms hint from a rejection, if any.
+  std::uint64_t retry_after_ms = 0;
+
+  /// One-line rendering: "kind: message (after N attempts)".
+  std::string describe() const;
+};
+
+std::string_view to_string(ClientError::Kind kind);
+
+struct ClientOptions {
+  RetryPolicy retry;
+  /// Clock behind backoff/deadline accounting. Null = the production
+  /// wallclock (which matches the io layer's poll deadlines; inject a
+  /// fake only in tests that never touch a real socket).
+  RetryClock* clock = nullptr;
+  /// Optional hostile-kernel hook for the client's own socket ops
+  /// (EINTR, short writes, partial reads, disconnects). Tests and the
+  /// serve_fault soak use it; production passes null.
+  fault::IoFaultInjector* io_faults = nullptr;
+  /// Optional registry for serve.client.* metrics (retries, rejections,
+  /// deadline exhaustion).
+  obs::MetricsRegistry* metrics = nullptr;
+};
 
 /// Cache provenance of one trial, in (point, trial) order.
 struct TrialCacheInfo {
@@ -29,20 +85,33 @@ struct ServedSweep {
   std::string job_id;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  /// Attempts the call consumed (1 = first try succeeded).
+  unsigned attempts = 1;
   std::vector<std::vector<TrialCacheInfo>> cache_info;  // [point][trial]
 };
 
-/// Submits `spec` to the daemon at `socket_path` and blocks until the job's
-/// stream completes. Errors (connect failure, rejection, protocol trouble,
-/// job failure) come back as one-line strings.
-util::Result<ServedSweep, std::string> run_sweep_via(
-    const std::string& socket_path, const runner::SweepSpec& spec);
+/// Submits `spec` to the daemon at `socket_path` and blocks until the
+/// job's stream completes, retrying per `options.retry`.
+util::Result<ServedSweep, ClientError> run_sweep_via(
+    const std::string& socket_path, const runner::SweepSpec& spec,
+    const ClientOptions& options);
 
-/// One status round-trip.
-util::Result<ServerStatus, std::string> fetch_status(
-    const std::string& socket_path);
+/// One status round-trip under the retry policy.
+util::Result<ServerStatus, ClientError> fetch_status(
+    const std::string& socket_path, const ClientOptions& options);
 
 /// Asks the daemon to shut down; returns once it acknowledges.
+util::Result<int, ClientError> request_shutdown(
+    const std::string& socket_path, const ClientOptions& options);
+
+// --- string-error wrappers (default policy) --------------------------------
+// The pre-retry API, kept for the CLI call sites: default ClientOptions,
+// errors flattened to describe() one-liners.
+
+util::Result<ServedSweep, std::string> run_sweep_via(
+    const std::string& socket_path, const runner::SweepSpec& spec);
+util::Result<ServerStatus, std::string> fetch_status(
+    const std::string& socket_path);
 util::Result<int, std::string> request_shutdown(
     const std::string& socket_path);
 

@@ -6,7 +6,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -16,15 +18,36 @@
 #include "serve/protocol.hpp"
 #include "serve/wire.hpp"
 #include "util/json_parse.hpp"
+#include "util/wallclock.hpp"
 
 namespace retri::serve {
 
 namespace {
 
+// Signal-handler context. A handler may only touch async-signal-safe state,
+// which rules out every owned-by-value alternative: the flag must be a
+// namespace-scope sig_atomic_t and the wake fd a plain int the handler can
+// read without locking. Both are written once at startup (before handlers
+// are installed) and then only by the handler itself.
+volatile std::sig_atomic_t g_drain_requested = 0;  // retri-lint: allow(no-global-mutable-state)
+int g_signal_wake_fd = -1;  // retri-lint: allow(no-global-mutable-state)
+
+void request_drain(int /*signo*/) {
+  g_drain_requested = 1;
+  if (g_signal_wake_fd >= 0) {
+    const char byte = 1;
+    // write() is async-signal-safe; a full pipe means a wakeup is already
+    // pending, so dropping the byte is correct.
+    [[maybe_unused]] const ssize_t n = ::write(g_signal_wake_fd, &byte, 1);
+  }
+}
+
 struct Connection {
   FrameDecoder decoder;
   std::string outbound;
   std::set<std::string> jobs;  // job ids whose events stream to this peer
+  /// Last time bytes arrived; the eviction clock for mid-frame stalls.
+  std::uint64_t last_activity_ms = 0;
 };
 
 bool set_nonblocking(int fd) {
@@ -66,8 +89,9 @@ util::Result<int, std::string> run_daemon(const DaemonOptions& options) {
   }
   set_nonblocking(listen_fd);
 
-  // Self-pipe: the Server's event hook runs on pool workers; one byte here
-  // wakes the poll loop without the daemon needing a thread of its own.
+  // Self-pipe: the Server's event hook runs on pool workers and the signal
+  // handler runs anywhere; one byte here wakes the poll loop without the
+  // daemon needing a thread of its own.
   int pipe_fds[2] = {-1, -1};
   if (::pipe(pipe_fds) != 0) {
     std::string error = errno_text("daemon: pipe()");
@@ -77,6 +101,13 @@ util::Result<int, std::string> run_daemon(const DaemonOptions& options) {
   set_nonblocking(pipe_fds[0]);
   set_nonblocking(pipe_fds[1]);
 
+  if (options.install_signal_handlers) {
+    g_drain_requested = 0;
+    g_signal_wake_fd = pipe_fds[1];
+    std::signal(SIGTERM, request_drain);
+    std::signal(SIGINT, request_drain);
+  }
+
   Server server(options.server);
   const int wake_fd = pipe_fds[1];
   server.set_event_hook([wake_fd] {
@@ -84,6 +115,15 @@ util::Result<int, std::string> run_daemon(const DaemonOptions& options) {
     // A full pipe means a wakeup is already pending — dropping is correct.
     [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
   });
+
+  obs::Counter conns_accepted;
+  obs::Counter conns_shed;
+  obs::Counter conns_evicted;
+  if (options.server.metrics != nullptr) {
+    conns_accepted = options.server.metrics->counter("serve.conn.accepted");
+    conns_shed = options.server.metrics->counter("serve.conn.shed");
+    conns_evicted = options.server.metrics->counter("serve.conn.evicted");
+  }
 
   const std::size_t resumed = server.resume_checkpointed_jobs();
   if (options.verbose) {
@@ -145,7 +185,9 @@ util::Result<int, std::string> run_daemon(const DaemonOptions& options) {
         send_body(conn, encode_rejected(submitted.error()));
       }
     } else if (type == "status") {
-      send_body(conn, encode_status(server.status()));
+      ServerStatus status = server.status();
+      status.connections_active = connections.size();
+      send_body(conn, encode_status(status));
     } else if (type == "shutdown") {
       send_body(conn, encode_bye());
       stopping = true;
@@ -155,6 +197,13 @@ util::Result<int, std::string> run_daemon(const DaemonOptions& options) {
   };
 
   while (true) {
+    if (g_drain_requested != 0 && !stopping) {
+      stopping = true;
+      if (options.verbose) {
+        std::fprintf(stderr,  // retri-lint: allow(no-direct-io)
+                     "retri_serve: drain requested, finishing in-flight work\n");
+      }
+    }
     pump_events();
     if (stopping && server.status().jobs_active == 0) {
       bool flushed = true;
@@ -165,6 +214,32 @@ util::Result<int, std::string> run_daemon(const DaemonOptions& options) {
         }
       }
       if (flushed) break;
+    }
+
+    // Slow-loris eviction: only a peer stalled MID-FRAME is hostile (or
+    // broken); an idle connection between frames is a client waiting on its
+    // job stream and stays. The poll timeout is bounded by the nearest
+    // pending deadline so eviction cannot be starved by a quiet socket.
+    int timeout = -1;
+    if (options.read_deadline_ms != 0) {
+      const std::uint64_t now = util::monotonic_now_ms();
+      std::vector<int> stalled;
+      for (auto& [fd, conn] : connections) {
+        if (conn.decoder.pending() == 0) continue;
+        const std::uint64_t stalled_for = now - conn.last_activity_ms;
+        if (stalled_for >= options.read_deadline_ms) {
+          stalled.push_back(fd);
+          continue;
+        }
+        const auto left =
+            static_cast<int>(options.read_deadline_ms - stalled_for);
+        timeout = timeout < 0 ? left : std::min(timeout, left);
+      }
+      for (const int fd : stalled) {
+        conns_evicted.inc();
+        ::close(fd);
+        connections.erase(fd);
+      }
     }
 
     std::vector<pollfd> fds;
@@ -178,23 +253,48 @@ util::Result<int, std::string> run_daemon(const DaemonOptions& options) {
       fds.push_back(pollfd{fd, events, 0});
     }
 
-    const int ready = ::poll(fds.data(), fds.size(), -1);
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
     if (ready < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // signals land here; drain check above
       break;
     }
 
     if ((fds[0].revents & POLLIN) != 0) {
       while (true) {
         const int client = ::accept(listen_fd, nullptr, nullptr);
-        if (client < 0) break;
+        if (client < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        // Shed at the door when full (or draining): one best-effort
+        // rejected frame tells a well-behaved client when to come back,
+        // then the fd closes either way.
+        const bool full = options.max_connections != 0 &&
+                          connections.size() >= options.max_connections;
+        if (full || stopping) {
+          conns_shed.inc();
+          const std::string frame = encode_frame(encode_rejected(Rejection{
+              stopping ? "daemon is draining" : "too many connections",
+              1000}));
+          [[maybe_unused]] const ssize_t n =
+              ::send(client, frame.data(), frame.size(), MSG_NOSIGNAL);
+          ::close(client);
+          continue;
+        }
         set_nonblocking(client);
-        connections.try_emplace(client);
+        conns_accepted.inc();
+        Connection conn;
+        conn.last_activity_ms = util::monotonic_now_ms();
+        connections.emplace(client, std::move(conn));
       }
     }
     if ((fds[1].revents & POLLIN) != 0) {
       char sink[256];
-      while (::read(pipe_fds[0], sink, sizeof sink) > 0) {
+      while (true) {
+        const ssize_t n = ::read(pipe_fds[0], sink, sizeof sink);
+        if (n > 0) continue;
+        if (n < 0 && errno == EINTR) continue;
+        break;
       }
     }
 
@@ -216,10 +316,15 @@ util::Result<int, std::string> run_daemon(const DaemonOptions& options) {
           if (n > 0) {
             conn.decoder.feed(
                 std::string_view(buf, static_cast<std::size_t>(n)));
+            conn.last_activity_ms = util::monotonic_now_ms();
             continue;
           }
-          if (n == 0) dead.push_back(fd);  // peer closed
-          break;  // n<0: EAGAIN (drained) or error caught on next poll
+          if (n == 0) {
+            dead.push_back(fd);  // peer closed
+            break;
+          }
+          if (errno == EINTR) continue;
+          break;  // EAGAIN (drained) or error caught on next poll
         }
         while (auto body = conn.decoder.next()) {
           handle_body(conn, *body);
@@ -231,21 +336,32 @@ util::Result<int, std::string> run_daemon(const DaemonOptions& options) {
         pump_events();  // submits may have streamed cache hits synchronously
       }
       if ((fds[i].revents & POLLOUT) != 0 && !conn.outbound.empty()) {
-        const ssize_t n = ::send(fd, conn.outbound.data(),
-                                 conn.outbound.size(), MSG_NOSIGNAL);
-        if (n > 0) {
-          conn.outbound.erase(0, static_cast<std::size_t>(n));
-        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+        while (!conn.outbound.empty()) {
+          const ssize_t n = ::send(fd, conn.outbound.data(),
+                                   conn.outbound.size(), MSG_NOSIGNAL);
+          if (n > 0) {
+            conn.outbound.erase(0, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
           dead.push_back(fd);
+          break;
         }
       }
     }
     for (const int fd : dead) {
-      ::close(fd);
-      connections.erase(fd);
+      // erase() guards the close: a peer can land in `dead` twice (EOF and
+      // a corrupt decoder), and double-closing would hit a reused fd.
+      if (connections.erase(fd) != 0) ::close(fd);
     }
   }
 
+  if (options.install_signal_handlers) {
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    g_signal_wake_fd = -1;
+  }
   for (const auto& [fd, conn] : connections) ::close(fd);
   ::close(listen_fd);
   ::close(pipe_fds[0]);

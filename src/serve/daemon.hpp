@@ -11,8 +11,18 @@
 // checkpoint jobs — are discarded; their results are already in the cache).
 //
 // Lifecycle: bind → resume checkpointed jobs → serve until a shutdown
-// message → drain in-flight cells → flush → exit. The socket file is
-// unlinked on both startup (stale socket from a killed daemon) and exit.
+// message (or SIGTERM when handlers are installed) → drain in-flight cells
+// → flush → exit. The socket file is unlinked on both startup (stale socket
+// from a killed daemon) and exit.
+//
+// Degradation under hostile load (DESIGN.md §5i): a peer that stalls
+// mid-frame past read_deadline_ms is evicted (slow-loris defense — idle
+// connections between frames are fine and never timed out); connections
+// past max_connections are shed at accept with a best-effort rejected
+// frame; and queue-full submits carry a load-aware retry_after_ms computed
+// by the Server. SIGTERM drains gracefully: stop accepting, finish
+// in-flight cells (checkpoints advance as they commit), flush outbound
+// buffers, exit — so a supervisor restart never loses committed work.
 #pragma once
 
 #include <string>
@@ -28,6 +38,17 @@ struct DaemonOptions {
   /// Print one-line lifecycle notes (listening / resumed / shutdown) to
   /// stderr. CLIs enable it; tests keep it off.
   bool verbose = false;
+  /// Evict a connection that has left a frame half-sent for this long
+  /// (slow-loris defense). Only mid-frame stalls count; an idle connection
+  /// with no partial frame may sit forever. 0 disables eviction.
+  std::uint64_t read_deadline_ms = 5000;
+  /// Connection ceiling. Accepts past it are shed immediately with a
+  /// best-effort rejected frame. 0 means unlimited.
+  std::size_t max_connections = 64;
+  /// Install SIGTERM/SIGINT handlers that request a graceful drain (via
+  /// the self-pipe, async-signal-safe). CLIs enable it; tests that own
+  /// their signal disposition keep it off.
+  bool install_signal_handlers = false;
 };
 
 /// Runs the daemon until shutdown. Returns 0 on clean exit, or an error

@@ -1,0 +1,307 @@
+#include "serve/fault_soak.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "runner/experiment.hpp"
+#include "runner/seeds.hpp"
+#include "serve/cache.hpp"
+#include "serve/codec.hpp"
+#include "serve/io.hpp"
+#include "serve/server.hpp"
+#include "util/random.hpp"
+
+namespace retri::serve {
+namespace fs = std::filesystem;
+
+namespace {
+
+std::uint64_t fnv1a64(std::string_view data,
+                      std::uint64_t h = 0xcbf29ce484222325ULL) noexcept {
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t h) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[i] = kHex[(h >> (60 - 4 * i)) & 0xf];
+  }
+  return out;
+}
+
+constexpr std::size_t kCrashPointCount =
+    sizeof(kCrashPoints) / sizeof(kCrashPoints[0]);
+
+/// The small grid every server round submits: 2 points × 2 trials. The
+/// spec seed cycles through 3 values so later rounds resubmit earlier
+/// grids and exercise the hit path against the shared store.
+runner::SweepSpec soak_spec(std::uint64_t seed, unsigned server_round) {
+  runner::SweepSpec spec;
+  spec.name = "serve-fault-soak";
+  spec.description = "serve_fault soak grid";
+  spec.trials = 2;
+  spec.senders = {2, 3};
+  spec.base.senders = 2;
+  spec.base.id_bits = 8;
+  spec.base.send_duration = sim::Duration::milliseconds(200);
+  spec.base.drain_extra = sim::Duration::milliseconds(100);
+  spec.base.seed = seed + server_round % 3;
+  return spec;
+}
+
+/// Content addresses of every cell in `spec`, in cell-index order —
+/// exactly the derivation Server::submit performs.
+std::vector<std::string> cell_keys(const runner::SweepSpec& spec) {
+  const std::vector<runner::SweepPoint> points = spec.expand();
+  const unsigned trials = std::max(1u, spec.trials);
+  std::vector<std::string> keys;
+  keys.reserve(points.size() * trials);
+  for (const runner::SweepPoint& point : points) {
+    for (unsigned t = 0; t < trials; ++t) {
+      runner::ExperimentConfig config = point.config;
+      config.seed = runner::derive_trial_seed(point.config.seed, t);
+      keys.push_back(ResultCache::make_key(kCodeVersion,
+                                           canonical_cell(config)));
+    }
+  }
+  return keys;
+}
+
+std::size_t count_tmp_files(const std::string& dir) {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file() && it->path().extension() == ".tmp") ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+ServeFaultSoakOptions validated(ServeFaultSoakOptions options) {
+  if (options.rounds < 1) {
+    throw std::invalid_argument("ServeFaultSoakOptions.rounds must be >= 1");
+  }
+  if (options.jobs < 1) {
+    throw std::invalid_argument("ServeFaultSoakOptions.jobs must be >= 1");
+  }
+  if (options.dir.empty()) {
+    throw std::invalid_argument("ServeFaultSoakOptions.dir is required");
+  }
+  return options;
+}
+
+ServeFaultSoakReport run_serve_fault_soak(
+    const ServeFaultSoakOptions& options_in) {
+  const ServeFaultSoakOptions options = validated(options_in);
+  const std::string store_dir = options.dir + "/cache";
+  const std::string state_dir = options.dir + "/state";
+  fs::create_directories(store_dir);
+  fs::create_directories(state_dir);
+
+  ServeFaultSoakReport report;
+  const auto violation = [&report](unsigned round, std::string what) {
+    report.violations.push_back("round " + std::to_string(round) + ": " +
+                                std::move(what));
+  };
+
+  unsigned crash_rounds = 0;
+  unsigned server_rounds = 0;
+  for (unsigned round = 0; round < options.rounds; ++round) {
+    ServeFaultRound record;
+    record.round = round;
+
+    if (round % 2 == 0) {
+      // --- crash round ----------------------------------------------------
+      const std::string_view point = kCrashPoints[crash_rounds %
+                                                  kCrashPointCount];
+      ++crash_rounds;
+      record.mode = "crash";
+      record.detail = std::string(point);
+
+      // The crash cell's identity is the armed point, so each point's
+      // old/new history is independent of the others.
+      const std::string key = ResultCache::make_key(
+          kCodeVersion, "serve-fault-soak crash cell " + std::string(point));
+      const std::string body_v1 =
+          "{\"version\":1,\"pad\":\"" + std::string(96, 'a') + "\"}";
+      const std::string body_v2 =
+          "{\"version\":2,\"pad\":\"" + std::string(96, 'b') + "\"}";
+
+      // 1. Known-good baseline, committed atomically.
+      {
+        ResultCache cache(CacheOptions{store_dir, 64u << 20, nullptr, nullptr});
+        record.quarantined += cache.quarantined();
+        cache.put(key, "soak-crash-cell", "fp-v1", body_v1);
+      }
+
+      // 2. Re-persist with the crash point armed. The CrashPointHit unwinds
+      // exactly as a SIGKILL would; nothing may be cleaned up en route.
+      {
+        fault::IoFaultPlan plan;
+        plan.crash_at = std::string(point);
+        fault::IoFaultInjector injector(plan, options.seed ^ round);
+        ResultCache cache(
+            CacheOptions{store_dir, 64u << 20, nullptr, &injector});
+        bool crashed = false;
+        try {
+          cache.put(key, "soak-crash-cell", "fp-v2", body_v2);
+        } catch (const fault::CrashPointHit&) {
+          crashed = true;
+        }
+        if (!crashed) {
+          violation(round, "armed crash point " + std::string(point) +
+                               " was never hit");
+        }
+      }
+
+      // 3. The "restarted daemon": a fresh load must see old or new, never
+      // a torn hybrid, and must quarantine any orphaned temp file.
+      {
+        ResultCache cache(CacheOptions{store_dir, 64u << 20, nullptr, nullptr});
+        record.quarantined += cache.quarantined();
+        auto entry = cache.get(key);
+        if (!entry.has_value()) {
+          violation(round, "crash cell vanished entirely (old entry lost)");
+          record.outcome = "kept=none";
+        } else if (entry->body == body_v2) {
+          record.outcome = "kept=new";
+          if (point != "serve.io.renamed") {
+            violation(round, "new body visible although the crash preceded "
+                             "the rename (" + std::string(point) + ")");
+          }
+        } else if (entry->body == body_v1) {
+          record.outcome = "kept=old";
+          if (point == "serve.io.renamed") {
+            violation(round,
+                      "old body visible although the rename completed");
+          }
+        } else {
+          record.outcome = "kept=torn";
+          violation(round, "torn store: reloaded body matches neither the "
+                           "old nor the new entry");
+        }
+        if (count_tmp_files(store_dir) != 0) {
+          violation(round, "orphaned *.tmp survived the reload quarantine");
+        }
+      }
+    } else {
+      // --- server round ---------------------------------------------------
+      record.mode = "server";
+      const fault::IoFaultPlan plan =
+          fault::random_io_plan(options.seed ^ (0x10adULL + round));
+      record.detail = plan.describe();
+      fault::IoFaultInjector injector(plan, options.seed ^ round);
+
+      const runner::SweepSpec spec = soak_spec(options.seed, server_rounds);
+      ++server_rounds;
+      const std::vector<std::string> keys = cell_keys(spec);
+
+      ServerOptions server_options;
+      server_options.cache =
+          CacheOptions{store_dir, 64u << 20, nullptr, &injector};
+      server_options.state_dir = state_dir;
+      server_options.jobs = options.jobs;
+      server_options.queue_capacity = 1024;
+      Server server(server_options);
+      record.quarantined += server.cache_for_test().quarantined();
+
+      // Expected misses = cells absent from the store right now; the done
+      // event must agree exactly, or cells were re-executed (duplicate
+      // work) or invented (spurious hits).
+      std::uint64_t expected_misses = 0;
+      for (const std::string& key : keys) {
+        if (!server.cache_for_test().contains(key)) ++expected_misses;
+      }
+
+      auto submitted = server.submit(spec);
+      if (!submitted.ok()) {
+        violation(round, "submit rejected: " + submitted.error().reason);
+        record.outcome = "rejected";
+        report.rounds.push_back(std::move(record));
+        continue;
+      }
+      server.drain();
+
+      std::map<std::uint64_t, std::string> cell_fingerprints;
+      std::uint64_t done_events = 0;
+      std::uint64_t hits = 0;
+      std::uint64_t misses = 0;
+      std::string job_error;
+      while (auto event = server.poll_event()) {
+        if (event->kind == ServeEvent::Kind::kTrial) {
+          if (!cell_fingerprints
+                   .emplace(event->cell, runner::fingerprint(event->result))
+                   .second) {
+            violation(round, "duplicate trial event for cell " +
+                                 std::to_string(event->cell));
+          }
+          ++report.cells_streamed;
+          continue;
+        }
+        ++done_events;
+        hits = event->hits;
+        misses = event->misses;
+        job_error = event->error;
+      }
+
+      if (done_events != 1) {
+        violation(round, "expected exactly one done event, saw " +
+                             std::to_string(done_events));
+      }
+      if (!job_error.empty()) {
+        violation(round, "job failed: " + job_error);
+      }
+      if (cell_fingerprints.size() != keys.size()) {
+        violation(round, "streamed " +
+                             std::to_string(cell_fingerprints.size()) +
+                             " cells, submitted " +
+                             std::to_string(keys.size()));
+      }
+      if (hits + misses != keys.size()) {
+        violation(round, "hits + misses != cells");
+      }
+      if (misses != expected_misses) {
+        violation(round, "executed " + std::to_string(misses) +
+                             " cells, expected " +
+                             std::to_string(expected_misses) +
+                             " (duplicate or spurious execution)");
+      }
+
+      report.cache_hits += hits;
+      report.cache_misses += misses;
+      record.outcome =
+          "hits=" + std::to_string(hits) + " misses=" + std::to_string(misses);
+      // Fold per-cell results in CELL-INDEX order: completion order is
+      // scheduling-dependent and must never reach the fingerprint.
+      for (const auto& [cell, fingerprint] : cell_fingerprints) {
+        record.outcome += " c" + std::to_string(cell) + "=" + fingerprint;
+      }
+    }
+
+    report.quarantined_total += record.quarantined;
+    report.rounds.push_back(std::move(record));
+  }
+
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const ServeFaultRound& round : report.rounds) {
+    h = fnv1a64("round=" + std::to_string(round.round) +
+                    " mode=" + round.mode + " detail=" + round.detail +
+                    " outcome=" + round.outcome +
+                    " quarantined=" + std::to_string(round.quarantined) + "\n",
+                h);
+  }
+  report.fingerprint = hex16(h);
+  return report;
+}
+
+}  // namespace retri::serve

@@ -1,0 +1,84 @@
+// serve_fault soak: the serve layer's crash/fault invariants, audited.
+//
+// Two round flavors alternate over one shared on-disk store, modeling the
+// life of a daemon on a hostile host:
+//
+//   crash rounds  — commit a known entry, then re-persist it with one crash
+//     point from serve::kCrashPoints armed (cycled round-robin so every
+//     point is hit). The CrashPointHit unwinds like a SIGKILL; a fresh
+//     ResultCache then plays the restarted daemon and the audit asserts the
+//     store contract: the reloaded entry is bit-identical to the OLD or the
+//     NEW body — the old one before the rename point, the new one after —
+//     and never a torn hybrid. Orphaned `*.tmp` files must be quarantined
+//     by the reload.
+//
+//   server rounds — a full serve::Server (real ThreadPool, checkpointing,
+//     shared store) runs a small sweep under a random_io_plan-derived
+//     IoFaultPlan: injected EINTR, short writes, and content-keyed ENOSPC
+//     on the persist path. The audit asserts the serving contract: every
+//     cell streams exactly one trial event, hits + misses == cells, misses
+//     equal the cells absent from the store at submit (no duplicate and no
+//     spurious execution), and the job completes without error.
+//
+// Every round folds a canonical record into an audit fingerprint. Fault
+// decisions are pure functions of (plan, op key, ordinal) and the audit
+// folds per-cell state in cell-index order, so the fingerprint is
+// BIT-IDENTICAL across --jobs values — the acceptance gate check.sh
+// enforces by diffing a jobs=1 run against a jobs=4 run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/io_fault.hpp"
+
+namespace retri::serve {
+
+struct ServeFaultSoakOptions {
+  /// Total rounds; even indices are crash rounds, odd are server rounds.
+  unsigned rounds = 10;
+  /// Worker threads for each server round's pool. The audit fingerprint
+  /// must not depend on this — that is the point.
+  unsigned jobs = 1;
+  std::uint64_t seed = 1;
+  /// Working directory (store + checkpoints). Required; reused across
+  /// rounds so later rounds exercise reload/quarantine of earlier wreckage.
+  std::string dir;
+};
+
+/// rounds >= 1, jobs >= 1, dir non-empty. Returns the options unchanged or
+/// throws std::invalid_argument naming the field.
+ServeFaultSoakOptions validated(ServeFaultSoakOptions options);
+
+/// One audited round, canonicalized for the fingerprint fold.
+struct ServeFaultRound {
+  unsigned round = 0;
+  std::string mode;     // "crash" | "server"
+  std::string detail;   // armed crash point, or the IoFaultPlan description
+  std::string outcome;  // e.g. "kept=old" / "hits=3 misses=1"
+  std::uint64_t quarantined = 0;  // store files quarantined at this
+                                  // round's reload
+};
+
+struct ServeFaultSoakReport {
+  std::vector<ServeFaultRound> rounds;
+  /// Invariant breaches, empty on a clean soak. Any entry is a bug in the
+  /// serve layer, not in the soak.
+  std::vector<std::string> violations;
+  /// hex16 fold of every round record — jobs-invariant by construction.
+  std::string fingerprint;
+
+  std::uint64_t cells_streamed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t quarantined_total = 0;
+
+  bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Runs the soak. Throws only on setup errors (bad options, unwritable
+/// dir); injected faults and crash points are absorbed and audited.
+ServeFaultSoakReport run_serve_fault_soak(const ServeFaultSoakOptions& options);
+
+}  // namespace retri::serve

@@ -1,0 +1,210 @@
+#include "serve/io.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/wallclock.hpp"
+
+namespace retri::serve {
+
+namespace {
+
+constexpr std::size_t kWriteChunk = 256u << 10;
+
+std::string errno_text(const char* what, int err) {
+  return std::string(what) + ": " + std::strerror(err);
+}
+
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    // Close only — never unlink. A CrashPointHit unwinds through here and
+    // the whole point is leaving the partial state a SIGKILL would leave.
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+void crash(fault::IoFaultInjector* faults, std::string_view point) {
+  if (faults != nullptr) faults->crash_point(point);
+}
+
+/// Blocks until `fd` is ready for `events` or the deadline passes.
+IoStatus wait_ready(int fd, short events, std::uint64_t deadline_at_ms) {
+  while (true) {
+    int timeout = -1;
+    if (deadline_at_ms != 0) {
+      const std::uint64_t now = util::monotonic_now_ms();
+      if (now >= deadline_at_ms) return IoStatus::kTimeout;
+      timeout = static_cast<int>(std::min<std::uint64_t>(
+          deadline_at_ms - now, 1u << 30));
+    }
+    pollfd pfd{fd, events, 0};
+    const int ready = ::poll(&pfd, 1, timeout);
+    if (ready > 0) return IoStatus::kOk;
+    if (ready == 0) return IoStatus::kTimeout;
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
+  }
+}
+
+}  // namespace
+
+util::Result<int, std::string> atomic_write_file(
+    const std::string& path, std::string_view contents,
+    std::string_view op_key, fault::IoFaultInjector* faults) {
+  const std::string tmp = path + ".tmp";
+
+  FdGuard file;
+  // The one sanctioned raw store-open in src/serve: everything that follows
+  // makes this write atomic.
+  file.fd = ::open(  // retri-lint: allow(no-bare-ofstream-store)
+      tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (file.fd < 0) return errno_text("open(tmp)", errno);
+  crash(faults, "serve.io.tmp_open");
+
+  // Injected ENOSPC models the classic torn store: half the body lands,
+  // then the disk is full. The partial tmp file is deliberately left
+  // behind — the next load_store() must quarantine it.
+  const bool enospc = faults != nullptr && faults->inject_enospc(op_key);
+  const std::string_view effective =
+      enospc ? contents.substr(0, contents.size() / 2) : contents;
+
+  // Two deliberate chunks so the tmp_partial crash point always lands
+  // between real write()s, even for one-line bodies.
+  const std::size_t half = effective.size() / 2;
+  std::uint64_t ordinal = 0;
+  std::size_t written = 0;
+  while (written < effective.size()) {
+    if (faults != nullptr && faults->inject_eintr(op_key, ordinal)) {
+      ++ordinal;  // an interrupted write transfers nothing; loop again
+      continue;
+    }
+    std::size_t want = std::min(
+        {effective.size() - written, kWriteChunk,
+         written < half ? half - written : effective.size() - written});
+    if (want == 0) want = effective.size() - written;
+    if (faults != nullptr) want = faults->clamp_write(op_key, ordinal, want);
+    ++ordinal;
+    const ssize_t n =
+        ::write(file.fd, effective.data() + written, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_text("write(tmp)", errno);
+    }
+    written += static_cast<std::size_t>(n);
+    if (written == half && written < effective.size()) {
+      crash(faults, "serve.io.tmp_partial");
+    }
+  }
+  if (enospc) return std::string("write(tmp): no space left (injected)");
+  crash(faults, "serve.io.tmp_written");
+
+  if (::fsync(file.fd) != 0) return errno_text("fsync(tmp)", errno);
+  crash(faults, "serve.io.tmp_synced");
+  ::close(file.fd);
+  file.fd = -1;
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return errno_text("rename(tmp)", errno);
+  }
+  crash(faults, "serve.io.renamed");
+
+  // Directory fsync makes the rename itself durable. Failure here is not a
+  // torn store — the entry is fully written either way — so it degrades to
+  // best-effort like the rest of the persist path.
+  const auto slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  FdGuard dirfd;
+  dirfd.fd = ::open(  // retri-lint: allow(no-bare-ofstream-store)
+      dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd.fd >= 0) ::fsync(dirfd.fd);
+  return 0;
+}
+
+IoOutcome read_fd(int fd, char* buf, std::size_t cap,
+                  std::uint64_t deadline_at_ms, std::string_view op_key,
+                  std::uint64_t& ordinal, fault::IoFaultInjector* faults) {
+  IoOutcome out;
+  while (true) {
+    const IoStatus ready = wait_ready(fd, POLLIN, deadline_at_ms);
+    if (ready != IoStatus::kOk) {
+      out.status = ready;
+      out.err = ready == IoStatus::kError ? errno : 0;
+      return out;
+    }
+    const std::uint64_t op = ordinal++;
+    if (faults != nullptr) {
+      if (faults->inject_disconnect(op_key, op)) {
+        out.status = IoStatus::kError;
+        out.err = ECONNRESET;
+        return out;
+      }
+      if (faults->inject_eintr(op_key, op)) continue;
+    }
+    const std::size_t want =
+        faults != nullptr ? faults->clamp_read(op_key, op, cap) : cap;
+    const ssize_t n = ::read(fd, buf, want);
+    if (n > 0) {
+      out.bytes = static_cast<std::size_t>(n);
+      return out;
+    }
+    if (n == 0) {
+      out.status = IoStatus::kClosed;
+      return out;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    out.status = IoStatus::kError;
+    out.err = errno;
+    return out;
+  }
+}
+
+IoOutcome write_fd(int fd, std::string_view data,
+                   std::uint64_t deadline_at_ms, std::string_view op_key,
+                   std::uint64_t& ordinal, fault::IoFaultInjector* faults) {
+  IoOutcome out;
+  while (out.bytes < data.size()) {
+    const IoStatus ready = wait_ready(fd, POLLOUT, deadline_at_ms);
+    if (ready != IoStatus::kOk) {
+      out.status = ready;
+      out.err = ready == IoStatus::kError ? errno : 0;
+      return out;
+    }
+    const std::uint64_t op = ordinal++;
+    if (faults != nullptr) {
+      if (faults->inject_disconnect(op_key, op)) {
+        out.status = IoStatus::kError;
+        out.err = ECONNRESET;
+        return out;
+      }
+      if (faults->inject_eintr(op_key, op)) continue;
+    }
+    std::size_t want = std::min(data.size() - out.bytes, kWriteChunk);
+    if (faults != nullptr) want = faults->clamp_write(op_key, op, want);
+    // MSG_NOSIGNAL turns a dead-peer SIGPIPE into EPIPE; plain files are
+    // not sockets, so fall back to write() on ENOTSOCK.
+    ssize_t n = ::send(fd, data.data() + out.bytes, want, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, data.data() + out.bytes, want);
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      out.status = errno == EPIPE ? IoStatus::kClosed : IoStatus::kError;
+      out.err = errno;
+      return out;
+    }
+    out.bytes += static_cast<std::size_t>(n);
+  }
+  return out;
+}
+
+}  // namespace retri::serve

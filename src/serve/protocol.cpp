@@ -90,6 +90,10 @@ std::string encode_status(const ServerStatus& status) {
   json.member("events_pending", status.events_pending);
   json.member("cache_entries", status.cache_entries);
   json.member("cache_bytes", status.cache_bytes);
+  json.member("cache_hits", status.cache_hits);
+  json.member("cache_misses", status.cache_misses);
+  json.member("cache_quarantined", status.cache_quarantined);
+  json.member("connections_active", status.connections_active);
   json.end_object();
   return json.str();
 }
@@ -179,6 +183,10 @@ util::Result<ServerStatus, std::string> decode_status(
   status.events_pending = doc.u64("events_pending");
   status.cache_entries = doc.u64("cache_entries");
   status.cache_bytes = doc.u64("cache_bytes");
+  status.cache_hits = doc.u64("cache_hits");
+  status.cache_misses = doc.u64("cache_misses");
+  status.cache_quarantined = doc.u64("cache_quarantined");
+  status.connections_active = doc.u64("connections_active");
   return status;
 }
 

@@ -1,0 +1,96 @@
+#include "serve/retry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/wallclock.hpp"
+
+namespace retri::serve {
+
+namespace {
+
+class SystemRetryClock final : public RetryClock {
+ public:
+  std::uint64_t now_ms() override { return util::monotonic_now_ms(); }
+  void sleep_ms(std::uint64_t ms) override { util::sleep_ms(ms); }
+};
+
+}  // namespace
+
+RetryPolicy validated(RetryPolicy policy) {
+  if (policy.max_attempts < 1) {
+    throw std::invalid_argument("RetryPolicy.max_attempts must be >= 1");
+  }
+  if (policy.max_attempts > 1 && policy.base_backoff_ms == 0) {
+    throw std::invalid_argument(
+        "RetryPolicy.base_backoff_ms must be > 0 when retrying");
+  }
+  if (policy.max_backoff_ms < policy.base_backoff_ms) {
+    throw std::invalid_argument(
+        "RetryPolicy.max_backoff_ms must be >= base_backoff_ms");
+  }
+  return policy;
+}
+
+RetryClock& system_retry_clock() {
+  static SystemRetryClock clock;
+  return clock;
+}
+
+RetrySchedule::RetrySchedule(RetryPolicy policy, RetryClock& clock)
+    : policy_(validated(policy)),
+      clock_(clock),
+      jitter_(policy_.jitter_seed ^ 0x5e44e1cdc5ULL),
+      started_at_ms_(clock.now_ms()) {}
+
+bool RetrySchedule::can_attempt() const {
+  if (attempts_ >= policy_.max_attempts) return false;
+  return policy_.deadline_ms == 0 ||
+         clock_.now_ms() - started_at_ms_ < policy_.deadline_ms;
+}
+
+std::uint64_t RetrySchedule::backoff(std::uint64_t retry_after_hint_ms) {
+  // Decorrelated jitter: uniform in [base, 3 × last], capped. The first
+  // backoff draws from [base, 3 × base].
+  const std::uint64_t prev =
+      std::max(policy_.base_backoff_ms, last_sleep_ms_);
+  const std::uint64_t hi =
+      std::min(policy_.max_backoff_ms,
+               prev > policy_.max_backoff_ms / 3 ? policy_.max_backoff_ms
+                                                 : prev * 3);
+  const std::uint64_t lo = std::min(policy_.base_backoff_ms, hi);
+  std::uint64_t sleep = hi > lo ? lo + jitter_.next() % (hi - lo + 1) : lo;
+  // The daemon's shed hint is a floor, not a suggestion: it reflects the
+  // queue's actual drain horizon.
+  sleep = std::max(sleep, retry_after_hint_ms);
+  // Never sleep past the deadline — the caller checks can_attempt() next
+  // and should fail fast instead of oversleeping its budget.
+  if (policy_.deadline_ms != 0) {
+    const std::uint64_t elapsed = clock_.now_ms() - started_at_ms_;
+    const std::uint64_t left =
+        elapsed >= policy_.deadline_ms ? 0 : policy_.deadline_ms - elapsed;
+    sleep = std::min(sleep, left);
+  }
+  last_sleep_ms_ = std::max(sleep, policy_.base_backoff_ms);
+  if (sleep > 0) clock_.sleep_ms(sleep);
+  return sleep;
+}
+
+std::uint64_t RetrySchedule::op_deadline_at_ms() const {
+  const std::uint64_t now = clock_.now_ms();
+  std::uint64_t at = 0;
+  if (policy_.op_timeout_ms != 0) at = now + policy_.op_timeout_ms;
+  if (policy_.deadline_ms != 0) {
+    const std::uint64_t overall = started_at_ms_ + policy_.deadline_ms;
+    at = at == 0 ? overall : std::min(at, overall);
+  }
+  return at;
+}
+
+std::uint64_t RetrySchedule::remaining_ms() const {
+  if (policy_.deadline_ms == 0) return ~std::uint64_t{0};
+  const std::uint64_t elapsed = clock_.now_ms() - started_at_ms_;
+  return elapsed >= policy_.deadline_ms ? 0 : policy_.deadline_ms - elapsed;
+}
+
+}  // namespace retri::serve

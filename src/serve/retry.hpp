@@ -1,0 +1,115 @@
+// Retry policy for the serve client: capped exponential backoff with
+// decorrelated jitter under an overall deadline budget.
+//
+// Resubmitting a sweep job is safe by construction — cells are content-
+// addressed, so a job that half-ran before the connection died re-submits
+// as mostly cache hits and never re-executes committed work. That makes
+// the whole client call idempotent, and idempotent calls deserve retries.
+//
+// The backoff is the "decorrelated jitter" variant (the one the
+// Dynamic-Frame-Aloha analysis in PAPERS.md converges to for contention
+// windows: remember the last sleep, draw uniformly from [base, 3×last],
+// cap). It decorrelates the retry times of many clients hammering one
+// recovering daemon, which fixed-multiplier exponential backoff does not.
+// A server-supplied retry_after_ms hint (from queue shedding) acts as a
+// floor on the next sleep — the daemon knows its drain rate better than
+// the client's guess.
+//
+// Determinism: the jitter draws from a seeded SplitMix64 stream, and all
+// time flows through the RetryClock interface. Production uses the
+// util::wallclock-backed system clock; tests inject FakeRetryClock and
+// replay exact schedules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace retri::serve {
+
+struct RetryPolicy {
+  /// Attempt ceiling, including the first try. 1 = no retries.
+  unsigned max_attempts = 5;
+  /// First backoff and the cap the doubling saturates at.
+  std::uint64_t base_backoff_ms = 25;
+  std::uint64_t max_backoff_ms = 2000;
+  /// Overall budget for the whole call, connect through last byte,
+  /// measured from the first attempt's start. 0 = no deadline.
+  std::uint64_t deadline_ms = 30000;
+  /// Per-operation poll bound (connect, each read, each write). 0 = block
+  /// forever — only sensible in tests.
+  std::uint64_t op_timeout_ms = 10000;
+  /// Seed for the jitter stream (client identity; any value works).
+  std::uint64_t jitter_seed = 1;
+};
+
+/// max_attempts >= 1, base <= max backoff when backing off at all. Returns
+/// the policy unchanged or throws std::invalid_argument naming the field.
+RetryPolicy validated(RetryPolicy policy);
+
+/// Time source the retry engine runs on. now_ms() must be monotonic.
+class RetryClock {
+ public:
+  virtual ~RetryClock() = default;
+  virtual std::uint64_t now_ms() = 0;
+  virtual void sleep_ms(std::uint64_t ms) = 0;
+};
+
+/// util::wallclock-backed production clock (stateless singleton).
+RetryClock& system_retry_clock();
+
+/// Deterministic clock for tests: now advances only via sleep.
+class FakeRetryClock final : public RetryClock {
+ public:
+  std::uint64_t now_ms() override { return now_; }
+  void sleep_ms(std::uint64_t ms) override {
+    now_ += ms;
+    sleeps.push_back(ms);
+  }
+  void advance(std::uint64_t ms) { now_ += ms; }
+
+  std::vector<std::uint64_t> sleeps;
+
+ private:
+  std::uint64_t now_ = 0;
+};
+
+/// One call's retry state. Construction starts the deadline clock.
+class RetrySchedule {
+ public:
+  RetrySchedule(RetryPolicy policy, RetryClock& clock);
+
+  /// Attempts consumed so far (0 before the first begin_attempt()).
+  unsigned attempts() const noexcept { return attempts_; }
+
+  /// True while another attempt is permitted: attempt budget left and, if
+  /// a deadline is set, time left on it.
+  bool can_attempt() const;
+
+  /// Marks the start of the next attempt.
+  void begin_attempt() { ++attempts_; }
+
+  /// Sleeps before the next attempt: decorrelated jitter in
+  /// [base, 3 × previous sleep], capped, floored by the server's
+  /// retry_after hint, and clipped so the sleep never overruns the
+  /// deadline. Returns the milliseconds slept.
+  std::uint64_t backoff(std::uint64_t retry_after_hint_ms);
+
+  /// Absolute per-op deadline for wait_ready-style calls: now + op_timeout,
+  /// clipped to the overall deadline. 0 when neither bound is set.
+  std::uint64_t op_deadline_at_ms() const;
+
+  /// Milliseconds left on the overall deadline (UINT64_MAX if none).
+  std::uint64_t remaining_ms() const;
+
+ private:
+  RetryPolicy policy_;
+  RetryClock& clock_;
+  util::SplitMix64 jitter_;
+  std::uint64_t started_at_ms_;
+  std::uint64_t last_sleep_ms_ = 0;
+  unsigned attempts_ = 0;
+};
+
+}  // namespace retri::serve

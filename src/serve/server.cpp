@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "runner/seeds.hpp"
+#include "serve/io.hpp"
 
 namespace retri::serve {
 namespace fs = std::filesystem;
@@ -92,10 +93,17 @@ util::Result<Submitted, Rejection> Server::submit(
     }
     if (in_flight_ + would_miss > options_.queue_capacity) {
       jobs_rejected_.inc();
+      // Load-aware hint: an almost-idle queue suggests a quick retry, a
+      // saturated one pushes clients out to the full window. Clients treat
+      // it as a floor on their next backoff (serve/retry.hpp).
+      const std::size_t capacity = std::max<std::size_t>(1, options_.queue_capacity);
+      const std::uint64_t retry_after_ms =
+          250 + (1750 * static_cast<std::uint64_t>(std::min(in_flight_, capacity))) /
+                    capacity;
       return Rejection{
           "queue full: " + std::to_string(in_flight_) +
               " cells in flight, job needs " + std::to_string(would_miss),
-          500};
+          retry_after_ms};
     }
 
     Job job;
@@ -242,8 +250,12 @@ void Server::write_checkpoint_locked(const Job& job) const {
   checkpoint.done = job.done_cells;
   std::sort(checkpoint.done.begin(), checkpoint.done.end());
   const fs::path path = fs::path(jobs_dir_) / (job.hash + ".json");
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out << encode_checkpoint(checkpoint) << '\n';
+  // Atomic like the cache store: a crash mid-checkpoint must leave the
+  // previous (consistent, merely staler) record, never a torn one — resume
+  // re-runs a few extra cells instead of failing to parse. Best-effort: a
+  // failed write keeps the old checkpoint.
+  (void)atomic_write_file(path.string(), encode_checkpoint(checkpoint) + "\n",
+                          job.hash, options_.cache.io_faults);
 }
 
 std::optional<ServeEvent> Server::poll_event() {
@@ -280,6 +292,9 @@ ServerStatus Server::status() {
   status.events_pending = events_.size();
   status.cache_entries = cache_.entries();
   status.cache_bytes = cache_.bytes();
+  status.cache_hits = cache_.hits();
+  status.cache_misses = cache_.misses();
+  status.cache_quarantined = cache_.quarantined();
   return status;
 }
 

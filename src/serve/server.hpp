@@ -109,6 +109,12 @@ struct ServerStatus {
   std::uint64_t events_pending = 0;
   std::uint64_t cache_entries = 0;
   std::uint64_t cache_bytes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_quarantined = 0;  // untrusted store files removed
+  /// Open client connections. The socket-free Server always reports 0; the
+  /// daemon overwrites this before encoding a status reply.
+  std::uint64_t connections_active = 0;
 };
 
 class Server {

@@ -1,0 +1,30 @@
+// Real (host) time for the service layer — quarantined here on purpose.
+//
+// Simulation code must never read the host clock (the no-wall-clock lint
+// rule bans `*_clock::now` outside src/util/): simulated time flows through
+// sim::Clock so trials are reproducible. The serve layer is different — its
+// client retries, poll deadlines, and slow-peer eviction are about *real*
+// elapsed time on a real host. Those callers get exactly two primitives,
+// both monotonic and coarse (milliseconds), so host time can never leak
+// into a simulation result:
+//
+//   monotonic_now_ms()  — steady-clock reading; origin unspecified, only
+//                         differences are meaningful;
+//   sleep_ms(ms)        — blocks the calling thread.
+//
+// Deterministic tests do not stub these functions; retry/deadline logic
+// accepts a serve::RetryClock interface and injects a fake. These are the
+// production implementation behind that interface.
+#pragma once
+
+#include <cstdint>
+
+namespace retri::util {
+
+/// Milliseconds on the host's monotonic clock (epoch unspecified).
+std::uint64_t monotonic_now_ms();
+
+/// Blocks the calling thread for at least `ms` milliseconds.
+void sleep_ms(std::uint64_t ms);
+
+}  // namespace retri::util

@@ -45,7 +45,7 @@ TEST(LintRules, DefaultTableHasExpectedRules) {
         "no-raw-thread", "header-pragma-once", "no-using-namespace-header",
         "no-shared-ptr-hot", "no-adhoc-counter", "no-direct-io",
         "no-global-mutable-state", "no-float-eq", "config-has-validated",
-        "layer-order", "include-cycle"}) {
+        "no-bare-ofstream-store", "layer-order", "include-cycle"}) {
     EXPECT_NE(find_rule(id), nullptr) << id;
   }
 }
@@ -553,3 +553,34 @@ TEST(LintConfigValidated, BaselineSuppressesWhileRolloutPends) {
 }
 
 }  // namespace
+
+TEST(LintRules, BareOfstreamStoreBannedUnderServeOnly) {
+  // Any raw persistent-write opening under src/serve bypasses the atomic
+  // temp+fsync+rename writer and can tear a live cache entry on crash.
+  const std::string ofstream_body =
+      "#include <fstream>\n"
+      "void store() { std::ofstream out(\"entry.json\"); }\n";
+  const std::string open_body =
+      "void store() { int fd = ::open(\"x\", 0); (void)fd; }\n";
+  EXPECT_TRUE(has_violation(scan("src/serve/cache.cpp", ofstream_body),
+                            "no-bare-ofstream-store"));
+  EXPECT_TRUE(has_violation(scan("src/serve/server.cpp", open_body),
+                            "no-bare-ofstream-store"));
+  // Out of scope: the same code elsewhere is some other rule's business.
+  EXPECT_FALSE(has_violation(scan("src/runner/export.cpp", ofstream_body),
+                             "no-bare-ofstream-store"));
+  // Reads don't persist anything; std::ifstream must not match.
+  EXPECT_FALSE(has_violation(
+      scan("src/serve/cache.cpp",
+           "#include <fstream>\n"
+           "void load() { std::ifstream in(\"entry.json\"); }\n"),
+      "no-bare-ofstream-store"));
+}
+
+TEST(LintRules, AtomicWriterAnchorsEscapeBareStoreRule) {
+  const auto vs =
+      scan("src/serve/io.cpp",
+           "int fd = ::open(  // retri-lint: allow(no-bare-ofstream-store)\n"
+           "    \"tmp\", 0);\n");
+  EXPECT_FALSE(has_violation(vs, "no-bare-ofstream-store"));
+}

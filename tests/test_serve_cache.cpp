@@ -8,9 +8,12 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
+#include "fault/io_fault.hpp"
 #include "obs/metrics.hpp"
 #include "serve/cache.hpp"
+#include "serve/io.hpp"
 
 namespace serve = retri::serve;
 namespace fs = std::filesystem;
@@ -207,4 +210,90 @@ TEST(ServeCacheKey, DependsOnCodeVersionAndCell) {
   EXPECT_NE(k1, k2);  // a code bump makes every old entry unreachable
   EXPECT_NE(k1, k3);  // any cell change re-addresses the result
   EXPECT_EQ(k1, serve::ResultCache::make_key("v1", cell));  // stable
+}
+
+// --- crash-point suite -----------------------------------------------------
+// For every named point in the atomic store path, a put() killed exactly
+// there must leave the restarted cache with the OLD entry or the NEW one —
+// never a torn hybrid, never nothing — and any orphaned *.tmp quarantined.
+
+TEST_F(ServeCacheTest, CrashAtEveryPointNeverTearsTheStore) {
+  const std::string key = "crashcell";
+  const std::string body_v1 = "version-one-" + body_of(64, 'a');
+  const std::string body_v2 = "version-two-" + body_of(64, 'b');
+
+  for (const std::string_view point : serve::kCrashPoints) {
+    SCOPED_TRACE(std::string(point));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+
+    // Baseline: v1 committed atomically, no faults.
+    {
+      serve::CacheOptions options;
+      options.dir = dir_.string();
+      serve::ResultCache cache(options);
+      cache.put(key, "kind", "fp1", body_v1);
+    }
+
+    // Overwrite with the crash point armed. CrashPointHit unwinds like a
+    // SIGKILL: nothing on the way out may clean up partial state.
+    {
+      retri::fault::IoFaultPlan plan;
+      plan.crash_at = std::string(point);
+      retri::fault::IoFaultInjector injector(plan, 7);
+      serve::CacheOptions options;
+      options.dir = dir_.string();
+      options.io_faults = &injector;
+      serve::ResultCache cache(options);
+      EXPECT_THROW(cache.put(key, "kind", "fp2", body_v2),
+                   retri::fault::CrashPointHit);
+    }
+
+    // The restarted daemon.
+    serve::CacheOptions options;
+    options.dir = dir_.string();
+    serve::ResultCache reloaded(options);
+    const auto entry = reloaded.get(key);
+    ASSERT_TRUE(entry.has_value()) << "old entry lost at " << point;
+    if (point == "serve.io.renamed") {
+      // The rename committed before the kill: the new body must be live.
+      EXPECT_EQ(entry->body, body_v2);
+    } else {
+      // Killed before the rename: the old body must be untouched.
+      EXPECT_EQ(entry->body, body_v1);
+    }
+
+    // Whatever the kill left behind, the reload swept it: no *.tmp
+    // remains, and the quarantine counter reports any sweep it did.
+    for (const auto& file : fs::directory_iterator(dir_)) {
+      EXPECT_NE(file.path().extension(), ".tmp")
+          << file.path() << " survived reload";
+    }
+    // Every pre-rename kill leaves the tmp behind (the point fires after
+    // the open, so even "tmp_open" leaves an empty one); the rename itself
+    // moves it away.
+    const bool tmp_was_left = point != "serve.io.renamed";
+    EXPECT_EQ(reloaded.quarantined(), tmp_was_left ? 1u : 0u);
+  }
+}
+
+TEST_F(ServeCacheTest, InjectedEnospcKeepsEntryMemoryOnly) {
+  retri::fault::IoFaultPlan plan;
+  plan.enospc_prob = 1.0;
+  retri::fault::IoFaultInjector injector(plan, 7);
+  serve::CacheOptions options;
+  options.dir = dir_.string();
+  options.io_faults = &injector;
+  serve::ResultCache cache(options);
+  cache.put("k", "kind", "fp", "body");
+  // The put itself succeeds in memory; the persist failure is metered and
+  // the torn tmp is invisible under the final name.
+  EXPECT_TRUE(cache.contains("k"));
+  EXPECT_FALSE(fs::exists(dir_ / "k.json"));
+
+  // A restart misses (the entry was never durable) and quarantines the
+  // torn tmp the failed write left behind.
+  serve::ResultCache reloaded(serve::CacheOptions{dir_.string()});
+  EXPECT_FALSE(reloaded.contains("k"));
+  EXPECT_EQ(reloaded.quarantined(), 1u);
 }

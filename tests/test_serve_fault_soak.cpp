@@ -1,0 +1,86 @@
+// The serve_fault soak as a ctest: a short run must come back clean (no
+// torn entries, no duplicate execution) and its audit fingerprint must be
+// bit-identical across --jobs values — the jobs-invariance gate check.sh
+// also enforces through the retri_chaos CLI.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "serve/fault_soak.hpp"
+
+namespace serve = retri::serve;
+namespace fs = std::filesystem;
+
+namespace {
+
+class ServeFaultSoakTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = fs::temp_directory_path() /
+            ("retri_serve_fault_soak_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    fs::remove_all(base_);
+  }
+  void TearDown() override { fs::remove_all(base_); }
+
+  serve::ServeFaultSoakReport run(unsigned jobs, const std::string& tag) {
+    serve::ServeFaultSoakOptions options;
+    options.rounds = 8;  // covers every crash point + repeat-hit rounds
+    options.jobs = jobs;
+    options.seed = 20260809;
+    options.dir = (base_ / tag).string();
+    return serve::run_serve_fault_soak(options);
+  }
+
+  fs::path base_;
+};
+
+}  // namespace
+
+TEST_F(ServeFaultSoakTest, OptionsAreValidated) {
+  serve::ServeFaultSoakOptions options;
+  options.dir = "somewhere";
+  options.rounds = 0;
+  EXPECT_THROW((void)serve::validated(options), std::invalid_argument);
+  options.rounds = 1;
+  options.jobs = 0;
+  EXPECT_THROW((void)serve::validated(options), std::invalid_argument);
+  options.jobs = 1;
+  options.dir.clear();
+  EXPECT_THROW((void)serve::validated(options), std::invalid_argument);
+}
+
+TEST_F(ServeFaultSoakTest, ShortSoakRunsClean) {
+  const serve::ServeFaultSoakReport report = run(1, "clean");
+  for (const std::string& violation : report.violations) {
+    ADD_FAILURE() << violation;
+  }
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.rounds.size(), 8u);
+  // 4 crash rounds quarantine their kill wreckage; 4 server rounds stream
+  // the 2-point × 2-trial grid each.
+  EXPECT_EQ(report.cells_streamed, 16u);
+  EXPECT_GT(report.cache_misses, 0u);
+  EXPECT_GT(report.cache_hits, 0u);  // the cycling spec re-hits the store
+  EXPECT_EQ(report.fingerprint.size(), 16u);
+}
+
+TEST_F(ServeFaultSoakTest, FingerprintIsJobsInvariant) {
+  const serve::ServeFaultSoakReport serial = run(1, "j1");
+  const serve::ServeFaultSoakReport threaded = run(4, "j4");
+  EXPECT_TRUE(serial.ok());
+  EXPECT_TRUE(threaded.ok());
+  EXPECT_EQ(serial.fingerprint, threaded.fingerprint);
+  EXPECT_EQ(serial.cells_streamed, threaded.cells_streamed);
+  EXPECT_EQ(serial.cache_hits, threaded.cache_hits);
+  EXPECT_EQ(serial.cache_misses, threaded.cache_misses);
+  EXPECT_EQ(serial.quarantined_total, threaded.quarantined_total);
+  ASSERT_EQ(serial.rounds.size(), threaded.rounds.size());
+  for (std::size_t i = 0; i < serial.rounds.size(); ++i) {
+    EXPECT_EQ(serial.rounds[i].outcome, threaded.rounds[i].outcome)
+        << "round " << i;
+  }
+}

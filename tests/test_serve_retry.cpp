@@ -1,0 +1,128 @@
+// serve::RetrySchedule: decorrelated-jitter backoff under a deadline
+// budget, driven entirely through FakeRetryClock so schedules replay
+// exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "serve/retry.hpp"
+
+namespace serve = retri::serve;
+
+TEST(RetryPolicy, ValidatedNamesBadFields) {
+  serve::RetryPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_THROW((void)serve::validated(policy), std::invalid_argument);
+
+  policy = serve::RetryPolicy{};
+  policy.base_backoff_ms = 0;
+  EXPECT_THROW((void)serve::validated(policy), std::invalid_argument);
+  policy.max_attempts = 1;  // no retries → zero base is fine
+  EXPECT_NO_THROW((void)serve::validated(policy));
+
+  policy = serve::RetryPolicy{};
+  policy.max_backoff_ms = policy.base_backoff_ms - 1;
+  EXPECT_THROW((void)serve::validated(policy), std::invalid_argument);
+}
+
+TEST(RetrySchedule, FirstBackoffDrawsFromBaseTo3xBase) {
+  serve::RetryPolicy policy;
+  policy.base_backoff_ms = 100;
+  policy.max_backoff_ms = 10000;
+  policy.deadline_ms = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    policy.jitter_seed = seed;
+    serve::FakeRetryClock clock;
+    serve::RetrySchedule schedule(policy, clock);
+    const std::uint64_t slept = schedule.backoff(/*retry_after_hint_ms=*/0);
+    EXPECT_GE(slept, 100u) << "seed " << seed;
+    EXPECT_LE(slept, 300u) << "seed " << seed;
+    ASSERT_EQ(clock.sleeps.size(), 1u);
+    EXPECT_EQ(clock.sleeps[0], slept);
+  }
+}
+
+TEST(RetrySchedule, BackoffGrowsButSaturatesAtCap) {
+  serve::RetryPolicy policy;
+  policy.base_backoff_ms = 25;
+  policy.max_backoff_ms = 200;
+  policy.deadline_ms = 0;
+  serve::FakeRetryClock clock;
+  serve::RetrySchedule schedule(policy, clock);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t slept = schedule.backoff(0);
+    EXPECT_GE(slept, 25u);
+    EXPECT_LE(slept, 200u);
+  }
+}
+
+TEST(RetrySchedule, ServerHintFloorsTheSleep) {
+  serve::RetryPolicy policy;
+  policy.base_backoff_ms = 10;
+  policy.max_backoff_ms = 50;
+  policy.deadline_ms = 0;
+  serve::FakeRetryClock clock;
+  serve::RetrySchedule schedule(policy, clock);
+  // The daemon said 500ms; the jitter draw (≤ 50) must not undercut it.
+  EXPECT_EQ(schedule.backoff(/*retry_after_hint_ms=*/500), 500u);
+}
+
+TEST(RetrySchedule, SleepNeverOverrunsDeadline) {
+  serve::RetryPolicy policy;
+  policy.base_backoff_ms = 100;
+  policy.max_backoff_ms = 5000;
+  policy.deadline_ms = 1000;
+  serve::FakeRetryClock clock;
+  serve::RetrySchedule schedule(policy, clock);
+  clock.advance(940);  // 60ms of budget left
+  const std::uint64_t slept = schedule.backoff(/*retry_after_hint_ms=*/400);
+  EXPECT_EQ(slept, 60u);  // clipped to the remaining budget, hint or not
+  EXPECT_EQ(schedule.remaining_ms(), 0u);
+  EXPECT_FALSE(schedule.can_attempt());
+}
+
+TEST(RetrySchedule, AttemptBudgetExhausts) {
+  serve::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.deadline_ms = 0;
+  serve::FakeRetryClock clock;
+  serve::RetrySchedule schedule(policy, clock);
+  for (unsigned i = 0; i < 3; ++i) {
+    EXPECT_TRUE(schedule.can_attempt());
+    schedule.begin_attempt();
+  }
+  EXPECT_EQ(schedule.attempts(), 3u);
+  EXPECT_FALSE(schedule.can_attempt());
+}
+
+TEST(RetrySchedule, OpDeadlineIsMinOfOpTimeoutAndOverall) {
+  serve::RetryPolicy policy;
+  policy.op_timeout_ms = 100;
+  policy.deadline_ms = 1000;
+  serve::FakeRetryClock clock;
+  serve::RetrySchedule schedule(policy, clock);
+  EXPECT_EQ(schedule.op_deadline_at_ms(), 100u);  // op bound is nearer
+  clock.advance(950);
+  EXPECT_EQ(schedule.op_deadline_at_ms(), 1000u);  // overall bound is nearer
+
+  policy.op_timeout_ms = 0;
+  policy.deadline_ms = 0;
+  serve::FakeRetryClock unbounded_clock;
+  serve::RetrySchedule unbounded(policy, unbounded_clock);
+  EXPECT_EQ(unbounded.op_deadline_at_ms(), 0u);  // block forever
+  EXPECT_EQ(unbounded.remaining_ms(), ~std::uint64_t{0});
+}
+
+TEST(RetrySchedule, SameSeedReplaysTheExactSchedule) {
+  serve::RetryPolicy policy;
+  policy.jitter_seed = 99;
+  policy.deadline_ms = 0;
+  serve::FakeRetryClock a_clock, b_clock;
+  serve::RetrySchedule a(policy, a_clock);
+  serve::RetrySchedule b(policy, b_clock);
+  for (int i = 0; i < 8; ++i) {
+    (void)a.backoff(0);
+    (void)b.backoff(0);
+  }
+  EXPECT_EQ(a_clock.sleeps, b_clock.sleeps);
+}

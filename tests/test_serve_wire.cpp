@@ -79,3 +79,42 @@ TEST(ServeWire, PartialFrameStaysPending) {
   decoder.feed(std::string_view(frame).substr(6));
   EXPECT_EQ(decoder.next().value_or(""), "abcdef");
 }
+
+TEST(ServeWire, EverySplitPointReassembles) {
+  // Resynchronization sweep: a multi-frame stream cut into two feeds at
+  // EVERY byte boundary must decode to the same bodies — prefix split,
+  // body split, and frame-edge split alike.
+  const std::vector<std::string> expected = {"x", std::string(300, 'y'), "",
+                                             "tail"};
+  std::string stream;
+  for (const std::string& body : expected) {
+    stream += serve::encode_frame(body);
+  }
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    serve::FrameDecoder decoder;
+    std::vector<std::string> bodies;
+    decoder.feed(std::string_view(stream).substr(0, split));
+    while (auto body = decoder.next()) bodies.push_back(*body);
+    decoder.feed(std::string_view(stream).substr(split));
+    while (auto body = decoder.next()) bodies.push_back(*body);
+    ASSERT_EQ(bodies, expected) << "split at byte " << split;
+    EXPECT_FALSE(decoder.corrupt());
+    EXPECT_EQ(decoder.pending(), 0u) << "split at byte " << split;
+  }
+}
+
+TEST(ServeWire, CorruptLatchHoldsThroughLaterValidTraffic) {
+  // After a hostile length prefix there is no trustworthy frame boundary
+  // left in the stream. The latch must hold no matter how much valid-
+  // looking traffic follows — resyncing would decode attacker-chosen
+  // bytes as frames.
+  serve::FrameDecoder decoder(/*max_frame=*/1024);
+  decoder.feed(std::string_view("\xff\xff\xff\xff", 4));  // 4 GiB "frame"
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.corrupt());
+  for (int i = 0; i < 100; ++i) {
+    decoder.feed(serve::encode_frame("legitimate"));
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_TRUE(decoder.corrupt());
+  }
+}

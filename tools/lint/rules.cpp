@@ -157,6 +157,18 @@ std::vector<Rule> make_default_rules() {
       "benches can silence it and tests can capture it",
       {}});
 
+  rules.push_back(Rule{
+      "no-bare-ofstream-store",
+      RuleKind::kBannedPattern,
+      R"(\bstd::ofstream\b|\bfopen\s*\(|::open\s*\()",
+      {},
+      {},
+      "persistent writes under src/serve must go through "
+      "serve::atomic_write_file (temp + fsync + rename) so a crash can tear "
+      "only a *.tmp, never a live entry; the atomic writer itself carries "
+      "the only retri-lint: allow(no-bare-ofstream-store) anchors",
+      {"src/serve/"}});
+
   // The declared layer order: `a < b` means b may include a, never the
   // reverse. Both graph rules share it so the cycle checker knows the
   // module universe.

@@ -197,6 +197,9 @@ int run_serve(const Args& args) {
   retri::serve::DaemonOptions options;
   options.socket_path = args.serve_socket;
   options.verbose = !args.quiet;
+  // SIGTERM/SIGINT drain in-flight jobs and flush before exiting, so a
+  // supervisor stop never loses committed cells.
+  options.install_signal_handlers = true;
   options.server.cache.dir = args.cache_dir;
   options.server.cache.byte_budget =
       static_cast<std::size_t>(args.cache_bytes);
@@ -298,9 +301,19 @@ int run_status(const Args& args) {
   std::printf("queue: depth=%llu events_pending=%llu\n",
               static_cast<unsigned long long>(s.queue_depth),
               static_cast<unsigned long long>(s.events_pending));
-  std::printf("cache: entries=%llu bytes=%llu\n",
+  const std::uint64_t lookups = s.cache_hits + s.cache_misses;
+  std::printf("cache: entries=%llu bytes=%llu hits=%llu misses=%llu "
+              "hit_rate=%.1f%% quarantined=%llu\n",
               static_cast<unsigned long long>(s.cache_entries),
-              static_cast<unsigned long long>(s.cache_bytes));
+              static_cast<unsigned long long>(s.cache_bytes),
+              static_cast<unsigned long long>(s.cache_hits),
+              static_cast<unsigned long long>(s.cache_misses),
+              lookups == 0 ? 0.0
+                           : 100.0 * static_cast<double>(s.cache_hits) /
+                                 static_cast<double>(lookups),
+              static_cast<unsigned long long>(s.cache_quarantined));
+  std::printf("conns: active=%llu\n",
+              static_cast<unsigned long long>(s.connections_active));
   return 0;
 }
 
