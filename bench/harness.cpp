@@ -107,6 +107,8 @@ bool try_parse_args(int argc, char** argv, BenchArgs& args,
       args.list = true;
     } else if (flag == "--micro") {
       args.micro = true;
+    } else if (flag == "--macro") {
+      args.macro = true;
     } else if (flag == "--csv") {
       args.csv = true;
     } else {

@@ -51,6 +51,7 @@ struct BenchArgs {
   std::string sweep;      // retri_bench: named sweep to run
   bool list = false;      // retri_bench: list available sweeps
   bool micro = false;     // retri_bench: run the hot-path micro suite
+  bool macro = false;     // retri_bench: run the mixed-workload macro suite
   /// retri_bench: fetch the sweep through a retri_serve daemon at this
   /// Unix-socket path instead of simulating locally. Results (and the
   /// default --out artifact) are bit-identical to a local run.

@@ -1,0 +1,44 @@
+// End-to-end event-throughput macro benchmark behind `retri_bench --macro`.
+//
+// The micro suite (micro.hpp) times single hot-path operations in
+// isolation; this one answers the question the ladder-queue / batched
+// fan-out work is accountable to: how many engine events per second does a
+// *realistic mixed workload* sustain end-to-end? The workload is a dense
+// 64-node star with RF collisions, half-duplex radios, random per-link
+// loss, periodic per-node traffic with jittered periods, node churn
+// (power-off/on toggles), and a fault interceptor that drops and
+// duplicates deliveries — every subsystem the simulation core serves, in
+// one run.
+//
+// The artifact (bench/BENCH_macro.json, same schema_version 1 shape as the
+// micro one) is gated by scripts/bench_compare.py with a machine-noise
+// tolerance on the time metrics; events and allocs_per_op are
+// deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace retri::bench {
+
+/// Bumped whenever the emitted JSON changes shape.
+inline constexpr int kMacroSchemaVersion = 1;
+
+struct MacroResult {
+  std::string name;
+  std::uint64_t ops = 0;        // engine events fired (deterministic)
+  double ns_per_op = 0.0;       // best-of-reps wall time per event
+  double events_per_sec = 0.0;  // 1e9 / ns_per_op
+  double allocs_per_op = -1;    // exact heap allocs; -1 = hook not linked
+};
+
+/// Runs the mixed-workload macro suite. Deterministic event counts and
+/// allocation counts; wall time best-of-reps.
+std::vector<MacroResult> run_macro_suite();
+
+/// Serializes results as the BENCH_macro.json document.
+std::string macro_to_json(const std::vector<MacroResult>& results,
+                          bool pretty = true);
+
+}  // namespace retri::bench

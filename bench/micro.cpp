@@ -9,6 +9,7 @@
 #include "sim/topology.hpp"
 #include "util/alloc_hook.hpp"
 #include "util/bytes.hpp"
+#include "util/random.hpp"
 #include "util/stopwatch.hpp"
 
 namespace retri::bench {
@@ -76,12 +77,49 @@ MicroResult engine_schedule_cancel() {
   return measure("engine_schedule_cancel", kOpsPerBatch, batch);
 }
 
-MicroResult medium_fanout(std::string name, bool rf_collisions) {
+/// Interleaved schedule/cancel/fire at skewed time offsets — the ladder
+/// queue's worst case: near-future pushes into the current wheel lap,
+/// mid-range pushes several laps out, far-future pushes into the overflow
+/// rung, a third cancelled (stale-skip), a quarter fired mid-stream so the
+/// window keeps sliding through partially-drained buckets.
+MicroResult engine_churn_mixed() {
+  sim::Simulator sim;
+  util::Xoshiro256 rng(42);
+  std::vector<sim::EventHandle> handles(kOpsPerBatch);
+  auto batch = [&sim, &rng, &handles] {
+    for (std::uint64_t i = 0; i < kOpsPerBatch; ++i) {
+      std::int64_t off_us;
+      switch (rng.below(8)) {
+        case 7:  // far future: overflow rung, forces periodic rebase
+          off_us = 1'000'000 +
+                   static_cast<std::int64_t>(rng.below(1'000'000));
+          break;
+        case 6:
+        case 5:  // mid range: several wheel laps ahead
+          off_us = 10'000 + static_cast<std::int64_t>(rng.below(10'000));
+          break;
+        default:  // near future: current lap
+          off_us = static_cast<std::int64_t>(rng.below(1'000));
+          break;
+      }
+      handles[i] = sim.schedule_after(sim::Duration::microseconds(off_us),
+                                      [] {});
+      if (rng.below(3) == 0) handles[i].cancel();
+      if (rng.below(4) == 0) sim.step();
+    }
+    sim.run();
+  };
+  batch();  // warmup: grow slab, wheel buckets, and overflow rung
+  return measure("engine_churn_mixed", kOpsPerBatch, batch);
+}
+
+MicroResult medium_fanout(std::string name, std::size_t nodes,
+                          bool rf_collisions) {
   sim::Simulator sim;
   sim::MediumConfig config;
   config.rf_collisions = rf_collisions;
-  sim::BroadcastMedium medium(sim, sim::Topology::star_full_mesh(5), config,
-                              1);
+  sim::BroadcastMedium medium(sim, sim::Topology::star_full_mesh(nodes),
+                              config, 1);
   const util::Bytes frame = util::random_payload(27, 1);
   auto batch = [&sim, &medium, &frame] {
     for (std::uint64_t i = 0; i < kOpsPerBatch; ++i) {
@@ -102,8 +140,11 @@ std::vector<MicroResult> run_micro_suite() {
   std::vector<MicroResult> results;
   results.push_back(engine_schedule_fire());
   results.push_back(engine_schedule_cancel());
-  results.push_back(medium_fanout("medium_transmit_fanout5", false));
-  results.push_back(medium_fanout("medium_transmit_fanout5_rf", true));
+  results.push_back(engine_churn_mixed());
+  results.push_back(medium_fanout("medium_transmit_fanout5", 5, false));
+  results.push_back(medium_fanout("medium_transmit_fanout5_rf", 5, true));
+  results.push_back(medium_fanout("medium_transmit_fanout64", 64, false));
+  results.push_back(medium_fanout("medium_transmit_fanout64_rf", 64, true));
   return results;
 }
 

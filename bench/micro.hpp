@@ -26,9 +26,11 @@ struct MicroResult {
   double allocs_per_op = -1;  // exact heap allocs; -1 = hook not linked
 };
 
-/// Runs the suite: event-engine schedule+fire, schedule+cancel, and
-/// broadcast-medium transmit fanout (with and without RF collisions).
-/// Operation counts are fixed so allocation numbers are reproducible.
+/// Runs the suite: event-engine schedule+fire, schedule+cancel, the
+/// mixed/skewed churn workload (the ladder queue's worst case), and
+/// broadcast-medium transmit fanout at 5 and 64 listeners (with and
+/// without RF collisions). Operation counts are fixed so allocation
+/// numbers are reproducible.
 std::vector<MicroResult> run_micro_suite();
 
 /// Serializes results as the BENCH_micro.json document.

@@ -155,16 +155,54 @@ void BM_EventEngineScheduleCancel(benchmark::State& state) {
 }
 BENCHMARK(BM_EventEngineScheduleCancel);
 
-// One transmit fanned out to the listeners of a 5-node full mesh, delivered
-// to completion. The per-frame payload copy into transmit() is part of the
-// measured op; inside the medium the buffer is shared, not copied per
-// listener.
+// Interleaved schedule/cancel/fire with skewed time offsets (near-future,
+// several-laps-out, and far-future overflow) — the ladder queue's worst
+// case: the wheel keeps sliding, the overflow rung keeps rebasing, and a
+// third of the entries go stale before they are popped.
+void BM_EventEngineChurnMixed(benchmark::State& state) {
+  sim::Simulator sim;
+  util::Xoshiro256 rng(42);
+  std::vector<sim::EventHandle> handles(1000);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      std::int64_t off_us;
+      switch (rng.below(8)) {
+        case 7:
+          off_us = 1'000'000 +
+                   static_cast<std::int64_t>(rng.below(1'000'000));
+          break;
+        case 6:
+        case 5:
+          off_us = 10'000 + static_cast<std::int64_t>(rng.below(10'000));
+          break;
+        default:
+          off_us = static_cast<std::int64_t>(rng.below(1'000));
+          break;
+      }
+      handles[i] =
+          sim.schedule_after(sim::Duration::microseconds(off_us), [] {});
+      if (rng.below(3) == 0) handles[i].cancel();
+      if (rng.below(4) == 0) sim.step();
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_fired());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventEngineChurnMixed);
+
+// One transmit fanned out to the listeners of a full mesh (range(0) nodes),
+// delivered to completion. The per-frame payload copy into transmit() is
+// part of the measured op; inside the medium the buffer is shared, not
+// copied per listener, and all listeners ride one batched delivery event.
 void BM_MediumTransmitFanout(benchmark::State& state) {
   sim::Simulator sim;
   sim::MediumConfig config;
-  config.rf_collisions = state.range(0) != 0;
+  config.rf_collisions = state.range(1) != 0;
   sim::BroadcastMedium medium(
-      sim, sim::Topology::star_full_mesh(5), config, 1);
+      sim,
+      sim::Topology::star_full_mesh(static_cast<std::size_t>(state.range(0))),
+      config, 1);
   const util::Bytes frame = util::random_payload(27, 1);
   for (auto _ : state) {
     medium.transmit(0, util::Bytes(frame), sim::Duration::microseconds(100));
@@ -173,7 +211,11 @@ void BM_MediumTransmitFanout(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_MediumTransmitFanout)->Arg(0)->Arg(1);
+BENCHMARK(BM_MediumTransmitFanout)
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
 
 void BM_Xoshiro(benchmark::State& state) {
   util::Xoshiro256 rng(1);

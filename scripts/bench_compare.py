@@ -3,29 +3,51 @@
 
 Usage:
   bench_compare.py BASELINE.json CURRENT.json \
-      [--metric allocs_per_op] [--tolerance-pct 0] [--require NAME ...] \
+      [--metric allocs_per_op] [--tolerance-pct 0] \
+      [--gate METRIC[:TOL_PCT[:DIRECTION]] ...] \
+      [--require NAME ...] [--print-delta] \
       [--append-history bench/BENCH_history.jsonl]
 
-Reads two micro-suite artifacts (schema_version 1, as written by
-`retri_bench --micro --out FILE`), matches benchmarks by name, and exits
-nonzero when the chosen metric regressed — grew — by more than
---tolerance-pct relative to the baseline for any benchmark, or when a
-benchmark named with --require is missing from the current file.
+Reads two bench artifacts (schema_version 1, as written by
+`retri_bench --micro --out FILE` or `retri_bench --macro --out FILE`),
+matches benchmarks by name, and exits nonzero when a gated metric
+regressed beyond its tolerance for any benchmark, or when a benchmark
+named with --require is missing from the current file.
 
-The default gated metric is allocs_per_op because it is exactly
-reproducible: the hot paths allocate a deterministic number of times per
-operation, so any increase is a real regression, not noise. ns_per_op is
-host-dependent; gate it only with a generous tolerance on a quiet machine.
+Two ways to choose what is gated:
+
+  --metric M --tolerance-pct T     one metric, the historical spelling
+  --gate M[:T[:D]]                 repeatable, per-metric tolerance and
+                                   direction; D is `lower` (default:
+                                   smaller is better, growth regresses)
+                                   or `higher` (bigger is better, decay
+                                   regresses — e.g. events_per_sec)
+
+The two spellings are mutually exclusive. Typical perf-gate invocation:
+
+  bench_compare.py bench/BENCH_macro.json /tmp/macro.json \
+      --gate ns_per_op:10 --gate events_per_sec:10:higher \
+      --gate allocs_per_op:0
+
+Per-metric tolerances exist because the metrics have different noise
+floors: allocs_per_op is exactly reproducible (gate at 0 — any increase
+is a real regression), while ns_per_op / events_per_sec are
+host-dependent and need a machine-noise allowance.
 
 A metric value of -1 means "not measured" (the allocation hook was not
 linked into the producing binary); comparisons involving -1 are skipped
 with a warning rather than failed, so a hook-less build cannot masquerade
 as a zero-allocation one.
 
-With --append-history FILE, each gated run also appends one JSON line
-({ts, metric, status, current, baseline}) to FILE. scripts/check.sh --perf
-points it at the committed bench/BENCH_history.jsonl, so the repo keeps a
-greppable growth curve of every benchmark across its history.
+--print-delta renders a table of every numeric metric present in both
+files with its relative delta, gated or not — the human-facing view of
+what moved.
+
+With --append-history FILE, each gated run also appends one JSON line per
+gated metric ({ts, metric, status, current, baseline}) to FILE.
+scripts/check.sh --perf points it at the committed
+bench/BENCH_history.jsonl, so the repo keeps a greppable growth curve of
+every benchmark across its history.
 
 Standard library only; no third-party imports.
 """
@@ -37,6 +59,50 @@ import datetime
 import json
 import os
 import sys
+
+
+class Gate:
+    """One gated metric: name, allowed noise, and which way is worse."""
+
+    def __init__(self, metric: str, tolerance_pct: float, direction: str):
+        self.metric = metric
+        self.tolerance_pct = tolerance_pct
+        self.direction = direction  # "lower" or "higher" (= better)
+
+    def regressed(self, base: float, cur: float) -> tuple[bool, float]:
+        """Returns (regressed, limit) for a baseline/current pair."""
+        tol = self.tolerance_pct / 100.0
+        if self.direction == "higher":
+            limit = base * (1.0 - tol)
+            return cur < limit, limit
+        limit = base * (1.0 + tol)
+        return cur > limit, limit
+
+
+def parse_gate(spec: str) -> Gate:
+    parts = spec.split(":")
+    if not parts[0]:
+        sys.exit(f"bench_compare: --gate {spec!r}: empty metric name")
+    if len(parts) > 3:
+        sys.exit(f"bench_compare: --gate {spec!r}: expected "
+                 "METRIC[:TOL_PCT[:DIRECTION]]")
+    tolerance = 0.0
+    if len(parts) >= 2:
+        try:
+            tolerance = float(parts[1])
+        except ValueError:
+            sys.exit(f"bench_compare: --gate {spec!r}: tolerance "
+                     f"{parts[1]!r} is not a number")
+        if tolerance < 0:
+            sys.exit(f"bench_compare: --gate {spec!r}: tolerance must "
+                     "be >= 0")
+    direction = "lower"
+    if len(parts) == 3:
+        direction = parts[2]
+        if direction not in ("lower", "higher"):
+            sys.exit(f"bench_compare: --gate {spec!r}: direction must be "
+                     "'lower' or 'higher'")
+    return Gate(parts[0], tolerance, direction)
 
 
 def load_benchmarks(path: str) -> dict[str, dict]:
@@ -61,93 +127,168 @@ def load_benchmarks(path: str) -> dict[str, dict]:
     return out
 
 
+def print_delta_table(baseline: dict[str, dict],
+                      current: dict[str, dict]) -> None:
+    """Every numeric metric present in both files, with relative delta."""
+    rows: list[tuple[str, str, str, str, str]] = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None or cur is None:
+            side = "baseline" if cur is None else "current"
+            rows.append((name, "-", "-", "-", f"only in {side}"))
+            continue
+        metrics = sorted((set(base) & set(cur)) - {"name"})
+        for metric in metrics:
+            bv, cv = base[metric], cur[metric]
+            if not isinstance(bv, (int, float)) or isinstance(bv, bool):
+                continue
+            if not isinstance(cv, (int, float)) or isinstance(cv, bool):
+                continue
+            if bv < 0 or cv < 0:
+                rows.append((name, metric, f"{bv:g}", f"{cv:g}",
+                             "unmeasured"))
+                continue
+            if bv == 0:
+                delta = "n/a" if cv != 0 else "+0.0%"
+            else:
+                delta = f"{(cv - bv) / bv * 100.0:+.1f}%"
+            rows.append((name, metric, f"{bv:g}", f"{cv:g}", delta))
+    headers = ("benchmark", "metric", "baseline", "current", "delta")
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+              else len(headers[i]) for i in range(5)]
+    def fmt_row(row: tuple[str, ...]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    print(fmt_row(headers))
+    print(fmt_row(tuple("-" * w for w in widths)))
+    for row in rows:
+        print(fmt_row(row))
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Compare two BENCH_*.json files; nonzero exit on "
                     "regression.")
     parser.add_argument("baseline", help="committed baseline artifact")
     parser.add_argument("current", help="freshly generated artifact")
-    parser.add_argument("--metric", default="allocs_per_op",
-                        help="numeric field to gate (default: allocs_per_op)")
-    parser.add_argument("--tolerance-pct", type=float, default=0.0,
+    parser.add_argument("--metric", default=None,
+                        help="numeric field to gate (default: allocs_per_op; "
+                             "mutually exclusive with --gate)")
+    parser.add_argument("--tolerance-pct", type=float, default=None,
                         help="allowed growth over baseline, in percent "
-                             "(default: 0 — any increase fails)")
+                             "(default: 0 — any increase fails; only with "
+                             "--metric)")
+    parser.add_argument("--gate", action="append", default=[],
+                        metavar="METRIC[:TOL_PCT[:DIRECTION]]",
+                        help="gate this metric with its own tolerance and "
+                             "direction ('lower' = smaller is better, "
+                             "default; 'higher' = bigger is better); "
+                             "repeatable")
     parser.add_argument("--require", action="append", default=[],
                         metavar="NAME",
                         help="fail if this benchmark is absent from the "
                              "current file (repeatable)")
+    parser.add_argument("--print-delta", action="store_true",
+                        help="print a table of every shared numeric metric "
+                             "with its relative delta")
     parser.add_argument("--append-history", metavar="FILE", default=None,
-                        help="append one JSON line recording this gated "
-                             "run's per-benchmark metrics to FILE "
-                             "(e.g. the committed bench/BENCH_history.jsonl)")
+                        help="append one JSON line per gated metric "
+                             "recording this run's per-benchmark values to "
+                             "FILE (e.g. the committed "
+                             "bench/BENCH_history.jsonl)")
     args = parser.parse_args()
-    if args.tolerance_pct < 0:
+
+    if args.gate and (args.metric is not None or
+                      args.tolerance_pct is not None):
+        parser.error("--gate and --metric/--tolerance-pct are mutually "
+                     "exclusive")
+    if args.tolerance_pct is not None and args.tolerance_pct < 0:
         parser.error("--tolerance-pct must be >= 0")
+    if args.gate:
+        gates = [parse_gate(spec) for spec in args.gate]
+    else:
+        gates = [Gate(args.metric or "allocs_per_op",
+                      args.tolerance_pct or 0.0, "lower")]
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
+
+    if args.print_delta:
+        print_delta_table(baseline, current)
+        print()
 
     failures: list[str] = []
     for name in args.require:
         if name not in current:
             failures.append(f"required benchmark missing: {name}")
 
-    compared = 0
-    for name, base in sorted(baseline.items()):
-        cur = current.get(name)
-        if cur is None:
-            # Renamed/retired benchmarks are a baseline-refresh job, not a
-            # perf failure — but say so, loudly.
-            print(f"bench_compare: note: {name} in baseline but not in "
-                  f"current; refresh the baseline if it was renamed",
-                  file=sys.stderr)
-            continue
-        if args.metric not in base or args.metric not in cur:
-            failures.append(f"{name}: metric '{args.metric}' missing")
-            continue
-        base_v = float(base[args.metric])
-        cur_v = float(cur[args.metric])
-        if base_v < 0 or cur_v < 0:
-            print(f"bench_compare: warning: {name}: {args.metric} not "
-                  f"measured (-1); skipping", file=sys.stderr)
-            continue
-        compared += 1
-        limit = base_v * (1.0 + args.tolerance_pct / 100.0)
-        delta = cur_v - base_v
-        status = "OK"
-        if cur_v > limit:
-            status = "REGRESSED"
-            failures.append(
-                f"{name}: {args.metric} {base_v:g} -> {cur_v:g} "
-                f"(+{delta:g}, limit {limit:g})")
-        print(f"  {name:<32} {args.metric}: {base_v:g} -> {cur_v:g}  "
-              f"[{status}]")
-
-    if compared == 0 and not failures:
-        failures.append(f"no benchmarks compared on metric '{args.metric}' "
-                        "(empty intersection or all unmeasured)")
+    gate_results: list[tuple[Gate, int]] = []
+    noted_missing: set[str] = set()
+    for gate in gates:
+        compared = 0
+        for name, base in sorted(baseline.items()):
+            cur = current.get(name)
+            if cur is None:
+                # Renamed/retired benchmarks are a baseline-refresh job,
+                # not a perf failure — but say so, loudly, once.
+                if name not in noted_missing:
+                    noted_missing.add(name)
+                    print(f"bench_compare: note: {name} in baseline but not "
+                          f"in current; refresh the baseline if it was "
+                          f"renamed", file=sys.stderr)
+                continue
+            if gate.metric not in base or gate.metric not in cur:
+                failures.append(f"{name}: metric '{gate.metric}' missing")
+                continue
+            base_v = float(base[gate.metric])
+            cur_v = float(cur[gate.metric])
+            if base_v < 0 or cur_v < 0:
+                print(f"bench_compare: warning: {name}: {gate.metric} not "
+                      f"measured (-1); skipping", file=sys.stderr)
+                continue
+            compared += 1
+            regressed, limit = gate.regressed(base_v, cur_v)
+            delta = cur_v - base_v
+            status = "OK"
+            if regressed:
+                status = "REGRESSED"
+                failures.append(
+                    f"{name}: {gate.metric} {base_v:g} -> {cur_v:g} "
+                    f"({delta:+g}, limit {limit:g})")
+            print(f"  {name:<32} {gate.metric}: {base_v:g} -> {cur_v:g}  "
+                  f"[{status}]")
+        if compared == 0:
+            failures.append(f"no benchmarks compared on metric "
+                            f"'{gate.metric}' (empty intersection or all "
+                            "unmeasured)")
+        gate_results.append((gate, compared))
 
     if args.append_history:
-        # One compact JSON line per gated run: the growth curve of every
-        # benchmark's metric over the repo's history, greppable and
+        # One compact JSON line per gated metric per run: the growth curve
+        # of every benchmark over the repo's history, greppable and
         # plottable without parsing full artifacts. Recorded for failing
         # runs too — a regression is exactly the data point worth keeping.
-        record = {
-            "ts": datetime.datetime.now(datetime.timezone.utc)
-                  .strftime("%Y-%m-%dT%H:%M:%SZ"),
-            "metric": args.metric,
-            "status": "fail" if failures else "ok",
-            "current": {name: bench.get(args.metric)
-                        for name, bench in sorted(current.items())},
-            "baseline": {name: bench.get(args.metric)
-                         for name, bench in sorted(baseline.items())},
-        }
+        ts = (datetime.datetime.now(datetime.timezone.utc)
+              .strftime("%Y-%m-%dT%H:%M:%SZ"))
         try:
             parent = os.path.dirname(args.append_history)
             if parent:
                 os.makedirs(parent, exist_ok=True)
             with open(args.append_history, "a", encoding="utf-8") as fh:
-                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+                for gate, _ in gate_results:
+                    record = {
+                        "ts": ts,
+                        "metric": gate.metric,
+                        "status": "fail" if failures else "ok",
+                        "current": {name: bench.get(gate.metric)
+                                    for name, bench in sorted(
+                                        current.items())},
+                        "baseline": {name: bench.get(gate.metric)
+                                     for name, bench in sorted(
+                                         baseline.items())},
+                    }
+                    fh.write(json.dumps(record, separators=(",", ":"))
+                             + "\n")
         except OSError as exc:
             failures.append(f"cannot append history to "
                             f"{args.append_history}: {exc}")
@@ -157,8 +298,12 @@ def main() -> int:
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"bench_compare: OK ({compared} benchmarks, metric "
-          f"{args.metric}, tolerance {args.tolerance_pct:g}%)")
+    summary = ", ".join(
+        f"{gate.metric} tol {gate.tolerance_pct:g}%"
+        + ("" if gate.direction == "lower" else " (higher=better)")
+        + f" x{compared}"
+        for gate, compared in gate_results)
+    print(f"bench_compare: OK ({summary})")
     return 0
 
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
 """Self-test for bench_compare.py, run as the `bench_compare` ctest.
 
-Covers the gating contract (OK run, regression, missing --require) and the
+Covers the gating contract (OK run, regression, missing --require), the
+per-metric --gate grammar (tolerant time metrics vs. exact alloc metrics,
+higher-is-better direction for events_per_sec), --print-delta, and the
 --append-history behaviors: appending to an existing file, and creating the
 history file — parent directories included — when neither exists yet, as on
 a fresh checkout before the first `check.sh --perf` run.
@@ -26,6 +28,17 @@ def artifact(path: str, allocs: dict[str, float]) -> None:
         "schema_version": 1,
         "benchmarks": [{"name": name, "allocs_per_op": value}
                        for name, value in sorted(allocs.items())],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+
+
+def artifact_metrics(path: str, benches: dict[str, dict[str, float]]) -> None:
+    """Artifact with arbitrary per-benchmark metrics (macro-style)."""
+    doc = {
+        "schema_version": 1,
+        "benchmarks": [{"name": name, **metrics}
+                       for name, metrics in sorted(benches.items())],
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh)
@@ -65,6 +78,86 @@ def main() -> int:
         proc = run(base, cur, "--require", "not_there")
         check(proc.returncode == 1 and "not_there" in proc.stderr,
               "missing --require benchmark fails", proc)
+
+        # --- per-metric gates (--gate) -------------------------------------
+        gbase = os.path.join(tmp, "gbase.json")
+        gcur = os.path.join(tmp, "gcur.json")
+        artifact_metrics(gbase, {"macro": {
+            "ns_per_op": 100.0, "events_per_sec": 1e6, "allocs_per_op": 1.0}})
+
+        # Time metric inside its tolerance passes; alloc growth still fails.
+        artifact_metrics(gcur, {"macro": {
+            "ns_per_op": 108.0, "events_per_sec": 0.95e6,
+            "allocs_per_op": 1.0}})
+        proc = run(gbase, gcur, "--gate", "ns_per_op:10",
+                   "--gate", "events_per_sec:10:higher",
+                   "--gate", "allocs_per_op:0")
+        check(proc.returncode == 0,
+              "tolerant time gates pass within the noise allowance", proc)
+
+        artifact_metrics(gcur, {"macro": {
+            "ns_per_op": 115.0, "events_per_sec": 1e6,
+            "allocs_per_op": 1.0}})
+        proc = run(gbase, gcur, "--gate", "ns_per_op:10")
+        check(proc.returncode == 1 and "REGRESSED" in proc.stdout,
+              "time regression beyond tolerance fails", proc)
+
+        # higher-is-better: a throughput DROP beyond tolerance regresses...
+        artifact_metrics(gcur, {"macro": {
+            "ns_per_op": 100.0, "events_per_sec": 0.8e6,
+            "allocs_per_op": 1.0}})
+        proc = run(gbase, gcur, "--gate", "events_per_sec:10:higher")
+        check(proc.returncode == 1 and "REGRESSED" in proc.stdout,
+              "events_per_sec drop beyond tolerance fails", proc)
+        # ...while a throughput gain of any size passes.
+        artifact_metrics(gcur, {"macro": {
+            "ns_per_op": 100.0, "events_per_sec": 2e6,
+            "allocs_per_op": 1.0}})
+        proc = run(gbase, gcur, "--gate", "events_per_sec:10:higher")
+        check(proc.returncode == 0, "events_per_sec gain passes", proc)
+
+        # Exact alloc gate alongside tolerant gates: any increase fails.
+        artifact_metrics(gcur, {"macro": {
+            "ns_per_op": 100.0, "events_per_sec": 1e6,
+            "allocs_per_op": 1.001}})
+        proc = run(gbase, gcur, "--gate", "ns_per_op:10",
+                   "--gate", "allocs_per_op:0")
+        check(proc.returncode == 1 and "allocs_per_op" in proc.stderr,
+              "alloc growth fails even when time gates pass", proc)
+
+        # Grammar errors are loud, not silently defaulted.
+        proc = run(gbase, gcur, "--gate", "ns_per_op:10:sideways")
+        check(proc.returncode != 0 and "direction" in proc.stderr,
+              "bad gate direction is rejected", proc)
+        proc = run(gbase, gcur, "--gate", "ns_per_op:fast")
+        check(proc.returncode != 0 and "not a number" in proc.stderr,
+              "bad gate tolerance is rejected", proc)
+        proc = run(gbase, gcur, "--gate", "ns_per_op:10",
+                   "--metric", "allocs_per_op")
+        check(proc.returncode != 0 and "mutually exclusive" in proc.stderr,
+              "--gate and --metric are mutually exclusive", proc)
+
+        # --print-delta renders every shared numeric metric with a delta.
+        artifact_metrics(gcur, {"macro": {
+            "ns_per_op": 110.0, "events_per_sec": 1e6,
+            "allocs_per_op": 1.0}})
+        proc = run(gbase, gcur, "--gate", "ns_per_op:25", "--print-delta")
+        check(proc.returncode == 0 and "+10.0%" in proc.stdout
+              and "events_per_sec" in proc.stdout,
+              "--print-delta shows per-metric relative deltas", proc)
+
+        # Multi-gate history: one line per gated metric per run.
+        ghistory = os.path.join(tmp, "ghistory.jsonl")
+        proc = run(gbase, gcur, "--gate", "ns_per_op:25",
+                   "--gate", "allocs_per_op:0",
+                   "--append-history", ghistory)
+        check(proc.returncode == 0, "multi-gate run passes", proc)
+        with open(ghistory, "r", encoding="utf-8") as fh:
+            grecords = [json.loads(line) for line in fh]
+        check(len(grecords) == 2 and
+              {rec["metric"] for rec in grecords}
+              == {"ns_per_op", "allocs_per_op"},
+              "history holds one record per gated metric", proc)
 
         # --append-history must create the file AND its parent directories
         # when absent (fresh checkout: bench/BENCH_history.jsonl not yet

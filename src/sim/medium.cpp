@@ -99,46 +99,67 @@ bool BroadcastMedium::enabled(NodeId node) const {
   return enabled_[node] != 0;
 }
 
-std::uint32_t BroadcastMedium::acquire_reception(TimePoint start,
-                                                 TimePoint end) {
+std::uint32_t BroadcastMedium::acquire_reception() {
   std::uint32_t slot;
   if (rx_free_head_ != kNoReception) {
     slot = rx_free_head_;
-    rx_free_head_ = rx_pool_[slot].next_free;
+    rx_free_head_ = rx_next_free_[slot];
   } else {
-    slot = static_cast<std::uint32_t>(rx_pool_.size());
-    rx_pool_.emplace_back();
+    slot = static_cast<std::uint32_t>(rx_refs_.size());
+    rx_corrupted_.push_back(0);
+    rx_refs_.push_back(0);
+    rx_next_free_.push_back(kNoReception);
   }
-  Reception& r = rx_pool_[slot];
-  r.start = start;
-  r.end = end;
-  r.corrupted = false;
-  r.refs = 2;  // the active-rx list + the delivery closure
+  rx_corrupted_[slot] = 0;
+  rx_refs_[slot] = 2;  // the active-rx list + the delivery batch
   return slot;
 }
 
 void BroadcastMedium::unref_reception(std::uint32_t slot) noexcept {
-  Reception& r = rx_pool_[slot];
-  assert(r.refs > 0);
-  if (--r.refs == 0) {
-    r.next_free = rx_free_head_;
+  assert(rx_refs_[slot] > 0);
+  if (--rx_refs_[slot] == 0) {
+    rx_next_free_[slot] = rx_free_head_;
     rx_free_head_ = slot;
   }
 }
 
+std::uint32_t BroadcastMedium::acquire_batch() {
+  std::uint32_t batch;
+  if (batch_free_head_ != kNoBatch) {
+    batch = batch_free_head_;
+    batch_free_head_ = batches_[batch].next_free;
+  } else {
+    batch = static_cast<std::uint32_t>(batches_.size());
+    batches_.emplace_back();
+  }
+  return batch;
+}
+
+void BroadcastMedium::release_batch(std::uint32_t batch) noexcept {
+  DeliveryBatch& b = batches_[batch];
+  b.listeners.clear();  // capacity kept — steady state reuses it
+  b.rx_slots.clear();
+  b.next_free = batch_free_head_;
+  batch_free_head_ = batch;
+}
+
 void BroadcastMedium::prune(ActiveRx& rx, TimePoint t) noexcept {
-  // Items are end-time-ordered, so expired receptions form a prefix:
-  // advance head instead of erasing — amortized O(1) per reception.
-  while (rx.head < rx.items.size() && rx_pool_[rx.items[rx.head]].end <= t) {
-    unref_reception(rx.items[rx.head]);
+  // `ends` is ascending, so expired receptions form a prefix: scan the
+  // contiguous end-time array and advance head instead of erasing —
+  // amortized O(1) per reception, no reception-pool reads at all.
+  const std::int64_t t_ns = t.ns();
+  while (rx.head < rx.ends.size() && rx.ends[rx.head] <= t_ns) {
+    unref_reception(rx.slots[rx.head]);
     ++rx.head;
   }
-  if (rx.head == rx.items.size()) {
-    rx.items.clear();
+  if (rx.head == rx.ends.size()) {
+    rx.slots.clear();
+    rx.ends.clear();
     rx.head = 0;
-  } else if (rx.head >= 64 && rx.head >= rx.items.size() / 2) {
-    rx.items.erase(rx.items.begin(),
-                   rx.items.begin() + static_cast<std::ptrdiff_t>(rx.head));
+  } else if (rx.head >= 64 && rx.head >= rx.ends.size() / 2) {
+    const auto n = static_cast<std::ptrdiff_t>(rx.head);
+    rx.slots.erase(rx.slots.begin(), rx.slots.begin() + n);
+    rx.ends.erase(rx.ends.begin(), rx.ends.begin() + n);
     rx.head = 0;
   }
 }
@@ -175,52 +196,82 @@ void BroadcastMedium::transmit(NodeId from, util::Bytes payload,
   }
   tx_busy_until_[from] = std::max(tx_busy_until_[from], end);
 
-  // One buffer for the whole broadcast: every listener's delivery closure
-  // holds a refcount on it instead of its own vector copy.
+  // One buffer for the whole broadcast: the delivery batch holds a single
+  // refcount on it instead of one vector copy (or closure) per listener.
   const util::SharedBytes shared_payload{std::move(payload)};
 
-  for (const NodeId listener : topology_.audience(from)) {
-    counters_.deliveries_attempted.inc();
+  // Snapshot the audience into a pooled batch and schedule ONE delivery
+  // event spanning it, instead of one closure per listener. Counters, rx
+  // bookkeeping, and the audience copy happen now (transmit time), exactly
+  // as the per-listener design did; the loss checks run per-listener
+  // inside the batch event in the same order.
+  const std::vector<NodeId>& audience = topology_.audience(from);
+  const std::uint32_t batch = acquire_batch();
+  DeliveryBatch& b = batches_[batch];
+  b.listeners.assign(audience.begin(), audience.end());
+  counters_.deliveries_attempted.inc(b.listeners.size());
 
-    std::uint32_t rx_slot = kNoReception;
-    if (config_.rf_collisions) {
+  if (config_.rf_collisions) {
+    const std::int64_t start_ns = start.ns();
+    const std::int64_t end_ns = end.ns();
+    for (const NodeId listener : b.listeners) {
       ActiveRx& rx = active_rx_[listener];
       prune(rx, start);
-      rx_slot = acquire_reception(start, end);
-      for (std::size_t i = rx.head; i < rx.items.size(); ++i) {
-        Reception& other = rx_pool_[rx.items[i]];
-        // Overlap: the other reception has not ended when this one starts.
-        if (other.end > start) {
-          other.corrupted = true;
-          rx_pool_[rx_slot].corrupted = true;
-        }
+      const std::uint32_t rx_slot = acquire_reception();
+      // Everything the prune left ends after `start`, i.e. overlaps the
+      // new reception: both sides corrupt.
+      for (std::size_t i = rx.head; i < rx.ends.size(); ++i) {
+        assert(rx.ends[i] > start_ns);
+        rx_corrupted_[rx.slots[i]] = 1;
       }
+      if (rx.head < rx.ends.size()) rx_corrupted_[rx_slot] = 1;
       // Keep the list end-time-ordered; with near-constant airtimes the
       // new reception already belongs at the back, so this is O(1).
-      rx.items.push_back(rx_slot);
-      for (std::size_t i = rx.items.size() - 1;
-           i > rx.head && rx_pool_[rx.items[i - 1]].end > end; --i) {
-        std::swap(rx.items[i - 1], rx.items[i]);
+      rx.slots.push_back(rx_slot);
+      rx.ends.push_back(end_ns);
+      for (std::size_t i = rx.ends.size() - 1;
+           i > rx.head && rx.ends[i - 1] > end_ns; --i) {
+        std::swap(rx.ends[i - 1], rx.ends[i]);
+        std::swap(rx.slots[i - 1], rx.slots[i]);
       }
+      b.rx_slots.push_back(rx_slot);
     }
-
-    sim_.schedule_at(
-        end + config_.propagation_delay,
-        [this, from, listener, rx_slot, shared_payload, start, end]() {
-          on_delivery(from, listener, rx_slot, shared_payload, start, end);
-        });
+    (void)start_ns;  // only read by the assert above
   }
+
+  sim_.schedule_at(end + config_.propagation_delay,
+                   [this, batch, from, shared_payload, start, end]() {
+                     on_batch(batch, from, shared_payload, start, end);
+                   });
+}
+
+void BroadcastMedium::on_batch(std::uint32_t batch, NodeId from,
+                               const util::SharedBytes& payload,
+                               TimePoint start, TimePoint end) {
+  // Handlers may transmit re-entrantly, growing batches_ and the reception
+  // pool mid-loop — so re-index batches_[batch] on every access instead of
+  // caching a reference. This batch's slot itself is safe: it is not on
+  // the free list until release_batch below.
+  const std::size_t n = batches_[batch].listeners.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId listener = batches_[batch].listeners[i];
+    const std::uint32_t rx_slot = batches_[batch].rx_slots.empty()
+                                      ? kNoReception
+                                      : batches_[batch].rx_slots[i];
+    on_delivery(from, listener, rx_slot, payload, start, end);
+  }
+  release_batch(batch);
 }
 
 void BroadcastMedium::on_delivery(NodeId from, NodeId listener,
                                   std::uint32_t rx_slot,
                                   const util::SharedBytes& payload,
                                   TimePoint start, TimePoint end) {
-  // Read the collision verdict and release the closure's reference up
+  // Read the collision verdict and release the batch's reference up
   // front, so the record is recycled on every exit path below.
   bool corrupted = false;
   if (rx_slot != kNoReception) {
-    corrupted = rx_pool_[rx_slot].corrupted;
+    corrupted = rx_corrupted_[rx_slot] != 0;
     unref_reception(rx_slot);
   }
   const std::size_t bytes = payload.size();

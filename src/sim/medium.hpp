@@ -152,30 +152,37 @@ class BroadcastMedium {
 
  private:
   static constexpr std::uint32_t kNoReception = ~std::uint32_t{0};
+  static constexpr std::uint32_t kNoBatch = ~std::uint32_t{0};
 
-  /// Pooled reception record (rf_collisions mode only). Records live in
-  /// rx_pool_ and are recycled through a free list; `refs` counts the two
-  /// possible holders — the listener's active-rx list and the pending
-  /// delivery closure — and the record is recycled when both let go.
-  struct Reception {
-    TimePoint start;
-    TimePoint end;  // end of airtime (before propagation)
-    bool corrupted = false;
-    std::uint8_t refs = 0;
-    std::uint32_t next_free = kNoReception;
-  };
-
-  /// Per-listener list of in-flight receptions, ordered by ascending end
-  /// time. Pruning advances `head` past expired entries instead of erasing
-  /// (amortized O(1)); the expired prefix is compacted away once it
-  /// dominates the vector.
+  /// Per-listener list of in-flight receptions (rf_collisions mode only),
+  /// ordered by ascending end time, SoA: `ends` mirrors each reception's
+  /// end-of-airtime inline so the prune is a contiguous scan over one
+  /// int64 array — no pointer-chase into the reception pool. Pruning
+  /// advances `head` past expired entries instead of erasing (amortized
+  /// O(1)); the expired prefix is compacted away once it dominates.
   struct ActiveRx {
-    std::vector<std::uint32_t> items;  // indices into rx_pool_
+    std::vector<std::uint32_t> slots;  // indices into the reception pool
+    std::vector<std::int64_t> ends;    // end of airtime, ns; parallel
     std::size_t head = 0;
   };
 
-  std::uint32_t acquire_reception(TimePoint start, TimePoint end);
+  /// One broadcast's delivery work list: the audience snapshot taken at
+  /// transmit time plus each listener's reception slot. A single delivery
+  /// event carries the batch index and walks the whole span — one event
+  /// per transmit instead of one per listener. Batches are pooled and
+  /// recycled through a free list; the vectors keep their capacity, so a
+  /// steady-state transmit allocates nothing beyond the payload buffer.
+  struct DeliveryBatch {
+    std::vector<NodeId> listeners;
+    std::vector<std::uint32_t> rx_slots;  // empty when !rf_collisions
+    std::uint32_t next_free = kNoBatch;
+  };
+
+  std::uint32_t acquire_reception();
   void unref_reception(std::uint32_t slot) noexcept;
+
+  std::uint32_t acquire_batch();
+  void release_batch(std::uint32_t batch) noexcept;
 
   /// Advances `rx.head` past receptions that ended at or before `t`,
   /// releasing their list reference.
@@ -192,9 +199,21 @@ class BroadcastMedium {
   void deliver_through_interceptor(NodeId from, NodeId listener,
                                    const util::SharedBytes& payload);
 
-  /// Body of the per-listener delivery event: applies the native loss
-  /// checks in order (disabled, RF collision, half-duplex, random loss),
-  /// then delivers directly or through the interceptor.
+  /// Body of the batched delivery event: iterates the batch's listeners in
+  /// audience order, running on_delivery for each, then recycles the batch.
+  /// Handlers may re-entrantly transmit (growing batches_ / the reception
+  /// pool), so the batch is re-indexed on every access — never held by
+  /// reference across a delivery.
+  void on_batch(std::uint32_t batch, NodeId from,
+                const util::SharedBytes& payload, TimePoint start,
+                TimePoint end);
+
+  /// Per-listener delivery step: applies the native loss checks in order
+  /// (disabled, RF collision, half-duplex, random loss), then delivers
+  /// directly or through the interceptor. Observable order (counters, rng
+  /// draws, traces, handler calls) is identical to the pre-batching
+  /// one-event-per-listener design: the per-listener events held
+  /// consecutive seqs, so nothing could interleave between them anyway.
   void on_delivery(NodeId from, NodeId listener, std::uint32_t rx_slot,
                    const util::SharedBytes& payload, TimePoint start,
                    TimePoint end);
@@ -228,9 +247,20 @@ class BroadcastMedium {
   DeliveryInterceptor* interceptor_ = nullptr;
   std::vector<RxHandler> handlers_;
   std::vector<char> enabled_;
-  std::vector<Reception> rx_pool_;
+  // Reception pool, SoA (rf_collisions mode only): a reception is a slot
+  // index into these parallel arrays. `refs` counts the two possible
+  // holders — the listener's active-rx list and the pending delivery batch
+  // — and the slot is recycled when both let go. Start/end times are not
+  // stored here: the prune reads the ActiveRx-inline `ends` mirror and the
+  // delivery batch carries the interval, so the pool is just the mutable
+  // collision verdict plus lifetime bookkeeping.
+  std::vector<char> rx_corrupted_;
+  std::vector<std::uint8_t> rx_refs_;
+  std::vector<std::uint32_t> rx_next_free_;
   std::uint32_t rx_free_head_ = kNoReception;
   std::vector<ActiveRx> active_rx_;  // per listener
+  std::vector<DeliveryBatch> batches_;
+  std::uint32_t batch_free_head_ = kNoBatch;
   // Most recent transmission interval per node, for the half-duplex check.
   // Back-to-back transmissions coalesce (busy-until extends); the check is
   // exact unless a node's transmissions are non-contiguous *and* interleave

@@ -1,0 +1,298 @@
+// Edge-case coverage for the ladder queue behind the event engine
+// (sim/engine.hpp, DESIGN.md §5j): same-timestamp FIFO across rung spills,
+// cancel-then-refill of a bucket, far-future overflow placement, and a
+// randomized differential test against a binary-heap oracle. The oracle
+// deliberately uses std::priority_queue — the no-priority-queue-sim lint
+// rule scopes to src/sim/ only, and an independent implementation is the
+// point of the test.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "util/random.hpp"
+
+namespace retri::sim {
+namespace {
+
+detail::QueueEntry entry_at(std::int64_t t_ns, std::uint64_t seq) {
+  return detail::QueueEntry{TimePoint::origin() + Duration::nanoseconds(t_ns),
+                            seq, 0, 0};
+}
+
+// A push below a parked front goes to the bounded front rung; overflowing
+// that rung evacuates the whole wheel and rebases. A burst of ties that
+// straddles the spill must still pop in scheduling (seq) order.
+TEST(LadderQueue, SameTimestampFifoAcrossFrontRungSpill) {
+  detail::LadderQueue q;
+  // Anchor the wheel at a far-future minimum: first push re-anchors the
+  // window at this entry's bucket.
+  const std::int64_t far_ns = 10'000'000'000;  // 10 s
+  q.push(entry_at(far_ns, 1'000'000));
+  // 100 ties at 1 ms: all earlier than the parked front, so they fill the
+  // 64-entry front rung and then force an evacuate-and-rebase mid-burst.
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    q.push(entry_at(1'000'000, seq));
+  }
+  ASSERT_EQ(q.size(), 101u);
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    const detail::QueueEntry* top = q.peek();
+    ASSERT_NE(top, nullptr);
+    EXPECT_EQ(top->seq, seq);
+    EXPECT_EQ(q.pop().seq, seq);
+  }
+  EXPECT_EQ(q.pop().seq, 1'000'000u);
+  EXPECT_TRUE(q.empty());
+}
+
+// Cancelled events stay in their bucket as stale entries (lazy cancel);
+// refilling the same time range must neither resurrect them nor disturb
+// the order of the replacements.
+TEST(LadderQueue, CancelThenRefillBucketFiresOnlyReplacements) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> stale(100);
+  for (int i = 0; i < 100; ++i) {
+    // 100 events inside one default-width bucket (2^16 ns = 65.5 µs).
+    stale[static_cast<std::size_t>(i)] = sim.schedule_after(
+        Duration::nanoseconds(1'000 + i), [&order] { order.push_back(-1); });
+  }
+  for (EventHandle& h : stale) h.cancel();
+  // Refill the exact same timestamps; the bucket now holds stale and live
+  // entries interleaved in push order.
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_after(Duration::nanoseconds(1'000 + i),
+                       [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+  // The drained bucket is recycled; a second refill lap reuses it cleanly.
+  order.clear();
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(Duration::nanoseconds(1'000 + i),
+                       [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+// Events beyond the wheel horizon land in the overflow rung; several
+// clusters hours apart force multiple rebases (each re-tuning the bucket
+// width), and the pop order must still be the global (t, seq) minimum.
+TEST(LadderQueue, FarFutureOverflowClustersPopInGlobalOrder) {
+  detail::LadderQueue q;
+  std::uint64_t seq = 0;
+  std::vector<std::uint64_t> expected;
+  // Near-future burst inside the initial window.
+  for (int i = 0; i < 50; ++i) q.push(entry_at(i * 100, seq++));
+  // Three far-future clusters: minutes and hours out, far beyond any
+  // window the near-future anchor can cover.
+  for (const std::int64_t base :
+       {60'000'000'000LL, 3'600'000'000'000LL, 7'200'000'000'000LL}) {
+    for (int i = 0; i < 50; ++i) q.push(entry_at(base + i * 1'000, seq++));
+  }
+  // Pushes arrived in globally ascending (t, seq) order, so the expected
+  // pop order is simply seq order.
+  for (std::uint64_t s = 0; s < seq; ++s) expected.push_back(s);
+  std::vector<std::uint64_t> popped;
+  while (!q.empty()) popped.push_back(q.pop().seq);
+  EXPECT_EQ(popped, expected);
+}
+
+// Interleaved ties across the wheel/overflow boundary: entries at the same
+// timestamp always share a bucket, but draining between pushes moves the
+// boundary around. Popping must stay (t, seq)-ascending throughout.
+TEST(LadderQueue, InterleavedDrainAndPushKeepsTotalOrder) {
+  detail::LadderQueue q;
+  std::uint64_t seq = 0;
+  std::int64_t clock_ns = 0;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> popped;
+  for (int round = 0; round < 20; ++round) {
+    // Ties at the current clock plus a spread crossing the horizon.
+    for (int i = 0; i < 8; ++i) q.push(entry_at(clock_ns + 500, seq++));
+    q.push(entry_at(clock_ns + 20'000'000, seq++));   // ~305 buckets out
+    q.push(entry_at(clock_ns + 500'000'000, seq++));  // deep overflow
+    for (int i = 0; i < 6 && !q.empty(); ++i) {
+      const detail::QueueEntry e = q.pop();
+      popped.emplace_back(e.t.ns(), e.seq);
+      clock_ns = e.t.ns();
+    }
+  }
+  while (!q.empty()) {
+    const detail::QueueEntry e = q.pop();
+    popped.emplace_back(e.t.ns(), e.seq);
+  }
+  ASSERT_EQ(popped.size(), static_cast<std::size_t>(seq));
+  for (std::size_t i = 1; i < popped.size(); ++i) {
+    EXPECT_LT(popped[i - 1], popped[i])
+        << "pop " << i << " out of (t, seq) order";
+  }
+}
+
+// Differential oracle: 10k randomized mixed operations against a binary
+// heap (the structure the ladder replaced). Offsets are skewed across the
+// near/mid/far ranges, a slice are exact ties, and interleaved peeks force
+// the front to advance so later pushes land below it (front-rung path).
+// Every pop and peek must match the oracle exactly.
+TEST(LadderQueue, DifferentialOracleOver10kMixedOps) {
+  struct OracleGreater {
+    bool operator()(const detail::QueueEntry& a,
+                    const detail::QueueEntry& b) const noexcept {
+      return detail::entry_less(b, a);
+    }
+  };
+  detail::LadderQueue ladder;
+  std::priority_queue<detail::QueueEntry, std::vector<detail::QueueEntry>,
+                      OracleGreater>
+      oracle;
+  util::Xoshiro256 rng(20010416);
+  std::uint64_t seq = 0;
+  std::int64_t clock_ns = 0;  // last popped time; pushes never precede it
+  std::int64_t last_tie_ns = 0;
+  for (int op = 0; op < 10'000; ++op) {
+    const std::uint64_t roll = rng.below(10);
+    if (roll < 5 || oracle.empty()) {
+      std::int64_t t_ns;
+      switch (rng.below(8)) {
+        case 7:  // far future: overflow rung, later rebase
+          t_ns = clock_ns + 1'000'000'000 +
+                 static_cast<std::int64_t>(rng.below(1'000'000'000));
+          break;
+        case 6:  // mid range: a few wheel laps ahead
+          t_ns = clock_ns + 20'000'000 +
+                 static_cast<std::int64_t>(rng.below(20'000'000));
+          break;
+        case 5:  // exact tie with a previous push: seq must break it
+          t_ns = last_tie_ns;
+          break;
+        default:  // near future: current lap
+          t_ns = clock_ns + static_cast<std::int64_t>(rng.below(1'000'000));
+          break;
+      }
+      if (t_ns < clock_ns) t_ns = clock_ns;
+      last_tie_ns = t_ns;
+      const detail::QueueEntry e = entry_at(t_ns, seq++);
+      ladder.push(e);
+      oracle.push(e);
+    } else if (roll < 8) {
+      const detail::QueueEntry got = ladder.pop();
+      const detail::QueueEntry want = oracle.top();
+      oracle.pop();
+      ASSERT_EQ(got.t.ns(), want.t.ns()) << "op " << op;
+      ASSERT_EQ(got.seq, want.seq) << "op " << op;
+      clock_ns = got.t.ns();
+      if (last_tie_ns < clock_ns) last_tie_ns = clock_ns;
+    } else {
+      // Peek advances the ladder's front (sorting buckets, rebasing); the
+      // next near-future push can then land below it.
+      const detail::QueueEntry* top = ladder.peek();
+      ASSERT_NE(top, nullptr) << "op " << op;
+      ASSERT_EQ(top->t.ns(), oracle.top().t.ns()) << "op " << op;
+      ASSERT_EQ(top->seq, oracle.top().seq) << "op " << op;
+    }
+    ASSERT_EQ(ladder.size(), oracle.size()) << "op " << op;
+  }
+  while (!oracle.empty()) {
+    const detail::QueueEntry want = oracle.top();
+    oracle.pop();
+    const detail::QueueEntry got = ladder.pop();
+    ASSERT_EQ(got.t.ns(), want.t.ns());
+    ASSERT_EQ(got.seq, want.seq);
+  }
+  EXPECT_TRUE(ladder.empty());
+}
+
+// Tallies destructor runs of a move-only capture so the heap-fallback
+// tests below can assert the callable is freed exactly once. Moved-from
+// instances are disarmed and do not count.
+class DtorTally {
+ public:
+  explicit DtorTally(int* tally) : tally_(tally) {}
+  DtorTally(DtorTally&& other) noexcept
+      : tally_(std::exchange(other.tally_, nullptr)) {}
+  DtorTally(const DtorTally&) = delete;
+  DtorTally& operator=(DtorTally&&) = delete;
+  DtorTally& operator=(const DtorTally&) = delete;
+  ~DtorTally() {
+    if (tally_ != nullptr) ++*tally_;
+  }
+
+ private:
+  int* tally_;
+};
+
+// An oversized capture takes EventFn's heap path; under the ladder queue
+// the entry may migrate between rungs (bucket → overflow → bucket), so pin
+// down that the fallback still fires in (t, seq) order and the callable is
+// destroyed exactly once.
+TEST(EventFnHeapFallback, OversizedCaptureFiresInOrderAndFreesOnce) {
+  std::array<std::uint64_t, 16> pad{};  // 128 bytes: over the 64-byte buffer
+  pad.fill(7);
+  int destroyed = 0;
+  std::vector<int> order;
+  {
+    Simulator sim;
+    sim.schedule_after(Duration::nanoseconds(100),
+                       [&order] { order.push_back(0); });
+    sim.schedule_after(
+        Duration::nanoseconds(200),
+        [&order, pad, tally = DtorTally(&destroyed)] {
+          order.push_back(static_cast<int>(pad[0]) - 6);  // 1
+        });
+    sim.schedule_after(Duration::nanoseconds(300),
+                       [&order] { order.push_back(2); });
+    sim.run();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(EventFnHeapFallback, OversizedCaptureReportsUsesHeap) {
+  std::array<std::uint64_t, 16> pad{};
+  int destroyed = 0;
+  {
+    EventFn small([] {});
+    EXPECT_FALSE(small.uses_heap());
+    EventFn large([pad, tally = DtorTally(&destroyed)] { (void)pad; });
+    EXPECT_TRUE(large.uses_heap());
+    // Moving a heap-backed EventFn transfers the pointer, never the value:
+    // still exactly one live callable.
+    EventFn moved = std::move(large);
+    EXPECT_TRUE(moved.uses_heap());
+    moved();
+    EXPECT_EQ(destroyed, 0);  // invocation does not destroy
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+// Cancelling a heap-backed event releases its slot immediately; the stale
+// queue entry must not touch the already-destroyed callable when skipped.
+TEST(EventFnHeapFallback, CancelledOversizedCaptureFreesOnce) {
+  std::array<std::uint64_t, 16> pad{};
+  int destroyed = 0;
+  int fired = 0;
+  Simulator sim;
+  EventHandle h = sim.schedule_after(
+      Duration::nanoseconds(100),
+      [&fired, pad, tally = DtorTally(&destroyed)] {
+        (void)pad;
+        ++fired;
+      });
+  h.cancel();
+  EXPECT_EQ(destroyed, 1);
+  sim.run();  // drains the stale entry
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(destroyed, 1);
+}
+
+}  // namespace
+}  // namespace retri::sim

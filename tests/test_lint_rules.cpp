@@ -43,7 +43,8 @@ TEST(LintRules, DefaultTableHasExpectedRules) {
   for (const char* id :
        {"no-unseeded-rand", "no-random-device", "no-wall-clock",
         "no-raw-thread", "header-pragma-once", "no-using-namespace-header",
-        "no-shared-ptr-hot", "no-adhoc-counter", "no-direct-io",
+        "no-shared-ptr-hot", "no-priority-queue-sim", "no-adhoc-counter",
+        "no-direct-io",
         "no-global-mutable-state", "no-float-eq", "config-has-validated",
         "no-bare-ofstream-store", "layer-order", "include-cycle"}) {
     EXPECT_NE(find_rule(id), nullptr) << id;
@@ -202,6 +203,24 @@ TEST(LintRules, SharedPtrBannedInSimAndCoreOnly) {
                              "no-shared-ptr-hot"));
   EXPECT_FALSE(has_violation(scan("tests/test_medium.cpp", body),
                              "no-shared-ptr-hot"));
+}
+
+TEST(LintRules, PriorityQueueBannedUnderSimOnly) {
+  const std::string body =
+      "#include <queue>\n"
+      "std::priority_queue<int> q;\n";
+  const auto vs = scan("src/sim/engine.hpp", body);
+  EXPECT_TRUE(has_violation(vs, "no-priority-queue-sim"));
+  // Tests keep it as a differential oracle, and other layers are free to
+  // use it — only the sim event core is locked to the ladder queue.
+  EXPECT_FALSE(has_violation(scan("tests/test_ladder_queue.cpp", body),
+                             "no-priority-queue-sim"));
+  EXPECT_FALSE(has_violation(scan("src/runner/thread_pool.cpp", body),
+                             "no-priority-queue-sim"));
+  // Identifiers merely containing the words do not match.
+  EXPECT_FALSE(has_violation(scan("src/sim/engine.cpp",
+                                  "int my_priority_queue_size = 0;\n"),
+                             "no-priority-queue-sim"));
 }
 
 TEST(LintRules, AdhocCounterBannedInSrcOutsideObs) {

@@ -134,6 +134,18 @@ std::vector<Rule> make_default_rules() {
       {"src/sim/", "src/core/"}});
 
   rules.push_back(Rule{
+      "no-priority-queue-sim",
+      RuleKind::kBannedPattern,
+      R"(\bstd::priority_queue\b)",
+      {},
+      {},
+      "the event core runs on the ladder queue (sim/engine.hpp, DESIGN.md "
+      "§5j); reintroducing std::priority_queue under src/sim silently "
+      "reverts the O(log n) hot path — tests may still use it as a "
+      "differential oracle",
+      {"src/sim/"}});
+
+  rules.push_back(Rule{
       "no-adhoc-counter",
       RuleKind::kBannedPattern,
       R"(\bstd::uint64_t\s+\w*_count\w*\s*[={;\[])",
