@@ -114,7 +114,7 @@ CodebookOutcome run_codebook(unsigned code_bits, std::uint64_t seed) {
         medium, static_cast<sim::NodeId>(p + 1), rconfig,
         radio::EnergyModel::rpc_like(), seed + 10 + p);
     publishers[p].selector = core::make_selector(
-        "uniform", core::IdSpace(code_bits), seed + 20 + p);
+        core::uniform_selector(), core::IdSpace(code_bits), seed + 20 + p);
     // Capacity below the binding rotation so bindings stay ephemeral and
     // codes genuinely churn (the RETRI discipline).
     publishers[p].encoder = std::make_unique<apps::CodebookEncoder>(

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
       ExperimentConfig config;
       config.senders = args.senders;
       config.id_bits = bits;
-      config.policy = "listening";
+      config.selector = retri::core::listening_selector();
       config.density_model = estimator.kind;
       config.send_duration = retri::sim::Duration::from_seconds(args.seconds);
       config.seed = args.seed + bits * 17;

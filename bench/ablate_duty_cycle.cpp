@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     ExperimentConfig config;
     config.senders = args.senders;
     config.id_bits = kBits;
-    config.policy = "listening";
+    config.selector = retri::core::listening_selector();
     config.sender_listen_duty = duty;
     config.send_duration = retri::sim::Duration::from_seconds(args.seconds);
     config.seed = args.seed + static_cast<std::uint64_t>(duty * 1000);

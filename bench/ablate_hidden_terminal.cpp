@@ -22,13 +22,14 @@ using retri::stats::fmt;
 
 namespace {
 
-TrialSummary run(unsigned bits, TopologyKind topology, const char* policy,
-                 bool notifications, const retri::bench::BenchArgs& args) {
+TrialSummary run(unsigned bits, TopologyKind topology,
+                 const retri::core::SelectorSpec& selector, bool notifications,
+                 const retri::bench::BenchArgs& args) {
   ExperimentConfig config;
   config.senders = args.senders;
   config.id_bits = bits;
   config.topology = topology;
-  config.policy = policy;
+  config.selector = selector;
   config.collision_notifications = notifications;
   config.send_duration = retri::sim::Duration::from_seconds(args.seconds);
   config.seed = args.seed + bits * 777;
@@ -56,14 +57,16 @@ int main(int argc, char** argv) {
   double uniform_total = 0.0;
 
   for (unsigned bits = 2; bits <= 6; ++bits) {
-    const auto uniform =
-        run(bits, TopologyKind::kStarFullMesh, "uniform", false, args);
-    const auto mesh =
-        run(bits, TopologyKind::kStarFullMesh, "listening", false, args);
-    const auto hidden =
-        run(bits, TopologyKind::kHiddenTerminal, "listening", false, args);
-    const auto notified = run(bits, TopologyKind::kHiddenTerminal,
-                              "listening+notify", true, args);
+    const auto uniform = run(bits, TopologyKind::kStarFullMesh,
+                             retri::core::uniform_selector(), false, args);
+    const auto mesh = run(bits, TopologyKind::kStarFullMesh,
+                          retri::core::listening_selector(), false, args);
+    const auto hidden = run(bits, TopologyKind::kHiddenTerminal,
+                            retri::core::listening_selector(), false, args);
+    const auto notified =
+        run(bits, TopologyKind::kHiddenTerminal,
+            retri::core::listening_selector(/*heed_notifications=*/true), true,
+            args);
     const double bound =
         1.0 - retri::core::model::p_success(bits,
                                             static_cast<double>(args.senders));

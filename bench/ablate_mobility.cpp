@@ -128,8 +128,8 @@ double run_aff_under_mobility(double speed, double seconds,
     stacks[i].radio = std::make_unique<radio::Radio>(
         medium, static_cast<sim::NodeId>(i), radio::RadioConfig{},
         radio::EnergyModel::rpc_like(), seed * 11 + i);
-    stacks[i].selector = core::make_selector("uniform", core::IdSpace(5),
-                                             seed * 13 + i);
+    stacks[i].selector = core::make_selector(core::uniform_selector(),
+                                             core::IdSpace(5), seed * 13 + i);
     stacks[i].driver = std::make_unique<aff::AffDriver>(
         *stacks[i].radio, *stacks[i].selector, config, i);
     stacks[i].source = std::make_unique<apps::TrafficSource>(

@@ -75,8 +75,8 @@ ScalingOutcome run_grid(std::size_t side, std::uint64_t seed) {
     nodes[i].radio = std::make_unique<radio::Radio>(
         medium, id, radio::RadioConfig{}, radio::EnergyModel::rpc_like(),
         seed * 13 + i);
-    nodes[i].selector = core::make_selector("uniform", core::IdSpace(kIdBits),
-                                            seed * 17 + i);
+    nodes[i].selector = core::make_selector(
+        core::uniform_selector(), core::IdSpace(kIdBits), seed * 17 + i);
     nodes[i].diffusion = std::make_unique<apps::DiffusionNode>(
         *nodes[i].radio, *nodes[i].selector, config,
         static_cast<std::uint32_t>(id));

@@ -52,11 +52,11 @@ int main(int argc, char** argv) {
     config.send_duration = retri::sim::Duration::from_seconds(args.seconds);
     config.seed = args.seed + bits * 1000;
 
-    config.policy = "uniform";
+    config.selector = retri::core::uniform_selector();
     const TrialSummary random =
         retri::bench::run_trials(config, args.trials, args.jobs);
 
-    config.policy = "listening";
+    config.selector = retri::core::listening_selector();
     const TrialSummary listening =
         retri::bench::run_trials(config, args.trials, args.jobs);
 

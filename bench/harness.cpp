@@ -98,6 +98,9 @@ bool try_parse_args(int argc, char** argv, BenchArgs& args,
     } else if (flag == "--sweep") {
       if (!next_value(value)) return false;
       args.sweep = std::string(value);
+    } else if (flag == "--selector") {
+      if (!next_value(value)) return false;
+      args.selector = std::string(value);
     } else if (flag == "--via") {
       if (!next_value(value)) return false;
       args.via = std::string(value);

@@ -36,8 +36,8 @@ TrialSummary run_trials(const ExperimentConfig& config, unsigned trials,
 
 /// Parses "--flag value" style overrides shared by the benches:
 /// --trials N, --seconds S, --senders N, --seed X, --jobs N, --out FILE,
-/// --csv, plus the retri_bench-only --sweep NAME, --list, and --micro.
-/// Unknown flags
+/// --csv, plus the retri_bench-only --sweep NAME, --selector NAME, --list,
+/// and --micro. Unknown flags
 /// and malformed numeric values are fatal (typos must not silently run the
 /// default experiment).
 struct BenchArgs {
@@ -49,6 +49,10 @@ struct BenchArgs {
   std::string out;        // JSON artifact path; empty = no export
   bool csv = false;
   std::string sweep;      // retri_bench: named sweep to run
+  /// retri_bench: pin the sweep's id-selection policy — a registry name
+  /// from core::named_selectors(), or "help" to list them. Overrides both
+  /// the sweep's base selector and its selector axis.
+  std::string selector;
   bool list = false;      // retri_bench: list available sweeps
   bool micro = false;     // retri_bench: run the hot-path micro suite
   bool macro = false;     // retri_bench: run the mixed-workload macro suite

@@ -63,6 +63,15 @@ int list_sweeps(std::FILE* stream) {
   return 0;
 }
 
+int list_selectors(std::FILE* stream) {
+  std::fprintf(stream, "available selectors:\n");
+  for (const std::string_view name : retri::core::named_selectors()) {
+    std::fprintf(stream, "  %.*s\n", static_cast<int>(name.size()),
+                 name.data());
+  }
+  return 0;
+}
+
 int run_micro(const retri::bench::BenchArgs& args) {
   const auto results = retri::bench::run_micro_suite();
 
@@ -129,13 +138,15 @@ int run_macro(const retri::bench::BenchArgs& args) {
 int main(int argc, char** argv) {
   const auto args = retri::bench::parse_args(argc, argv);
   if (args.list) return list_sweeps(stdout);
+  if (args.selector == "help") return list_selectors(stdout);
   if (args.micro) return run_micro(args);
   if (args.macro) return run_macro(args);
   if (args.sweep.empty()) {
     std::fprintf(stderr,
                  "usage: retri_bench --sweep NAME [--jobs N] [--out FILE]\n"
                  "                   [--trials N] [--seconds S] [--senders N]\n"
-                 "                   [--seed X] [--csv] [--via SOCKET\n"
+                 "                   [--seed X] [--selector NAME|help]\n"
+                 "                   [--csv] [--via SOCKET\n"
                  "                   [--cache-info]] | --list | --micro |\n"
                  "                   --macro\n\n");
     list_sweeps(stderr);
@@ -153,6 +164,21 @@ int main(int argc, char** argv) {
   spec.base.seed = args.seed;
   spec.base.senders = args.senders;
   spec.base.send_duration = retri::sim::Duration::from_seconds(args.seconds);
+  if (!args.selector.empty()) {
+    auto parsed = retri::core::parse_selector_spec(args.selector);
+    if (!parsed.ok()) {
+      // The error lists every registered policy (registry-lookup contract).
+      std::fprintf(stderr, "%s\n", parsed.error().c_str());
+      return 2;
+    }
+    // Pin the policy: replace both the base and any selector axis, and
+    // couple notifications like SweepSpec::expand would.
+    spec.base.selector = parsed.value();
+    spec.selectors.clear();
+    if (parsed.value().listening.heed_notifications) {
+      spec.base.collision_notifications = true;
+    }
+  }
 
   std::printf("sweep %s: %s\n(%zu points x %u trials x %.0f s, %s)\n\n",
               spec.name.c_str(), spec.description.c_str(), spec.point_count(),

@@ -19,20 +19,25 @@
 #                (metrics/span/export suites + retri_trace CLI smoke) plus
 #                a --jobs 1 vs --jobs 8 retri_trace artifact diff (the
 #                Perfetto JSON must be byte-identical)
-#   8. serve   — sweep-serving gate under the werror build: `ctest -L serve`
+#   8. selector — selector-zoo gate under the werror build: `ctest -L
+#                selector` (policy statistics, permutation injectivity, the
+#                SelectorSpec differential, the attacker model) plus a short
+#                attacker soak: `retri_bench --sweep selectors` at --jobs 1
+#                vs --jobs 8 must emit byte-identical artifacts
+#   9. serve   — sweep-serving gate under the werror build: `ctest -L serve`
 #                (cache/codec/wire/server suites) plus scripts/serve_smoke.sh
 #                (daemon on a temp socket; same sweep submitted twice; the
 #                second run must be 100% cache hits with --out artifacts
 #                byte-identical to a local retri_bench run)
-#   9. serve-fault — crash-safety gate under the asan build: `ctest -L
+#  10. serve-fault — crash-safety gate under the asan build: `ctest -L
 #                serve_fault` (the crash-point/fault soak suite) plus a
 #                `retri_chaos --serve-faults` run whose --jobs 1 vs
 #                --jobs 4 audit artifacts must be byte-identical; also
 #                runnable alone via `scripts/check.sh --serve-faults`
-#  10. tsan    — RETRI_SANITIZE=thread build + `ctest -L runner` (the
+#  11. tsan    — RETRI_SANITIZE=thread build + `ctest -L runner` (the
 #                concurrency suite; TSan on the single-threaded sim buys
 #                nothing but runtime)
-#  11. perf    — opt-in via `scripts/check.sh --perf`: regenerates the
+#  12. perf    — opt-in via `scripts/check.sh --perf`: regenerates the
 #                micro-suite artifact with `retri_bench --micro` and gates
 #                allocs_per_op against the committed bench/BENCH_micro.json
 #                via scripts/bench_compare.py (zero tolerance — the metric
@@ -246,7 +251,24 @@ obs_stage() {
 }
 run_stage obs obs_stage
 
-# --- 8. sweep-serving gate ---------------------------------------------------
+# --- 8. selector-zoo gate -----------------------------------------------------
+# ctest -L selector covers the policy properties and the attacker model;
+# the soak then drives the full selector x attacker sweep through
+# retri_bench twice — sweep sharding must not leak into the artifact, so
+# the --jobs 1 and --jobs 8 bytes must match exactly.
+selector_stage() {
+  ctest --test-dir build-check/werror --output-on-failure -L selector \
+    -j "$JOBS" &&
+  ./build-check/werror/bench/retri_bench --sweep selectors --trials 1 \
+    --seconds 1 --jobs 1 --out build-check/werror/selectors-j1.json &&
+  ./build-check/werror/bench/retri_bench --sweep selectors --trials 1 \
+    --seconds 1 --jobs 8 --out build-check/werror/selectors-j8.json &&
+  cmp build-check/werror/selectors-j1.json \
+    build-check/werror/selectors-j8.json
+}
+run_stage selector selector_stage
+
+# --- 9. sweep-serving gate ---------------------------------------------------
 # Unit suites for the cache/codec/wire/server layers, then the end-to-end
 # contract: a daemon on a temp socket must serve a repeated sweep entirely
 # from cache, byte-identical to a local retri_bench run.
@@ -257,13 +279,13 @@ serve_stage() {
 }
 run_stage serve serve_stage
 
-# --- 9. serve-fault crash-safety gate ----------------------------------------
+# --- 10. serve-fault crash-safety gate ---------------------------------------
 # The asan tree already exists from stage 5; this re-selects the serve_fault
 # suite and runs the CLI soak's jobs-invariance diff on top of it.
 serve_fault_stage() { serve_fault_soak build-check/asan; }
 run_stage serve-fault serve_fault_stage
 
-# --- 10. ThreadSanitizer build + runner concurrency suite --------------------
+# --- 11. ThreadSanitizer build + runner concurrency suite --------------------
 tsan_stage() {
   build_dir build-check/tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DRETRI_SANITIZE=thread &&

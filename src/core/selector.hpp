@@ -1,4 +1,4 @@
-// Identifier selection policies.
+// Identifier selection policies — the selector zoo.
 //
 // The paper analyzes the "simplest and most pessimistic scenario in which
 // every node picks its transaction identifiers uniformly from the
@@ -7,9 +7,20 @@
 // most recent 2T transactions (§3.2, §5.1), optionally assisted by receiver
 // "identifier collision notifications" (§3.2).
 //
+// The zoo extends those two with the wider design space later work
+// catalogs: per-node sequential counters and hashed counters (the IPv4-ID
+// taxonomy's "sequential" and "hash-based" classes) and PERIDOT-style
+// permutation walks — a seeded bijection over the id space, walked
+// sequentially, which provably never self-collides within one period — plus
+// a hybrid that walks the permutation while skipping ids the listening
+// window currently avoids.
+//
 // IdSelector is the policy interface; the AFF driver, the interest
 // reinforcement service, and the codebook all take one by reference so the
-// benches can swap policies per run.
+// benches can swap policies per run. SelectorSpec is the structured,
+// serializable description of a policy choice (enum + per-policy
+// parameters); make_selector(spec, ...) instantiates it and
+// parse_selector_spec(name) is the registry lookup behind CLI strings.
 #pragma once
 
 #include <cstdint>
@@ -18,10 +29,12 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "core/identifier.hpp"
 #include "obs/metrics.hpp"
 #include "util/random.hpp"
+#include "util/result.hpp"
 
 namespace retri::core {
 
@@ -95,18 +108,21 @@ class IdSelector {
   obs::Counter density_updates_;
 };
 
-/// The paper's analyzed baseline: uniform over the whole space, no memory.
-class UniformSelector final : public IdSelector {
- public:
-  UniformSelector(IdSpace space, std::uint64_t seed);
+// --- structured policy description -----------------------------------------
 
-  std::string_view name() const override { return "uniform"; }
-
- private:
-  TransactionId do_select() override;
-
-  util::Xoshiro256 rng_;
+enum class SelectorPolicy {
+  kUniform,        // §4.1 baseline: uniform over the space, no memory
+  kListening,      // §3.2/§5.1 listening heuristic (± notifications)
+  kCounter,        // per-node sequential counter from a seeded start
+  kHashedCounter,  // splitmix64 over a node-salted counter
+  kPermutation,    // seeded bijection walked sequentially (PERIDOT-style)
+  kHybrid,         // permutation walk skipping the listening avoid-set
 };
+
+/// Canonical registry name ("uniform", "counter", ...). The only sanctioned
+/// source of selector-policy spellings; retri_lint bans raw policy string
+/// literals outside this translation unit.
+std::string_view to_string(SelectorPolicy policy) noexcept;
 
 struct ListeningConfig {
   /// Starting density estimate before any set_density() update.
@@ -124,6 +140,102 @@ struct ListeningConfig {
 /// offending field. The ListeningSelector constructor applies this.
 ListeningConfig validated(ListeningConfig config);
 
+/// The structured description of a selection policy: which policy, plus the
+/// per-policy parameters. This is what ExperimentConfig carries, what the
+/// serve codec round-trips, and what sweeps grid over; the string names
+/// exist only at the CLI edge (parse_selector_spec / describe).
+struct SelectorSpec {
+  SelectorPolicy policy = SelectorPolicy::kUniform;
+  /// kListening / kHybrid: window and notification behavior.
+  ListeningConfig listening;
+  /// kCounter / kHashedCounter: mixed into the seeded start / hash base so
+  /// two selectors with the same seed can still walk distinct sequences.
+  std::uint64_t counter_salt = 0;
+  /// kPermutation / kHybrid: walk length before rekeying to a fresh
+  /// bijection. 0 means the full identifier space (clamped to it anyway).
+  std::uint64_t permutation_period = 0;
+};
+
+/// Returns `spec` unchanged or throws std::invalid_argument naming the
+/// offending field. make_selector applies this before construction.
+SelectorSpec validated(SelectorSpec spec);
+
+/// Registry name for `spec`: the policy name, except a listening spec with
+/// heed_notifications reads "listening+notify". This replaces the old
+/// name-mangling inside ListeningSelector::name() — the spec describes
+/// itself; the selector object reports only its policy family.
+std::string_view describe(const SelectorSpec& spec) noexcept;
+
+// Convenience spec builders, one per registry entry.
+SelectorSpec uniform_selector();
+SelectorSpec listening_selector(bool heed_notifications = false);
+SelectorSpec counter_selector(std::uint64_t salt = 0);
+SelectorSpec hashed_counter_selector(std::uint64_t salt = 0);
+SelectorSpec permutation_selector(std::uint64_t period = 0);
+SelectorSpec hybrid_selector(std::uint64_t period = 0);
+
+/// Names accepted by parse_selector_spec, in presentation order.
+std::vector<std::string_view> named_selectors();
+
+/// Builds the spec registered under `name` (see named_selectors()). An
+/// unknown name returns an error message that lists every available policy
+/// — CLIs print it verbatim (`retri_bench --selector help`).
+util::Result<SelectorSpec, std::string> parse_selector_spec(
+    std::string_view name);
+
+// --- shared avoid-set bookkeeping ------------------------------------------
+
+/// The listening heuristic's sliding avoid-set, extracted so the hybrid
+/// selector can reuse it: a window of recently heard ids (2T adaptive or
+/// fixed) plus an optional longer quarantine for notified collisions, with
+/// an exact multiset membership count across both queues.
+class AvoidWindow {
+ public:
+  /// Applies validated(config).
+  explicit AvoidWindow(ListeningConfig config);
+
+  /// Current avoidance window in transactions (2T, or the fixed override).
+  std::size_t window() const noexcept;
+  /// Number of distinct identifiers currently avoided.
+  std::size_t avoided() const noexcept { return avoid_counts_.size(); }
+  bool avoiding(TransactionId id) const { return avoid_counts_.contains(id); }
+
+  void observe(TransactionId id);
+  /// No-op unless config.heed_notifications.
+  void notify_collision(TransactionId id);
+  /// Updates the density estimate and trims both queues to the new window.
+  void set_density(double t);
+
+  const ListeningConfig& config() const noexcept { return config_; }
+
+ private:
+  void push_recent(std::deque<TransactionId>& q, TransactionId id,
+                   std::size_t cap);
+  void trim(std::deque<TransactionId>& q, std::size_t cap);
+
+  ListeningConfig config_;
+  double density_;
+  std::deque<TransactionId> recent_;       // heard ids, newest at back
+  std::deque<TransactionId> quarantined_;  // notified collisions
+  // id -> number of occurrences across both deques (membership test).
+  std::unordered_map<TransactionId, std::uint32_t> avoid_counts_;
+};
+
+// --- the zoo ----------------------------------------------------------------
+
+/// The paper's analyzed baseline: uniform over the whole space, no memory.
+class UniformSelector final : public IdSelector {
+ public:
+  UniformSelector(IdSpace space, std::uint64_t seed);
+
+  std::string_view name() const override;
+
+ private:
+  TransactionId do_select() override;
+
+  util::Xoshiro256 rng_;
+};
+
 /// The paper's listening heuristic: select uniformly from identifiers NOT
 /// heard within the most recent 2T observed transactions.
 ///
@@ -134,16 +246,15 @@ ListeningConfig validated(ListeningConfig config);
 /// pathological case of an avoid set covering almost the whole pool).
 class ListeningSelector final : public IdSelector {
  public:
-  ListeningSelector(IdSpace space, std::uint64_t seed, ListeningConfig config = {});
+  ListeningSelector(IdSpace space, std::uint64_t seed,
+                    ListeningConfig config = {});
 
-  std::string_view name() const override {
-    return config_.heed_notifications ? "listening+notify" : "listening";
-  }
+  std::string_view name() const override;
 
   /// Current avoidance window in transactions (2T, or the fixed override).
-  std::size_t window() const noexcept;
+  std::size_t window() const noexcept { return window_.window(); }
   /// Number of distinct identifiers currently avoided.
-  std::size_t avoided() const noexcept { return avoid_counts_.size(); }
+  std::size_t avoided() const noexcept { return window_.avoided(); }
 
  private:
   TransactionId do_select() override;
@@ -153,26 +264,127 @@ class ListeningSelector final : public IdSelector {
   void on_bind_metrics(obs::MetricsRegistry& registry,
                        std::string_view prefix) override;
 
-  bool avoiding(TransactionId id) const;
-  /// Keeps the "avoided" gauge in sync with avoid_counts_.size().
+  /// Keeps the "avoided" gauge in sync with the window's distinct count.
   void update_avoided_gauge();
-  void push_recent(std::deque<TransactionId>& q, TransactionId id,
-                   std::size_t cap);
-  void trim(std::deque<TransactionId>& q, std::size_t cap);
 
   util::Xoshiro256 rng_;
-  ListeningConfig config_;
-  double density_;
+  AvoidWindow window_;
   obs::Gauge avoided_gauge_;
-  std::deque<TransactionId> recent_;       // heard ids, newest at back
-  std::deque<TransactionId> quarantined_;  // notified collisions
-  // id -> number of occurrences across both deques (membership test).
-  std::unordered_map<TransactionId, std::uint32_t> avoid_counts_;
 };
 
-/// Factory by policy name ("uniform", "listening", "listening+notify");
-/// used by benches and examples to build selectors from CLI-ish strings.
-std::unique_ptr<IdSelector> make_selector(std::string_view policy, IdSpace space,
-                                          std::uint64_t seed);
+/// Per-node sequential counter: the taxonomy's "sequential" class. The
+/// start offset is seeded (splitmix64 over seed and salt) so same-seed
+/// nodes don't trivially stampede the same prefix; ids then increment mod
+/// the space. Within one wrap the walk never self-collides, but two nodes
+/// whose walks overlap collide *persistently* — the pathology this policy
+/// exists to demonstrate.
+class CounterSelector final : public IdSelector {
+ public:
+  CounterSelector(IdSpace space, std::uint64_t seed, std::uint64_t salt = 0);
+
+  std::string_view name() const override;
+
+ private:
+  TransactionId do_select() override;
+
+  std::uint64_t next_;
+};
+
+/// Hashed counter: splitmix64 over a node-salted counter, the taxonomy's
+/// "hash-based" class. Statistically uniform like the baseline, but
+/// stateless-per-draw and reproducible from (seed, salt, draw index).
+class HashedCounterSelector final : public IdSelector {
+ public:
+  HashedCounterSelector(IdSpace space, std::uint64_t seed,
+                        std::uint64_t salt = 0);
+
+  std::string_view name() const override;
+
+ private:
+  TransactionId do_select() override;
+
+  std::uint64_t base_;
+  std::uint64_t counter_ = 0;
+};
+
+/// PERIDOT-style permutation walk: a seeded bijection over the identifier
+/// space, walked sequentially. Injectivity guarantees ZERO self-collision
+/// within one period; at the end of a period the selector rekeys to a fresh
+/// bijection (drawn from its private stream) and walks again.
+///
+/// The bijection composes invertible primitives on the H-bit domain
+/// (odd multiply mod 2^H, xorshift, add mod 2^H), so every id space width
+/// in [1, 64] gets a true permutation — no rejection, no cycle-walking.
+class PermutationSelector final : public IdSelector {
+ public:
+  /// `period` 0 means the full space; larger values are clamped to it.
+  PermutationSelector(IdSpace space, std::uint64_t seed,
+                      std::uint64_t period = 0);
+
+  std::string_view name() const override;
+
+  std::uint64_t period() const noexcept { return period_; }
+
+ private:
+  TransactionId do_select() override;
+  void rekey();
+
+  friend class HybridSelector;
+  std::uint64_t permute(std::uint64_t index) const noexcept;
+  /// Next id in the walk, rekeying at period boundaries.
+  std::uint64_t walk_next();
+
+  util::SplitMix64 keys_;
+  std::uint64_t period_;
+  std::uint64_t index_ = 0;
+  std::uint64_t mul_a_ = 1;
+  std::uint64_t add_c_ = 0;
+  std::uint64_t mul_b_ = 1;
+  unsigned shift_a_ = 1;
+  unsigned shift_b_ = 1;
+};
+
+/// Hybrid listen+permute: the permutation walk, but ids currently in the
+/// listening avoid-set are skipped (each skip advances the walk). Keeps the
+/// permutation's zero-self-collision guarantee while also dodging ids
+/// overheard from peers — the two collision sources the zoo separates.
+class HybridSelector final : public IdSelector {
+ public:
+  HybridSelector(IdSpace space, std::uint64_t seed,
+                 ListeningConfig config = {}, std::uint64_t period = 0);
+
+  std::string_view name() const override;
+
+  std::size_t window() const noexcept { return window_.window(); }
+  std::size_t avoided() const noexcept { return window_.avoided(); }
+
+ private:
+  TransactionId do_select() override;
+  void do_observe(TransactionId id) override;
+  void do_notify_collision(TransactionId id) override;
+  void do_set_density(double t) override;
+  void on_bind_metrics(obs::MetricsRegistry& registry,
+                       std::string_view prefix) override;
+
+  void update_avoided_gauge();
+
+  PermutationSelector walk_;
+  AvoidWindow window_;
+  obs::Gauge avoided_gauge_;
+  obs::Counter skips_;
+};
+
+// --- factories --------------------------------------------------------------
+
+/// Instantiates `spec` (validated) over `space`, seeded with `seed`.
+std::unique_ptr<IdSelector> make_selector(const SelectorSpec& spec,
+                                          IdSpace space, std::uint64_t seed);
+
+/// Legacy string-facing shim for CLI-ish call sites: parse_selector_spec +
+/// make_selector(spec). Throws std::invalid_argument (listing every policy)
+/// on an unknown name. Bit-identical to the spec path — it IS the spec
+/// path.
+std::unique_ptr<IdSelector> make_selector(std::string_view policy,
+                                          IdSpace space, std::uint64_t seed);
 
 }  // namespace retri::core

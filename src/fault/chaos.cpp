@@ -135,7 +135,8 @@ ChaosTrialResult run_chaos_trial(const ChaosTrialConfig& config) {
   receiver.radio = std::make_unique<radio::Radio>(
       medium, 0, radio_config, energy, config.seed * 31 + 7);
   receiver.selector = core::make_selector(
-      "uniform", core::IdSpace(config.id_bits), config.seed * 37 + 11);
+      core::uniform_selector(), core::IdSpace(config.id_bits),
+      config.seed * 37 + 11);
   receiver.driver = std::make_unique<aff::AffDriver>(
       *receiver.radio, *receiver.selector, driver_config, 0);
   receiver.driver->set_packet_handler(
@@ -161,8 +162,9 @@ ChaosTrialResult run_chaos_trial(const ChaosTrialConfig& config) {
     auto& s = senders[i];
     s.radio = std::make_unique<radio::Radio>(medium, node, radio_config,
                                              energy, config.seed * 41 + node);
-    s.selector = core::make_selector(
-        "uniform", core::IdSpace(config.id_bits), config.seed * 43 + node);
+    s.selector = core::make_selector(core::uniform_selector(),
+                                     core::IdSpace(config.id_bits),
+                                     config.seed * 43 + node);
     s.driver = std::make_unique<aff::AffDriver>(*s.radio, *s.selector,
                                                 driver_config, node);
     std::unique_ptr<apps::Workload> workload;

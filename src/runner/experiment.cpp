@@ -8,6 +8,7 @@
 #include "util/validate.hpp"
 #include "apps/workload.hpp"
 #include "core/selector.hpp"
+#include "fault/attacker.hpp"
 #include "fault/churn.hpp"
 #include "fault/injector.hpp"
 #include "radio/duty_cycle.hpp"
@@ -57,12 +58,35 @@ fault::FaultPlan chaos_plan(double loss_rate) {
   return plan;
 }
 
+/// The attacker occupies the node id one past the last sender, so victim
+/// node numbering (receiver 0, senders 1..N) is identical with and without
+/// an attacker and the per-node seed streams never shift.
+sim::NodeId attacker_node(const ExperimentConfig& config) {
+  return static_cast<sim::NodeId>(config.senders + 1);
+}
+
 sim::Topology make_topology(const ExperimentConfig& config) {
+  const bool attacked = config.attacker.active();
   switch (config.topology) {
     case TopologyKind::kStarFullMesh:
-      return sim::Topology::star_full_mesh(config.senders);
-    case TopologyKind::kHiddenTerminal:
-      return sim::Topology::hidden_terminal(config.senders);
+      // An attacker in the full-mesh testbed is just one more node in
+      // range of everyone.
+      return attacked ? sim::Topology::full_mesh(config.senders + 2)
+                      : sim::Topology::star_full_mesh(config.senders);
+    case TopologyKind::kHiddenTerminal: {
+      if (!attacked) return sim::Topology::hidden_terminal(config.senders);
+      // Hidden-terminal senders stay mutually inaudible, but the attacker
+      // is positioned to hear (and reach) every node — the worst case for
+      // the victims: their listening heuristic cannot see each other, yet
+      // the adversary sees all of them.
+      sim::Topology topo(config.senders + 2);
+      const sim::NodeId atk = attacker_node(config);
+      for (std::size_t i = 1; i <= config.senders; ++i) {
+        topo.add_bidi(0, static_cast<sim::NodeId>(i));
+      }
+      for (sim::NodeId node = 0; node < atk; ++node) topo.add_bidi(atk, node);
+      return topo;
+    }
   }
   return sim::Topology::star_full_mesh(config.senders);
 }
@@ -105,8 +129,8 @@ ExperimentConfig validated(ExperimentConfig config) {
     v.fail_bare("channel", "be independent | burst | chaos, got \"" +
                                config.channel + "\"");
   }
-  // config.policy is validated by core::make_selector when the stack is
-  // built; duplicating the name list here would just let them drift.
+  core::validated(config.selector);
+  fault::validated(config.attacker);
   return config;
 }
 
@@ -149,6 +173,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   driver_config.send_collision_notifications = config.collision_notifications;
   driver_config.density_model = config.density_model;
 
+  // The adversary, if any, takes the medium's interception seam (chaining
+  // any fault injector already on it) and forges traffic through a real
+  // radio at the extra node make_topology reserved for it. Constructed
+  // before the victim stacks so "attacker.*" metrics precede theirs in the
+  // registry; when the plan is off, nothing here runs and the experiment
+  // is byte-identical to one built before attackers existed.
+  std::unique_ptr<fault::AttackerNode> attacker;
+  if (config.attacker.active()) {
+    attacker = std::make_unique<fault::AttackerNode>(
+        medium, attacker_node(config), config.attacker, driver_config.wire,
+        config.seed * 67 + 19, hooks);
+    attacker->set_inner(injector.get());
+    medium.set_interceptor(attacker.get());
+  }
+
   struct Stack {
     std::unique_ptr<radio::Radio> radio;
     std::unique_ptr<core::IdSelector> selector;
@@ -164,7 +203,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   receiver.radio = std::make_unique<radio::Radio>(
       medium, 0, radio_config, energy, config.seed * 31 + 7);
   receiver.selector = core::make_selector(
-      config.policy, core::IdSpace(config.id_bits), config.seed * 37 + 11);
+      config.selector, core::IdSpace(config.id_bits), config.seed * 37 + 11);
   receiver.driver = std::make_unique<aff::AffDriver>(
       *receiver.radio, *receiver.selector, driver_config, 0, hooks);
 
@@ -183,7 +222,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     s.radio = std::make_unique<radio::Radio>(medium, node, radio_config,
                                              energy, config.seed * 41 + node);
     s.selector = core::make_selector(
-        config.policy, core::IdSpace(config.id_bits), config.seed * 43 + node);
+        config.selector, core::IdSpace(config.id_bits), config.seed * 43 + node);
     s.driver = std::make_unique<aff::AffDriver>(*s.radio, *s.selector,
                                                 driver_config, node, hooks);
     const std::size_t bytes = config.per_sender_packet_bytes.empty()
@@ -194,6 +233,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
         sim, *s.driver, std::make_unique<apps::SaturatingWorkload>(bytes),
         config.seed * 47 + node);
     s.source->start(sim::TimePoint::origin() + config.send_duration);
+  }
+
+  // The attacker operates for exactly the send window — the drain period
+  // measures how the victims recover once the adversary goes quiet.
+  if (attacker != nullptr) {
+    attacker->start(sim::TimePoint::origin() + config.send_duration);
   }
 
   // The chaos channel additionally crashes/restarts senders; the receiver

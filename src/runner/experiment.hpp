@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "core/density.hpp"
+#include "core/selector.hpp"
+#include "fault/attacker.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "sim/time.hpp"
@@ -41,7 +43,9 @@ struct ExperimentConfig {
   std::size_t senders = 5;
   TopologyKind topology = TopologyKind::kStarFullMesh;
   unsigned id_bits = 8;
-  std::string policy = "uniform";  // uniform | listening | listening+notify
+  /// Structured id-selection policy (see core::SelectorSpec). CLI strings
+  /// enter through core::parse_selector_spec; defaults to uniform.
+  core::SelectorSpec selector;
   std::size_t packet_bytes = 80;
   /// Distinct packet sizes per sender for the mixed-length ablation;
   /// empty means every sender uses packet_bytes.
@@ -76,6 +80,11 @@ struct ExperimentConfig {
   ///                   and sender crash/restart churn.
   /// Unknown values throw std::invalid_argument from run_experiment.
   std::string channel = "independent";
+  /// Adversarial collision attacker (fault::AttackerNode). Off by default;
+  /// when active the experiment adds one extra off-path node that hears
+  /// (and is heard by) everyone, forging identifier collisions during the
+  /// send window.
+  fault::AttackerPlan attacker;
   std::uint64_t seed = 1;
 };
 

@@ -12,7 +12,29 @@ void write_config(JsonWriter& json, const ExperimentConfig& config) {
   json.member("senders", config.senders);
   json.member("topology", to_string(config.topology));
   json.member("id_bits", config.id_bits);
-  json.member("policy", config.policy);
+  json.key("selector").begin_object();
+  json.member("policy", core::to_string(config.selector.policy));
+  if (config.selector.policy == core::SelectorPolicy::kListening) {
+    json.member("heed_notifications",
+                config.selector.listening.heed_notifications);
+  }
+  if (config.selector.counter_salt != 0) {
+    json.member("counter_salt", config.selector.counter_salt);
+  }
+  if (config.selector.permutation_period != 0) {
+    json.member("permutation_period", config.selector.permutation_period);
+  }
+  json.end_object();
+  if (config.attacker.active()) {
+    json.key("attacker").begin_object();
+    json.member("mode", fault::to_string(config.attacker.mode));
+    json.member("flood_interval_ms",
+                config.attacker.flood_interval.to_seconds() * 1e3);
+    json.member("echo_delay_ms", config.attacker.echo_delay.to_seconds() * 1e3);
+    json.member("echo_probability", config.attacker.echo_probability);
+    json.member("junk_bytes", config.attacker.junk_bytes);
+    json.end_object();
+  }
   json.member("packet_bytes", config.packet_bytes);
   if (!config.per_sender_packet_bytes.empty()) {
     json.key("per_sender_packet_bytes").begin_array();

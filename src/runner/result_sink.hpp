@@ -44,7 +44,12 @@ class ResultSink {
   /// "cache" {hit, key, code_version} objects — emitted only when
   /// ServeAnnotations are passed (retri_bench --via --cache-info); default
   /// artifacts carry no serve members and stay bit-comparable to local runs.
-  static constexpr int kSchemaVersion = 4;
+  /// v5: config's flat "policy" string becomes a structured "selector"
+  /// object {policy, heed_notifications?, counter_salt?,
+  /// permutation_period?}; configs with an active attacker gain an
+  /// "attacker" object {mode, flood_interval_ms, echo_delay_ms,
+  /// echo_probability, junk_bytes}.
+  static constexpr int kSchemaVersion = 5;
 
   /// Serializes `result` (pretty-printed when `pretty`). `serve`, when
   /// non-null, adds the v4 provenance members.

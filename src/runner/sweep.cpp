@@ -25,14 +25,18 @@ void append_label(std::string& label, std::string_view part) {
 
 std::size_t SweepSpec::point_count() const noexcept {
   auto dim = [](std::size_t n) { return n == 0 ? std::size_t{1} : n; };
-  return dim(id_bits.size()) * dim(policies.size()) * dim(senders.size()) *
-         dim(duties.size()) * dim(density_models.size()) *
-         dim(channels.size()) * dim(loss_rates.size());
+  return dim(id_bits.size()) * dim(selectors.size()) * dim(attackers.size()) *
+         dim(senders.size()) * dim(duties.size()) *
+         dim(density_models.size()) * dim(channels.size()) *
+         dim(loss_rates.size());
 }
 
 std::vector<SweepPoint> SweepSpec::expand() const {
   const std::vector<unsigned> bits_axis = axis_or(id_bits, base.id_bits);
-  const std::vector<std::string> policy_axis = axis_or(policies, base.policy);
+  const std::vector<core::SelectorSpec> selector_axis =
+      axis_or(selectors, base.selector);
+  const std::vector<fault::AttackerMode> attacker_axis =
+      axis_or(attackers, base.attacker.mode);
   const std::vector<std::size_t> sender_axis = axis_or(senders, base.senders);
   const std::vector<double> duty_axis =
       axis_or(duties, base.sender_listen_duty);
@@ -44,7 +48,8 @@ std::vector<SweepPoint> SweepSpec::expand() const {
   std::vector<SweepPoint> points;
   points.reserve(point_count());
   for (const unsigned bits : bits_axis) {
-    for (const std::string& policy : policy_axis) {
+   for (const core::SelectorSpec& selector : selector_axis) {
+    for (const fault::AttackerMode attack : attacker_axis) {
       for (const std::size_t sender_count : sender_axis) {
         for (const double duty : duty_axis) {
           for (const core::DensityModelKind density : density_axis) {
@@ -53,16 +58,18 @@ std::vector<SweepPoint> SweepSpec::expand() const {
                 SweepPoint point;
                 point.config = base;
                 point.config.id_bits = bits;
-                point.config.policy = policy;
+                point.config.selector = selector;
+                point.config.attacker.mode = attack;
                 point.config.senders = sender_count;
                 point.config.sender_listen_duty = duty;
                 point.config.density_model = density;
                 point.config.channel = channel;
                 point.config.loss_rate = loss;
-                // The notify policy only makes sense with receiver
+                // The notify selector only makes sense with receiver
                 // notifications enabled; couple them so grids stay
                 // expressible as plain axis lists.
-                if (policy == "listening+notify") {
+                if (selector.policy == core::SelectorPolicy::kListening &&
+                    selector.listening.heed_notifications) {
                   point.config.collision_notifications = true;
                 }
                 point.config.seed = derive_point_seed(base.seed, points.size());
@@ -71,7 +78,13 @@ std::vector<SweepPoint> SweepSpec::expand() const {
                 if (bits_axis.size() > 1) {
                   append_label(label, "H=" + std::to_string(bits));
                 }
-                if (policy_axis.size() > 1) append_label(label, policy);
+                if (selector_axis.size() > 1) {
+                  append_label(label, core::describe(selector));
+                }
+                if (attacker_axis.size() > 1) {
+                  append_label(label,
+                               "atk=" + std::string(fault::to_string(attack)));
+                }
                 if (sender_axis.size() > 1) {
                   append_label(label, "T=" + std::to_string(sender_count));
                 }
@@ -93,6 +106,7 @@ std::vector<SweepPoint> SweepSpec::expand() const {
         }
       }
     }
+   }
   }
   return points;
 }
@@ -164,7 +178,7 @@ std::vector<std::string_view> named_sweeps() {
   return {"fig1",        "fig2",        "fig3",
           "fig4",        "hidden_terminal", "txn_lengths",
           "duty_cycle",  "density_estimators", "scaling",
-          "burst_loss",  "chaos"};
+          "burst_loss",  "chaos",       "selectors"};
 }
 
 util::Result<SweepSpec, std::string> make_named_sweep(std::string_view name) {
@@ -191,13 +205,14 @@ util::Result<SweepSpec, std::string> make_named_sweep(std::string_view name) {
     spec.description =
         "observed collision rate vs identifier width, uniform vs listening";
     spec.id_bits = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
-    spec.policies = {"uniform", "listening"};
+    spec.selectors = {core::uniform_selector(), core::listening_selector()};
   } else if (name == "hidden_terminal") {
     spec.description =
         "listening under hidden terminals, with and without notifications";
     spec.base.topology = TopologyKind::kHiddenTerminal;
     spec.id_bits = {2, 3, 4, 5, 6};
-    spec.policies = {"uniform", "listening", "listening+notify"};
+    spec.selectors = {core::uniform_selector(), core::listening_selector(),
+                      core::listening_selector(/*heed_notifications=*/true)};
   } else if (name == "txn_lengths") {
     spec.description =
         "mixed short/long transactions (24B/240B) across identifier widths";
@@ -206,12 +221,12 @@ util::Result<SweepSpec, std::string> make_named_sweep(std::string_view name) {
   } else if (name == "duty_cycle") {
     spec.description = "listening value vs sender listen duty factor (H=4)";
     spec.base.id_bits = 4;
-    spec.base.policy = "listening";
+    spec.base.selector = core::listening_selector();
     spec.duties = {0.0, 0.25, 0.5, 0.75, 1.0};
   } else if (name == "density_estimators") {
     spec.description = "density estimator choice under listening (H=4)";
     spec.base.id_bits = 4;
-    spec.base.policy = "listening";
+    spec.base.selector = core::listening_selector();
     spec.density_models = {core::DensityModelKind::kEwma,
                            core::DensityModelKind::kInstantaneous,
                            core::DensityModelKind::kPeakWindow};
@@ -240,6 +255,26 @@ util::Result<SweepSpec, std::string> make_named_sweep(std::string_view name) {
     spec.base.channel = "chaos";
     spec.base.loss_rate = 0.15;
     spec.id_bits = {2, 4, 6, 8};
+  } else if (name == "selectors") {
+    // The selector-zoo ablation: every identifier-selection policy against
+    // every attacker mode across offered load, at a width (H=6) narrow
+    // enough that collisions — accidental or forged — actually happen.
+    // The Eq.-4-style efficiency comparison in bench/ablate_selectors.cpp
+    // renders this grid.
+    spec.description =
+        "selector zoo x attacker mode x offered load (H=6, Eq. 4 "
+        "efficiency)";
+    spec.base.id_bits = 6;
+    spec.selectors = {core::uniform_selector(),
+                      core::listening_selector(),
+                      core::counter_selector(),
+                      core::hashed_counter_selector(),
+                      core::permutation_selector(),
+                      core::hybrid_selector()};
+    spec.attackers = {fault::AttackerMode::kOff,
+                      fault::AttackerMode::kBlindFlood,
+                      fault::AttackerMode::kEchoCollide};
+    spec.senders = {4, 8, 16};
   } else {
     // Name the alternatives in the error: the CLI surfaces this string
     // verbatim, so a typo'd --sweep tells the user what would have worked.

@@ -2,8 +2,8 @@
 //
 // Every figure and ablation bench is "a grid of ExperimentConfigs × N
 // trials"; SweepSpec captures the grid declaratively (axes over identifier
-// width, selection policy, sender count, listening duty, density estimator)
-// instead of as a bespoke for-loop per binary. SweepRunner flattens the
+// width, selector spec, attacker mode, sender count, listening duty,
+// density estimator) instead of as a bespoke for-loop per binary. SweepRunner flattens the
 // whole grid — every (point, trial) pair — into one ThreadPool so a sweep
 // saturates the machine even when individual points have few trials, while
 // each result lands in its (point, trial) slot and determinism is preserved
@@ -38,10 +38,14 @@ struct SweepSpec {
   unsigned trials = 10;
 
   /// Grid axes. An empty axis means "use the base config's value"; the
-  /// expansion is the Cartesian product of the non-empty axes. A policy of
-  /// "listening+notify" implies collision_notifications at that point.
+  /// expansion is the Cartesian product of the non-empty axes. A listening
+  /// selector with heed_notifications implies collision_notifications at
+  /// that point.
   std::vector<unsigned> id_bits;
-  std::vector<std::string> policies;
+  std::vector<core::SelectorSpec> selectors;
+  /// Adversary axis: each value overrides base.attacker.mode (the rest of
+  /// the attacker plan comes from base.attacker).
+  std::vector<fault::AttackerMode> attackers;
   std::vector<std::size_t> senders;
   std::vector<double> duties;
   std::vector<core::DensityModelKind> density_models;

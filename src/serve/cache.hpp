@@ -51,7 +51,10 @@ namespace retri::serve {
 /// for the same config — the golden-fingerprint suite is the tripwire that
 /// forces the bump. Part of every cache key, so stale entries become
 /// unreachable instead of wrong.
-inline constexpr std::string_view kCodeVersion = "retri-sim-v1";
+/// v2: ExperimentConfig's flat policy string became a structured
+/// SelectorSpec and configs gained an attacker plan, changing the
+/// canonical cell encoding (nested "selector"/"attacker" objects).
+inline constexpr std::string_view kCodeVersion = "retri-sim-v2";
 
 struct CacheOptions {
   /// Directory for the persistent store; empty = memory-only (tests, or a

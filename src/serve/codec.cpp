@@ -107,6 +107,99 @@ bool parse_density_model(std::string_view name, core::DensityModelKind& out) {
   return false;
 }
 
+bool parse_selector_policy(std::string_view name, core::SelectorPolicy& out) {
+  for (const auto policy :
+       {core::SelectorPolicy::kUniform, core::SelectorPolicy::kListening,
+        core::SelectorPolicy::kCounter, core::SelectorPolicy::kHashedCounter,
+        core::SelectorPolicy::kPermutation, core::SelectorPolicy::kHybrid}) {
+    if (name == core::to_string(policy)) {
+      out = policy;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_attacker_mode(std::string_view name, fault::AttackerMode& out) {
+  auto parsed = fault::parse_attacker_mode(name);
+  if (!parsed.ok()) return false;
+  out = parsed.value();
+  return true;
+}
+
+// Selector/attacker sub-objects appear both inside configs and as sweep
+// axis entries, so they get their own write/decode pair. Every field is
+// written unconditionally: canonical_cell must be a pure function of the
+// config, and decode must invert encode exactly.
+
+void write_selector(util::JsonWriter& json, const core::SelectorSpec& spec) {
+  json.begin_object();
+  json.member("policy", core::to_string(spec.policy));
+  json.member("initial_density", spec.listening.initial_density);
+  json.member("fixed_window",
+              static_cast<std::uint64_t>(spec.listening.fixed_window));
+  json.member("heed_notifications", spec.listening.heed_notifications);
+  json.member("notification_multiplier",
+              static_cast<std::uint64_t>(spec.listening.notification_multiplier));
+  json.member("counter_salt", spec.counter_salt);
+  json.member("permutation_period", spec.permutation_period);
+  json.end_object();
+}
+
+bool decode_selector(const JsonValue& doc, core::SelectorSpec& out,
+                     std::string& err) {
+  if (!doc.is_object()) return fail(err, "selector", "expected object");
+  std::string policy;
+  std::uint64_t fixed_window = 0;
+  std::uint64_t notification_multiplier = 0;
+  if (!get_str(doc, "policy", policy, err) ||
+      !get_dbl(doc, "initial_density", out.listening.initial_density, err) ||
+      !get_u64(doc, "fixed_window", fixed_window, err) ||
+      !get_bool(doc, "heed_notifications", out.listening.heed_notifications,
+                err) ||
+      !get_u64(doc, "notification_multiplier", notification_multiplier, err) ||
+      !get_u64(doc, "counter_salt", out.counter_salt, err) ||
+      !get_u64(doc, "permutation_period", out.permutation_period, err)) {
+    return false;
+  }
+  out.listening.fixed_window = static_cast<std::size_t>(fixed_window);
+  out.listening.notification_multiplier =
+      static_cast<std::size_t>(notification_multiplier);
+  if (!parse_selector_policy(policy, out.policy)) {
+    return fail(err, "policy", "unknown selector policy \"" + policy + "\"");
+  }
+  return true;
+}
+
+void write_attacker(util::JsonWriter& json, const fault::AttackerPlan& plan) {
+  json.begin_object();
+  json.member("mode", fault::to_string(plan.mode));
+  json.member("flood_interval_ns", plan.flood_interval.ns());
+  json.member("echo_delay_ns", plan.echo_delay.ns());
+  json.member("echo_probability", plan.echo_probability);
+  json.member("junk_bytes", static_cast<std::uint64_t>(plan.junk_bytes));
+  json.end_object();
+}
+
+bool decode_attacker(const JsonValue& doc, fault::AttackerPlan& out,
+                     std::string& err) {
+  if (!doc.is_object()) return fail(err, "attacker", "expected object");
+  std::string mode;
+  std::uint64_t junk_bytes = 0;
+  if (!get_str(doc, "mode", mode, err) ||
+      !get_duration(doc, "flood_interval_ns", out.flood_interval, err) ||
+      !get_duration(doc, "echo_delay_ns", out.echo_delay, err) ||
+      !get_dbl(doc, "echo_probability", out.echo_probability, err) ||
+      !get_u64(doc, "junk_bytes", junk_bytes, err)) {
+    return false;
+  }
+  out.junk_bytes = static_cast<std::size_t>(junk_bytes);
+  if (!parse_attacker_mode(mode, out.mode)) {
+    return fail(err, "mode", "unknown attacker mode \"" + mode + "\"");
+  }
+  return true;
+}
+
 bool parse_metric_kind(std::string_view name, obs::MetricKind& out) {
   for (const auto kind : {obs::MetricKind::kCounter, obs::MetricKind::kGauge,
                           obs::MetricKind::kHistogram}) {
@@ -217,7 +310,10 @@ void write_config(util::JsonWriter& json,
   json.member("senders", static_cast<std::uint64_t>(config.senders));
   json.member("topology", to_string(config.topology));
   json.member("id_bits", static_cast<std::uint64_t>(config.id_bits));
-  json.member("policy", config.policy);
+  json.key("selector");
+  write_selector(json, config.selector);
+  json.key("attacker");
+  write_attacker(json, config.attacker);
   json.member("packet_bytes", static_cast<std::uint64_t>(config.packet_bytes));
   json.key("per_sender_packet_bytes");
   json.begin_array();
@@ -255,10 +351,23 @@ util::Result<runner::ExperimentConfig, std::string> decode_config(
   std::string topology;
   std::string density_model;
   const util::JsonValue* per_sender = nullptr;
+  const util::JsonValue* selector = doc.find("selector");
+  if (selector == nullptr) {
+    return std::string("config: field \"selector\": missing");
+  }
+  if (!decode_selector(*selector, config.selector, err)) {
+    return "config: " + err;
+  }
+  const util::JsonValue* attacker = doc.find("attacker");
+  if (attacker == nullptr) {
+    return std::string("config: field \"attacker\": missing");
+  }
+  if (!decode_attacker(*attacker, config.attacker, err)) {
+    return "config: " + err;
+  }
   if (!get_u64(doc, "senders", senders, err) ||
       !get_str(doc, "topology", topology, err) ||
       !get_u64(doc, "id_bits", id_bits, err) ||
-      !get_str(doc, "policy", config.policy, err) ||
       !get_u64(doc, "packet_bytes", packet_bytes, err) ||
       !get_array(doc, "per_sender_packet_bytes", per_sender, err) ||
       !get_duration(doc, "send_ns", config.send_duration, err) ||
@@ -366,9 +475,17 @@ void write_sweep_spec(util::JsonWriter& json, const runner::SweepSpec& spec) {
   json.begin_array();
   for (const unsigned bits : spec.id_bits) json.value(bits);
   json.end_array();
-  json.key("policies");
+  json.key("selectors");
   json.begin_array();
-  for (const std::string& policy : spec.policies) json.value(policy);
+  for (const core::SelectorSpec& selector : spec.selectors) {
+    write_selector(json, selector);
+  }
+  json.end_array();
+  json.key("attackers");
+  json.begin_array();
+  for (const fault::AttackerMode mode : spec.attackers) {
+    json.value(fault::to_string(mode));
+  }
   json.end_array();
   json.key("senders");
   json.begin_array();
@@ -410,7 +527,8 @@ util::Result<runner::SweepSpec, std::string> decode_sweep_spec(
   std::string err;
   std::uint64_t trials = 0;
   const util::JsonValue* id_bits = nullptr;
-  const util::JsonValue* policies = nullptr;
+  const util::JsonValue* selectors = nullptr;
+  const util::JsonValue* attackers = nullptr;
   const util::JsonValue* senders = nullptr;
   const util::JsonValue* duties = nullptr;
   const util::JsonValue* density_models = nullptr;
@@ -420,7 +538,8 @@ util::Result<runner::SweepSpec, std::string> decode_sweep_spec(
       !get_str(doc, "description", spec.description, err) ||
       !get_u64(doc, "trials", trials, err) ||
       !get_array(doc, "id_bits", id_bits, err) ||
-      !get_array(doc, "policies", policies, err) ||
+      !get_array(doc, "selectors", selectors, err) ||
+      !get_array(doc, "attackers", attackers, err) ||
       !get_array(doc, "senders", senders, err) ||
       !get_array(doc, "duties", duties, err) ||
       !get_array(doc, "density_models", density_models, err) ||
@@ -438,9 +557,19 @@ util::Result<runner::SweepSpec, std::string> decode_sweep_spec(
     if (!v.is_number()) return std::string("spec: id_bits: expected numbers");
     spec.id_bits.push_back(static_cast<unsigned>(v.as_u64()));
   }
-  for (const util::JsonValue& v : policies->items()) {
-    if (!v.is_string()) return std::string("spec: policies: expected strings");
-    spec.policies.push_back(v.as_string());
+  for (const util::JsonValue& v : selectors->items()) {
+    core::SelectorSpec selector;
+    if (!decode_selector(v, selector, err)) {
+      return "spec: selectors: " + err;
+    }
+    spec.selectors.push_back(selector);
+  }
+  for (const util::JsonValue& v : attackers->items()) {
+    fault::AttackerMode mode = fault::AttackerMode::kOff;
+    if (!v.is_string() || !parse_attacker_mode(v.as_string(), mode)) {
+      return std::string("spec: attackers: unknown mode");
+    }
+    spec.attackers.push_back(mode);
   }
   for (const util::JsonValue& v : senders->items()) {
     if (!v.is_number()) return std::string("spec: senders: expected numbers");

@@ -36,7 +36,7 @@ runner::ExperimentConfig config_b() {
   runner::ExperimentConfig config;
   config.senders = 4;
   config.id_bits = 4;
-  config.policy = "listening+notify";
+  config.selector = core::listening_selector(/*heed_notifications=*/true);
   config.collision_notifications = true;
   config.send_duration = sim::Duration::seconds(2);
   config.seed = 2;

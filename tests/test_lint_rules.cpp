@@ -46,6 +46,7 @@ TEST(LintRules, DefaultTableHasExpectedRules) {
         "no-shared-ptr-hot", "no-priority-queue-sim", "no-adhoc-counter",
         "no-direct-io",
         "no-global-mutable-state", "no-float-eq", "config-has-validated",
+        "no-raw-selector-policy",
         "no-bare-ofstream-store", "layer-order", "include-cycle"}) {
     EXPECT_NE(find_rule(id), nullptr) << id;
   }
@@ -602,4 +603,50 @@ TEST(LintRules, AtomicWriterAnchorsEscapeBareStoreRule) {
            "int fd = ::open(  // retri-lint: allow(no-bare-ofstream-store)\n"
            "    \"tmp\", 0);\n");
   EXPECT_FALSE(has_violation(vs, "no-bare-ofstream-store"));
+}
+
+TEST(LintSelectorPolicy, FlagsRawPolicyLiteralsUnderSrcAndBench) {
+  const std::string body =
+      "void f() { auto s = make_selector(\"hashed_counter\", space, 1); }\n";
+  EXPECT_TRUE(
+      has_violation(scan("src/runner/thing.cpp", body),
+                    "no-raw-selector-policy"));
+  EXPECT_TRUE(has_violation(scan("bench/ablate_thing.cpp", body),
+                            "no-raw-selector-policy"));
+  // Every registry spelling is banned, including the notify alias.
+  EXPECT_TRUE(has_violation(
+      scan("src/runner/thing.cpp",
+           "const char* p = \"listening+notify\";\n"),
+      "no-raw-selector-policy"));
+}
+
+TEST(LintSelectorPolicy, RegistryTuAndOutOfScopePathsAreExempt) {
+  const std::string body = "const char* p = \"permutation\";\n";
+  // The registry TU is the one sanctioned home for the spellings.
+  EXPECT_FALSE(has_violation(scan("src/core/selector.cpp", body),
+                             "no-raw-selector-policy"));
+  // tests/ and examples/ drive the string shim legitimately.
+  EXPECT_FALSE(has_violation(scan("tests/test_thing.cpp", body),
+                             "no-raw-selector-policy"));
+  EXPECT_FALSE(has_violation(scan("examples/vehicle_tracking.cpp", body),
+                             "no-raw-selector-policy"));
+}
+
+TEST(LintSelectorPolicy, NearMissesAndCommentsAreClean) {
+  // Only exact policy spellings match: substrings, field names, and
+  // comments must not trip the rule.
+  const auto vs = scan("src/serve/codec.cpp",
+                       "// the \"uniform\" policy is the baseline\n"
+                       "const char* k = \"counter_salt\";\n"
+                       "const char* f = \"selector\";\n"
+                       "const char* g = \"uniform_selector\";\n");
+  EXPECT_FALSE(has_violation(vs, "no-raw-selector-policy"));
+}
+
+TEST(LintSelectorPolicy, InlineAllowEscapes) {
+  const auto vs = scan(
+      "src/runner/thing.cpp",
+      "const char* p = \"hybrid\";"
+      "  // retri-lint: allow(no-raw-selector-policy)\n");
+  EXPECT_FALSE(has_violation(vs, "no-raw-selector-policy"));
 }

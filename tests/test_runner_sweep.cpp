@@ -121,7 +121,8 @@ runner::SweepSpec tiny_spec() {
   spec.base.drain_extra = retri::sim::Duration::seconds(1);
   spec.base.seed = 7;
   spec.id_bits = {2, 3};
-  spec.policies = {"uniform", "listening"};
+  spec.selectors = {retri::core::uniform_selector(),
+                    retri::core::listening_selector()};
   return spec;
 }
 
@@ -137,7 +138,8 @@ TEST(SweepSpec, ExpandsCartesianGridInFixedOrder) {
   EXPECT_EQ(points[2].label, "H=3 uniform");
   EXPECT_EQ(points[3].label, "H=3 listening");
   EXPECT_EQ(points[2].config.id_bits, 3u);
-  EXPECT_EQ(points[1].config.policy, "listening");
+  EXPECT_EQ(points[1].config.selector.policy,
+            retri::core::SelectorPolicy::kListening);
   // Non-axis fields come from the base template.
   for (const auto& point : points) {
     EXPECT_EQ(point.config.senders, 3u);
@@ -158,11 +160,34 @@ TEST(SweepSpec, PointSeedsAreDistinctAndDeterministic) {
 
 TEST(SweepSpec, NotifyPolicyImpliesCollisionNotifications) {
   runner::SweepSpec spec;
-  spec.policies = {"listening", "listening+notify"};
+  spec.selectors = {
+      retri::core::listening_selector(),
+      retri::core::listening_selector(/*heed_notifications=*/true)};
   const auto points = spec.expand();
   ASSERT_EQ(points.size(), 2u);
   EXPECT_FALSE(points[0].config.collision_notifications);
   EXPECT_TRUE(points[1].config.collision_notifications);
+  EXPECT_EQ(points[0].label, "listening");
+  EXPECT_EQ(points[1].label, "listening+notify");
+}
+
+TEST(SweepSpec, AttackerAxisOverridesOnlyTheMode) {
+  runner::SweepSpec spec;
+  spec.base.attacker.junk_bytes = 23;
+  spec.attackers = {retri::fault::AttackerMode::kOff,
+                    retri::fault::AttackerMode::kBlindFlood,
+                    retri::fault::AttackerMode::kEchoCollide};
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].config.attacker.mode, retri::fault::AttackerMode::kOff);
+  EXPECT_EQ(points[1].config.attacker.mode,
+            retri::fault::AttackerMode::kBlindFlood);
+  EXPECT_EQ(points[2].config.attacker.mode,
+            retri::fault::AttackerMode::kEchoCollide);
+  EXPECT_EQ(points[1].label, "atk=blind_flood");
+  for (const auto& point : points) {
+    EXPECT_EQ(point.config.attacker.junk_bytes, 23u);  // base plan rides along
+  }
 }
 
 TEST(SweepSpec, EmptyAxesYieldSingleBasePoint) {
@@ -235,7 +260,7 @@ TEST(SweepRunner, ParallelSweepMatchesSerialAndExportsStableJson) {
   EXPECT_TRUE(JsonChecker(json_a).valid());
   EXPECT_NE(json_a.find("\"schema\": \"retri.sweep-result\""),
             std::string::npos);
-  EXPECT_NE(json_a.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json_a.find("\"schema_version\": 5"), std::string::npos);
   EXPECT_NE(json_a.find("\"delivery_ratio\""), std::string::npos);
   // v3: per-trial metrics snapshots and the trial-order metrics fold.
   EXPECT_NE(json_a.find("\"metrics\""), std::string::npos);

@@ -180,13 +180,16 @@ TEST(ListeningSelector, NotificationsQuarantineWhenEnabled) {
   for (int i = 0; i < 200; ++i) EXPECT_NE(sel.select().value(), 2u);
 }
 
-TEST(ListeningSelector, NamesReflectConfiguration) {
+TEST(ListeningSelector, NameIsThePolicyFamilyOnly) {
+  // The old name-mangling ("listening+notify" from the selector object) is
+  // retired: objects report their policy family; the SPEC describes the
+  // notify variant (see describe()).
   ListeningSelector plain(IdSpace(8), 1);
   EXPECT_EQ(plain.name(), "listening");
   ListeningConfig config;
   config.heed_notifications = true;
   ListeningSelector notifying(IdSpace(8), 1, config);
-  EXPECT_EQ(notifying.name(), "listening+notify");
+  EXPECT_EQ(notifying.name(), "listening");
   UniformSelector uniform(IdSpace(8), 1);
   EXPECT_EQ(uniform.name(), "uniform");
 }
@@ -195,9 +198,21 @@ TEST(MakeSelector, BuildsEachPolicy) {
   const IdSpace space(8);
   EXPECT_EQ(make_selector("uniform", space, 1)->name(), "uniform");
   EXPECT_EQ(make_selector("listening", space, 1)->name(), "listening");
-  EXPECT_EQ(make_selector("listening+notify", space, 1)->name(),
-            "listening+notify");
+  EXPECT_EQ(make_selector("listening+notify", space, 1)->name(), "listening");
+  EXPECT_EQ(make_selector("counter", space, 1)->name(), "counter");
+  EXPECT_EQ(make_selector("hashed_counter", space, 1)->name(),
+            "hashed_counter");
+  EXPECT_EQ(make_selector("permutation", space, 1)->name(), "permutation");
+  EXPECT_EQ(make_selector("hybrid", space, 1)->name(), "hybrid");
   EXPECT_THROW((void)make_selector("bogus", space, 1), std::invalid_argument);
+}
+
+TEST(MakeSelector, UnknownNameErrorListsEveryPolicy) {
+  const auto parsed = parse_selector_spec("bogus");
+  ASSERT_FALSE(parsed.ok());
+  for (const std::string_view name : named_selectors()) {
+    EXPECT_NE(parsed.error().find(name), std::string::npos) << name;
+  }
 }
 
 }  // namespace

@@ -28,7 +28,16 @@ runner::ExperimentConfig gnarly_config() {
   config.senders = 7;
   config.topology = runner::TopologyKind::kHiddenTerminal;
   config.id_bits = 12;
-  config.policy = "listening+notify";
+  config.selector =
+      retri::core::listening_selector(/*heed_notifications=*/true);
+  config.selector.listening.fixed_window = 9;
+  config.selector.counter_salt = 0xfeedfacecafebeefull;  // 64-bit round-trip
+  config.selector.permutation_period = 12345678901234ull;
+  config.attacker.mode = retri::fault::AttackerMode::kEchoCollide;
+  config.attacker.flood_interval = retri::sim::Duration::nanoseconds(7777777);
+  config.attacker.echo_delay = retri::sim::Duration::nanoseconds(333);
+  config.attacker.echo_probability = 0.625;
+  config.attacker.junk_bytes = 11;
   config.packet_bytes = 240;
   config.per_sender_packet_bytes = {24, 240, 80};
   config.send_duration = retri::sim::Duration::nanoseconds(1234567891011LL);
@@ -76,7 +85,10 @@ runner::SweepSpec gnarly_spec() {
   spec.trials = 3;
   spec.base = gnarly_config();
   spec.id_bits = {2, 4, 8};
-  spec.policies = {"uniform", "listening"};
+  spec.selectors = {retri::core::uniform_selector(),
+                    retri::core::hybrid_selector(31)};
+  spec.attackers = {retri::fault::AttackerMode::kOff,
+                    retri::fault::AttackerMode::kBlindFlood};
   spec.senders = {2, 5};
   spec.duties = {0.25, 1.0};
   spec.density_models = {retri::core::DensityModelKind::kEwma,
@@ -117,7 +129,19 @@ TEST(ServeCodec, ConfigDecodeIsStrict) {
   ASSERT_TRUE(doc.ok());
   const auto missing = serve::decode_config(doc.value());
   ASSERT_FALSE(missing.ok());
-  EXPECT_NE(missing.error().find("id_bits"), std::string::npos);
+  // The nested selector object is decoded first, so it is named first.
+  EXPECT_NE(missing.error().find("selector"), std::string::npos);
+
+  // With the nested objects present, a missing scalar is still named.
+  std::string body = serve::canonical_cell(gnarly_config());
+  const std::size_t at = body.find("\"id_bits\"");
+  ASSERT_NE(at, std::string::npos);
+  body.erase(at, body.find(',', at) - at + 1);
+  const auto redoc = util::parse_json(body);
+  ASSERT_TRUE(redoc.ok());
+  const auto scalar = serve::decode_config(redoc.value());
+  ASSERT_FALSE(scalar.ok());
+  EXPECT_NE(scalar.error().find("id_bits"), std::string::npos);
 }
 
 TEST(ServeCodec, ResultRoundTripsByteIdentically) {

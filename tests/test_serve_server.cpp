@@ -270,7 +270,7 @@ TEST_F(ServeServerTest, ResumesHalfFinishedJobFromCheckpointWithoutReSimulating)
   }
 }
 
-TEST_F(ServeServerTest, ResultSinkV4EmitsServeProvenanceOnlyWhenAsked) {
+TEST_F(ServeServerTest, ResultSinkV5EmitsServeProvenanceOnlyWhenAsked) {
   const runner::SweepSpec spec = tiny_spec();
   const runner::SweepResult result =
       runner::SweepRunner(runner::SweepOptions{}).run(spec);
@@ -295,7 +295,7 @@ TEST_F(ServeServerTest, ResultSinkV4EmitsServeProvenanceOnlyWhenAsked) {
 
   const auto doc = retri::util::parse_json(annotated);
   ASSERT_TRUE(doc.ok()) << doc.error().describe();
-  EXPECT_EQ(doc.value().i64("schema_version"), 4);
+  EXPECT_EQ(doc.value().i64("schema_version"), 5);
   EXPECT_EQ(doc.value().str("served_by"), "abc123def456-1");
   const retri::util::JsonValue* points = doc.value().find("points");
   ASSERT_NE(points, nullptr);

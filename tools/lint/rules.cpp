@@ -103,6 +103,18 @@ std::vector<Rule> make_default_rules() {
       {"src/"}});
 
   rules.push_back(Rule{
+      "no-raw-selector-policy",
+      RuleKind::kTokenCheck,
+      "",
+      {"src/core/selector.cpp", "src/obs/metrics.cpp"},
+      {},
+      "selector-policy names are spelled exactly once, in the registry TU "
+      "(core::to_string / parse_selector_spec); build a core::SelectorSpec "
+      "with the spec builders or parse a CLI string through "
+      "parse_selector_spec instead of hard-coding the name",
+      {"src/", "bench/"}});
+
+  rules.push_back(Rule{
       "header-pragma-once",
       RuleKind::kRequiredPattern,
       R"(#pragma once|#ifndef\s+\w+)",

@@ -395,6 +395,37 @@ std::vector<Violation> check_config_validated(std::string_view rel_path,
   return out;
 }
 
+// --- no-raw-selector-policy -------------------------------------------------
+//
+// Flags ordinary string literals spelling a selector-policy registry name
+// ("uniform", "counter", ...) outside the registry TU. Policy spellings
+// have exactly one home — core::to_string / parse_selector_spec in
+// src/core/selector.cpp — so a renamed or added policy can never leave a
+// stale string behind in a bench or codec. Comparison is against the
+// literal's exact content; prefixed and raw strings (u8"...", R"(...)")
+// are the documented blind spot, as no sanctioned spelling uses them.
+
+std::vector<Violation> check_raw_selector_policy(
+    std::string_view rel_path, std::string_view contents,
+    const std::vector<Token>& code, const Rule& rule) {
+  static constexpr std::string_view kPolicyNames[] = {
+      "\"uniform\"",        "\"listening\"",   "\"listening+notify\"",
+      "\"counter\"",        "\"hashed_counter\"",
+      "\"permutation\"",    "\"hybrid\"",
+  };
+  std::vector<Violation> out;
+  for (const Token& t : code) {
+    if (t.kind != TokKind::kString) continue;
+    for (const std::string_view name : kPolicyNames) {
+      if (t.text == name) {
+        push_violation(out, rel_path, contents, t.line, rule, t.text);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<std::size_t> match_token_sequences(const std::vector<Token>& code,
@@ -465,6 +496,9 @@ std::vector<Violation> run_token_check(std::string_view rel_path,
   }
   if (rule.id == "config-has-validated") {
     return check_config_validated(rel_path, contents, code, rule);
+  }
+  if (rule.id == "no-raw-selector-policy") {
+    return check_raw_selector_policy(rel_path, contents, code, rule);
   }
   return {};
 }

@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/selector.hpp"
 #include "obs/export.hpp"
 #include "runner/observe.hpp"
 #include "runner/seeds.hpp"
@@ -54,7 +55,9 @@ void usage(std::FILE* to) {
       "Runs N experiment trials, replays trial I with the span recorder\n"
       "attached, and exports its protocol timeline as Chrome/Perfetto\n"
       "trace_event JSON (open in chrome://tracing or ui.perfetto.dev).\n"
-      "--policy is uniform | listening | listening+notify; --channel is\n"
+      "--policy is any selector from core::named_selectors() (e.g. uniform,\n"
+      "listening, listening+notify, counter, hashed_counter, permutation,\n"
+      "hybrid); --channel is\n"
       "independent | burst | chaos. Output is a pure function of the\n"
       "experiment knobs and --seed; --jobs only shards the batch.\n"
       "Exit 0: capture clean; 1: span-stream integrity violations;\n"
@@ -162,7 +165,18 @@ int main(int argc, char** argv) {
   retri::runner::ExperimentConfig config;
   config.senders = args.senders;
   config.id_bits = args.bits;
-  config.policy = args.policy;
+  {
+    auto selector = retri::core::parse_selector_spec(args.policy);
+    if (!selector.ok()) {
+      std::fprintf(stderr, "retri_trace: %s\n", selector.error().c_str());
+      return 2;
+    }
+    config.selector = selector.value();
+    // Mirror the sweep registry's coupling: the notify selector implies
+    // receiver collision notifications.
+    config.collision_notifications =
+        config.selector.listening.heed_notifications;
+  }
   config.send_duration = retri::sim::Duration::from_seconds(args.seconds);
   config.loss_rate = args.loss;
   config.channel = args.channel;
